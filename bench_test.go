@@ -1,0 +1,149 @@
+// Benchmarks that regenerate every table and figure of the HeavyKeeper
+// paper's evaluation (§VI, Figs 4–36) plus this repository's ablations.
+//
+// Each BenchmarkFigNN runs the corresponding experiment through the harness
+// and logs the resulting table (view with `go test -bench Fig04 -v`); the
+// benchmark's wall time is the cost of regenerating that figure. Key series
+// are also exported as benchmark metrics so regressions show up in
+// benchstat. The workload scale defaults to 0.5% of the paper's packet
+// counts so the full suite completes in minutes; set HK_BENCH_SCALE (e.g.
+// 0.1 or 1.0) for higher-fidelity runs.
+//
+// The per-packet hot-path benchmarks live next to their packages (e.g.
+// internal/core, internal/topk); this file covers the paper-level
+// experiments.
+package heavykeeper_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("HK_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.005
+}
+
+var (
+	runnerOnce sync.Once
+	runner     *harness.Runner
+)
+
+// sharedRunner caches traces and oracles across all figure benchmarks.
+func sharedRunner() *harness.Runner {
+	runnerOnce.Do(func() {
+		runner = harness.NewRunner(harness.RunConfig{Scale: benchScale(), Seed: 31337})
+	})
+	return runner
+}
+
+// benchFigure runs figure id once per b.N iteration and logs the table.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+			reportKeySeries(b, tab)
+		}
+	}
+}
+
+// reportKeySeries exports the HeavyKeeper series' last sweep point (the
+// most generous setting) and first point (the tightest) as metrics.
+func reportKeySeries(b *testing.B, tab *harness.Table) {
+	for _, col := range []string{harness.AlgoHK, harness.AlgoHKMinimum} {
+		if series := tab.Column(col); series != nil && len(series) > 0 {
+			b.ReportMetric(series[0], "HK_first")
+			b.ReportMetric(series[len(series)-1], "HK_last")
+			return
+		}
+	}
+}
+
+func benchAblation(b *testing.B, id string) {
+	b.Helper()
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Ablation(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+func BenchmarkFig04PrecisionVsMemoryCampus(b *testing.B)   { benchFigure(b, "4") }
+func BenchmarkFig05PrecisionVsMemoryCAIDA(b *testing.B)    { benchFigure(b, "5") }
+func BenchmarkFig06PrecisionVsKCampus(b *testing.B)        { benchFigure(b, "6") }
+func BenchmarkFig07PrecisionVsKCAIDA(b *testing.B)         { benchFigure(b, "7") }
+func BenchmarkFig08PrecisionVsSkew(b *testing.B)           { benchFigure(b, "8") }
+func BenchmarkFig09AREVsMemoryCampus(b *testing.B)         { benchFigure(b, "9") }
+func BenchmarkFig10PrecisionVsMemoryMB(b *testing.B)       { benchFigure(b, "10") }
+func BenchmarkFig11AREVsMemoryCAIDA(b *testing.B)          { benchFigure(b, "11") }
+func BenchmarkFig12AREVsKCampus(b *testing.B)              { benchFigure(b, "12") }
+func BenchmarkFig13AREVsKCAIDA(b *testing.B)               { benchFigure(b, "13") }
+func BenchmarkFig14AREVsSkew(b *testing.B)                 { benchFigure(b, "14") }
+func BenchmarkFig15AAEVsMemoryCampus(b *testing.B)         { benchFigure(b, "15") }
+func BenchmarkFig16AAEVsMemoryCAIDA(b *testing.B)          { benchFigure(b, "16") }
+func BenchmarkFig17AAEVsKCampus(b *testing.B)              { benchFigure(b, "17") }
+func BenchmarkFig18AAEVsKCAIDA(b *testing.B)               { benchFigure(b, "18") }
+func BenchmarkFig19AAEVsSkew(b *testing.B)                 { benchFigure(b, "19") }
+func BenchmarkFig20PrecisionRecentWorks(b *testing.B)      { benchFigure(b, "20") }
+func BenchmarkFig21ARERecentWorks(b *testing.B)            { benchFigure(b, "21") }
+func BenchmarkFig22AAERecentWorks(b *testing.B)            { benchFigure(b, "22") }
+func BenchmarkFig23PrecisionParallelVsMin(b *testing.B)    { benchFigure(b, "23") }
+func BenchmarkFig24AREParallelVsMin(b *testing.B)          { benchFigure(b, "24") }
+func BenchmarkFig25AAEParallelVsMin(b *testing.B)          { benchFigure(b, "25") }
+func BenchmarkFig26PrecisionVsKParallelVsMin(b *testing.B) { benchFigure(b, "26") }
+func BenchmarkFig27AREVsKParallelVsMin(b *testing.B)       { benchFigure(b, "27") }
+func BenchmarkFig28AAEVsKParallelVsMin(b *testing.B)       { benchFigure(b, "28") }
+func BenchmarkFig29PrecisionVsSkewVersions(b *testing.B)   { benchFigure(b, "29") }
+func BenchmarkFig30AREVsSkewVersions(b *testing.B)         { benchFigure(b, "30") }
+func BenchmarkFig31AAEVsSkewVersions(b *testing.B)         { benchFigure(b, "31") }
+func BenchmarkFig32PrecisionVsPackets(b *testing.B)        { benchFigure(b, "32") }
+func BenchmarkFig33ThroughputVsMemory(b *testing.B)        { benchFigure(b, "33") }
+func BenchmarkFig34OVSThroughput(b *testing.B)             { benchFigure(b, "34") }
+func BenchmarkFig35ErrorBoundEps16(b *testing.B)           { benchFigure(b, "35") }
+func BenchmarkFig36ErrorBoundEps17(b *testing.B)           { benchFigure(b, "36") }
+
+func BenchmarkAblationDecayFunctions(b *testing.B) { benchAblation(b, "decay-functions") }
+func BenchmarkAblationDepth(b *testing.B)          { benchAblation(b, "depth") }
+func BenchmarkAblationFingerprint(b *testing.B)    { benchAblation(b, "fingerprint-bits") }
+func BenchmarkAblationOptimizations(b *testing.B)  { benchAblation(b, "optimizations") }
+func BenchmarkAblationStore(b *testing.B)          { benchAblation(b, "store") }
+func BenchmarkAblationExpansion(b *testing.B)      { benchAblation(b, "expansion") }
+
+// BenchmarkInsertPerPacket measures the end-to-end per-packet cost of the
+// default public-API configuration — the number behind the paper's Mps
+// claims, on this machine.
+func BenchmarkInsertPerPacket(b *testing.B) {
+	for _, name := range []string{harness.AlgoHK, harness.AlgoHKMinimum, harness.AlgoSS, harness.AlgoCM} {
+		b.Run(name, func(b *testing.B) {
+			a := harness.MustBuild(name, 50*1024, 100, 1)
+			keys := make([][]byte, 1<<14)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("flow-%d", i%3000))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Insert(keys[i&(len(keys)-1)])
+			}
+		})
+	}
+}

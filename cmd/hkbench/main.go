@@ -1,0 +1,73 @@
+// Command hkbench regenerates the HeavyKeeper paper's evaluation figures
+// (Figs 4–36) as text tables, plus this repository's ablation studies.
+//
+// Usage:
+//
+//	hkbench -figure 4              # one figure
+//	hkbench -figure all            # every figure (takes a while)
+//	hkbench -figure ablations      # the repository's extra ablations
+//	hkbench -figure 8 -scale 0.1   # closer to paper-scale workloads
+//	hkbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "", "figure number (4-36), 'all', 'ablations', or an ablation name")
+		scale  = flag.Float64("scale", 0.02, "scale factor on the paper's packet/flow counts (1.0 = full)")
+		seed   = flag.Uint64("seed", 31337, "seed")
+		list   = flag.Bool("list", false, "list available figures")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper figures:")
+		for _, id := range harness.FigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("ablations:")
+		for _, id := range harness.AblationIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	if *figure == "" {
+		fmt.Fprintln(os.Stderr, "hkbench: -figure is required (-list to enumerate)")
+		os.Exit(1)
+	}
+
+	r := harness.NewRunner(harness.RunConfig{Scale: *scale, Seed: *seed})
+	fmt.Printf("scale %.3g, seed %d\n\n", r.Config().Scale, r.Config().Seed)
+
+	var ids []string
+	switch *figure {
+	case "all":
+		ids = harness.FigureIDs()
+	case "ablations":
+		ids = harness.AblationIDs()
+	default:
+		ids = []string{*figure}
+	}
+	for _, id := range ids {
+		tab, err := run(r, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+	}
+}
+
+func run(r *harness.Runner, id string) (*harness.Table, error) {
+	if tab, err := r.Figure(id); err == nil {
+		return tab, nil
+	}
+	return r.Ablation(id)
+}

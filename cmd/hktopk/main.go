@@ -1,0 +1,123 @@
+// Command hktopk replays a packet trace through one of the implemented
+// top-k algorithms and reports the found flows with their accuracy against
+// ground truth.
+//
+// Usage:
+//
+//	hktopk -trace campus.hktr -algo HeavyKeeper -k 100 -mem 50
+//	hktopk -dataset caida -scale 0.02 -algo SS -k 100 -mem 20
+//	hktopk -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+var algoNames = []string{
+	harness.AlgoHK, harness.AlgoHKMinimum, harness.AlgoHKBasic,
+	harness.AlgoSS, harness.AlgoLC, harness.AlgoCSS, harness.AlgoCM,
+	harness.AlgoFrequent, harness.AlgoElastic, harness.AlgoColdFilter,
+	harness.AlgoCounterTree, harness.AlgoGuardian,
+}
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file from hkgen")
+		dataset   = flag.String("dataset", "", "generate on the fly: campus, caida, or zipf")
+		skew      = flag.Float64("skew", 1.0, "zipf skew (zipf dataset only)")
+		scale     = flag.Float64("scale", 0.02, "scale for on-the-fly generation")
+		algo      = flag.String("algo", harness.AlgoHK, "algorithm name (-list to enumerate)")
+		k         = flag.Int("k", 100, "report size")
+		memKB     = flag.Int("mem", 50, "memory budget in KB")
+		seed      = flag.Uint64("seed", 31337, "seed")
+		show      = flag.Int("show", 10, "how many reported flows to print")
+		list      = flag.Bool("list", false, "list available algorithms")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range algoNames {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	tr := loadTrace(*tracePath, *dataset, *skew, *scale, *seed)
+	a, err := harness.Build(*algo, *memKB*1024, *k, *seed)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if cr, ok := a.(harness.CandidateRanker); ok {
+		cr.SetCandidates(tr.IDs)
+	}
+
+	start := time.Now()
+	tr.ForEach(a.Insert)
+	elapsed := time.Since(start)
+
+	reported := a.Top(*k)
+	oracle := metrics.FromCounts(tr.ExactCounts())
+	trueTop := oracle.TopKSet(*k)
+
+	fmt.Printf("algorithm:  %s\n", a.Name())
+	fmt.Printf("memory:     %d KB budget (%d bytes used)\n", *memKB, a.MemoryBytes())
+	fmt.Printf("trace:      %s, %d packets, %d flows\n", tr.Spec.Name, tr.Len(), tr.Flows())
+	fmt.Printf("throughput: %.2f Mps\n", float64(tr.Len())/elapsed.Seconds()/1e6)
+	fmt.Printf("precision:  %.4f\n", metrics.Precision(reported, trueTop))
+	fmt.Printf("ARE:        %.6g\n", metrics.ARE(reported, oracle))
+	fmt.Printf("AAE:        %.6g\n", metrics.AAE(reported, oracle))
+	fmt.Printf("top %d reported flows:\n", *show)
+	for i, e := range reported {
+		if i >= *show {
+			break
+		}
+		mark := " "
+		if trueTop[e.Key] {
+			mark = "*"
+		}
+		fmt.Printf("  %s #%-3d %x  est=%-8d true=%d\n", mark, i+1, e.Key, e.Count, oracle.Count(e.Key))
+	}
+	fmt.Println("(* = member of the true top-k)")
+}
+
+func loadTrace(path, dataset string, skew, scale float64, seed uint64) *gen.Trace {
+	if path != "" {
+		tr, err := trace.ReadFile(path)
+		if err != nil {
+			fatal(err.Error())
+		}
+		return tr
+	}
+	if dataset == "" {
+		fatal("hktopk: provide -trace FILE or -dataset NAME")
+	}
+	var spec gen.Spec
+	switch dataset {
+	case "campus":
+		spec = gen.Campus(seed)
+	case "caida":
+		spec = gen.CAIDA(seed)
+	case "zipf":
+		spec = gen.Synthetic(skew, seed)
+	default:
+		fatal(fmt.Sprintf("hktopk: unknown dataset %q", dataset))
+	}
+	tr, err := gen.Generate(spec.Scale(scale))
+	if err != nil {
+		fatal(err.Error())
+	}
+	return tr
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package heavykeeper
+
+import "sync"
+
+// Concurrent is a mutex-guarded TopK for multi-goroutine use. HeavyKeeper's
+// single-writer hot path is a few dozen nanoseconds, so a plain mutex keeps
+// up with millions of packets per second; pipelines that need more should
+// shard flows across several TopK instances by flow hash instead (each
+// shard then reports its own top-k, merged at query time).
+type Concurrent struct {
+	mu sync.Mutex
+	t  *TopK
+}
+
+// NewConcurrent returns a concurrency-safe TopK.
+func NewConcurrent(k int, opts ...Option) (*Concurrent, error) {
+	t, err := New(k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{t: t}, nil
+}
+
+// Add records one occurrence of flowID.
+func (c *Concurrent) Add(flowID []byte) {
+	c.mu.Lock()
+	c.t.Add(flowID)
+	c.mu.Unlock()
+}
+
+// AddString is Add for string identifiers.
+func (c *Concurrent) AddString(flowID string) {
+	c.mu.Lock()
+	c.t.AddString(flowID)
+	c.mu.Unlock()
+}
+
+// Query returns the current size estimate for flowID.
+func (c *Concurrent) Query(flowID []byte) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Query(flowID)
+}
+
+// List returns the current top-k flows in descending estimated size.
+func (c *Concurrent) List() []Flow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.List()
+}
+
+// K returns the configured report size.
+func (c *Concurrent) K() int { return c.t.K() }
+
+// MemoryBytes returns the logical memory footprint.
+func (c *Concurrent) MemoryBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.MemoryBytes()
+}

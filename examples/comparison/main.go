@@ -1,0 +1,52 @@
+// Comparison: run HeavyKeeper head-to-head against every implemented
+// baseline on one workload at one byte budget — a single-row slice of the
+// paper's evaluation, useful for getting a feel for the accuracy gap.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const (
+		k      = 100
+		budget = 20 * 1024
+		seed   = 2024
+	)
+	tr := gen.MustGenerate(gen.Campus(seed).Scale(0.02))
+	oracle := metrics.FromCounts(tr.ExactCounts())
+	trueTop := oracle.TopKSet(k)
+
+	algos := []string{
+		harness.AlgoHK, harness.AlgoHKMinimum, harness.AlgoSS,
+		harness.AlgoLC, harness.AlgoCSS, harness.AlgoCM,
+		harness.AlgoElastic, harness.AlgoColdFilter, harness.AlgoCounterTree,
+	}
+
+	fmt.Printf("workload: %s (%d packets, %d flows), budget %d KB, k = %d\n\n",
+		tr.Spec.Name, tr.Len(), tr.Flows(), budget/1024, k)
+	fmt.Printf("%-14s %10s %12s %12s %12s\n", "algorithm", "precision", "ARE", "AAE", "Mps")
+	for _, name := range algos {
+		a := harness.MustBuild(name, budget, k, seed)
+		if cr, ok := a.(harness.CandidateRanker); ok {
+			cr.SetCandidates(tr.IDs)
+		}
+		start := time.Now()
+		tr.ForEach(a.Insert)
+		mps := float64(tr.Len()) / time.Since(start).Seconds() / 1e6
+		rep := a.Top(k)
+		fmt.Printf("%-14s %10.3f %12.4g %12.4g %12.2f\n",
+			name,
+			metrics.Precision(rep, trueTop),
+			metrics.ARE(rep, oracle),
+			metrics.AAE(rep, oracle),
+			mps)
+	}
+}

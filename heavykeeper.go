@@ -1,0 +1,321 @@
+// Package heavykeeper finds the top-k elephant flows in a packet or item
+// stream using the HeavyKeeper sketch (Yang, Zhang, Li, Gong, Uhlig, Chen,
+// Li — USENIX ATC 2018 / IEEE-ACM ToN).
+//
+// HeavyKeeper keeps d small bucket arrays of (fingerprint, counter) pairs
+// and applies count-with-exponential-decay: a packet that collides with a
+// resident flow decays the resident's counter with probability b^-C, so
+// mouse flows wash out while elephant flows become effectively permanent.
+// A k-entry summary on top yields the top-k report. The structure uses a
+// fixed, small memory budget (tens of KB for 99%+ precision on
+// 10M-packet traces) with constant per-packet work.
+//
+// Quick start:
+//
+//	tk, err := heavykeeper.New(100, heavykeeper.WithMemory(64<<10))
+//	if err != nil { ... }
+//	for _, pkt := range packets {
+//	    tk.Add(pkt.FlowID)
+//	}
+//	for _, f := range tk.List() {
+//	    fmt.Printf("%x %d\n", f.ID, f.Count)
+//	}
+//
+// A TopK is not safe for concurrent use; wrap it with NewConcurrent for a
+// mutex-guarded version, or shard by flow hash for parallel pipelines.
+package heavykeeper
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/streamsummary"
+	"repro/internal/topk"
+)
+
+// Version selects the insertion discipline described in the paper.
+type Version int
+
+const (
+	// VersionParallel is the Hardware Parallel version (paper §III-E):
+	// per-array operations are independent, suiting hardware pipelines.
+	// This is the default.
+	VersionParallel Version = iota
+	// VersionMinimum is the Software Minimum version (paper §IV): at most
+	// one bucket changes per packet, improving accuracy under tight memory
+	// at the cost of the parallel property.
+	VersionMinimum
+	// VersionBasic is the unoptimized basic version (paper §III-C), kept
+	// for completeness and ablations.
+	VersionBasic
+)
+
+// String implements fmt.Stringer.
+func (v Version) String() string {
+	switch v {
+	case VersionParallel:
+		return "parallel"
+	case VersionMinimum:
+		return "minimum"
+	case VersionBasic:
+		return "basic"
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}
+
+// Flow is one reported flow.
+type Flow struct {
+	// ID is the flow identifier as supplied to Add.
+	ID []byte
+	// Count is the estimated flow size. HeavyKeeper estimates never exceed
+	// the true size (paper Theorem 2), barring the rare fingerprint
+	// collision, which the admission filter suppresses.
+	Count uint64
+}
+
+// config collects the options.
+type config struct {
+	memoryBytes     int
+	width           int
+	depth           int
+	decayBase       float64
+	fingerprintBits uint
+	version         Version
+	seed            uint64
+	useHeap         bool
+	expandThreshold uint64
+	maxArrays       int
+}
+
+// Option configures New.
+type Option func(*config) error
+
+// WithMemory sizes the structure from a total byte budget: k summary
+// entries plus bucket arrays filling the remainder, the sizing used in the
+// paper's evaluation. Mutually exclusive with WithWidth.
+func WithMemory(bytes int) Option {
+	return func(c *config) error {
+		if bytes < 1 {
+			return fmt.Errorf("heavykeeper: memory budget %d must be positive", bytes)
+		}
+		c.memoryBytes = bytes
+		return nil
+	}
+}
+
+// WithWidth sets the bucket count per array directly.
+func WithWidth(w int) Option {
+	return func(c *config) error {
+		if w < 1 {
+			return fmt.Errorf("heavykeeper: width %d must be >= 1", w)
+		}
+		c.width = w
+		return nil
+	}
+}
+
+// WithDepth sets the number of bucket arrays d (default 2).
+func WithDepth(d int) Option {
+	return func(c *config) error {
+		if d < 1 {
+			return fmt.Errorf("heavykeeper: depth %d must be >= 1", d)
+		}
+		c.depth = d
+		return nil
+	}
+}
+
+// WithDecayBase sets the exponential decay base b (default 1.08). Larger
+// bases evict residents more aggressively.
+func WithDecayBase(b float64) Option {
+	return func(c *config) error {
+		if b <= 1 {
+			return fmt.Errorf("heavykeeper: decay base %v must be > 1", b)
+		}
+		c.decayBase = b
+		return nil
+	}
+}
+
+// WithFingerprintBits sets the fingerprint width (default 16).
+func WithFingerprintBits(bits uint) Option {
+	return func(c *config) error {
+		if bits == 0 || bits > 32 {
+			return fmt.Errorf("heavykeeper: fingerprint bits %d out of (0, 32]", bits)
+		}
+		c.fingerprintBits = bits
+		return nil
+	}
+}
+
+// WithVersion selects the insertion discipline (default VersionParallel).
+func WithVersion(v Version) Option {
+	return func(c *config) error {
+		switch v {
+		case VersionParallel, VersionMinimum, VersionBasic:
+			c.version = v
+			return nil
+		default:
+			return fmt.Errorf("heavykeeper: unknown version %d", int(v))
+		}
+	}
+}
+
+// WithSeed makes hashing and decay deterministic for reproducible runs.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithMinHeap stores the top-k candidates in a binary min-heap instead of
+// the default Stream-Summary (paper §III-C uses Stream-Summary for O(1)
+// updates; the heap trades that for lower constant memory).
+func WithMinHeap() Option {
+	return func(c *config) error {
+		c.useHeap = true
+		return nil
+	}
+}
+
+// WithExpansion enables the paper's §III-F auto-expansion: after threshold
+// arrivals that found every mapped bucket saturated by a large counter, an
+// additional bucket array is appended (up to maxArrays; 0 = unlimited).
+func WithExpansion(threshold uint64, maxArrays int) Option {
+	return func(c *config) error {
+		if threshold == 0 {
+			return errors.New("heavykeeper: expansion threshold must be > 0")
+		}
+		c.expandThreshold = threshold
+		c.maxArrays = maxArrays
+		return nil
+	}
+}
+
+// DefaultMemory is the byte budget used when neither WithMemory nor
+// WithWidth is given: 64 KB, comfortably above the paper's highest-accuracy
+// operating point for k = 100 on 10M-packet traces.
+const DefaultMemory = 64 << 10
+
+// TopK tracks the k largest flows of a stream.
+type TopK struct {
+	t   *topk.Tracker
+	cfg config
+	k   int
+}
+
+// New returns a TopK tracking the k largest flows.
+func New(k int, opts ...Option) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("heavykeeper: k = %d, must be >= 1", k)
+	}
+	cfg := config{
+		depth:           core.DefaultD,
+		decayBase:       core.DefaultB,
+		fingerprintBits: core.DefaultFingerprintBits,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.width != 0 && cfg.memoryBytes != 0 {
+		return nil, errors.New("heavykeeper: WithWidth and WithMemory are mutually exclusive")
+	}
+	width := cfg.width
+	if width == 0 {
+		budget := cfg.memoryBytes
+		if budget == 0 {
+			budget = DefaultMemory
+		}
+		rest := budget - k*streamsummary.BytesPerEntry
+		bucketBytes := core.BucketBytes(cfg.fingerprintBits, core.DefaultCounterBits)
+		width = int(float64(rest) / (float64(cfg.depth) * bucketBytes))
+		if width < 1 {
+			width = 1
+		}
+	}
+	var v topk.Version
+	switch cfg.version {
+	case VersionParallel:
+		v = topk.Parallel
+	case VersionMinimum:
+		v = topk.Minimum
+	case VersionBasic:
+		v = topk.Basic
+	}
+	store := topk.StoreSummary
+	if cfg.useHeap {
+		store = topk.StoreHeap
+	}
+	tr, err := topk.New(topk.Options{
+		K:       k,
+		Version: v,
+		Store:   store,
+		Sketch: core.Config{
+			D:               cfg.depth,
+			W:               width,
+			B:               cfg.decayBase,
+			FingerprintBits: cfg.fingerprintBits,
+			Seed:            cfg.seed,
+			ExpandThreshold: cfg.expandThreshold,
+			MaxArrays:       cfg.maxArrays,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{t: tr, cfg: cfg, k: k}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(k int, opts ...Option) *TopK {
+	t, err := New(k, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Add records one occurrence of flowID (one packet of the flow).
+func (t *TopK) Add(flowID []byte) { t.t.Insert(flowID) }
+
+// AddString is Add for string identifiers.
+func (t *TopK) AddString(flowID string) { t.t.Insert([]byte(flowID)) }
+
+// AddN records a weight-n occurrence of flowID — n packets at once, or n
+// bytes when ranking flows by volume instead of packet count. Weighted
+// updates are this implementation's extension to the paper (its §III-F
+// notes the original cannot support them); see internal/topk.InsertN for
+// the admission-rule consequence.
+func (t *TopK) AddN(flowID []byte, n uint64) { t.t.InsertN(flowID, n) }
+
+// Query returns the sketch's current size estimate for flowID. A flow held
+// in no bucket reports 0 — "it is a mouse flow" (paper §III-B).
+func (t *TopK) Query(flowID []byte) uint64 { return t.t.Query(flowID) }
+
+// List returns the current top-k flows in descending estimated size.
+func (t *TopK) List() []Flow {
+	entries := t.t.Top()
+	out := make([]Flow, len(entries))
+	for i, e := range entries {
+		out[i] = Flow{ID: []byte(e.Key), Count: e.Count}
+	}
+	return out
+}
+
+// K returns the configured report size.
+func (t *TopK) K() int { return t.k }
+
+// Version returns the configured insertion discipline.
+func (t *TopK) Version() Version { return t.cfg.version }
+
+// MemoryBytes returns the structure's logical memory footprint.
+func (t *TopK) MemoryBytes() int { return t.t.MemoryBytes() }
+
+// Stats exposes the sketch's internal event counters (decays, replacements,
+// expansions), useful for monitoring and tuning.
+func (t *TopK) Stats() core.Stats { return t.t.Sketch().Stats() }

@@ -1,0 +1,267 @@
+package heavykeeper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// skewed returns a deterministic skewed stream and its exact counts.
+func skewed(npkts, nflows int, seed uint64) ([][]byte, map[string]uint64) {
+	rng := xrand.NewXorshift64Star(seed)
+	cdf := make([]float64, nflows)
+	total := 0.0
+	for i := range cdf {
+		total += 1.0 / float64(i+1)
+		cdf[i] = total
+	}
+	stream := make([][]byte, npkts)
+	exact := map[string]uint64{}
+	for p := range stream {
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cdf, x)
+		if i >= nflows {
+			i = nflows - 1
+		}
+		k := []byte(fmt.Sprintf("flow-%d", i))
+		stream[p] = k
+		exact[string(k)]++
+	}
+	return stream, exact
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		opts []Option
+	}{
+		{"k=0", 0, nil},
+		{"bad memory", 10, []Option{WithMemory(-1)}},
+		{"bad width", 10, []Option{WithWidth(0)}},
+		{"bad depth", 10, []Option{WithDepth(0)}},
+		{"bad base", 10, []Option{WithDecayBase(1.0)}},
+		{"bad fp", 10, []Option{WithFingerprintBits(40)}},
+		{"bad version", 10, []Option{WithVersion(Version(99))}},
+		{"width+memory", 10, []Option{WithWidth(10), WithMemory(1000)}},
+		{"bad expansion", 10, []Option{WithExpansion(0, 4)}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.k, c.opts...); err == nil {
+			t.Errorf("%s: invalid configuration accepted", c.name)
+		}
+	}
+}
+
+func TestDefaultsAreUsable(t *testing.T) {
+	tk := MustNew(10)
+	if tk.MemoryBytes() > DefaultMemory+1024 {
+		t.Errorf("default memory %d exceeds DefaultMemory %d", tk.MemoryBytes(), DefaultMemory)
+	}
+	if tk.Version() != VersionParallel {
+		t.Errorf("default version = %v want parallel", tk.Version())
+	}
+	tk.AddString("hello")
+	if got := tk.Query([]byte("hello")); got != 1 {
+		t.Errorf("Query = %d want 1", got)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if VersionParallel.String() != "parallel" ||
+		VersionMinimum.String() != "minimum" ||
+		VersionBasic.String() != "basic" {
+		t.Error("Version.String broken")
+	}
+	if Version(42).String() != "Version(42)" {
+		t.Error("unknown Version.String broken")
+	}
+}
+
+func TestFindsTopKAllVersions(t *testing.T) {
+	stream, exact := skewed(200000, 10000, 42)
+	type kv struct {
+		k string
+		v uint64
+	}
+	var all []kv
+	for k, v := range exact {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	const k = 50
+	trueTop := map[string]bool{}
+	for i := 0; i < k; i++ {
+		trueTop[all[i].k] = true
+	}
+
+	for _, v := range []Version{VersionParallel, VersionMinimum, VersionBasic} {
+		t.Run(v.String(), func(t *testing.T) {
+			tk := MustNew(k, WithVersion(v), WithMemory(32<<10), WithSeed(7))
+			for _, p := range stream {
+				tk.Add(p)
+			}
+			flows := tk.List()
+			hit := 0
+			for _, f := range flows {
+				if trueTop[string(f.ID)] {
+					hit++
+				}
+			}
+			if prec := float64(hit) / k; prec < 0.9 {
+				t.Errorf("precision = %v want >= 0.9", prec)
+			}
+			for i := 1; i < len(flows); i++ {
+				if flows[i].Count > flows[i-1].Count {
+					t.Fatalf("List not descending at %d", i)
+				}
+			}
+			// No over-estimation of reported flows (Theorem 2 + admission
+			// filter).
+			for _, f := range flows {
+				if f.Count > exact[string(f.ID)] {
+					t.Errorf("flow %s over-estimated: %d > %d", f.ID, f.Count, exact[string(f.ID)])
+				}
+			}
+		})
+	}
+}
+
+func TestWithMinHeapEquivalentBehaviour(t *testing.T) {
+	stream, _ := skewed(50000, 2000, 9)
+	a := MustNew(20, WithSeed(3), WithMemory(32<<10))
+	b := MustNew(20, WithSeed(3), WithMemory(32<<10), WithMinHeap())
+	for _, p := range stream {
+		a.Add(p)
+		b.Add(p)
+	}
+	// Same sketch seed, same stream: the two stores should agree on the
+	// membership of the clear elephants (first half of the report).
+	la, lb := a.List(), b.List()
+	inB := map[string]bool{}
+	for _, f := range lb {
+		inB[string(f.ID)] = true
+	}
+	agree := 0
+	for _, f := range la[:10] {
+		if inB[string(f.ID)] {
+			agree++
+		}
+	}
+	if agree < 8 {
+		t.Errorf("heap and summary stores agree on only %d/10 head flows", agree)
+	}
+}
+
+func TestQueryNeverOverestimates(t *testing.T) {
+	f := func(seed uint64) bool {
+		tk := MustNew(5, WithSeed(seed), WithWidth(16), WithFingerprintBits(32))
+		counts := map[string]int{}
+		rng := xrand.NewXorshift64Star(seed ^ 0xabc)
+		for i := 0; i < 2000; i++ {
+			id := fmt.Sprintf("f%d", rng.Uint64n(50))
+			counts[id]++
+			tk.AddString(id)
+		}
+		for id, n := range counts {
+			if tk.Query([]byte(id)) > uint64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionOption(t *testing.T) {
+	tk := MustNew(5, WithWidth(2), WithDepth(1), WithSeed(1), WithExpansion(50, 3))
+	// Saturate then flood with new flows.
+	for i := 0; i < 200; i++ {
+		tk.AddString("a")
+		tk.AddString("b")
+		tk.AddString("c")
+	}
+	for i := 0; i < 5000; i++ {
+		tk.AddString(fmt.Sprintf("new-%d", i))
+	}
+	if tk.Stats().Expansions == 0 {
+		t.Error("expansion never triggered despite saturation")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	tk := MustNew(5, WithWidth(64), WithSeed(2))
+	for i := 0; i < 100; i++ {
+		tk.AddString("x")
+	}
+	if tk.Stats().Packets != 100 {
+		t.Errorf("Stats().Packets = %d want 100", tk.Stats().Packets)
+	}
+}
+
+func TestConcurrentSafety(t *testing.T) {
+	c, err := NewConcurrent(20, WithMemory(32<<10), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.AddString(fmt.Sprintf("flow-%d", (i*7+g)%500))
+				if i%100 == 0 {
+					c.List()
+					c.Query([]byte("flow-1"))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.K() != 20 {
+		t.Errorf("K = %d want 20", c.K())
+	}
+	if len(c.List()) == 0 {
+		t.Error("empty report after 40k inserts")
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	tk := MustNew(100, WithMemory(64<<10), WithSeed(1))
+	stream, _ := skewed(1<<16, 20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Add(stream[i&(len(stream)-1)])
+	}
+}
+
+func BenchmarkAddMinimum(b *testing.B) {
+	tk := MustNew(100, WithMemory(64<<10), WithSeed(1), WithVersion(VersionMinimum))
+	stream, _ := skewed(1<<16, 20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Add(stream[i&(len(stream)-1)])
+	}
+}
+
+func BenchmarkConcurrentAdd(b *testing.B) {
+	c, _ := NewConcurrent(100, WithMemory(64<<10), WithSeed(1))
+	stream, _ := skewed(1<<16, 20000, 1)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Add(stream[i&(len(stream)-1)])
+			i++
+		}
+	})
+}

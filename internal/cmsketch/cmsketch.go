@@ -1,0 +1,221 @@
+// Package cmsketch implements the Count-Min sketch (Cormode & Muthukrishnan,
+// "An improved data stream summary: the count-min sketch and its
+// applications", J. Algorithms 2005) and the count-all top-k strategy built
+// on it, the first baseline family in the HeavyKeeper paper (§II-B).
+//
+// The count-all strategy records every packet in the sketch, retrieves the
+// estimate n̂ for the packet's flow, and maintains a min-heap of the k flows
+// with the largest estimates. Because all flows share one pool of counters,
+// mouse flows inherit the counts of elephants they collide with, which is
+// the inaccuracy HeavyKeeper is designed to avoid.
+package cmsketch
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+	"repro/internal/minheap"
+)
+
+// Config parameterizes a Sketch.
+type Config struct {
+	// D is the number of counter arrays. The paper's evaluation uses 3.
+	D int
+	// W is the number of counters per array. Required.
+	W int
+	// CounterBits is the counter width for memory accounting and
+	// saturation (<= 32). Default 32.
+	CounterBits uint
+	// Conservative enables conservative update (only the minimal counters
+	// are incremented), an accuracy refinement used by several systems built
+	// on CM; off by default to match the classic baseline.
+	Conservative bool
+	// Seed makes hashing deterministic.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.D == 0 {
+		c.D = 3
+	}
+	if c.D < 1 {
+		return fmt.Errorf("cmsketch: D = %d, must be >= 1", c.D)
+	}
+	if c.W < 1 {
+		return fmt.Errorf("cmsketch: W = %d, must be >= 1", c.W)
+	}
+	if c.CounterBits == 0 {
+		c.CounterBits = 32
+	}
+	if c.CounterBits > 32 {
+		return fmt.Errorf("cmsketch: CounterBits = %d, must be <= 32", c.CounterBits)
+	}
+	return nil
+}
+
+// Sketch is a Count-Min sketch.
+type Sketch struct {
+	cfg    Config
+	rows   [][]uint32
+	family *hash.Family
+	maxC   uint32
+}
+
+// New returns a Count-Min sketch for the given configuration.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{
+		cfg:    cfg,
+		rows:   make([][]uint32, cfg.D),
+		family: hash.NewFamily(cfg.Seed, cfg.D),
+		maxC:   uint32((uint64(1) << cfg.CounterBits) - 1),
+	}
+	for j := range s.rows {
+		s.rows[j] = make([]uint32, cfg.W)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Insert records one packet of flow key and returns the post-insertion
+// estimate (the minimum of the flow's counters).
+func (s *Sketch) Insert(key []byte) uint32 {
+	if s.cfg.Conservative {
+		return s.insertConservative(key)
+	}
+	est := s.maxC
+	for j := range s.rows {
+		c := &s.rows[j][s.family.Index(j, key, s.cfg.W)]
+		if *c < s.maxC {
+			*c++
+		}
+		if *c < est {
+			est = *c
+		}
+	}
+	return est
+}
+
+func (s *Sketch) insertConservative(key []byte) uint32 {
+	// Conservative update: raise only counters equal to the current
+	// minimum, to min+1.
+	idx := make([]int, len(s.rows))
+	est := s.maxC
+	for j := range s.rows {
+		idx[j] = s.family.Index(j, key, s.cfg.W)
+		if c := s.rows[j][idx[j]]; c < est {
+			est = c
+		}
+	}
+	if est >= s.maxC {
+		return est
+	}
+	target := est + 1
+	for j := range s.rows {
+		if s.rows[j][idx[j]] < target {
+			s.rows[j][idx[j]] = target
+		}
+	}
+	return target
+}
+
+// Estimate returns the current estimate for key without inserting.
+func (s *Sketch) Estimate(key []byte) uint32 {
+	est := s.maxC
+	for j := range s.rows {
+		if c := s.rows[j][s.family.Index(j, key, s.cfg.W)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// MemoryBytes returns the sketch's logical footprint (counters only).
+func (s *Sketch) MemoryBytes() int {
+	bits := int(s.cfg.CounterBits) * s.cfg.W * s.cfg.D
+	return (bits + 7) / 8
+}
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for j := range s.rows {
+		clear(s.rows[j])
+	}
+}
+
+// TopK is the count-all strategy: a CM sketch plus a min-heap of the k
+// largest estimated flows (§II-B).
+type TopK struct {
+	sk   *Sketch
+	heap *minheap.Heap
+	k    int
+}
+
+// NewTopK builds the count-all pipeline.
+func NewTopK(k int, cfg Config) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cmsketch: k = %d, must be >= 1", k)
+	}
+	sk, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{sk: sk, heap: minheap.New(k), k: k}, nil
+}
+
+// MustNewTopK is NewTopK that panics on error.
+func MustNewTopK(k int, cfg Config) *TopK {
+	t, err := NewTopK(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Insert records one packet of flow key and refreshes the heap.
+func (t *TopK) Insert(key []byte) {
+	est := uint64(t.sk.Insert(key))
+	ks := string(key)
+	switch {
+	case t.heap.Contains(ks):
+		t.heap.UpdateMax(ks, est)
+	case !t.heap.Full():
+		t.heap.Insert(ks, est)
+	case est > t.heap.MinCount():
+		t.heap.Insert(ks, est) // evicts the root
+	}
+}
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the current top-k flows in descending estimated size.
+func (t *TopK) Top() []Entry {
+	items := t.heap.Top(t.k)
+	out := make([]Entry, len(items))
+	for i, e := range items {
+		out[i] = Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// Estimate returns the sketch estimate for key.
+func (t *TopK) Estimate(key []byte) uint64 { return uint64(t.sk.Estimate(key)) }
+
+// MemoryBytes reports sketch plus heap memory under the paper's accounting.
+func (t *TopK) MemoryBytes() int {
+	return t.sk.MemoryBytes() + t.k*minheap.BytesPerEntry
+}

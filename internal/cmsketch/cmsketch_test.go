@@ -1,0 +1,174 @@
+package cmsketch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestConfigValidation(t *testing.T) {
+	for i, cfg := range []Config{{W: 0}, {W: 10, D: -1}, {W: 10, CounterBits: 64}} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := NewTopK(0, Config{W: 10}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	// Count-Min's defining guarantee: estimate >= true count.
+	s := MustNew(Config{W: 64, Seed: 1})
+	truth := map[int]uint32{}
+	for i := 0; i < 20000; i++ {
+		f := i % 300
+		truth[f]++
+		s.Insert(key(f))
+	}
+	for f, n := range truth {
+		if got := s.Estimate(key(f)); got < n {
+			t.Errorf("flow %d: estimate %d < true %d", f, got, n)
+		}
+	}
+}
+
+func TestExactWhenNoCollisions(t *testing.T) {
+	s := MustNew(Config{W: 4096, Seed: 2})
+	for i := 0; i < 1000; i++ {
+		s.Insert(key(7))
+	}
+	if got := s.Estimate(key(7)); got != 1000 {
+		t.Errorf("estimate = %d want 1000", got)
+	}
+	if got := s.Estimate(key(8)); got != 0 {
+		t.Errorf("estimate of absent flow = %d want 0", got)
+	}
+}
+
+func TestConservativeNoWorse(t *testing.T) {
+	plain := MustNew(Config{W: 32, Seed: 3})
+	cons := MustNew(Config{W: 32, Seed: 3, Conservative: true})
+	truth := map[int]uint32{}
+	for i := 0; i < 30000; i++ {
+		f := i % 200
+		truth[f]++
+		plain.Insert(key(f))
+		cons.Insert(key(f))
+	}
+	var errPlain, errCons uint64
+	for f, n := range truth {
+		ep := plain.Estimate(key(f))
+		ec := cons.Estimate(key(f))
+		if ec < n {
+			t.Errorf("conservative underestimates flow %d: %d < %d", f, ec, n)
+		}
+		errPlain += uint64(ep - n)
+		errCons += uint64(ec - n)
+	}
+	if errCons > errPlain {
+		t.Errorf("conservative error %d > plain error %d", errCons, errPlain)
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	s := MustNew(Config{W: 16, CounterBits: 4, Seed: 1})
+	for i := 0; i < 100; i++ {
+		s.Insert(key(1))
+	}
+	if got := s.Estimate(key(1)); got != 15 {
+		t.Errorf("saturated estimate = %d want 15", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(Config{W: 32, Seed: 1})
+	s.Insert(key(1))
+	s.Reset()
+	if got := s.Estimate(key(1)); got != 0 {
+		t.Errorf("estimate after Reset = %d want 0", got)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := MustNew(Config{W: 1000, D: 3, CounterBits: 32})
+	if got := s.MemoryBytes(); got != 12000 {
+		t.Errorf("MemoryBytes = %d want 12000", got)
+	}
+}
+
+func TestTopKFindsElephants(t *testing.T) {
+	st := streamtest.Zipf(150000, 5000, 1.0, 42)
+	tk := MustNewTopK(20, Config{W: 2048, Seed: 7})
+	for _, p := range st.Packets {
+		tk.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range tk.Top() {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.8 {
+		t.Errorf("precision = %v, want >= 0.8 with generous memory", p)
+	}
+}
+
+func TestTopKOverestimatesUnderPressure(t *testing.T) {
+	// The count-all failure mode the paper describes: with few counters,
+	// reported sizes over-estimate badly (mice absorb elephants' counts).
+	st := streamtest.Zipf(100000, 20000, 1.0, 11)
+	tk := MustNewTopK(50, Config{W: 64, Seed: 5})
+	for _, p := range st.Packets {
+		tk.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range tk.Top() {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if are := st.ARE(rep); are < 0.5 {
+		t.Logf("note: ARE under pressure = %v (expected large); not a failure", are)
+	}
+	over := 0
+	for _, e := range rep {
+		if e.Count > st.Exact[e.Key] {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Error("expected over-estimation under counter pressure, found none")
+	}
+}
+
+func TestTopKMemoryBytes(t *testing.T) {
+	tk := MustNewTopK(100, Config{W: 1000, D: 3, CounterBits: 32})
+	want := 12000 + 100*32
+	if got := tk.MemoryBytes(); got != want {
+		t.Errorf("MemoryBytes = %d want %d", got, want)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := MustNew(Config{W: 4096, Seed: 1})
+	keys := make([][]byte, 1<<12)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)])
+	}
+}
+
+func BenchmarkTopKInsert(b *testing.B) {
+	tk := MustNewTopK(100, Config{W: 4096, Seed: 1})
+	keys := make([][]byte, 1<<12)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Insert(keys[i&(len(keys)-1)])
+	}
+}

@@ -1,0 +1,219 @@
+// Package coldfilter implements the Cold Filter meta-framework (Zhou et
+// al., "Cold Filter: A Meta-Framework for Faster and More Accurate Stream
+// Processing", SIGMOD 2018) in the configuration the HeavyKeeper paper
+// compares against: Cold Filter in front of Space-Saving (§VI-E).
+//
+// The filter is two counter layers: layer 1 uses small (4-bit) counters,
+// layer 2 larger (16-bit) ones. A packet first increments its layer-1
+// counters; once they saturate at threshold T1 it increments layer 2; once
+// those reach T2 the flow is "hot" and the packet is forwarded to the
+// backing algorithm. Cold (mouse) flows are absorbed by the cheap filter
+// layers and never pollute the backend, whose reported sizes are then
+// offset by T1 + T2 to account for the filtered prefix.
+package coldfilter
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+	"repro/internal/spacesaving"
+)
+
+// Config parameterizes a Filter.
+type Config struct {
+	// L1Counters and L2Counters size the two layers. Required.
+	L1Counters int
+	L2Counters int
+	// T1 and T2 are the layer thresholds. Defaults 15 (4-bit saturation)
+	// and 49, tuned for top-k workloads: a flow must exceed T1+T2 = 64
+	// packets before it reaches the backend, which filters the mouse mass
+	// without starving mid-sized elephants.
+	T1 uint32
+	T2 uint32
+	// D1 and D2 are the hash counts per layer. Defaults 3 and 3.
+	D1 int
+	D2 int
+	// BackendM is the Space-Saving capacity. Required.
+	BackendM int
+	// Seed makes hashing deterministic.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.L1Counters < 1 || c.L2Counters < 1 {
+		return fmt.Errorf("coldfilter: layer sizes %d/%d must be >= 1", c.L1Counters, c.L2Counters)
+	}
+	if c.BackendM < 1 {
+		return fmt.Errorf("coldfilter: BackendM = %d, must be >= 1", c.BackendM)
+	}
+	if c.T1 == 0 {
+		c.T1 = 15
+	}
+	if c.T2 == 0 {
+		c.T2 = 49
+	}
+	if c.D1 == 0 {
+		c.D1 = 3
+	}
+	if c.D2 == 0 {
+		c.D2 = 3
+	}
+	if c.D1 < 1 || c.D2 < 1 {
+		return fmt.Errorf("coldfilter: D1/D2 = %d/%d must be >= 1", c.D1, c.D2)
+	}
+	return nil
+}
+
+// Filter is a two-layer cold filter with a Space-Saving backend.
+type Filter struct {
+	cfg     Config
+	l1      []uint8  // 4-bit semantics, stored in bytes, saturate at T1
+	l2      []uint16 // saturate at T2
+	fam1    *hash.Family
+	fam2    *hash.Family
+	backend *spacesaving.SpaceSaving
+	passed  uint64 // packets forwarded to the backend
+}
+
+// New returns a Filter for the given configuration.
+func New(cfg Config) (*Filter, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	backend, err := spacesaving.New(cfg.BackendM)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{
+		cfg:     cfg,
+		l1:      make([]uint8, cfg.L1Counters),
+		l2:      make([]uint16, cfg.L2Counters),
+		fam1:    hash.NewFamily(cfg.Seed, cfg.D1),
+		fam2:    hash.NewFamily(cfg.Seed^0x5a5a5a5a, cfg.D2),
+		backend: backend,
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Filter {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromBytes builds a filter from a byte budget: half the memory goes to the
+// filter layers (split 2:1 between L1 at 0.5 B/counter and L2 at 2
+// B/counter) and half to the Space-Saving backend, mirroring the Cold
+// Filter paper's tuning for heavy-part workloads.
+func FromBytes(budget int, seed uint64) (*Filter, error) {
+	filterBytes := budget / 2
+	l1Bytes := filterBytes * 2 / 3
+	l2Bytes := filterBytes - l1Bytes
+	l1 := l1Bytes * 2 // 4-bit counters: two per byte
+	if l1 < 1 {
+		l1 = 1
+	}
+	l2 := l2Bytes / 2
+	if l2 < 1 {
+		l2 = 1
+	}
+	m := (budget - filterBytes) / 48 // streamsummary.BytesPerEntry
+	if m < 1 {
+		m = 1
+	}
+	return New(Config{L1Counters: l1, L2Counters: l2, BackendM: m, Seed: seed})
+}
+
+// l1Min returns the minimum layer-1 counter for key and the indexes probed.
+func (f *Filter) l1Min(key []byte) (uint32, []int) {
+	idx := make([]int, f.cfg.D1)
+	min := uint32(1<<31 - 1)
+	for j := 0; j < f.cfg.D1; j++ {
+		idx[j] = f.fam1.Index(j, key, f.cfg.L1Counters)
+		if c := uint32(f.l1[idx[j]]); c < min {
+			min = c
+		}
+	}
+	return min, idx
+}
+
+func (f *Filter) l2Min(key []byte) (uint32, []int) {
+	idx := make([]int, f.cfg.D2)
+	min := uint32(1<<31 - 1)
+	for j := 0; j < f.cfg.D2; j++ {
+		idx[j] = f.fam2.Index(j, key, f.cfg.L2Counters)
+		if c := uint32(f.l2[idx[j]]); c < min {
+			min = c
+		}
+	}
+	return min, idx
+}
+
+// Insert records one packet of flow key.
+func (f *Filter) Insert(key []byte) {
+	m1, idx1 := f.l1Min(key)
+	if m1 < f.cfg.T1 {
+		// Conservative update of layer 1.
+		for _, i := range idx1 {
+			if uint32(f.l1[i]) <= m1 {
+				f.l1[i] = uint8(m1 + 1)
+			}
+		}
+		return
+	}
+	m2, idx2 := f.l2Min(key)
+	if m2 < f.cfg.T2 {
+		for _, i := range idx2 {
+			if uint32(f.l2[i]) <= m2 {
+				f.l2[i] = uint16(m2 + 1)
+			}
+		}
+		return
+	}
+	f.passed++
+	f.backend.Insert(key)
+}
+
+// Estimate returns the filter-adjusted size estimate for key: the backend
+// count plus the filtered prefix T1 + T2 for hot flows, or the filter
+// layers' content for cold flows.
+func (f *Filter) Estimate(key []byte) uint64 {
+	if c := f.backend.Estimate(key); c > 0 {
+		return c + uint64(f.cfg.T1) + uint64(f.cfg.T2)
+	}
+	m1, _ := f.l1Min(key)
+	if m1 < f.cfg.T1 {
+		return uint64(m1)
+	}
+	m2, _ := f.l2Min(key)
+	return uint64(m1) + uint64(m2)
+}
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the k largest backend flows with the filter offset applied.
+func (f *Filter) Top(k int) []Entry {
+	items := f.backend.Top(k)
+	out := make([]Entry, len(items))
+	offset := uint64(f.cfg.T1) + uint64(f.cfg.T2)
+	for i, e := range items {
+		out[i] = Entry{Key: e.Key, Count: e.Count + offset}
+	}
+	return out
+}
+
+// PassedPackets returns how many packets reached the backend — the filter's
+// effectiveness measure.
+func (f *Filter) PassedPackets() uint64 { return f.passed }
+
+// MemoryBytes reports the logical footprint: 4-bit L1 counters, 16-bit L2
+// counters, plus the backend.
+func (f *Filter) MemoryBytes() int {
+	return (f.cfg.L1Counters+1)/2 + f.cfg.L2Counters*2 + f.backend.MemoryBytes()
+}

@@ -1,0 +1,108 @@
+package coldfilter
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{L1Counters: 0, L2Counters: 10, BackendM: 10},
+		{L1Counters: 10, L2Counters: 0, BackendM: 10},
+		{L1Counters: 10, L2Counters: 10, BackendM: 0},
+		{L1Counters: 10, L2Counters: 10, BackendM: 10, D1: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMiceNeverReachBackend(t *testing.T) {
+	f := MustNew(Config{L1Counters: 4096, L2Counters: 1024, BackendM: 64, Seed: 1})
+	// 1000 distinct flows with <= 3 packets each: all stay in layer 1.
+	for i := 0; i < 1000; i++ {
+		for j := 0; j < 3; j++ {
+			f.Insert(key(i))
+		}
+	}
+	if f.PassedPackets() != 0 {
+		t.Errorf("%d mouse packets leaked to the backend", f.PassedPackets())
+	}
+}
+
+func TestElephantsPassThrough(t *testing.T) {
+	f := MustNew(Config{L1Counters: 1024, L2Counters: 256, BackendM: 16, Seed: 2})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		f.Insert(key(7))
+	}
+	if f.PassedPackets() == 0 {
+		t.Fatal("elephant never reached the backend")
+	}
+	est := f.Estimate(key(7))
+	// The estimate is backend count + T1 + T2 and must be close to n.
+	if est < n*95/100 || est > n {
+		t.Errorf("elephant estimate = %d want ≈ %d", est, n)
+	}
+}
+
+func TestColdFlowEstimateFromFilter(t *testing.T) {
+	f := MustNew(Config{L1Counters: 4096, L2Counters: 1024, BackendM: 16, Seed: 3})
+	for i := 0; i < 5; i++ {
+		f.Insert(key(1))
+	}
+	if got := f.Estimate(key(1)); got != 5 {
+		t.Errorf("cold flow estimate = %d want 5 (from layer 1)", got)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	st := streamtest.Zipf(200000, 5000, 1.2, 13)
+	f := MustNew(Config{L1Counters: 8192, L2Counters: 2048, BackendM: 256, Seed: 7})
+	for _, p := range st.Packets {
+		f.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range f.Top(20) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.8 {
+		t.Errorf("precision = %v want >= 0.8", p)
+	}
+}
+
+func TestFilterReducesBackendLoad(t *testing.T) {
+	st := streamtest.Zipf(100000, 20000, 1.0, 5)
+	f := MustNew(Config{L1Counters: 16384, L2Counters: 4096, BackendM: 128, Seed: 9})
+	for _, p := range st.Packets {
+		f.Insert(p)
+	}
+	frac := float64(f.PassedPackets()) / 100000
+	if frac > 0.5 {
+		t.Errorf("filter passed %.0f%% of packets; expected the cold majority absorbed", frac*100)
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	f, err := FromBytes(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.MemoryBytes(); got > 11000 {
+		t.Errorf("MemoryBytes = %d exceeds budget substantially", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := MustNew(Config{L1Counters: 65536, L2Counters: 16384, BackendM: 1024, Seed: 1})
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

@@ -1,0 +1,127 @@
+// Package collector implements network-wide top-k aggregation, the
+// deployment pattern of the HeavyKeeper paper's footnote 2: measurement
+// points (switches) each run their own sketch over their share of the
+// traffic and periodically report to a central collector, which folds the
+// reports — or the raw sketches — into a global top-k per epoch.
+//
+// Two aggregation modes are provided:
+//
+//   - report merging (MergeReports): each agent ships only its k-entry
+//     report, a few KB; the collector combines entries by flow with a
+//     Sum or Max policy depending on whether the measurement points see
+//     disjoint traffic (Sum) or the same packets at different hops (Max);
+//   - sketch merging (via core.Sketch.Merge): agents ship whole sketch
+//     snapshots built with a shared seed, the collector folds them bucket
+//     by bucket and re-extracts the top-k, recovering flows whose traffic
+//     was spread so thin that no single agent reported them.
+package collector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Policy selects how per-agent counts of the same flow combine.
+type Policy int
+
+const (
+	// Sum adds counts: measurement points observe disjoint packet sets
+	// (e.g. edge switches, each seeing its own hosts' traffic).
+	Sum Policy = iota
+	// Max keeps the largest count: measurement points observe the same
+	// packets (e.g. switches along a path), so counts are duplicates.
+	Max
+)
+
+// MergeReports folds per-agent top-k reports into a global top-k of size k.
+func MergeReports(k int, policy Policy, reports ...[]metrics.Entry) ([]metrics.Entry, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("collector: k = %d, must be >= 1", k)
+	}
+	switch policy {
+	case Sum, Max:
+	default:
+		return nil, fmt.Errorf("collector: unknown policy %d", int(policy))
+	}
+	merged := map[string]uint64{}
+	for _, rep := range reports {
+		for _, e := range rep {
+			switch policy {
+			case Sum:
+				merged[e.Key] += e.Count
+			case Max:
+				if e.Count > merged[e.Key] {
+					merged[e.Key] = e.Count
+				}
+			}
+		}
+	}
+	out := make([]metrics.Entry, 0, len(merged))
+	for key, c := range merged {
+		out = append(out, metrics.Entry{Key: key, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Collector accumulates per-epoch agent reports and produces global top-k
+// snapshots. It is a bookkeeping convenience over MergeReports for
+// long-running deployments.
+type Collector struct {
+	k      int
+	policy Policy
+	epoch  uint64
+	// pending holds the reports received for the current epoch, by agent.
+	pending map[string][]metrics.Entry
+}
+
+// New returns a Collector producing global top-k of size k.
+func New(k int, policy Policy) (*Collector, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("collector: k = %d, must be >= 1", k)
+	}
+	if policy != Sum && policy != Max {
+		return nil, fmt.Errorf("collector: unknown policy %d", int(policy))
+	}
+	return &Collector{k: k, policy: policy, pending: map[string][]metrics.Entry{}}, nil
+}
+
+// Report records agent's top-k for the current epoch, replacing any earlier
+// report from the same agent in this epoch (agents may resend).
+func (c *Collector) Report(agent string, report []metrics.Entry) {
+	cp := make([]metrics.Entry, len(report))
+	copy(cp, report)
+	c.pending[agent] = cp
+}
+
+// Agents returns how many agents have reported this epoch.
+func (c *Collector) Agents() int { return len(c.pending) }
+
+// Epoch returns the number of completed epochs.
+func (c *Collector) Epoch() uint64 { return c.epoch }
+
+// Close finishes the epoch: it merges all pending reports into the global
+// top-k, clears the pending set and advances the epoch counter.
+func (c *Collector) Close() ([]metrics.Entry, error) {
+	reports := make([][]metrics.Entry, 0, len(c.pending))
+	for _, r := range c.pending {
+		reports = append(reports, r)
+	}
+	merged, err := MergeReports(c.k, c.policy, reports...)
+	if err != nil {
+		return nil, err
+	}
+	c.pending = map[string][]metrics.Entry{}
+	c.epoch++
+	return merged, nil
+}

@@ -1,0 +1,203 @@
+package collector
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/xrand"
+)
+
+func TestMergeReportsValidation(t *testing.T) {
+	if _, err := MergeReports(0, Sum); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := MergeReports(5, Policy(9)); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := New(0, Sum); err == nil {
+		t.Error("New k=0 accepted")
+	}
+	if _, err := New(5, Policy(9)); err == nil {
+		t.Error("New bad policy accepted")
+	}
+}
+
+func TestMergeReportsSum(t *testing.T) {
+	a := []metrics.Entry{{Key: "f1", Count: 100}, {Key: "f2", Count: 50}}
+	b := []metrics.Entry{{Key: "f1", Count: 30}, {Key: "f3", Count: 90}}
+	got, err := MergeReports(2, Sum, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []metrics.Entry{{Key: "f1", Count: 130}, {Key: "f3", Count: 90}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMergeReportsMax(t *testing.T) {
+	a := []metrics.Entry{{Key: "f1", Count: 100}}
+	b := []metrics.Entry{{Key: "f1", Count: 70}, {Key: "f2", Count: 80}}
+	got, err := MergeReports(5, Max, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Key != "f1" || got[0].Count != 100 {
+		t.Errorf("Max policy produced %v", got[0])
+	}
+	if got[1].Key != "f2" || got[1].Count != 80 {
+		t.Errorf("second entry %v", got[1])
+	}
+}
+
+func TestCollectorEpochs(t *testing.T) {
+	c, err := New(3, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Report("sw1", []metrics.Entry{{Key: "a", Count: 5}})
+	c.Report("sw2", []metrics.Entry{{Key: "a", Count: 7}, {Key: "b", Count: 3}})
+	c.Report("sw1", []metrics.Entry{{Key: "a", Count: 6}}) // resend replaces
+	if c.Agents() != 2 {
+		t.Fatalf("Agents = %d want 2", c.Agents())
+	}
+	top, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Key != "a" || top[0].Count != 13 {
+		t.Errorf("epoch report %v", top)
+	}
+	if c.Epoch() != 1 || c.Agents() != 0 {
+		t.Errorf("epoch state not advanced: epoch=%d agents=%d", c.Epoch(), c.Agents())
+	}
+}
+
+func TestReportMutationIsolation(t *testing.T) {
+	c, _ := New(2, Sum)
+	rep := []metrics.Entry{{Key: "a", Count: 1}}
+	c.Report("sw", rep)
+	rep[0].Count = 999
+	top, _ := c.Close()
+	if top[0].Count != 1 {
+		t.Error("collector aliased the caller's slice")
+	}
+}
+
+// TestDistributedTopK runs the full pattern: traffic split across three
+// simulated switches, each with its own HeavyKeeper, reports merged with
+// Sum. The global top-k must match the whole-stream ground truth.
+func TestDistributedTopK(t *testing.T) {
+	const k = 20
+	const switches = 3
+	trackers := make([]*topk.Tracker, switches)
+	for i := range trackers {
+		trackers[i] = topk.MustNew(topk.Options{
+			K: k, Sketch: core.Config{W: 1024, Seed: uint64(100 + i)},
+		})
+	}
+	rng := xrand.NewXorshift64Star(77)
+	exact := map[string]uint64{}
+	for p := 0; p < 150000; p++ {
+		f := int(rng.Uint64n(rng.Uint64n(5000) + 1))
+		key := fmt.Sprintf("flow-%d", f)
+		exact[key]++
+		// Flows are pinned to switches by hash — disjoint traffic.
+		trackers[f%switches].Insert([]byte(key))
+	}
+	c, _ := New(k, Sum)
+	for i, tr := range trackers {
+		var rep []metrics.Entry
+		for _, e := range tr.Top() {
+			rep = append(rep, metrics.Entry{Key: e.Key, Count: e.Count})
+		}
+		c.Report(fmt.Sprintf("sw%d", i), rep)
+	}
+	global, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := metrics.FromCounts(exact)
+	if p := metrics.PrecisionAtK(global, o, k); p < 0.9 {
+		t.Errorf("distributed precision = %v want >= 0.9", p)
+	}
+}
+
+// TestSketchMergeMatchesCombinedStream checks core.Sketch.Merge: two
+// same-seed sketches over halves of a stream, merged, must agree closely
+// with one sketch over the whole stream.
+func TestSketchMergeMatchesCombinedStream(t *testing.T) {
+	cfg := core.Config{W: 2048, Seed: 9}
+	whole := core.MustNew(cfg)
+	half1 := core.MustNew(cfg)
+	half2 := core.MustNew(cfg)
+	rng := xrand.NewXorshift64Star(13)
+	exact := map[int]uint64{}
+	for p := 0; p < 100000; p++ {
+		f := int(rng.Uint64n(rng.Uint64n(3000) + 1))
+		exact[f]++
+		key := []byte(fmt.Sprintf("flow-%d", f))
+		whole.InsertBasic(key)
+		if p%2 == 0 {
+			half1.InsertBasic(key)
+		} else {
+			half2.InsertBasic(key)
+		}
+	}
+	if err := half1.Merge(half2); err != nil {
+		t.Fatal(err)
+	}
+	// Elephants must agree within a small margin and never over-estimate.
+	for f := 0; f < 20; f++ {
+		key := []byte(fmt.Sprintf("flow-%d", f))
+		m := uint64(half1.Query(key))
+		truth := exact[f]
+		if m > truth {
+			t.Errorf("flow %d: merged %d > true %d", f, m, truth)
+		}
+		if truth > 1000 && float64(m) < 0.9*float64(truth) {
+			t.Errorf("flow %d: merged %d < 90%% of true %d", f, m, truth)
+		}
+	}
+}
+
+func TestSketchMergeRejectsMismatch(t *testing.T) {
+	a := core.MustNew(core.Config{W: 64, Seed: 1})
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	b := core.MustNew(core.Config{W: 128, Seed: 1})
+	if err := a.Merge(b); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	c := core.MustNew(core.Config{W: 64, Seed: 2})
+	if err := a.Merge(c); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+}
+
+func TestSketchMergeContestedBuckets(t *testing.T) {
+	// Force different flows into the same bucket of two sketches: the
+	// merge's majority rule must keep the larger and subtract the smaller.
+	cfg := core.Config{W: 1, D: 1, Seed: 3}
+	a := core.MustNew(cfg)
+	b := core.MustNew(cfg)
+	for i := 0; i < 100; i++ {
+		a.InsertBasic([]byte("heavy"))
+	}
+	for i := 0; i < 30; i++ {
+		b.InsertBasic([]byte("light"))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Query([]byte("heavy")); got != 70 {
+		t.Errorf("contested merge: heavy = %d want 70", got)
+	}
+	if got := a.Query([]byte("light")); got != 0 {
+		t.Errorf("contested merge: light = %d want 0", got)
+	}
+}

@@ -1,0 +1,480 @@
+// Package core implements the HeavyKeeper sketch from Yang et al.,
+// "HeavyKeeper: An Accurate Algorithm for Finding Top-k Elephant Flows"
+// (USENIX ATC 2018; extended in IEEE/ACM ToN).
+//
+// HeavyKeeper is d arrays of w buckets; each bucket stores a flow
+// fingerprint and a counter (§III-B). A packet of flow f maps to one bucket
+// per array. If the bucket is empty the flow takes it; if the bucket's
+// fingerprint matches, the counter increments; otherwise the counter is
+// decayed by one with probability b^-C (count-with-exponential-decay), and a
+// counter that reaches zero hands its bucket to the new flow. Mouse flows
+// decay away quickly; elephant flows, once resident, are nearly immune
+// because b^-C vanishes as C grows.
+//
+// Three insertion disciplines are provided, matching the paper:
+//
+//   - Basic (§III-C): every mapped bucket is processed, no top-k feedback.
+//   - Parallel (§III-E, Algorithm 1): every mapped bucket is processed
+//     independently — implementable in parallel hardware — with
+//     Optimization II (selective increment) gated by the caller-supplied
+//     min-heap state.
+//   - Minimum (§IV, Algorithm 2): at most one bucket is modified per packet
+//     (minimum decay), trading the parallel property for accuracy.
+//
+// The sketch is deliberately single-writer (the paper's model); wrap it for
+// concurrent use at a higher layer.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hash"
+	"repro/internal/xrand"
+)
+
+// Default parameter values, chosen to match the paper's evaluation setup
+// (§VI-A): d = 2 arrays, decay base b = 1.08, 16-bit fingerprints.
+const (
+	DefaultD               = 2
+	DefaultB               = 1.08
+	DefaultFingerprintBits = 16
+	DefaultCounterBits     = 32
+	DefaultLargeC          = 50 // §III-F: counter value treated as "too large to decay"
+)
+
+// Config parameterizes a Sketch.
+type Config struct {
+	// D is the number of bucket arrays (hash functions). Default 2.
+	D int
+	// W is the number of buckets per array. Required, >= 1.
+	W int
+	// B is the exponential decay base (> 1). Default 1.08.
+	B float64
+	// Decay optionally overrides the decay probability function. When nil,
+	// exponential decay b^-C is used. See decay.go for alternatives
+	// (§III-B discusses C^-b and sigmoid-style functions).
+	Decay DecayFunc
+	// FingerprintBits is the fingerprint width in bits (1..32). Default 16.
+	FingerprintBits uint
+	// CounterBits is the counter width in bits (1..32) used for saturation
+	// and for memory accounting. Default 32.
+	CounterBits uint
+	// Seed makes all hashing and decay coin flips deterministic.
+	Seed uint64
+	// ExpandThreshold, when > 0, enables the §III-F auto-expansion: a global
+	// counter tracks arrivals that found every mapped bucket occupied by a
+	// large counter (>= LargeC); when the counter exceeds the threshold a
+	// (d+1)-th array is appended and the counter resets.
+	ExpandThreshold uint64
+	// MaxArrays caps expansion. 0 means no cap beyond memory.
+	MaxArrays int
+	// LargeC is the counter value beyond which decay is considered futile
+	// for the purpose of the expansion trigger. Default 50.
+	LargeC uint32
+}
+
+func (c *Config) setDefaults() error {
+	if c.D == 0 {
+		c.D = DefaultD
+	}
+	if c.D < 1 {
+		return fmt.Errorf("core: D = %d, must be >= 1", c.D)
+	}
+	if c.W < 1 {
+		return fmt.Errorf("core: W = %d, must be >= 1", c.W)
+	}
+	if c.B == 0 {
+		c.B = DefaultB
+	}
+	if c.B <= 1 {
+		return fmt.Errorf("core: B = %v, must be > 1", c.B)
+	}
+	if c.FingerprintBits == 0 {
+		c.FingerprintBits = DefaultFingerprintBits
+	}
+	if c.FingerprintBits > 32 {
+		return fmt.Errorf("core: FingerprintBits = %d, must be <= 32", c.FingerprintBits)
+	}
+	if c.CounterBits == 0 {
+		c.CounterBits = DefaultCounterBits
+	}
+	if c.CounterBits > 32 {
+		return fmt.Errorf("core: CounterBits = %d, must be <= 32", c.CounterBits)
+	}
+	if c.LargeC == 0 {
+		c.LargeC = DefaultLargeC
+	}
+	if c.MaxArrays != 0 && c.MaxArrays < c.D {
+		return fmt.Errorf("core: MaxArrays = %d < D = %d", c.MaxArrays, c.D)
+	}
+	if c.Decay == nil {
+		c.Decay = ExpDecay(c.B)
+	}
+	return nil
+}
+
+// bucket is one (fingerprint, counter) cell. Fingerprint 0 means empty; the
+// hash layer never emits a zero fingerprint.
+type bucket struct {
+	fp uint32
+	c  uint32
+}
+
+// Stats counts the sketch's internal events; useful in tests, ablations and
+// the EXPERIMENTS write-up.
+type Stats struct {
+	Packets      uint64 // insertions processed
+	Increments   uint64 // case-2 counter increments
+	EmptyTakes   uint64 // case-1 takeovers of an empty bucket
+	DecayProbes  uint64 // case-3 coin flips attempted
+	Decays       uint64 // counters actually decremented
+	Replacements uint64 // counters decayed to zero and rebound to a new flow
+	Overflows    uint64 // arrivals blocked by d large counters (§III-F)
+	Expansions   uint64 // arrays added by auto-expansion
+}
+
+// Sketch is a HeavyKeeper. Create one with New.
+type Sketch struct {
+	cfg     Config
+	arrays  [][]bucket // arrays[j][i]
+	seeds   []uint64   // hash seed per array
+	fpSeed  uint64
+	seedGen *xrand.SplitMix64 // source of future array seeds (expansion)
+	rng     *xrand.Xorshift64Star
+	decay   decayTable
+	maxC    uint32 // counter saturation value
+	fpMask  uint32
+	stats   Stats
+	// overflow is the §III-F global counter since the last expansion.
+	overflow uint64
+}
+
+// New returns a HeavyKeeper for the given configuration.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	sm := xrand.NewSplitMix64(cfg.Seed)
+	s := &Sketch{
+		cfg:     cfg,
+		arrays:  make([][]bucket, cfg.D),
+		seeds:   make([]uint64, cfg.D),
+		seedGen: sm,
+		decay:   buildDecayTable(cfg.Decay),
+		maxC:    uint32((uint64(1) << cfg.CounterBits) - 1),
+		fpMask:  uint32((uint64(1) << cfg.FingerprintBits) - 1),
+	}
+	for j := range s.arrays {
+		s.arrays[j] = make([]bucket, cfg.W)
+		s.seeds[j] = sm.Next()
+	}
+	s.fpSeed = sm.Next()
+	s.rng = xrand.NewXorshift64Star(sm.Next())
+	return s, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// D returns the current number of arrays (may grow via expansion).
+func (s *Sketch) D() int { return len(s.arrays) }
+
+// W returns the number of buckets per array.
+func (s *Sketch) W() int { return s.cfg.W }
+
+// Stats returns a copy of the event counters.
+func (s *Sketch) Stats() Stats { return s.stats }
+
+// Config returns the sketch's (defaulted) configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// MemoryBytes returns the sketch's logical memory footprint: buckets times
+// (fingerprint + counter) bits, the accounting the paper uses in §VI-A.
+func (s *Sketch) MemoryBytes() int {
+	bits := int(s.cfg.FingerprintBits+s.cfg.CounterBits) * s.cfg.W * len(s.arrays)
+	return (bits + 7) / 8
+}
+
+// BucketBytes returns the logical size of one bucket in bytes for the given
+// fingerprint/counter widths; the harness uses it to convert byte budgets
+// into W.
+func BucketBytes(fingerprintBits, counterBits uint) float64 {
+	if fingerprintBits == 0 {
+		fingerprintBits = DefaultFingerprintBits
+	}
+	if counterBits == 0 {
+		counterBits = DefaultCounterBits
+	}
+	return float64(fingerprintBits+counterBits) / 8
+}
+
+// Fingerprint returns the sketch's fingerprint for key.
+func (s *Sketch) Fingerprint(key []byte) uint32 {
+	fp := uint32(hash.Sum64(s.fpSeed, key)) & s.fpMask
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+func (s *Sketch) index(j int, key []byte) int {
+	return int(hash.Sum64(s.seeds[j], key) % uint64(s.cfg.W))
+}
+
+// shouldDecay performs one exponential-decay coin flip for counter value c.
+func (s *Sketch) shouldDecay(c uint32) bool {
+	s.stats.DecayProbes++
+	th := s.decay.threshold(c)
+	if th == 0 {
+		return false
+	}
+	return s.rng.Next() < th
+}
+
+// InsertBasic records one packet of flow key using the basic discipline
+// (§III-B/C): all d mapped buckets are processed with no top-k feedback.
+// It returns the sketch's estimate for key after the insertion.
+func (s *Sketch) InsertBasic(key []byte) uint32 {
+	s.stats.Packets++
+	fp := s.Fingerprint(key)
+	var est uint32
+	blocked := true
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		switch {
+		case b.c == 0:
+			// Case 1: empty bucket — take it.
+			b.fp, b.c = fp, 1
+			s.stats.EmptyTakes++
+			blocked = false
+			if est < 1 {
+				est = 1
+			}
+		case b.fp == fp:
+			// Case 2: our bucket — increment (saturating).
+			if b.c < s.maxC {
+				b.c++
+			}
+			s.stats.Increments++
+			blocked = false
+			if est < b.c {
+				est = b.c
+			}
+		default:
+			// Case 3: someone else's bucket — exponential-weakening decay.
+			if b.c < s.cfg.LargeC {
+				blocked = false
+			}
+			if s.shouldDecay(b.c) {
+				b.c--
+				s.stats.Decays++
+				if b.c == 0 {
+					b.fp, b.c = fp, 1
+					s.stats.Replacements++
+					if est < 1 {
+						est = 1
+					}
+				}
+			}
+		}
+	}
+	s.noteBlocked(blocked)
+	return est
+}
+
+// InsertParallel records one packet of flow key using the Hardware Parallel
+// discipline (§III-E, Algorithm 1 lines 4–22). inHeap and nmin carry the
+// top-k structure's state for Optimization II (selective increment): a
+// matching counter is incremented only when the flow is already monitored
+// (inHeap) or its counter is still below nmin. The return value is
+// Algorithm 1's HeavyK_V: the estimate established by this insertion, and 0
+// if no bucket accepted the flow.
+func (s *Sketch) InsertParallel(key []byte, inHeap bool, nmin uint32) uint32 {
+	s.stats.Packets++
+	fp := s.Fingerprint(key)
+	var est uint32
+	blocked := true
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		switch {
+		case b.c == 0:
+			b.fp, b.c = fp, 1
+			s.stats.EmptyTakes++
+			blocked = false
+			if est < 1 {
+				est = 1
+			}
+		case b.fp == fp:
+			blocked = false
+			// Optimization II: if the flow is not monitored and this counter
+			// already exceeds nmin, it cannot legitimately belong to the
+			// flow (Theorem 1) — leave it untouched. The gate admits
+			// C <= nmin so a legitimate flow can reach exactly nmin+1, the
+			// value Optimization I's admission rule requires.
+			if inHeap || b.c <= nmin {
+				if b.c < s.maxC {
+					b.c++
+				}
+				s.stats.Increments++
+				if est < b.c {
+					est = b.c
+				}
+			}
+		default:
+			if b.c < s.cfg.LargeC {
+				blocked = false
+			}
+			if s.shouldDecay(b.c) {
+				b.c--
+				s.stats.Decays++
+				if b.c == 0 {
+					b.fp, b.c = fp, 1
+					s.stats.Replacements++
+					if est < 1 {
+						est = 1
+					}
+				}
+			}
+		}
+	}
+	s.noteBlocked(blocked)
+	return est
+}
+
+// InsertMinimum records one packet of flow key using the Software Minimum
+// discipline (§IV, Algorithm 2): at most one mapped bucket changes.
+//
+// Situation 1: a mapped bucket already holds key's fingerprint — increment
+// it (subject to Optimization II gating). Situation 2: no match but an empty
+// bucket exists — take the first one. Situation 3: all full, no match —
+// decay only the smallest mapped counter.
+//
+// The return value is Algorithm 2's HeavyK_V (0 when nothing was updated).
+func (s *Sketch) InsertMinimum(key []byte, inHeap bool, nmin uint32) uint32 {
+	s.stats.Packets++
+	fp := s.Fingerprint(key)
+
+	firstEmpty := -1
+	minArray := -1
+	var minCount uint32
+	matched := false
+
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		if b.c != 0 && b.fp == fp {
+			matched = true
+			// Situation 1 (with Optimization II gating as in Algorithm 2
+			// line 11): increment only when monitored or not yet past nmin,
+			// so an unmonitored flow can reach exactly nmin+1 and qualify
+			// for Optimization I's admission rule.
+			if inHeap || b.c <= nmin {
+				if b.c < s.maxC {
+					b.c++
+				}
+				s.stats.Increments++
+				return b.c
+			}
+			// Matching but frozen: Algorithm 2 leaves this bucket alone and
+			// keeps scanning; the flow may still claim an empty bucket or
+			// decay a minimum elsewhere.
+			continue
+		}
+		if b.c == 0 {
+			if firstEmpty < 0 {
+				firstEmpty = j
+			}
+			continue
+		}
+		if minArray < 0 || b.c < minCount {
+			minArray, minCount = j, b.c
+		}
+	}
+
+	if firstEmpty >= 0 {
+		// Situation 2: claim the first empty bucket.
+		b := &s.arrays[firstEmpty][s.index(firstEmpty, key)]
+		b.fp, b.c = fp, 1
+		s.stats.EmptyTakes++
+		return 1
+	}
+	if minArray < 0 {
+		// Every mapped bucket matched but was frozen; nothing to do.
+		return 0
+	}
+
+	// Situation 3: decay the single smallest mapped counter.
+	if !matched {
+		s.noteBlocked(minCount >= s.cfg.LargeC)
+	}
+	b := &s.arrays[minArray][s.index(minArray, key)]
+	if s.shouldDecay(b.c) {
+		b.c--
+		s.stats.Decays++
+		if b.c == 0 {
+			b.fp, b.c = fp, 1
+			s.stats.Replacements++
+			return 1
+		}
+	}
+	return 0
+}
+
+// Query returns the sketch's size estimate for key: the maximum counter
+// among mapped buckets whose fingerprint matches (§III-B Query). A flow held
+// in no bucket reports 0 — "it is a mouse flow".
+func (s *Sketch) Query(key []byte) uint32 {
+	fp := s.Fingerprint(key)
+	var est uint32
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		if b.c != 0 && b.fp == fp && b.c > est {
+			est = b.c
+		}
+	}
+	return est
+}
+
+// noteBlocked implements the §III-F global counter and expansion trigger:
+// blocked is true when an arriving flow found every mapped bucket holding a
+// foreign fingerprint with a large (>= LargeC) counter.
+func (s *Sketch) noteBlocked(blocked bool) {
+	if !blocked || s.cfg.ExpandThreshold == 0 {
+		return
+	}
+	s.stats.Overflows++
+	s.overflow++
+	if s.overflow <= s.cfg.ExpandThreshold {
+		return
+	}
+	if s.cfg.MaxArrays > 0 && len(s.arrays) >= s.cfg.MaxArrays {
+		return
+	}
+	s.arrays = append(s.arrays, make([]bucket, s.cfg.W))
+	s.seeds = append(s.seeds, s.seedGen.Next())
+	s.overflow = 0
+	s.stats.Expansions++
+}
+
+// OverflowCount returns the current value of the §III-F global counter.
+func (s *Sketch) OverflowCount() uint64 { return s.overflow }
+
+// Reset clears all buckets and statistics while keeping configuration,
+// seeds and any expanded arrays.
+func (s *Sketch) Reset() {
+	for j := range s.arrays {
+		clear(s.arrays[j])
+	}
+	s.stats = Stats{}
+	s.overflow = 0
+}
+
+// ErrCorrupt is returned by decoding when the byte stream is not a valid
+// sketch snapshot.
+var ErrCorrupt = errors.New("core: corrupt sketch encoding")

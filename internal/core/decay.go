@@ -1,0 +1,101 @@
+package core
+
+import "math"
+
+// DecayFunc maps a counter value C >= 1 to the probability, in [0, 1], of
+// decrementing that counter when a foreign flow probes its bucket. The paper
+// requires only that the probability be decreasing in C (§III-B "Decay
+// probability"); it settles on the exponential b^-C and notes that C^-b and
+// sigmoid-shaped alternatives perform similarly — all three are provided so
+// the ablation bench can compare them.
+type DecayFunc func(c uint32) float64
+
+// ExpDecay returns the paper's default decay function, P = b^-C with b > 1
+// and b ≈ 1 (e.g. 1.08).
+func ExpDecay(b float64) DecayFunc {
+	if b <= 1 {
+		panic("core: ExpDecay base must be > 1")
+	}
+	logb := math.Log(b)
+	return func(c uint32) float64 {
+		return math.Exp(-float64(c) * logb)
+	}
+}
+
+// PolyDecay returns the polynomial alternative P = C^-b mentioned in §III-B.
+// P(1) = 1 as with the exponential family.
+func PolyDecay(b float64) DecayFunc {
+	if b <= 0 {
+		panic("core: PolyDecay exponent must be > 0")
+	}
+	return func(c uint32) float64 {
+		return math.Pow(float64(c), -b)
+	}
+}
+
+// SigmoidDecay returns the sigmoid-shaped alternative from §III-B,
+// normalized so it is a decreasing probability: P = 1 / (1 + e^(C/scale)),
+// doubled so P(0+) ≈ 1 like the others. scale stretches the transition.
+func SigmoidDecay(scale float64) DecayFunc {
+	if scale <= 0 {
+		panic("core: SigmoidDecay scale must be > 0")
+	}
+	return func(c uint32) float64 {
+		return 2 / (1 + math.Exp(float64(c)/scale))
+	}
+}
+
+// decayTable is a DecayFunc compiled to fixed-point thresholds so the hot
+// path never touches floating point: a decay happens when a uniform 64-bit
+// word is below threshold[C]. Entries beyond the table are exactly zero,
+// implementing the paper's "when the value is large enough, regard the
+// probability as 0" acceleration (§III-B property 2).
+type decayTable struct {
+	thresholds []uint64
+}
+
+// maxDecayTable bounds the table. For b = 1.08, b^-C falls below 2^-64
+// around C ≈ 577, so 1024 entries cover every useful base.
+const maxDecayTable = 1024
+
+func buildDecayTable(f DecayFunc) decayTable {
+	t := decayTable{thresholds: make([]uint64, 0, 64)}
+	for c := uint32(1); c < maxDecayTable; c++ {
+		p := f(c)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		th := probToThreshold(p)
+		if th == 0 {
+			break
+		}
+		t.thresholds = append(t.thresholds, th)
+	}
+	return t
+}
+
+// probToThreshold converts a probability to the 64-bit comparison threshold:
+// P(rand64 < th) = th / 2^64 ≈ p.
+func probToThreshold(p float64) uint64 {
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	if p <= 0 {
+		return 0
+	}
+	// Ldexp scales by a power of two exactly, so for p <= 1-2^-53 the result
+	// is strictly below 2^64 and converts to uint64 without overflow.
+	return uint64(math.Ldexp(p, 64))
+}
+
+// threshold returns the comparison threshold for counter value c (c >= 1).
+func (t decayTable) threshold(c uint32) uint64 {
+	i := int(c) - 1
+	if i < 0 || i >= len(t.thresholds) {
+		return 0
+	}
+	return t.thresholds[i]
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestExpDecayValues(t *testing.T) {
+	f := ExpDecay(1.08)
+	cases := []struct {
+		c    uint32
+		want float64
+	}{
+		{1, 1 / 1.08},
+		{2, 1 / (1.08 * 1.08)},
+		{21, math.Pow(1.08, -21)},
+	}
+	for _, tc := range cases {
+		if got := f(tc.c); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ExpDecay(1.08)(%d) = %v want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestDecayFuncsMonotoneDecreasing(t *testing.T) {
+	funcs := map[string]DecayFunc{
+		"exp":     ExpDecay(1.08),
+		"poly":    PolyDecay(1.08),
+		"sigmoid": SigmoidDecay(8),
+	}
+	for name, f := range funcs {
+		prev := math.Inf(1)
+		for c := uint32(1); c < 500; c++ {
+			p := f(c)
+			if p < 0 || p > 1 {
+				t.Errorf("%s(%d) = %v out of [0,1]", name, c, p)
+			}
+			if p > prev {
+				t.Errorf("%s not decreasing at C=%d: %v > %v", name, c, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestDecayConstructorsValidate(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ExpDecay(1.0) },
+		func() { ExpDecay(0.5) },
+		func() { PolyDecay(0) },
+		func() { SigmoidDecay(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid decay parameter did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDecayTableMatchesFunction(t *testing.T) {
+	f := ExpDecay(1.08)
+	table := buildDecayTable(f)
+	for c := uint32(1); c < 100; c++ {
+		want := f(c)
+		got := float64(table.threshold(c)) / math.Ldexp(1, 64)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("threshold(%d)/2^64 = %v want %v", c, got, want)
+		}
+	}
+}
+
+func TestDecayTableLargeCZero(t *testing.T) {
+	// §III-B property 2: for large C the probability is treated as exactly
+	// zero. For b = 1.08, b^-C < 2^-64 needs C ≈ 577; beyond the table every
+	// threshold must be 0.
+	table := buildDecayTable(ExpDecay(1.08))
+	if table.threshold(maxDecayTable+100) != 0 {
+		t.Error("threshold beyond table not zero")
+	}
+	if table.threshold(0) != 0 {
+		t.Error("threshold(0) should be zero (counters are >= 1 in case 3)")
+	}
+	// A very aggressive base truncates the table early.
+	small := buildDecayTable(ExpDecay(4.0))
+	if len(small.thresholds) >= 64 {
+		t.Errorf("b=4 table has %d entries, expected far fewer (4^-32 < 2^-64)", len(small.thresholds))
+	}
+}
+
+func TestProbToThresholdBounds(t *testing.T) {
+	if got := probToThreshold(1.0); got != math.MaxUint64 {
+		t.Errorf("probToThreshold(1) = %d want MaxUint64", got)
+	}
+	if got := probToThreshold(0); got != 0 {
+		t.Errorf("probToThreshold(0) = %d want 0", got)
+	}
+	if got := probToThreshold(-0.5); got != 0 {
+		t.Errorf("probToThreshold(-0.5) = %d want 0", got)
+	}
+	if got := probToThreshold(2.0); got != math.MaxUint64 {
+		t.Errorf("probToThreshold(2) = %d want MaxUint64", got)
+	}
+	f := func(p float64) bool {
+		p = math.Abs(p)
+		p -= math.Floor(p) // into [0,1)
+		th := probToThreshold(p)
+		back := float64(th) / math.Ldexp(1, 64)
+		return math.Abs(back-p) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmpiricalDecayRate drives the coin flip through the sketch plumbing
+// and verifies the observed decay frequency matches b^-C.
+func TestEmpiricalDecayRate(t *testing.T) {
+	s := MustNew(Config{W: 4, Seed: 123})
+	for _, c := range []uint32{1, 3, 8, 20} {
+		want := math.Pow(1.08, -float64(c))
+		hits := 0
+		const trials = 200000
+		for i := 0; i < trials; i++ {
+			if s.shouldDecay(c) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical decay rate for C=%d: %v want %v", c, got, want)
+		}
+	}
+}
+
+// TestDecayFunctionsAllFindTopFlows is the §III-B claim that any reasonable
+// decreasing decay function performs similarly: with each provided function
+// the sketch must still rank a clear elephant above the mice.
+func TestDecayFunctionsAllFindTopFlows(t *testing.T) {
+	for name, f := range map[string]DecayFunc{
+		"exp":     ExpDecay(1.08),
+		"poly":    PolyDecay(1.08),
+		"sigmoid": SigmoidDecay(8),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := MustNew(Config{W: 64, Seed: 9, Decay: f})
+			rng := xrand.NewXorshift64Star(10)
+			const n = 30000
+			for i := 0; i < n; i++ {
+				if i%3 == 0 {
+					s.InsertBasic(key(0)) // elephant: 1/3 of traffic
+				} else {
+					s.InsertBasic(key(1 + int(rng.Uint64n(2000))))
+				}
+			}
+			est := s.Query(key(0))
+			if float64(est) < 0.9*float64(n/3) {
+				t.Errorf("%s decay: elephant estimate %d, want >= 90%% of %d", name, est, n/3)
+			}
+		})
+	}
+}

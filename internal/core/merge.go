@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// Merge folds other into s, bucket by bucket. Both sketches must share the
+// same configuration and seeds (i.e. be constructed with identical Config
+// including Seed, or restored from snapshots of such sketches) so that a
+// flow maps to the same buckets in both; Merge returns an error otherwise.
+//
+// Merging is the network-wide pattern of the paper's footnote 2: each
+// switch runs its own HeavyKeeper over its share of the traffic and a
+// collector folds them per epoch. The merge rule per bucket pair:
+//
+//   - both empty → empty;
+//   - one occupied → copy it;
+//   - same fingerprint → counters add (the flow's packets were split
+//     across the two measurement points), saturating;
+//   - different fingerprints → the larger counter wins and the smaller is
+//     subtracted from it, mirroring what exponential decay would have done
+//     had the two streams been interleaved (the standard merge rule for
+//     majority-style counters).
+//
+// The result is an over-approximation-free summary of the combined stream:
+// a merged counter never exceeds the flow's total count across both inputs
+// (each input obeys Theorem 2 and both rules only add counts attributed to
+// the same fingerprint or shrink them).
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("core: merge with nil sketch")
+	}
+	if len(s.arrays) != len(other.arrays) || s.cfg.W != other.cfg.W {
+		return fmt.Errorf("core: merge shape mismatch: %dx%d vs %dx%d",
+			len(s.arrays), s.cfg.W, len(other.arrays), other.cfg.W)
+	}
+	if s.fpSeed != other.fpSeed {
+		return fmt.Errorf("core: merge fingerprint-seed mismatch")
+	}
+	for j := range s.arrays {
+		if s.seeds[j] != other.seeds[j] {
+			return fmt.Errorf("core: merge seed mismatch in array %d", j)
+		}
+	}
+	for j := range s.arrays {
+		for i := range s.arrays[j] {
+			a := &s.arrays[j][i]
+			b := other.arrays[j][i]
+			switch {
+			case b.c == 0:
+				// Nothing to fold in.
+			case a.c == 0:
+				*a = b
+			case a.fp == b.fp:
+				a.c = s.addSaturating(a.c, uint64(b.c))
+			case b.c > a.c:
+				a.fp = b.fp
+				a.c = b.c - a.c
+			default:
+				a.c -= b.c
+				if a.c == 0 {
+					// Contest ended in a tie; the bucket returns to empty.
+					a.fp = 0
+				}
+			}
+		}
+	}
+	return nil
+}

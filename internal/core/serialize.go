@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// snapshot format version; bump on layout changes.
+const snapshotVersion = 1
+
+// WriteTo serializes the sketch's bucket contents and structural parameters
+// to w. Configuration closures (the decay function) are not serialized; the
+// reader must construct a sketch with the same Config and call ReadFrom.
+// The format is little-endian: version, d, w, seeds, fpSeed, then buckets.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	header := []uint64{
+		snapshotVersion,
+		uint64(len(s.arrays)),
+		uint64(s.cfg.W),
+		s.fpSeed,
+	}
+	for _, h := range header {
+		if err := write(h); err != nil {
+			return n, err
+		}
+	}
+	if err := write(s.seeds); err != nil {
+		return n, err
+	}
+	for j := range s.arrays {
+		for i := range s.arrays[j] {
+			if err := write(s.arrays[j][i].fp); err != nil {
+				return n, err
+			}
+			if err := write(s.arrays[j][i].c); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// ReadFrom restores bucket contents and seeds previously written by WriteTo
+// into s. The receiving sketch must have been constructed with a matching W;
+// arrays are grown if the snapshot had expanded. The stored seeds replace
+// the receiver's so that queries hash identically to the snapshot's writer.
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	read := func(v any) error {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	var version, d, w, fpSeed uint64
+	for _, p := range []*uint64{&version, &d, &w, &fpSeed} {
+		if err := read(p); err != nil {
+			return n, err
+		}
+	}
+	if version != snapshotVersion {
+		return n, ErrCorrupt
+	}
+	if d == 0 || w == 0 || int(w) != s.cfg.W {
+		return n, ErrCorrupt
+	}
+	seeds := make([]uint64, d)
+	if err := read(seeds); err != nil {
+		return n, err
+	}
+	arrays := make([][]bucket, d)
+	for j := range arrays {
+		arrays[j] = make([]bucket, w)
+		for i := range arrays[j] {
+			if err := read(&arrays[j][i].fp); err != nil {
+				return n, err
+			}
+			if err := read(&arrays[j][i].c); err != nil {
+				return n, err
+			}
+		}
+	}
+	s.arrays = arrays
+	s.seeds = seeds
+	s.fpSeed = fpSeed
+	return n, nil
+}

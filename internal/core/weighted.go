@@ -1,0 +1,193 @@
+package core
+
+// Weighted insertion. The paper notes (§III-F) that HeavyKeeper "cannot
+// support weighted updates"; this file implements the natural extension
+// used by follow-on systems: a weight-w arrival behaves like w unit
+// arrivals of the same flow. Owned and empty buckets take the whole weight
+// in O(1); a contested bucket runs per-unit decay trials, with an early
+// exit once the counter is large enough that the decay probability is
+// exactly zero (the same §III-B cutoff as the unit path), so the worst case
+// is O(min(w, C)) trials rather than O(w).
+//
+// Theorem 1 does not survive weighting — a newly admitted flow's estimate
+// can exceed n_min+1 by up to w — so the weighted top-k path in
+// internal/topk admits on n̂ > n_min instead of Optimization I's equality
+// rule.
+
+// addSaturating adds w to c with saturation at the configured counter max.
+func (s *Sketch) addSaturating(c uint32, w uint64) uint32 {
+	nv := uint64(c) + w
+	if nv > uint64(s.maxC) {
+		return s.maxC
+	}
+	return uint32(nv)
+}
+
+// contested runs weight decay trials against a foreign bucket. It returns
+// the weight remaining after the bucket (possibly) reaches zero and is
+// taken over; taken reports whether the takeover happened.
+func (s *Sketch) contested(b *bucket, fp uint32, weight uint64) (remaining uint64, taken bool) {
+	for u := uint64(0); u < weight; u++ {
+		th := s.decay.threshold(b.c)
+		if th == 0 {
+			// Decay probability is exactly zero and the counter can only
+			// grow from here; no further trial can change anything.
+			return 0, false
+		}
+		s.stats.DecayProbes++
+		if s.rng.Next() < th {
+			b.c--
+			s.stats.Decays++
+			if b.c == 0 {
+				b.fp = fp
+				s.stats.Replacements++
+				return weight - u - 1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// InsertBasicN records a weight-n arrival of flow key with the basic
+// discipline and returns the post-insertion estimate. InsertBasicN(key, 1)
+// is equivalent to InsertBasic(key).
+func (s *Sketch) InsertBasicN(key []byte, n uint64) uint32 {
+	if n == 0 {
+		return s.Query(key)
+	}
+	s.stats.Packets++
+	fp := s.Fingerprint(key)
+	var est uint32
+	blocked := true
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		switch {
+		case b.c == 0:
+			b.fp = fp
+			b.c = s.addSaturating(0, n)
+			s.stats.EmptyTakes++
+			blocked = false
+		case b.fp == fp:
+			b.c = s.addSaturating(b.c, n)
+			s.stats.Increments++
+			blocked = false
+		default:
+			if b.c < s.cfg.LargeC {
+				blocked = false
+			}
+			if rem, taken := s.contested(b, fp, n); taken {
+				b.c = s.addSaturating(1, rem)
+			}
+		}
+		if b.fp == fp && b.c > est {
+			est = b.c
+		}
+	}
+	s.noteBlocked(blocked)
+	return est
+}
+
+// InsertParallelN is the weighted Hardware Parallel insertion. The
+// selective-increment gate applies as in the unit path: an unmonitored
+// flow's matching counter grows only while at or below nmin, and then by at
+// most the weight.
+func (s *Sketch) InsertParallelN(key []byte, inHeap bool, nmin uint32, n uint64) uint32 {
+	if n == 0 {
+		return s.Query(key)
+	}
+	s.stats.Packets++
+	fp := s.Fingerprint(key)
+	var est uint32
+	blocked := true
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		switch {
+		case b.c == 0:
+			b.fp = fp
+			b.c = s.addSaturating(0, n)
+			s.stats.EmptyTakes++
+			blocked = false
+			if b.c > est {
+				est = b.c
+			}
+		case b.fp == fp:
+			blocked = false
+			if inHeap || b.c <= nmin {
+				b.c = s.addSaturating(b.c, n)
+				s.stats.Increments++
+				if b.c > est {
+					est = b.c
+				}
+			}
+		default:
+			if b.c < s.cfg.LargeC {
+				blocked = false
+			}
+			if rem, taken := s.contested(b, fp, n); taken {
+				b.c = s.addSaturating(1, rem)
+				if b.c > est {
+					est = b.c
+				}
+			}
+		}
+	}
+	s.noteBlocked(blocked)
+	return est
+}
+
+// InsertMinimumN is the weighted Software Minimum insertion: at most one
+// bucket changes, as in the unit path.
+func (s *Sketch) InsertMinimumN(key []byte, inHeap bool, nmin uint32, n uint64) uint32 {
+	if n == 0 {
+		return s.Query(key)
+	}
+	s.stats.Packets++
+	fp := s.Fingerprint(key)
+
+	firstEmpty := -1
+	minArray := -1
+	var minCount uint32
+	matched := false
+
+	for j := range s.arrays {
+		b := &s.arrays[j][s.index(j, key)]
+		if b.c != 0 && b.fp == fp {
+			matched = true
+			if inHeap || b.c <= nmin {
+				b.c = s.addSaturating(b.c, n)
+				s.stats.Increments++
+				return b.c
+			}
+			continue
+		}
+		if b.c == 0 {
+			if firstEmpty < 0 {
+				firstEmpty = j
+			}
+			continue
+		}
+		if minArray < 0 || b.c < minCount {
+			minArray, minCount = j, b.c
+		}
+	}
+
+	if firstEmpty >= 0 {
+		b := &s.arrays[firstEmpty][s.index(firstEmpty, key)]
+		b.fp = fp
+		b.c = s.addSaturating(0, n)
+		s.stats.EmptyTakes++
+		return b.c
+	}
+	if minArray < 0 {
+		return 0
+	}
+	if !matched {
+		s.noteBlocked(minCount >= s.cfg.LargeC)
+	}
+	b := &s.arrays[minArray][s.index(minArray, key)]
+	if rem, taken := s.contested(b, fp, n); taken {
+		b.c = s.addSaturating(1, rem)
+		return b.c
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package countertree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{Leaves: 0, Parents: 10},
+		{Leaves: 10, Parents: 0},
+		{Leaves: 10, Parents: 10, LeafBits: 20},
+		{Leaves: 10, Parents: 10, Degree: 100},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSmallFlowExactInLeaf(t *testing.T) {
+	tr := MustNew(Config{Leaves: 1024, Parents: 64, Seed: 1})
+	for i := 0; i < 100; i++ { // below the 255 leaf limit
+		tr.Insert(key(3))
+	}
+	if got := tr.Estimate(key(3)); got != 100 {
+		t.Errorf("estimate = %d want 100", got)
+	}
+	if tr.Carries() != 0 {
+		t.Errorf("unexpected carries: %d", tr.Carries())
+	}
+}
+
+func TestOverflowCarriesToParent(t *testing.T) {
+	tr := MustNew(Config{Leaves: 1024, Parents: 256, Seed: 2})
+	const n = 2000 // forces multiple carries past the 255 leaf limit
+	for i := 0; i < n; i++ {
+		tr.Insert(key(9))
+	}
+	if tr.Carries() == 0 {
+		t.Fatal("no carries despite overflow")
+	}
+	est := tr.Estimate(key(9))
+	if est < n*80/100 || est > n*120/100 {
+		t.Errorf("estimate = %d want within 20%% of %d", est, n)
+	}
+}
+
+func TestSharedParentNoiseSubtracted(t *testing.T) {
+	// Two elephants sharing the parent pool: each estimate should stay in
+	// the right ballpark because expected noise is subtracted.
+	tr := MustNew(Config{Leaves: 4096, Parents: 512, Seed: 3})
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(1))
+		tr.Insert(key(2))
+	}
+	for _, k := range []int{1, 2} {
+		est := tr.Estimate(key(k))
+		if est < n*70/100 || est > n*130/100 {
+			t.Errorf("flow %d estimate = %d want within 30%% of %d", k, est, n)
+		}
+	}
+}
+
+func TestTopOfRanksElephantsFirst(t *testing.T) {
+	st := streamtest.Zipf(100000, 2000, 1.5, 13)
+	tr := MustNew(Config{Leaves: 8192, Parents: 1024, Seed: 7})
+	candidates := make([][]byte, 0, len(st.Exact))
+	for k := range st.Exact {
+		candidates = append(candidates, []byte(k))
+	}
+	for _, p := range st.Packets {
+		tr.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range tr.TopOf(candidates, 10) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	// Counter Tree's shared parents give mice that alias an elephant's
+	// parent a huge estimate, so top-k precision is poor by design — this
+	// is exactly the behaviour Fig 20 of the HeavyKeeper paper reports.
+	// Require only that the estimator is clearly better than chance
+	// (chance ≈ 10/2000 = 0.005) and that the single heaviest flow is found.
+	p := streamtest.Precision(rep, st.TrueTop(10))
+	if p < 0.1 {
+		t.Errorf("precision = %v, want >= 0.1 (better than chance)", p)
+	}
+	top1 := st.TrueTop(1)
+	found := false
+	for _, e := range rep {
+		if top1[e.Key] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heaviest flow missing from Counter Tree's top-10")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tr := MustNew(Config{Leaves: 800, Parents: 100})
+	if got := tr.MemoryBytes(); got != 800+400 {
+		t.Errorf("MemoryBytes = %d want 1200", got)
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	tr, err := FromBytes(1200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.MemoryBytes(); got > 1300 {
+		t.Errorf("MemoryBytes = %d exceeds budget", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := MustNew(Config{Leaves: 65536, Parents: 8192, Seed: 1})
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

@@ -1,0 +1,134 @@
+// Package countsketch implements the Count sketch of Charikar, Chen and
+// Farach-Colton ("Finding frequent items in data streams", ICALP 2002),
+// the second count-all sketch the HeavyKeeper paper cites (§II-B).
+//
+// Each of d arrays holds w signed counters; flow f updates counter
+// h_j(f) by s_j(f) ∈ {−1, +1}, and the estimate is the median of
+// s_j(f)·C_j[h_j(f)]. Unlike Count-Min, the estimate is unbiased but can
+// under- as well as over-estimate.
+package countsketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a Sketch.
+type Config struct {
+	// D is the number of arrays; odd values give a well-defined median.
+	// Default 3.
+	D int
+	// W is the number of counters per array. Required.
+	W int
+	// CounterBits is the counter width for memory accounting (<= 32).
+	// Default 32.
+	CounterBits uint
+	// Seed makes hashing deterministic.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.D == 0 {
+		c.D = 3
+	}
+	if c.D < 1 {
+		return fmt.Errorf("countsketch: D = %d, must be >= 1", c.D)
+	}
+	if c.W < 1 {
+		return fmt.Errorf("countsketch: W = %d, must be >= 1", c.W)
+	}
+	if c.CounterBits == 0 {
+		c.CounterBits = 32
+	}
+	if c.CounterBits > 32 {
+		return fmt.Errorf("countsketch: CounterBits = %d, must be <= 32", c.CounterBits)
+	}
+	return nil
+}
+
+// Sketch is a Count sketch.
+type Sketch struct {
+	cfg       Config
+	rows      [][]int64
+	family    *hash.Family
+	signSeeds []uint64
+}
+
+// New returns a Count sketch for the given configuration.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{
+		cfg:       cfg,
+		rows:      make([][]int64, cfg.D),
+		family:    hash.NewFamily(cfg.Seed, cfg.D),
+		signSeeds: make([]uint64, cfg.D),
+	}
+	sm := xrand.NewSplitMix64(cfg.Seed ^ 0xabcdef)
+	for j := range s.rows {
+		s.rows[j] = make([]int64, cfg.W)
+		s.signSeeds[j] = sm.Next()
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// sign returns +1 or -1 for key in array j.
+func (s *Sketch) sign(j int, key []byte) int64 {
+	if hash.Sum64(s.signSeeds[j], key)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Insert records one packet of flow key.
+func (s *Sketch) Insert(key []byte) {
+	for j := range s.rows {
+		s.rows[j][s.family.Index(j, key, s.cfg.W)] += s.sign(j, key)
+	}
+}
+
+// Estimate returns the median estimator for key's size. The result is
+// clamped at zero: flow sizes are non-negative.
+func (s *Sketch) Estimate(key []byte) int64 {
+	ests := make([]int64, len(s.rows))
+	for j := range s.rows {
+		ests[j] = s.sign(j, key) * s.rows[j][s.family.Index(j, key, s.cfg.W)]
+	}
+	sort.Slice(ests, func(a, b int) bool { return ests[a] < ests[b] })
+	var med int64
+	if n := len(ests); n%2 == 1 {
+		med = ests[n/2]
+	} else {
+		med = (ests[n/2-1] + ests[n/2]) / 2
+	}
+	if med < 0 {
+		med = 0
+	}
+	return med
+}
+
+// MemoryBytes returns the sketch's logical footprint.
+func (s *Sketch) MemoryBytes() int {
+	bits := int(s.cfg.CounterBits) * s.cfg.W * s.cfg.D
+	return (bits + 7) / 8
+}
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for j := range s.rows {
+		clear(s.rows[j])
+	}
+}

@@ -1,0 +1,126 @@
+package countsketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestConfigValidation(t *testing.T) {
+	for i, cfg := range []Config{{W: 0}, {W: 10, D: -2}, {W: 10, CounterBits: 64}} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestExactWhenAlone(t *testing.T) {
+	s := MustNew(Config{W: 1024, Seed: 1})
+	for i := 0; i < 500; i++ {
+		s.Insert(key(3))
+	}
+	if got := s.Estimate(key(3)); got != 500 {
+		t.Errorf("estimate = %d want 500", got)
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	s := MustNew(Config{W: 8, Seed: 2})
+	for i := 0; i < 10000; i++ {
+		s.Insert(key(i % 100))
+	}
+	for i := 0; i < 200; i++ {
+		if got := s.Estimate(key(i)); got < 0 {
+			t.Errorf("estimate of flow %d is negative: %d", i, got)
+		}
+	}
+}
+
+func TestUnbiasedOnAverage(t *testing.T) {
+	// Count sketch is unbiased: mean signed error across many flows ≈ 0.
+	s := MustNew(Config{W: 128, D: 1, Seed: 3}) // d=1 exposes raw bias
+	const flows = 500
+	const perFlow = 20
+	for i := 0; i < flows; i++ {
+		for j := 0; j < perFlow; j++ {
+			s.Insert(key(i))
+		}
+	}
+	var sum float64
+	for i := 0; i < flows; i++ {
+		// Raw (unclamped) estimate via the single row.
+		j := s.family.Index(0, key(i), s.cfg.W)
+		raw := s.sign(0, key(i)) * s.rows[0][j]
+		sum += float64(raw) - perFlow
+	}
+	mean := sum / flows
+	if mean > 5 || mean < -5 {
+		t.Errorf("mean signed error = %v, want ≈ 0 (unbiased estimator)", mean)
+	}
+}
+
+func TestMedianReducesVariance(t *testing.T) {
+	// More rows should not increase the average absolute error.
+	errFor := func(d int) float64 {
+		s := MustNew(Config{W: 64, D: d, Seed: 9})
+		const flows = 300
+		for i := 0; i < flows; i++ {
+			for j := 0; j <= i%7; j++ {
+				s.Insert(key(i))
+			}
+		}
+		var sum float64
+		for i := 0; i < flows; i++ {
+			truth := int64(i%7 + 1)
+			d := s.Estimate(key(i)) - truth
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+		}
+		return sum / flows
+	}
+	if e1, e5 := errFor(1), errFor(5); e5 > e1*1.5 {
+		t.Errorf("d=5 error %v much worse than d=1 error %v", e5, e1)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(Config{W: 32, Seed: 1})
+	s.Insert(key(1))
+	s.Reset()
+	if got := s.Estimate(key(1)); got != 0 {
+		t.Errorf("estimate after Reset = %d want 0", got)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := MustNew(Config{W: 100, D: 3, CounterBits: 32})
+	if got := s.MemoryBytes(); got != 1200 {
+		t.Errorf("MemoryBytes = %d want 1200", got)
+	}
+}
+
+func TestEvenDMedian(t *testing.T) {
+	s := MustNew(Config{W: 1024, D: 4, Seed: 6})
+	for i := 0; i < 100; i++ {
+		s.Insert(key(1))
+	}
+	got := s.Estimate(key(1))
+	if got != 100 {
+		t.Errorf("even-d median estimate = %d want 100 (no collisions at this scale)", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := MustNew(Config{W: 4096, Seed: 1})
+	keys := make([][]byte, 1<<12)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)])
+	}
+}

@@ -1,0 +1,112 @@
+package css
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 16, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(10, 4, 1); err == nil {
+		t.Error("fpBits=4 accepted")
+	}
+	if _, err := New(10, 64, 1); err == nil {
+		t.Error("fpBits=64 accepted")
+	}
+}
+
+func TestSpaceSavingSemantics(t *testing.T) {
+	c := MustNew(2, 16, 1)
+	for i := 0; i < 100; i++ {
+		c.Insert(key(1))
+		c.Insert(key(2))
+	}
+	c.Insert(key(3))
+	if got := c.Estimate(key(3)); got != 101 {
+		t.Errorf("new flow estimate = %d want 101 (inherits n̂_min + 1)", got)
+	}
+}
+
+func TestNeverUnderestimatesModuloAliasing(t *testing.T) {
+	c := MustNew(256, 16, 2)
+	truth := map[string]uint64{}
+	st := streamtest.Zipf(30000, 1500, 1.0, 5)
+	for _, p := range st.Packets {
+		truth[string(p)]++
+		c.Insert(p)
+	}
+	under := 0
+	for _, e := range c.Top(256) {
+		if e.Count < truth[e.Key] {
+			under++
+		}
+	}
+	// Fingerprint aliasing can in principle merge flows (over-estimating,
+	// never under); allow zero tolerance on under-estimation.
+	if under > 0 {
+		t.Errorf("%d monitored flows under-estimated", under)
+	}
+}
+
+func TestMoreCapacityPerByteThanSS(t *testing.T) {
+	// The point of CSS: at the same byte budget it monitors more flows.
+	const budget = 4800
+	c, err := FromBytes(budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssEntries := budget / 48
+	if c.Capacity() <= ssEntries {
+		t.Errorf("CSS capacity %d not better than SS capacity %d at %dB", c.Capacity(), ssEntries, budget)
+	}
+}
+
+func TestFindsTopK(t *testing.T) {
+	st := streamtest.Zipf(150000, 5000, 1.2, 13)
+	c := MustNew(2000, 16, 7)
+	for _, p := range st.Packets {
+		c.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range c.Top(20) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.9 {
+		t.Errorf("precision = %v want >= 0.9 with m >> k", p)
+	}
+}
+
+func TestReportedKeysAreRealFlows(t *testing.T) {
+	st := streamtest.Zipf(20000, 500, 1.2, 19)
+	c := MustNew(300, 16, 3)
+	for _, p := range st.Packets {
+		c.Insert(p)
+	}
+	for _, e := range c.Top(20) {
+		if _, ok := st.Exact[e.Key]; !ok {
+			t.Errorf("reported key %q never appeared in the stream", e.Key)
+		}
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	c := MustNew(100, 16, 1)
+	if got := c.MemoryBytes(); got != 100*BytesPerEntry {
+		t.Errorf("MemoryBytes = %d want %d", got, 100*BytesPerEntry)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	c := MustNew(1024, 16, 1)
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

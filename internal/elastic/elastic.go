@@ -1,0 +1,196 @@
+// Package elastic implements the Elastic sketch (Yang et al., "Elastic
+// Sketch: Adaptive and Fast Network-wide Measurements", SIGCOMM 2018), one
+// of the recent-work baselines in the HeavyKeeper paper's §VI-E comparison.
+//
+// The Elastic sketch splits memory into a heavy part and a light part. The
+// heavy part is a hash table of buckets, each holding one candidate heavy
+// flow with a positive vote (its count) and a negative vote (count of other
+// flows hashed there). When negative/positive exceeds the eviction threshold
+// λ, the resident flow is evicted into the light part — a one-array
+// count-min of small counters — and the challenger takes the bucket. The
+// estimate of a heavy-part flow whose bucket was ever recycled adds the
+// light-part estimate back in.
+package elastic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// Config parameterizes an Elastic sketch.
+type Config struct {
+	// HeavyBuckets is the number of heavy-part buckets. Required.
+	HeavyBuckets int
+	// LightCounters is the number of light-part 8-bit counters. Required.
+	LightCounters int
+	// Lambda is the eviction threshold (vote-/vote+ ratio). Default 8, the
+	// Elastic paper's recommendation.
+	Lambda int
+	// Seed makes hashing deterministic.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.HeavyBuckets < 1 {
+		return fmt.Errorf("elastic: HeavyBuckets = %d, must be >= 1", c.HeavyBuckets)
+	}
+	if c.LightCounters < 1 {
+		return fmt.Errorf("elastic: LightCounters = %d, must be >= 1", c.LightCounters)
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 8
+	}
+	if c.Lambda < 1 {
+		return fmt.Errorf("elastic: Lambda = %d, must be >= 1", c.Lambda)
+	}
+	return nil
+}
+
+// heavyBucket holds one candidate heavy flow.
+type heavyBucket struct {
+	key     string
+	votePos uint32
+	voteNeg uint32
+	ejected bool // true if this bucket ever evicted a flow to the light part
+}
+
+// Sketch is an Elastic sketch.
+type Sketch struct {
+	cfg    Config
+	heavy  []heavyBucket
+	light  []uint8
+	family *hash.Family
+}
+
+// BucketBytes is the logical size of one heavy bucket (key 8B truncated id +
+// two 32-bit votes + flag), used for byte budgeting; the light part costs
+// one byte per counter.
+const BucketBytes = 17
+
+// New returns an Elastic sketch for the given configuration.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		cfg:    cfg,
+		heavy:  make([]heavyBucket, cfg.HeavyBuckets),
+		light:  make([]uint8, cfg.LightCounters),
+		family: hash.NewFamily(cfg.Seed, 2), // [0] heavy, [1] light
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FromBytes builds a sketch from a byte budget with the Elastic paper's
+// recommended 75%/25% heavy/light split.
+func FromBytes(budget int, seed uint64) (*Sketch, error) {
+	heavyBytes := budget * 3 / 4
+	hb := heavyBytes / BucketBytes
+	if hb < 1 {
+		hb = 1
+	}
+	lc := budget - heavyBytes
+	if lc < 1 {
+		lc = 1
+	}
+	return New(Config{HeavyBuckets: hb, LightCounters: lc, Seed: seed})
+}
+
+// lightInsert adds v to key's light-part counter with saturation.
+func (s *Sketch) lightInsert(key string, v uint32) {
+	c := &s.light[s.family.Index(1, []byte(key), s.cfg.LightCounters)]
+	nv := uint32(*c) + v
+	if nv > 255 {
+		nv = 255
+	}
+	*c = uint8(nv)
+}
+
+// lightEstimate returns key's light-part counter.
+func (s *Sketch) lightEstimate(key string) uint32 {
+	return uint32(s.light[s.family.Index(1, []byte(key), s.cfg.LightCounters)])
+}
+
+// Insert records one packet of flow key.
+func (s *Sketch) Insert(key []byte) {
+	b := &s.heavy[s.family.Index(0, key, s.cfg.HeavyBuckets)]
+	ks := string(key)
+	switch {
+	case b.votePos == 0:
+		*b = heavyBucket{key: ks, votePos: 1}
+	case b.key == ks:
+		b.votePos++
+	default:
+		b.voteNeg++
+		if int(b.voteNeg) >= s.cfg.Lambda*int(b.votePos) {
+			// Evict the resident to the light part; challenger takes over.
+			s.lightInsert(b.key, b.votePos)
+			*b = heavyBucket{key: ks, votePos: 1, voteNeg: 0, ejected: true}
+		} else {
+			// The challenger's packet is recorded in the light part.
+			s.lightInsert(ks, 1)
+		}
+	}
+}
+
+// Estimate returns the sketch's size estimate for key.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	b := &s.heavy[s.family.Index(0, key, s.cfg.HeavyBuckets)]
+	ks := string(key)
+	if b.votePos > 0 && b.key == ks {
+		est := uint64(b.votePos)
+		if b.ejected {
+			est += uint64(s.lightEstimate(ks))
+		}
+		return est
+	}
+	return uint64(s.lightEstimate(ks))
+}
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the k largest heavy-part flows by estimate — the Elastic
+// sketch's heavy-hitter report.
+func (s *Sketch) Top(k int) []Entry {
+	all := make([]Entry, 0, len(s.heavy))
+	for i := range s.heavy {
+		b := &s.heavy[i]
+		if b.votePos == 0 {
+			continue
+		}
+		est := uint64(b.votePos)
+		if b.ejected {
+			est += uint64(s.lightEstimate(b.key))
+		}
+		all = append(all, Entry{Key: b.key, Count: est})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// MemoryBytes reports the logical footprint.
+func (s *Sketch) MemoryBytes() int {
+	return s.cfg.HeavyBuckets*BucketBytes + s.cfg.LightCounters
+}

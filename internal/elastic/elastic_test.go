@@ -1,0 +1,123 @@
+package elastic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{HeavyBuckets: 0, LightCounters: 10},
+		{HeavyBuckets: 10, LightCounters: 0},
+		{HeavyBuckets: 10, LightCounters: 10, Lambda: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestExactWhenAlone(t *testing.T) {
+	s := MustNew(Config{HeavyBuckets: 64, LightCounters: 64, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		s.Insert(key(5))
+	}
+	if got := s.Estimate(key(5)); got != 1000 {
+		t.Errorf("estimate = %d want 1000", got)
+	}
+}
+
+func TestVotingEvictsWeakResident(t *testing.T) {
+	// One bucket: a mouse takes it, then an elephant out-votes it λ:1.
+	s := MustNew(Config{HeavyBuckets: 1, LightCounters: 16, Lambda: 8, Seed: 2})
+	s.Insert(key(1)) // mouse resident, vote+ = 1
+	for i := 0; i < 100; i++ {
+		s.Insert(key(2))
+	}
+	if s.heavy[0].key != string(key(2)) {
+		t.Errorf("heavy bucket still held by %q, want takeover by flow-2", s.heavy[0].key)
+	}
+	est := s.Estimate(key(2))
+	if est < 80 || est > 100 {
+		t.Errorf("elephant estimate = %d, want close to 100", est)
+	}
+	// The mouse's single packet lives on in the light part.
+	if got := s.Estimate(key(1)); got == 0 {
+		t.Error("evicted mouse lost entirely; light part should hold it")
+	}
+}
+
+func TestLightPartCatchesMice(t *testing.T) {
+	s := MustNew(Config{HeavyBuckets: 1, LightCounters: 256, Seed: 3})
+	// Resident elephant plus many distinct mice.
+	for i := 0; i < 500; i++ {
+		s.Insert(key(0))
+	}
+	for i := 1; i <= 50; i++ {
+		s.Insert(key(i))
+	}
+	miceSeen := 0
+	for i := 1; i <= 50; i++ {
+		if s.Estimate(key(i)) > 0 {
+			miceSeen++
+		}
+	}
+	if miceSeen < 40 {
+		t.Errorf("only %d/50 mice visible in light part", miceSeen)
+	}
+}
+
+func TestFindsTopK(t *testing.T) {
+	st := streamtest.Zipf(150000, 5000, 1.0, 13)
+	s := MustNew(Config{HeavyBuckets: 1024, LightCounters: 4096, Seed: 7})
+	for _, p := range st.Packets {
+		s.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range s.Top(20) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.8 {
+		t.Errorf("precision = %v want >= 0.8", p)
+	}
+}
+
+func TestFromBytesSplit(t *testing.T) {
+	s, err := FromBytes(17000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.HeavyBuckets < 600 || s.cfg.HeavyBuckets > 800 {
+		t.Errorf("heavy buckets = %d, want ~750 (75%% of 17kB / 17B)", s.cfg.HeavyBuckets)
+	}
+	if got := s.MemoryBytes(); got > 17000+BucketBytes {
+		t.Errorf("MemoryBytes = %d exceeds budget", got)
+	}
+}
+
+func TestTopDescending(t *testing.T) {
+	st := streamtest.Zipf(50000, 2000, 1.2, 9)
+	s := MustNew(Config{HeavyBuckets: 256, LightCounters: 1024, Seed: 5})
+	for _, p := range st.Packets {
+		s.Insert(p)
+	}
+	top := s.Top(50)
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("Top not descending at %d", i)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := MustNew(Config{HeavyBuckets: 4096, LightCounters: 16384, Seed: 1})
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

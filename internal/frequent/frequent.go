@@ -1,0 +1,106 @@
+// Package frequent implements the Frequent algorithm (Misra–Gries summaries
+// as revisited by Demaine, López-Ortiz and Munro, "Frequency estimation of
+// internet packet streams with limited space", ESA 2002), the third
+// admit-all-count-some baseline the HeavyKeeper paper cites (§I, §II-B).
+//
+// The tracker keeps at most m counters. A packet of a monitored flow
+// increments its counter; a packet of an unmonitored flow takes a free
+// counter if available and otherwise decrements every counter by one,
+// discarding those that reach zero. Counts under-estimate by at most N/m.
+package frequent
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Frequent is a Misra–Gries frequency summary.
+type Frequent struct {
+	m     int
+	flows map[string]uint64
+}
+
+// New returns a summary with at most m counters.
+func New(m int) (*Frequent, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("frequent: m = %d, must be >= 1", m)
+	}
+	return &Frequent{m: m, flows: make(map[string]uint64, m)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(m int) *Frequent {
+	f, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// BytesPerEntry models one counter for byte budgeting.
+const BytesPerEntry = 24
+
+// FromBytes sizes m from a byte budget.
+func FromBytes(budget int) (*Frequent, error) {
+	m := budget / BytesPerEntry
+	if m < 1 {
+		m = 1
+	}
+	return New(m)
+}
+
+// Insert records one packet of flow key. The decrement-all step is O(m) in
+// the worst case but amortized O(1): every decrement is paid for by an
+// earlier increment.
+func (f *Frequent) Insert(key []byte) {
+	ks := string(key)
+	if _, ok := f.flows[ks]; ok {
+		f.flows[ks]++
+		return
+	}
+	if len(f.flows) < f.m {
+		f.flows[ks] = 1
+		return
+	}
+	for k, c := range f.flows {
+		if c <= 1 {
+			delete(f.flows, k)
+		} else {
+			f.flows[k] = c - 1
+		}
+	}
+}
+
+// Estimate returns the recorded count for key (0 if not monitored). Counts
+// never over-estimate.
+func (f *Frequent) Estimate(key []byte) uint64 { return f.flows[string(key)] }
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the k largest monitored flows in descending count.
+func (f *Frequent) Top(k int) []Entry {
+	all := make([]Entry, 0, len(f.flows))
+	for key, c := range f.flows {
+		all = append(all, Entry{Key: key, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Len returns the number of monitored flows.
+func (f *Frequent) Len() int { return len(f.flows) }
+
+// MemoryBytes reports the logical footprint.
+func (f *Frequent) MemoryBytes() int { return f.m * BytesPerEntry }

@@ -1,0 +1,108 @@
+package frequent
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestNeverOverestimates(t *testing.T) {
+	f := MustNew(32)
+	truth := map[string]uint64{}
+	st := streamtest.Zipf(20000, 1000, 1.0, 3)
+	for _, p := range st.Packets {
+		truth[string(p)]++
+		f.Insert(p)
+	}
+	for _, e := range f.Top(32) {
+		if e.Count > truth[e.Key] {
+			t.Errorf("flow %s: %d > true %d (Misra–Gries never overestimates)", e.Key, e.Count, truth[e.Key])
+		}
+	}
+}
+
+func TestUndercountBound(t *testing.T) {
+	// Misra–Gries: true − estimate <= N/(m+1).
+	const m = 50
+	f := MustNew(m)
+	truth := map[string]uint64{}
+	st := streamtest.Zipf(30000, 2000, 1.1, 5)
+	for _, p := range st.Packets {
+		truth[string(p)]++
+		f.Insert(p)
+	}
+	bound := uint64(30000 / (m + 1))
+	for k, tc := range truth {
+		got := f.Estimate([]byte(k))
+		if tc > got && tc-got > bound+1 {
+			t.Errorf("flow %s undercounted by %d > bound %d", k, tc-got, bound)
+		}
+	}
+}
+
+func TestMajorityGuarantee(t *testing.T) {
+	// The classic m=1 case: a strict majority element must survive.
+	f := MustNew(1)
+	for i := 0; i < 1001; i++ {
+		f.Insert(key(0))
+	}
+	for i := 0; i < 1000; i++ {
+		f.Insert(key(1 + i%500))
+	}
+	if f.Estimate(key(0)) == 0 {
+		t.Error("majority element lost")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	f := MustNew(8)
+	for i := 0; i < 1000; i++ {
+		f.Insert(key(i))
+	}
+	if f.Len() > 8 {
+		t.Errorf("Len = %d > capacity 8", f.Len())
+	}
+}
+
+func TestFindsTopKOnSkewedStream(t *testing.T) {
+	st := streamtest.Zipf(100000, 2000, 1.5, 17)
+	f := MustNew(500)
+	for _, p := range st.Packets {
+		f.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range f.Top(10) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(10)); p < 0.8 {
+		t.Errorf("precision = %v want >= 0.8", p)
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	f, err := FromBytes(240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.m != 10 {
+		t.Errorf("m = %d want 10", f.m)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := MustNew(1024)
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

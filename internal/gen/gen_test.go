@@ -1,0 +1,230 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func xrandNew(seed uint64) *xrand.Xorshift64Star { return xrand.NewXorshift64Star(seed) }
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Packets: 0, Flows: 1},
+		{Packets: 10, Flows: 0},
+		{Packets: 10, Flows: 20},
+		{Packets: 10, Flows: 5, Skew: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, s)
+		}
+	}
+	good := Spec{Packets: 100, Flows: 10, Skew: 1.0}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestIDKindSizes(t *testing.T) {
+	if IDFiveTuple.Size() != 13 || IDTwoTuple.Size() != 8 || IDWord.Size() != 4 {
+		t.Error("IDKind sizes wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Campus(1).Scale(0.01)
+	if s.Packets != 100_000 || s.Flows != 10_000 {
+		t.Errorf("Scale(0.01) = %d pkts / %d flows, want 100000/10000", s.Packets, s.Flows)
+	}
+	tiny := Spec{Packets: 10, Flows: 5, Skew: 1}.Scale(0.0001)
+	if tiny.Packets < 1 || tiny.Flows < 1 || tiny.Flows > tiny.Packets {
+		t.Errorf("tiny scale produced invalid spec: %+v", tiny)
+	}
+}
+
+func TestGenerateBasicProperties(t *testing.T) {
+	spec := Spec{Name: "t", Packets: 50000, Flows: 5000, Skew: 1.0, Kind: IDWord, Seed: 1}
+	tr := MustGenerate(spec)
+	if tr.Len() != spec.Packets {
+		t.Fatalf("Len = %d want %d", tr.Len(), spec.Packets)
+	}
+	if tr.Flows() != spec.Flows {
+		t.Fatalf("Flows = %d want %d", tr.Flows(), spec.Flows)
+	}
+	// Ground truth sums to N and every flow appears.
+	var sum uint64
+	for i := 0; i < tr.Flows(); i++ {
+		c := tr.Count(i)
+		if c == 0 {
+			t.Fatalf("flow %d has zero packets", i)
+		}
+		sum += c
+	}
+	if sum != uint64(spec.Packets) {
+		t.Fatalf("counts sum to %d want %d", sum, spec.Packets)
+	}
+	// Replaying the sequence reproduces the ground truth.
+	replay := make([]uint64, tr.Flows())
+	for p := 0; p < tr.Len(); p++ {
+		_ = tr.Key(p)
+		replay[tr.Seq[p]]++
+	}
+	for i := range replay {
+		if replay[i] != tr.Count(i) {
+			t.Fatalf("flow %d: replay %d, recorded %d", i, replay[i], tr.Count(i))
+		}
+	}
+}
+
+func TestFlowIDsUniqueAndSized(t *testing.T) {
+	for _, kind := range []IDKind{IDFiveTuple, IDTwoTuple, IDWord} {
+		tr := MustGenerate(Spec{Packets: 5000, Flows: 5000, Skew: 1, Kind: kind, Seed: 2})
+		seen := make(map[string]bool, tr.Flows())
+		for _, id := range tr.IDs {
+			if len(id) != kind.Size() {
+				t.Fatalf("kind %d: id length %d want %d", kind, len(id), kind.Size())
+			}
+			if seen[string(id)] {
+				t.Fatalf("kind %d: duplicate flow id", kind)
+			}
+			seen[string(id)] = true
+		}
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	// With skew 1.0 the head flow should hold roughly N/(δ(γ)·1) of the
+	// drawn packets; check the rank-size relationship decays.
+	spec := Spec{Packets: 200000, Flows: 2000, Skew: 1.0, Kind: IDWord, Seed: 3}
+	tr := MustGenerate(spec)
+	top := tr.TopK(10)
+	c0 := float64(tr.Count(top[0]))
+	c9 := float64(tr.Count(top[9]))
+	if ratio := c0 / c9; ratio < 4 || ratio > 25 {
+		t.Errorf("top1/top10 ratio = %v, want ~10 for zipf(1.0)", ratio)
+	}
+	// Harmonic-sum expectation for the head flow.
+	h := 0.0
+	for j := 1; j <= spec.Flows; j++ {
+		h += 1 / float64(j)
+	}
+	expected := float64(spec.Packets-spec.Flows)/h + 1
+	if math.Abs(c0-expected)/expected > 0.15 {
+		t.Errorf("head flow count %v, expected ≈ %v", c0, expected)
+	}
+}
+
+func TestHigherSkewMoreConcentrated(t *testing.T) {
+	frac := func(skew float64) float64 {
+		tr := MustGenerate(Spec{Packets: 100000, Flows: 5000, Skew: skew, Kind: IDWord, Seed: 4})
+		top := tr.TopK(10)
+		var s uint64
+		for _, i := range top {
+			s += tr.Count(i)
+		}
+		return float64(s) / 100000
+	}
+	lo, hi := frac(0.6), frac(2.0)
+	if hi <= lo {
+		t.Errorf("top-10 packet share: skew 2.0 (%v) <= skew 0.6 (%v)", hi, lo)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGenerate(Spec{Packets: 10000, Flows: 1000, Skew: 1, Kind: IDTwoTuple, Seed: 5})
+	b := MustGenerate(Spec{Packets: 10000, Flows: 1000, Skew: 1, Kind: IDTwoTuple, Seed: 5})
+	for p := 0; p < a.Len(); p++ {
+		if string(a.Key(p)) != string(b.Key(p)) {
+			t.Fatalf("traces diverge at packet %d", p)
+		}
+	}
+	c := MustGenerate(Spec{Packets: 10000, Flows: 1000, Skew: 1, Kind: IDTwoTuple, Seed: 6})
+	diff := 0
+	for p := 0; p < a.Len(); p++ {
+		if string(a.Key(p)) != string(c.Key(p)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	tr := MustGenerate(Spec{Packets: 30000, Flows: 300, Skew: 1.2, Kind: IDWord, Seed: 7})
+	top := tr.TopK(50)
+	for i := 1; i < len(top); i++ {
+		if tr.Count(top[i]) > tr.Count(top[i-1]) {
+			t.Fatalf("TopK not descending at %d", i)
+		}
+	}
+	if len(tr.TopK(100000)) != 300 {
+		t.Error("TopK with k > M should return all flows")
+	}
+}
+
+func TestExactCounts(t *testing.T) {
+	tr := MustGenerate(Spec{Packets: 5000, Flows: 500, Skew: 1, Kind: IDWord, Seed: 8})
+	exact := tr.ExactCounts()
+	if len(exact) != 500 {
+		t.Fatalf("ExactCounts has %d entries want 500", len(exact))
+	}
+	var sum uint64
+	for _, v := range exact {
+		sum += v
+	}
+	if sum != 5000 {
+		t.Fatalf("ExactCounts sums to %d want 5000", sum)
+	}
+}
+
+func TestPresetSpecs(t *testing.T) {
+	c := Campus(1)
+	if c.Packets != 10_000_000 || c.Flows != 1_000_000 || c.Kind != IDFiveTuple {
+		t.Errorf("Campus spec wrong: %+v", c)
+	}
+	ca := CAIDA(1)
+	if ca.Packets != 10_000_000 || ca.Flows != 4_200_000 || ca.Kind != IDTwoTuple {
+		t.Errorf("CAIDA spec wrong: %+v", ca)
+	}
+	sy := Synthetic(1.5, 1)
+	if sy.Packets != 32_000_000 || sy.Kind != IDWord || sy.Skew != 1.5 {
+		t.Errorf("Synthetic spec wrong: %+v", sy)
+	}
+	if Synthetic(3.0, 1).Flows >= Synthetic(0.6, 1).Flows {
+		t.Error("higher skew should mean fewer flows")
+	}
+	for _, s := range []Spec{c.Scale(0.001), ca.Scale(0.001), sy.Scale(0.001)} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("scaled preset invalid: %v", err)
+		}
+	}
+}
+
+func TestAliasTableUniformSkewZero(t *testing.T) {
+	tr := MustGenerate(Spec{Packets: 100000, Flows: 100, Skew: 0, Kind: IDWord, Seed: 9})
+	// All flows should have ~1000 packets under zero skew.
+	for i := 0; i < tr.Flows(); i++ {
+		c := float64(tr.Count(i))
+		if c < 700 || c > 1300 {
+			t.Errorf("flow %d count %v, want ~1000 under uniform draws", i, c)
+		}
+	}
+}
+
+func BenchmarkGenerate100k(b *testing.B) {
+	spec := Spec{Packets: 100000, Flows: 10000, Skew: 1, Kind: IDFiveTuple, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		MustGenerate(spec)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	z := newZipfAlias(1_000_000, 1.0, xrandNew(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.draw()
+	}
+}

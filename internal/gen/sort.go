@@ -1,0 +1,26 @@
+package gen
+
+import (
+	"math"
+	"sort"
+)
+
+// sortSlice wraps sort.Slice; isolated here so gen.go reads without the
+// dependency noise.
+func sortSlice(idx []int, less func(a, b int) bool) {
+	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+}
+
+// powSkew computes x^a for the Zipf weights, with the two common exponents
+// special-cased for generation speed (the table is built once per trace, so
+// this is a nicety, not a hot path).
+func powSkew(x, a float64) float64 {
+	switch a {
+	case 0:
+		return 1
+	case 1:
+		return x
+	default:
+		return math.Pow(x, a)
+	}
+}

@@ -1,0 +1,409 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/vswitch"
+)
+
+// RunConfig controls a reproduction run.
+type RunConfig struct {
+	// Scale multiplies the paper's packet/flow counts (10M–32M packets).
+	// The default 0.02 gives 200k–640k packet runs that finish in seconds
+	// while preserving distribution shape; use 1.0 for full fidelity.
+	Scale float64
+	// Seed drives workload generation and all algorithm randomness.
+	Seed uint64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Scale == 0 {
+		c.Scale = 0.02
+	}
+	if c.Seed == 0 {
+		c.Seed = 31337
+	}
+	return c
+}
+
+// Runner executes figures, caching generated traces and oracles across
+// figures so `-figure all` does not regenerate the same workload dozens of
+// times.
+type Runner struct {
+	cfg     RunConfig
+	traces  map[string]*gen.Trace
+	oracles map[string]*metrics.Oracle
+}
+
+// NewRunner returns a Runner for the given config.
+func NewRunner(cfg RunConfig) *Runner {
+	return &Runner{
+		cfg:     cfg.withDefaults(),
+		traces:  make(map[string]*gen.Trace),
+		oracles: make(map[string]*metrics.Oracle),
+	}
+}
+
+// Config returns the runner's effective configuration.
+func (r *Runner) Config() RunConfig { return r.cfg }
+
+func (r *Runner) trace(spec gen.Spec) *gen.Trace {
+	spec = spec.Scale(r.cfg.Scale)
+	key := fmt.Sprintf("%s/%d/%d/%v", spec.Name, spec.Packets, spec.Flows, spec.Skew)
+	if t, ok := r.traces[key]; ok {
+		return t
+	}
+	t := gen.MustGenerate(spec)
+	r.traces[key] = t
+	return t
+}
+
+func (r *Runner) oracle(t *gen.Trace) *metrics.Oracle {
+	key := fmt.Sprintf("%s/%d/%d/%v", t.Spec.Name, t.Spec.Packets, t.Spec.Flows, t.Spec.Skew)
+	if o, ok := r.oracles[key]; ok {
+		return o
+	}
+	o := metrics.FromCounts(t.ExactCounts())
+	r.oracles[key] = o
+	return o
+}
+
+// scores holds one algorithm run's metrics.
+type scores struct {
+	precision float64
+	are       float64
+	aae       float64
+}
+
+// evaluate replays tr through a fresh build of algo and scores the report.
+func (r *Runner) evaluate(t *gen.Trace, algoName string, budget, k int) scores {
+	a := MustBuild(algoName, budget, k, r.cfg.Seed)
+	if cr, ok := a.(CandidateRanker); ok {
+		cr.SetCandidates(t.IDs)
+	}
+	t.ForEach(a.Insert)
+	reported := a.Top(k)
+	o := r.oracle(t)
+	return scores{
+		precision: metrics.PrecisionAtK(reported, o, k),
+		are:       metrics.ARE(reported, o),
+		aae:       metrics.AAE(reported, o),
+	}
+}
+
+// metricKind selects which score a sweep reports.
+type metricKind int
+
+const (
+	mPrecision metricKind = iota
+	mARE
+	mAAE
+)
+
+func (m metricKind) name() string {
+	switch m {
+	case mPrecision:
+		return "Precision"
+	case mARE:
+		return "ARE"
+	default:
+		return "AAE"
+	}
+}
+
+func (m metricKind) of(s scores) float64 {
+	switch m {
+	case mPrecision:
+		return s.precision
+	case mARE:
+		return s.are
+	default:
+		return s.aae
+	}
+}
+
+// classicAlgos is the §VI-C/D comparison set.
+var classicAlgos = []string{AlgoSS, AlgoLC, AlgoCSS, AlgoCM, AlgoHK}
+
+// recentAlgos is the §VI-E comparison set.
+var recentAlgos = []string{AlgoCounterTree, AlgoColdFilter, AlgoElastic, AlgoHK}
+
+// versionAlgos is the §VI-G comparison set.
+var versionAlgos = []string{AlgoHK, AlgoHKMinimum}
+
+// memKB returns the paper's 10–50 KB sweep in bytes.
+var memSweepKB = []int{10, 20, 30, 40, 50}
+
+// memorySweep runs metric m over the memory sweep for the given algorithms.
+func (r *Runner) memorySweep(title string, t *gen.Trace, algos []string, kbs []int, k int, m metricKind) *Table {
+	tab := NewTable(title, "Memory (KB)", algos)
+	for _, kb := range kbs {
+		row := make([]float64, len(algos))
+		for i, a := range algos {
+			row[i] = m.of(r.evaluate(t, a, kb*1024, k))
+		}
+		tab.AddRow(fmt.Sprintf("%d", kb), row)
+	}
+	return tab
+}
+
+// kSweep runs metric m over a k sweep at a fixed budget.
+func (r *Runner) kSweep(title string, t *gen.Trace, algos []string, ks []int, budget int, m metricKind) *Table {
+	tab := NewTable(title, "k", algos)
+	for _, k := range ks {
+		row := make([]float64, len(algos))
+		for i, a := range algos {
+			row[i] = m.of(r.evaluate(t, a, budget, k))
+		}
+		tab.AddRow(fmt.Sprintf("%d", k), row)
+	}
+	return tab
+}
+
+// skewSweep runs metric m over synthetic datasets of varying skew.
+func (r *Runner) skewSweep(title string, algos []string, skews []float64, budget, k int, m metricKind) *Table {
+	tab := NewTable(title, "Skewness", algos)
+	for _, skew := range skews {
+		t := r.trace(gen.Synthetic(skew, r.cfg.Seed))
+		row := make([]float64, len(algos))
+		for i, a := range algos {
+			row[i] = m.of(r.evaluate(t, a, budget, k))
+		}
+		tab.AddRow(fmt.Sprintf("%.1f", skew), row)
+	}
+	return tab
+}
+
+var skewSweepVals = []float64{0.6, 1.2, 1.8, 2.4, 3.0}
+var kSweepVals = []int{200, 400, 600, 800, 1000}
+
+// Figure runs one of the paper's figures by number and returns its table.
+func (r *Runner) Figure(id string) (*Table, error) {
+	campus := func() *gen.Trace { return r.trace(gen.Campus(r.cfg.Seed)) }
+	caida := func() *gen.Trace { return r.trace(gen.CAIDA(r.cfg.Seed)) }
+	switch id {
+	case "4":
+		return r.memorySweep("Fig 4: Precision vs memory size (Campus)", campus(), classicAlgos, memSweepKB, 100, mPrecision), nil
+	case "5":
+		return r.memorySweep("Fig 5: Precision vs memory size (CAIDA)", caida(), classicAlgos, memSweepKB, 100, mPrecision), nil
+	case "6":
+		return r.kSweep("Fig 6: Precision vs k (Campus)", campus(), classicAlgos, kSweepVals, 100*1024, mPrecision), nil
+	case "7":
+		return r.kSweep("Fig 7: Precision vs k (CAIDA)", caida(), classicAlgos, kSweepVals, 100*1024, mPrecision), nil
+	case "8":
+		return r.skewSweep("Fig 8: Precision vs skewness (Synthetic)", classicAlgos, skewSweepVals, 100*1024, 1000, mPrecision), nil
+	case "9":
+		return r.memorySweep("Fig 9: ARE vs memory size (Campus)", campus(), classicAlgos, memSweepKB, 100, mARE), nil
+	case "10":
+		return r.memorySweep("Fig 10: Precision vs memory size, MB scale (Campus)", campus(), classicAlgos, []int{1024, 2048, 3072, 4096, 5120}, 100, mPrecision), nil
+	case "11":
+		return r.memorySweep("Fig 11: ARE vs memory size (CAIDA)", caida(), classicAlgos, memSweepKB, 100, mARE), nil
+	case "12":
+		return r.kSweep("Fig 12: ARE vs k (Campus)", campus(), classicAlgos, kSweepVals, 100*1024, mARE), nil
+	case "13":
+		return r.kSweep("Fig 13: ARE vs k (CAIDA)", caida(), classicAlgos, kSweepVals, 100*1024, mARE), nil
+	case "14":
+		return r.skewSweep("Fig 14: ARE vs skewness (Synthetic)", classicAlgos, skewSweepVals, 100*1024, 1000, mARE), nil
+	case "15":
+		return r.memorySweep("Fig 15: AAE vs memory size (Campus)", campus(), classicAlgos, memSweepKB, 100, mAAE), nil
+	case "16":
+		return r.memorySweep("Fig 16: AAE vs memory size (CAIDA)", caida(), classicAlgos, memSweepKB, 100, mAAE), nil
+	case "17":
+		return r.kSweep("Fig 17: AAE vs k (Campus)", campus(), classicAlgos, kSweepVals, 100*1024, mAAE), nil
+	case "18":
+		return r.kSweep("Fig 18: AAE vs k (CAIDA)", caida(), classicAlgos, kSweepVals, 100*1024, mAAE), nil
+	case "19":
+		return r.skewSweep("Fig 19: AAE vs skewness (Synthetic)", classicAlgos, skewSweepVals, 100*1024, 1000, mAAE), nil
+	case "20":
+		return r.memorySweep("Fig 20: Precision vs memory size, recent works (Campus)", campus(), recentAlgos, memSweepKB, 100, mPrecision), nil
+	case "21":
+		return r.memorySweep("Fig 21: ARE vs memory size, recent works (Campus)", campus(), recentAlgos, memSweepKB, 100, mARE), nil
+	case "22":
+		return r.memorySweep("Fig 22: AAE vs memory size, recent works (Campus)", campus(), recentAlgos, memSweepKB, 100, mAAE), nil
+	case "23":
+		return r.memorySweep("Fig 23: Precision vs memory size, Parallel vs Minimum (Campus)", campus(), versionAlgos, []int{6, 7, 8, 9, 10}, 100, mPrecision), nil
+	case "24":
+		return r.memorySweep("Fig 24: ARE vs memory size, Parallel vs Minimum (Campus)", campus(), versionAlgos, []int{6, 7, 8, 9, 10}, 100, mARE), nil
+	case "25":
+		return r.memorySweep("Fig 25: AAE vs memory size, Parallel vs Minimum (Campus)", campus(), versionAlgos, []int{6, 7, 8, 9, 10}, 100, mAAE), nil
+	case "26":
+		return r.kSweep("Fig 26: Precision vs k, Parallel vs Minimum (Campus)", campus(), versionAlgos, []int{100, 200, 300, 400, 500}, 30*1024, mPrecision), nil
+	case "27":
+		return r.kSweep("Fig 27: ARE vs k, Parallel vs Minimum (Campus)", campus(), versionAlgos, []int{100, 200, 300, 400, 500}, 30*1024, mARE), nil
+	case "28":
+		return r.kSweep("Fig 28: AAE vs k, Parallel vs Minimum (Campus)", campus(), versionAlgos, []int{100, 200, 300, 400, 500}, 30*1024, mAAE), nil
+	case "29":
+		return r.skewSweep("Fig 29: Precision vs skewness, Parallel vs Minimum", versionAlgos, skewSweepVals, 10*1024, 100, mPrecision), nil
+	case "30":
+		return r.skewSweep("Fig 30: ARE vs skewness, Parallel vs Minimum", versionAlgos, skewSweepVals, 10*1024, 100, mARE), nil
+	case "31":
+		return r.skewSweep("Fig 31: AAE vs skewness, Parallel vs Minimum", versionAlgos, skewSweepVals, 10*1024, 100, mAAE), nil
+	case "32":
+		return r.figure32(), nil
+	case "33":
+		return r.figure33(), nil
+	case "34":
+		return r.figure34(), nil
+	case "35":
+		return r.figureBound("Fig 35: (ε,δ)-counting, ε=2^-16", 16), nil
+	case "36":
+		return r.figureBound("Fig 36: (ε,δ)-counting, ε=2^-17", 17), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown figure %q", id)
+	}
+}
+
+// FigureIDs lists every reproducible figure in order.
+func FigureIDs() []string {
+	out := make([]string, 0, 33)
+	for i := 4; i <= 36; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}
+
+// figure32 is "Precision vs number of packets": a long stream evaluated at
+// ten checkpoints with k=1000 and 100 KB. The flow population drifts over
+// the stream (each tenth rotates the popularity ranking by 2% of the
+// universe), modelling the churn of a real long capture; this is why the
+// paper observes precision slowly eroding as the packet count grows.
+func (r *Runner) figure32() *Table {
+	const k = 1000
+	spec := gen.Spec{
+		Name:    "bigdata",
+		Packets: 100_000_000,
+		Flows:   10_000_000,
+		Skew:    1.0,
+		Kind:    gen.IDWord,
+		Seed:    r.cfg.Seed,
+	}
+	t := r.trace(spec)
+	a := MustBuild(AlgoHK, 100*1024, k, r.cfg.Seed)
+	tab := NewTable("Fig 32: Precision vs # of packets (HeavyKeeper, k=1000, 100KB)", "Packets (x10^7 scaled)", []string{AlgoHK})
+
+	exact := make(map[uint32]uint64, t.Flows())
+	checkpoints := 10
+	per := t.Len() / checkpoints
+	flows := uint32(t.Flows())
+	pos := 0
+	for cp := 1; cp <= checkpoints; cp++ {
+		end := cp * per
+		if cp == checkpoints {
+			end = t.Len()
+		}
+		// Popularity drift: checkpoint cp sees the rank ordering rotated.
+		shift := uint32(cp-1) * (flows / 50)
+		for ; pos < end; pos++ {
+			idx := (t.Seq[pos] + shift) % flows
+			exact[idx]++
+			a.Insert(t.IDs[idx])
+		}
+		// Exact top-k of the prefix.
+		type kv struct {
+			idx uint32
+			c   uint64
+		}
+		all := make([]kv, 0, len(exact))
+		for idx, c := range exact {
+			all = append(all, kv{idx, c})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].c != all[j].c {
+				return all[i].c > all[j].c
+			}
+			return all[i].idx < all[j].idx
+		})
+		trueTop := make(map[string]bool, k)
+		for i := 0; i < k && i < len(all); i++ {
+			trueTop[string(t.IDs[all[i].idx])] = true
+		}
+		p := metrics.Precision(a.Top(k), trueTop)
+		tab.AddRow(fmt.Sprintf("%d", cp), []float64{p})
+	}
+	return tab
+}
+
+// figure33 is "Throughput vs memory size" on the campus workload.
+func (r *Runner) figure33() *Table {
+	algos := []string{AlgoSS, AlgoLC, AlgoCM, AlgoHK, AlgoHKMinimum}
+	t := r.trace(gen.Campus(r.cfg.Seed))
+	tab := NewTable("Fig 33: Throughput (Mps) vs memory size (Campus, k=100)", "Memory (KB)", algos)
+	for _, kb := range memSweepKB {
+		row := make([]float64, len(algos))
+		for i, name := range algos {
+			a := MustBuild(name, kb*1024, 100, r.cfg.Seed)
+			row[i] = metrics.ThroughputN(t.Len(), t.Key, a.Insert)
+		}
+		tab.AddRow(fmt.Sprintf("%d", kb), row)
+	}
+	return tab
+}
+
+// figure34 is the OVS deployment experiment: forwarding throughput of the
+// simulated switch with each measurement algorithm attached (50 KB budget),
+// plus the no-measurement baseline.
+func (r *Runner) figure34() *Table {
+	t := r.trace(gen.Campus(r.cfg.Seed))
+	names := []string{"OVS", AlgoHK, AlgoHKMinimum, AlgoCM, AlgoSS, AlgoLC}
+	tab := NewTable("Fig 34: Throughput (Mps) on the simulated OVS platform (50KB)", "Algorithm", []string{"Throughput"})
+	for _, name := range names {
+		var insert func(key []byte)
+		if name != "OVS" {
+			a := MustBuild(name, 50*1024, 100, r.cfg.Seed)
+			insert = a.Insert
+		}
+		p := vswitch.MustNewPipeline(4096, insert)
+		p.BlockWhenFull = true
+		stats := p.Run(t.Len(), t.Key)
+		tab.AddRow(name, []float64{stats.ThroughputMps()})
+	}
+	return tab
+}
+
+// figureBound reproduces the appendix validation (Figs 35–36): the
+// theoretical (ε,δ) bound of the basic version, Pr{n_i − n̂_i > ⌈εN⌉} ≤
+// 1/(ε·w·n_i·(b−1)), against the empirically observed exceedance frequency
+// over the elephant flows. ε is scaled inversely with the trace size so
+// ⌈εN⌉ matches the paper's absolute packet threshold (see EXPERIMENTS.md).
+func (r *Runner) figureBound(title string, epsPow int) *Table {
+	t := r.trace(gen.Campus(r.cfg.Seed))
+	n := float64(t.Len())
+	eps := math.Ldexp(1, -epsPow) * (10_000_000 / n)
+	epsN := math.Ceil(eps * n)
+
+	const b = core.DefaultB
+	const elephants = 500
+	top := t.TopK(elephants)
+
+	tab := NewTable(title, "Memory (KB)", []string{"Theoretical bound", "Empirical probability"})
+	for _, kb := range []int{20, 40, 60, 80, 100} {
+		w := kb * 1024 / (2 * 6) // d=2 arrays, 6B buckets
+		sk := core.MustNew(core.Config{D: 2, W: w, Seed: r.cfg.Seed, FingerprintBits: 16, CounterBits: 32})
+		t.ForEach(func(key []byte) { sk.InsertBasic(key) })
+
+		exceed := 0
+		var boundSum float64
+		for _, fi := range top {
+			ni := float64(t.Count(fi))
+			est := float64(sk.Query(t.IDs[fi]))
+			if ni-est > epsN {
+				exceed++
+			}
+			bound := 1 / (eps * float64(w) * ni * (b - 1))
+			if bound > 1 {
+				bound = 1
+			}
+			boundSum += bound
+		}
+		tab.AddRow(fmt.Sprintf("%d", kb), []float64{
+			boundSum / float64(len(top)),
+			float64(exceed) / float64(len(top)),
+		})
+	}
+	return tab
+}

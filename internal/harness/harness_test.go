@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// testRunner uses a small scale so the full figure set stays fast in CI.
+func testRunner() *Runner {
+	return NewRunner(RunConfig{Scale: 0.005, Seed: 7})
+}
+
+func TestBuildAllAlgorithms(t *testing.T) {
+	names := []string{
+		AlgoHK, AlgoHKMinimum, AlgoHKBasic, AlgoSS, AlgoLC, AlgoCSS,
+		AlgoCM, AlgoFrequent, AlgoElastic, AlgoColdFilter, AlgoCounterTree,
+		AlgoGuardian,
+	}
+	for _, name := range names {
+		a, err := Build(name, 20*1024, 100, 1)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("Name() = %q want %q", a.Name(), name)
+		}
+		if a.MemoryBytes() <= 0 {
+			t.Errorf("%s: MemoryBytes = %d", name, a.MemoryBytes())
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build("nope", 10240, 10, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Build(AlgoHK, 10, 10, 1); err == nil {
+		t.Error("tiny budget accepted")
+	}
+	if _, err := Build(AlgoHK, 10240, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMemoryBudgetsRespected(t *testing.T) {
+	// Every algorithm's logical footprint must stay within ~15% of the
+	// budget it was built for (the head-to-head fairness requirement of
+	// §VI-A).
+	names := []string{
+		AlgoHK, AlgoHKMinimum, AlgoSS, AlgoLC, AlgoCSS, AlgoCM,
+		AlgoElastic, AlgoColdFilter, AlgoCounterTree, AlgoGuardian,
+	}
+	for _, budget := range []int{10 * 1024, 50 * 1024} {
+		for _, name := range names {
+			a := MustBuild(name, budget, 100, 1)
+			if name == AlgoLC {
+				continue // LC's footprint is dynamic (entries live and die)
+			}
+			if got := a.MemoryBytes(); got > budget*115/100 {
+				t.Errorf("%s at %dB: MemoryBytes = %d exceeds budget", name, budget, got)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsFindHeadFlow(t *testing.T) {
+	tr := gen.MustGenerate(gen.Spec{Packets: 50000, Flows: 3000, Skew: 1.2, Kind: gen.IDWord, Seed: 9})
+	head := string(tr.IDs[tr.TopK(1)[0]])
+	names := []string{
+		AlgoHK, AlgoHKMinimum, AlgoHKBasic, AlgoSS, AlgoLC, AlgoCSS,
+		AlgoCM, AlgoFrequent, AlgoElastic, AlgoColdFilter, AlgoCounterTree,
+		AlgoGuardian,
+	}
+	for _, name := range names {
+		a := MustBuild(name, 50*1024, 20, 3)
+		if cr, ok := a.(CandidateRanker); ok {
+			cr.SetCandidates(tr.IDs)
+		}
+		tr.ForEach(a.Insert)
+		found := false
+		for _, e := range a.Top(20) {
+			if e.Key == head {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: head flow missing from top-20", name)
+		}
+	}
+}
+
+func TestFigureIDsAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in short mode")
+	}
+	r := testRunner()
+	for _, id := range FigureIDs() {
+		tab, err := r.Figure(id)
+		if err != nil {
+			t.Fatalf("Figure(%s): %v", id, err)
+		}
+		if len(tab.XS) == 0 || len(tab.Columns) == 0 {
+			t.Errorf("Figure(%s): empty table", id)
+		}
+		if s := tab.String(); !strings.Contains(s, tab.Title) {
+			t.Errorf("Figure(%s): render missing title", id)
+		}
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	if _, err := testRunner().Figure("999"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestAblationsAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in short mode")
+	}
+	r := testRunner()
+	for _, id := range AblationIDs() {
+		tab, err := r.Ablation(id)
+		if err != nil {
+			t.Fatalf("Ablation(%s): %v", id, err)
+		}
+		if len(tab.XS) == 0 {
+			t.Errorf("Ablation(%s): empty table", id)
+		}
+	}
+	if _, err := r.Ablation("nope"); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+// TestOptimizationsMatter pins the ablation's qualitative result: disabling
+// both optimizations must inflate ARE by at least an order of magnitude
+// when fingerprints are narrow enough to collide.
+func TestOptimizationsMatter(t *testing.T) {
+	r := NewRunner(RunConfig{Scale: 0.01, Seed: 31337})
+	tab, err := r.Ablation("optimizations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	are := tab.Column("ARE")
+	if are[3] < are[0]*10 {
+		t.Errorf("both-off ARE %v not >= 10x both-on ARE %v", are[3], are[0])
+	}
+}
+
+// TestExpansionRecoversLateElephants pins the §III-F ablation: expansion on
+// must find at least as many late-arriving elephants as expansion off.
+func TestExpansionRecoversLateElephants(t *testing.T) {
+	r := NewRunner(RunConfig{Scale: 0.01, Seed: 31337})
+	tab, err := r.Ablation("expansion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := tab.Column("Late flows found")
+	if late[1] < late[0] {
+		t.Errorf("expansion on found %v late elephants < off %v", late[1], late[0])
+	}
+	arrays := tab.Column("Arrays")
+	if arrays[1] <= arrays[0] {
+		t.Errorf("expansion did not add arrays: %v vs %v", arrays[1], arrays[0])
+	}
+}
+
+// TestHeadlineResult is the paper's central claim on this reproduction's
+// workloads: at tight memory HeavyKeeper's precision beats every classic
+// baseline, and its ARE is orders of magnitude smaller.
+func TestHeadlineResult(t *testing.T) {
+	r := NewRunner(RunConfig{Scale: 0.02, Seed: 42})
+	tr := r.trace(gen.Campus(42))
+	hk := r.evaluate(tr, AlgoHK, 10*1024, 100)
+	for _, base := range []string{AlgoSS, AlgoLC, AlgoCM} {
+		b := r.evaluate(tr, base, 10*1024, 100)
+		if hk.precision < b.precision {
+			t.Errorf("precision: HK %v < %s %v at 10KB", hk.precision, base, b.precision)
+		}
+		if hk.are*10 > b.are && b.are > 0 {
+			t.Errorf("ARE: HK %v not ≥10x better than %s %v", hk.are, base, b.are)
+		}
+	}
+	if hk.precision < 0.8 {
+		t.Errorf("HK precision %v at 10KB, expected high", hk.precision)
+	}
+}
+
+// TestMinimumBeatsParallelShape is Fig 23's shape: under very tight memory
+// the Minimum version's precision is at least the Parallel version's.
+func TestMinimumBeatsParallelShape(t *testing.T) {
+	r := NewRunner(RunConfig{Scale: 0.02, Seed: 11})
+	tr := r.trace(gen.Campus(11))
+	par := r.evaluate(tr, AlgoHK, 7*1024, 100)
+	min := r.evaluate(tr, AlgoHKMinimum, 7*1024, 100)
+	if min.precision+0.05 < par.precision {
+		t.Errorf("Minimum precision %v clearly below Parallel %v at 7KB", min.precision, par.precision)
+	}
+}
+
+// TestBoundHolds is Figs 35–36: the empirical exceedance probability never
+// exceeds the theoretical bound.
+func TestBoundHolds(t *testing.T) {
+	r := testRunner()
+	for _, id := range []string{"35", "36"} {
+		tab, err := r.Figure(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theory := tab.Column("Theoretical bound")
+		emp := tab.Column("Empirical probability")
+		for i := range theory {
+			if emp[i] > theory[i] {
+				t.Errorf("fig %s row %d: empirical %v > bound %v", id, i, emp[i], theory[i])
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("T", "X", []string{"A", "B"})
+	tab.AddRow("1", []float64{0.5, 2})
+	tab.AddRow("2", []float64{0.25, 4})
+	s := tab.String()
+	for _, want := range []string{"T", "X", "A", "B", "0.5", "0.25"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if got := tab.Column("B"); len(got) != 2 || got[1] != 4 {
+		t.Errorf("Column(B) = %v", got)
+	}
+	if tab.Column("nope") != nil {
+		t.Error("Column of unknown series should be nil")
+	}
+}
+
+func TestTableAddRowPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	NewTable("T", "X", []string{"A"}).AddRow("1", []float64{1, 2})
+}
+
+func TestTraceCaching(t *testing.T) {
+	r := testRunner()
+	a := r.trace(gen.Campus(7))
+	b := r.trace(gen.Campus(7))
+	if a != b {
+		t.Error("trace not cached")
+	}
+	oa := r.oracle(a)
+	ob := r.oracle(b)
+	if oa != ob {
+		t.Error("oracle not cached")
+	}
+}

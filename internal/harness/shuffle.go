@@ -1,0 +1,22 @@
+package harness
+
+import "repro/internal/xrand"
+
+// shuffler wraps the repository PRNG for the ablation streams.
+type shuffler struct{ rng *xrand.Xorshift64Star }
+
+func newShuffler(seed uint64) *shuffler {
+	return &shuffler{rng: xrand.NewXorshift64Star(seed ^ 0xfeedface)}
+}
+
+// shuffle permutes the whole slice.
+func (s *shuffler) shuffle(b [][]byte) {
+	s.rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+}
+
+// shufflePart permutes b[from:] in place, leaving the prefix untouched —
+// used to randomize a late arrival phase without disturbing the early one.
+func (s *shuffler) shufflePart(b [][]byte, from int) {
+	tail := b[from:]
+	s.rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+}

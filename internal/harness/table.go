@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result grid, rendered as aligned text. Rows are
+// sweep points (memory sizes, k values, skews); columns are algorithms or
+// metrics — the same layout as the paper's figures read as tables.
+type Table struct {
+	// Title identifies the experiment, e.g. "Fig 4: Precision vs memory (campus)".
+	Title string
+	// XLabel names the sweep variable, e.g. "Memory (KB)".
+	XLabel string
+	// Columns are the series names.
+	Columns []string
+	// XS are the sweep values, one per row.
+	XS []string
+	// Cells[r][c] is the value of series c at sweep point r.
+	Cells [][]float64
+	// Format renders one cell; default "%.4g".
+	Format string
+}
+
+// NewTable allocates a table with the given shape.
+func NewTable(title, xlabel string, columns []string) *Table {
+	return &Table{Title: title, XLabel: xlabel, Columns: columns}
+}
+
+// AddRow appends one sweep point.
+func (t *Table) AddRow(x string, values []float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row has %d values for %d columns", len(values), len(t.Columns)))
+	}
+	t.XS = append(t.XS, x)
+	row := make([]float64, len(values))
+	copy(row, values)
+	t.Cells = append(t.Cells, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	format := t.Format
+	if format == "" {
+		format = "%.4g"
+	}
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	rendered := make([][]string, len(t.XS))
+	for r := range t.XS {
+		row := make([]string, len(headers))
+		row[0] = t.XS[r]
+		for c, v := range t.Cells[r] {
+			row[c+1] = fmt.Sprintf(format, v)
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		rendered[r] = row
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := len(headers) - 1
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rendered {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Column returns the named series, or nil if absent.
+func (t *Table) Column(name string) []float64 {
+	for c, n := range t.Columns {
+		if n == name {
+			out := make([]float64, len(t.Cells))
+			for r := range t.Cells {
+				out[r] = t.Cells[r][c]
+			}
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package heavyguardian implements HeavyGuardian (Yang et al., "Heavy
+// Guardian: Separate and Guard Hot Items in Data Streams", KDD 2018), the
+// algorithm from which HeavyKeeper inherits the exponential-decay strategy
+// (§I-B: "uses the similar strategy introduced from [HeavyGuardian], called
+// count-with-exponential-decay").
+//
+// HeavyGuardian hashes each flow to exactly one bucket; a bucket contains a
+// small "heavy part" of λh (key, count) cells guarding hot items and a tiny
+// "light part" of small counters absorbing cold items. A packet whose flow
+// occupies a heavy cell increments it; otherwise the weakest heavy cell is
+// decayed with probability b^-C, and on reaching zero the newcomer takes the
+// cell (inheriting nothing), with the displaced count's remainder flushed to
+// the light part.
+//
+// The HeavyKeeper paper deliberately does not benchmark against
+// HeavyGuardian (§VI-E lists three reasons); the implementation is provided
+// as the lineage substrate and for the repository's extension benches.
+package heavyguardian
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a HeavyGuardian.
+type Config struct {
+	// Buckets is the number of buckets. Required.
+	Buckets int
+	// HeavyCells is λh, heavy cells per bucket. Default 8.
+	HeavyCells int
+	// LightCells is λl, light 8-bit counters per bucket. Default 8.
+	LightCells int
+	// B is the decay base. Default 1.08.
+	B float64
+	// Seed makes hashing and decay deterministic.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Buckets < 1 {
+		return fmt.Errorf("heavyguardian: Buckets = %d, must be >= 1", c.Buckets)
+	}
+	if c.HeavyCells == 0 {
+		c.HeavyCells = 8
+	}
+	if c.LightCells == 0 {
+		c.LightCells = 8
+	}
+	if c.HeavyCells < 1 || c.LightCells < 0 {
+		return fmt.Errorf("heavyguardian: cells %d/%d invalid", c.HeavyCells, c.LightCells)
+	}
+	if c.B == 0 {
+		c.B = 1.08
+	}
+	if c.B <= 1 {
+		return fmt.Errorf("heavyguardian: B = %v, must be > 1", c.B)
+	}
+	return nil
+}
+
+type cell struct {
+	key   string
+	count uint32
+}
+
+type gbucket struct {
+	heavy []cell
+	light []uint8
+}
+
+// Guardian is a HeavyGuardian sketch.
+type Guardian struct {
+	cfg     Config
+	buckets []gbucket
+	family  *hash.Family
+	rng     *xrand.Xorshift64Star
+	decay   []uint64 // fixed-point decay thresholds, index C-1
+}
+
+// CellBytes is the logical size of one heavy cell (key id 8B + count 4B).
+const CellBytes = 12
+
+// New returns a HeavyGuardian for the given configuration.
+func New(cfg Config) (*Guardian, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	g := &Guardian{
+		cfg:     cfg,
+		buckets: make([]gbucket, cfg.Buckets),
+		family:  hash.NewFamily(cfg.Seed, 2), // [0] bucket, [1] light slot
+		rng:     xrand.NewXorshift64Star(cfg.Seed ^ 0x1234abcd),
+	}
+	f := core.ExpDecay(cfg.B)
+	for c := uint32(1); c < 1024; c++ {
+		p := f(c)
+		th := uint64(0)
+		if p > 0 {
+			th = uint64(p * (1 << 63) * 2)
+		}
+		if th == 0 {
+			break
+		}
+		g.decay = append(g.decay, th)
+	}
+	for i := range g.buckets {
+		g.buckets[i].heavy = make([]cell, cfg.HeavyCells)
+		g.buckets[i].light = make([]uint8, cfg.LightCells)
+	}
+	return g, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Guardian {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromBytes builds a guardian from a byte budget.
+func FromBytes(budget int, seed uint64) (*Guardian, error) {
+	const perBucket = 8*CellBytes + 8 // default cells
+	b := budget / perBucket
+	if b < 1 {
+		b = 1
+	}
+	return New(Config{Buckets: b, Seed: seed})
+}
+
+func (g *Guardian) shouldDecay(c uint32) bool {
+	i := int(c) - 1
+	if i < 0 || i >= len(g.decay) {
+		return false
+	}
+	return g.rng.Next() < g.decay[i]
+}
+
+// Insert records one packet of flow key.
+func (g *Guardian) Insert(key []byte) {
+	b := &g.buckets[g.family.Index(0, key, g.cfg.Buckets)]
+	ks := string(key)
+	weakest := -1
+	var weakestC uint32
+	for i := range b.heavy {
+		c := &b.heavy[i]
+		if c.count > 0 && c.key == ks {
+			c.count++
+			return
+		}
+		if c.count == 0 {
+			// Free cell: claim it immediately.
+			c.key, c.count = ks, 1
+			return
+		}
+		if weakest < 0 || c.count < weakestC {
+			weakest, weakestC = i, c.count
+		}
+	}
+	// All cells busy with other flows: decay the weakest.
+	w := &b.heavy[weakest]
+	if g.shouldDecay(w.count) {
+		w.count--
+		if w.count == 0 {
+			w.key, w.count = ks, 1
+			return
+		}
+	}
+	// Packet not absorbed by the heavy part: count it in the light part.
+	if g.cfg.LightCells > 0 {
+		slot := g.family.Index(1, key, g.cfg.LightCells)
+		if b.light[slot] < 255 {
+			b.light[slot]++
+		}
+	}
+}
+
+// Estimate returns the size estimate for key: its heavy cell if guarded,
+// otherwise its light counter.
+func (g *Guardian) Estimate(key []byte) uint64 {
+	b := &g.buckets[g.family.Index(0, key, g.cfg.Buckets)]
+	ks := string(key)
+	for i := range b.heavy {
+		if b.heavy[i].count > 0 && b.heavy[i].key == ks {
+			return uint64(b.heavy[i].count)
+		}
+	}
+	if g.cfg.LightCells == 0 {
+		return 0
+	}
+	return uint64(b.light[g.family.Index(1, key, g.cfg.LightCells)])
+}
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the k largest guarded flows.
+func (g *Guardian) Top(k int) []Entry {
+	var all []Entry
+	for i := range g.buckets {
+		for _, c := range g.buckets[i].heavy {
+			if c.count > 0 {
+				all = append(all, Entry{Key: c.key, Count: uint64(c.count)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// MemoryBytes reports the logical footprint.
+func (g *Guardian) MemoryBytes() int {
+	return g.cfg.Buckets * (g.cfg.HeavyCells*CellBytes + g.cfg.LightCells)
+}

@@ -1,0 +1,108 @@
+package heavyguardian
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{Buckets: 0},
+		{Buckets: 10, B: 0.5},
+		{Buckets: 10, HeavyCells: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestExactWhenAlone(t *testing.T) {
+	g := MustNew(Config{Buckets: 16, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		g.Insert(key(1))
+	}
+	if got := g.Estimate(key(1)); got != 1000 {
+		t.Errorf("estimate = %d want 1000", got)
+	}
+}
+
+func TestGuardsHotItems(t *testing.T) {
+	g := MustNew(Config{Buckets: 4, HeavyCells: 2, Seed: 2})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		g.Insert(key(0))
+		if i%4 == 0 {
+			g.Insert(key(1 + i)) // stream of mice contesting the buckets
+		}
+	}
+	est := g.Estimate(key(0))
+	if float64(est) < 0.95*float64(n) {
+		t.Errorf("hot item estimate = %d want >= 95%% of %d", est, n)
+	}
+}
+
+func TestLightPartHoldsCold(t *testing.T) {
+	g := MustNew(Config{Buckets: 1, HeavyCells: 1, LightCells: 64, Seed: 3})
+	// Fill the single heavy cell with an elephant, then send mice.
+	for i := 0; i < 1000; i++ {
+		g.Insert(key(0))
+	}
+	for i := 0; i < 3; i++ {
+		g.Insert(key(42))
+	}
+	if got := g.Estimate(key(42)); got == 0 {
+		t.Error("cold flow invisible; light part should count it")
+	}
+}
+
+func TestFindsTopK(t *testing.T) {
+	st := streamtest.Zipf(150000, 5000, 1.2, 13)
+	g := MustNew(Config{Buckets: 128, Seed: 7})
+	for _, p := range st.Packets {
+		g.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range g.Top(20) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.8 {
+		t.Errorf("precision = %v want >= 0.8", p)
+	}
+}
+
+func TestNoOverestimationWithoutCollisions(t *testing.T) {
+	st := streamtest.Zipf(50000, 1000, 1.2, 17)
+	g := MustNew(Config{Buckets: 256, Seed: 9})
+	for _, p := range st.Packets {
+		g.Insert(p)
+	}
+	for _, e := range g.Top(200) {
+		if e.Count > st.Exact[e.Key] {
+			t.Errorf("flow %s over-estimated: %d > %d", e.Key, e.Count, st.Exact[e.Key])
+		}
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	g, err := FromBytes(10400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MemoryBytes(); got > 10400 {
+		t.Errorf("MemoryBytes = %d exceeds budget", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	g := MustNew(Config{Buckets: 1024, Seed: 1})
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

@@ -1,0 +1,143 @@
+// Package lossycounting implements the Lossy Counting algorithm of Manku
+// and Motwani ("Approximate Frequency Counts over Data Streams", VLDB 2002),
+// an admit-all-count-some baseline in the HeavyKeeper paper (§II-B).
+//
+// The stream is processed in windows of ⌈1/ε⌉ packets. Every flow is
+// admitted when first seen, tagged with the current window id minus one as
+// its maximum possible undercount Δ. At each window boundary, entries whose
+// count + Δ no longer exceeds the window id are pruned. Counts
+// over-estimate by at most Δ ≤ εN.
+package lossycounting
+
+import (
+	"fmt"
+	"sort"
+)
+
+// entry is one monitored flow.
+type entry struct {
+	count uint64
+	delta uint64
+}
+
+// LossyCounting is a lossy-counting frequency tracker.
+type LossyCounting struct {
+	epsilon float64
+	window  uint64 // packets per window = ceil(1/epsilon)
+	current uint64 // current window id (b_current)
+	seen    uint64 // packets processed
+	flows   map[string]entry
+}
+
+// New returns a tracker with error bound epsilon (0 < epsilon < 1).
+func New(epsilon float64) (*LossyCounting, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("lossycounting: epsilon = %v, must be in (0, 1)", epsilon)
+	}
+	w := uint64(1 / epsilon)
+	if float64(w) < 1/epsilon {
+		w++
+	}
+	return &LossyCounting{
+		epsilon: epsilon,
+		window:  w,
+		current: 1,
+		flows:   make(map[string]entry),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(epsilon float64) *LossyCounting {
+	l, err := New(epsilon)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// FromBytes derives epsilon from a byte budget: lossy counting holds at most
+// (1/ε)·log(εN) entries, but the paper's head-to-head setup simply sizes the
+// table to the memory (§VI-A); we bound live entries at m = budget/entry and
+// set ε = 1/m so a full window fits.
+func FromBytes(budget int) (*LossyCounting, error) {
+	m := budget / BytesPerEntry
+	if m < 2 {
+		m = 2
+	}
+	return New(1 / float64(m))
+}
+
+// BytesPerEntry models one table entry (key pointer, count, delta) for the
+// harness's byte budgeting, comparable to the other baselines' accounting.
+const BytesPerEntry = 32
+
+// Insert records one packet of flow key.
+func (l *LossyCounting) Insert(key []byte) {
+	l.seen++
+	ks := string(key)
+	if e, ok := l.flows[ks]; ok {
+		e.count++
+		l.flows[ks] = e
+	} else {
+		l.flows[ks] = entry{count: 1, delta: l.current - 1}
+	}
+	if l.seen%l.window == 0 {
+		l.prune()
+		l.current++
+	}
+}
+
+// prune drops entries with count + delta <= current window id.
+func (l *LossyCounting) prune() {
+	for k, e := range l.flows {
+		if e.count+e.delta <= l.current {
+			delete(l.flows, k)
+		}
+	}
+}
+
+// Estimate returns the recorded count for key (0 if not monitored).
+func (l *LossyCounting) Estimate(key []byte) uint64 {
+	return l.flows[string(key)].count
+}
+
+// EstimateUpper returns count + Δ, the upper bound on the true count.
+func (l *LossyCounting) EstimateUpper(key []byte) uint64 {
+	e := l.flows[string(key)]
+	return e.count + e.delta
+}
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the k largest monitored flows by count + Δ (the algorithm's
+// frequent-item report uses the upper bound to avoid false negatives),
+// reporting count + Δ as the size estimate.
+func (l *LossyCounting) Top(k int) []Entry {
+	all := make([]Entry, 0, len(l.flows))
+	for key, e := range l.flows {
+		all = append(all, Entry{Key: key, Count: e.count + e.delta})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Len returns the number of currently monitored flows.
+func (l *LossyCounting) Len() int { return len(l.flows) }
+
+// Epsilon returns the configured error bound.
+func (l *LossyCounting) Epsilon() float64 { return l.epsilon }
+
+// MemoryBytes reports the current logical footprint.
+func (l *LossyCounting) MemoryBytes() int { return len(l.flows) * BytesPerEntry }

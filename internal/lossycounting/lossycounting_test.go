@@ -1,0 +1,140 @@
+package lossycounting
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("epsilon %v accepted", eps)
+		}
+	}
+	if l, err := New(0.01); err != nil || l.window != 100 {
+		t.Errorf("New(0.01): err=%v window=%d want 100", err, l.window)
+	}
+}
+
+func TestUndercountBounded(t *testing.T) {
+	// Lossy counting guarantee: true − recorded <= εN for surviving flows,
+	// and any flow with true count > εN survives.
+	l := MustNew(0.01)
+	truth := map[string]uint64{}
+	st := streamtest.Zipf(50000, 3000, 1.0, 3)
+	for _, p := range st.Packets {
+		truth[string(p)]++
+		l.Insert(p)
+	}
+	n := uint64(50000)
+	epsN := uint64(float64(n) * 0.01)
+	for k, tc := range truth {
+		got := l.Estimate([]byte(k))
+		if tc > epsN && got == 0 {
+			t.Errorf("flow %s with true count %d > εN=%d was dropped", k, tc, epsN)
+		}
+		if got > 0 && tc-min64(got, tc) > epsN {
+			t.Errorf("flow %s undercounted by more than εN: got %d true %d", k, got, tc)
+		}
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestUpperBoundHolds(t *testing.T) {
+	l := MustNew(0.02)
+	truth := map[string]uint64{}
+	st := streamtest.Zipf(20000, 1000, 1.2, 7)
+	for _, p := range st.Packets {
+		truth[string(p)]++
+		l.Insert(p)
+	}
+	for k, tc := range truth {
+		if up := l.EstimateUpper([]byte(k)); up > 0 && up < l.Estimate([]byte(k)) {
+			t.Errorf("upper bound %d < estimate for %s", up, k)
+		}
+		_ = tc
+	}
+}
+
+func TestPruningShrinksTable(t *testing.T) {
+	l := MustNew(0.01) // window 100
+	// 10k distinct single-packet flows: nearly all should be pruned.
+	for i := 0; i < 10000; i++ {
+		l.Insert(key(i))
+	}
+	if l.Len() > 400 {
+		t.Errorf("table holds %d entries after all-mice stream; pruning ineffective", l.Len())
+	}
+}
+
+func TestElephantSurvivesPruning(t *testing.T) {
+	l := MustNew(0.01)
+	for i := 0; i < 10000; i++ {
+		if i%2 == 0 {
+			l.Insert(key(0))
+		} else {
+			l.Insert(key(1 + i))
+		}
+	}
+	if got := l.Estimate(key(0)); got < 4900 {
+		t.Errorf("elephant estimate = %d want ~5000", got)
+	}
+}
+
+func TestTopDescending(t *testing.T) {
+	l := MustNew(0.005)
+	st := streamtest.Zipf(30000, 500, 1.5, 9)
+	for _, p := range st.Packets {
+		l.Insert(p)
+	}
+	top := l.Top(20)
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("Top not descending at %d", i)
+		}
+	}
+}
+
+func TestFindsTopK(t *testing.T) {
+	st := streamtest.Zipf(100000, 3000, 1.2, 31)
+	l := MustNew(0.0005)
+	for _, p := range st.Packets {
+		l.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range l.Top(20) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.85 {
+		t.Errorf("precision = %v want >= 0.85 with small epsilon", p)
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	l, err := FromBytes(3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epsilon() != 0.01 {
+		t.Errorf("epsilon = %v want 0.01 (m=100)", l.Epsilon())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := MustNew(0.001)
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

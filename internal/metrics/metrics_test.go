@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOracleCounts(t *testing.T) {
+	o := NewOracle()
+	for i := 0; i < 10; i++ {
+		o.Insert([]byte("a"))
+	}
+	o.Insert([]byte("b"))
+	if o.Count("a") != 10 || o.Count("b") != 1 || o.Count("c") != 0 {
+		t.Error("oracle counts wrong")
+	}
+	if o.Total() != 11 || o.Flows() != 2 {
+		t.Errorf("Total=%d Flows=%d want 11, 2", o.Total(), o.Flows())
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	o := FromCounts(map[string]uint64{"x": 5, "y": 3})
+	if o.Total() != 8 || o.Count("x") != 5 {
+		t.Error("FromCounts wrong")
+	}
+}
+
+func TestTopKOrderAndTies(t *testing.T) {
+	o := FromCounts(map[string]uint64{"a": 5, "b": 9, "c": 5, "d": 1})
+	top := o.TopK(3)
+	want := []Entry{{"b", 9}, {"a", 5}, {"c", 5}}
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d", len(top))
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Errorf("TopK[%d] = %v want %v", i, top[i], want[i])
+		}
+	}
+	if got := len(o.TopK(100)); got != 4 {
+		t.Errorf("TopK(100) = %d entries want 4", got)
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	trueTop := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	rep := []Entry{{"a", 1}, {"b", 1}, {"x", 1}, {"y", 1}}
+	if got := Precision(rep, trueTop); got != 0.5 {
+		t.Errorf("Precision = %v want 0.5", got)
+	}
+	if got := Precision(nil, trueTop); got != 0 {
+		t.Errorf("Precision(nil) = %v want 0", got)
+	}
+	if got := Precision(rep, nil); got != 0 {
+		t.Errorf("Precision with empty truth = %v want 0", got)
+	}
+}
+
+func TestAREAndAAE(t *testing.T) {
+	o := FromCounts(map[string]uint64{"a": 100, "b": 50})
+	rep := []Entry{{"a", 90}, {"b", 60}}
+	// ARE = (10/100 + 10/50) / 2 = 0.15; AAE = 10.
+	if got := ARE(rep, o); got < 0.1499999 || got > 0.1500001 {
+		t.Errorf("ARE = %v want 0.15", got)
+	}
+	if got := AAE(rep, o); got != 10 {
+		t.Errorf("AAE = %v want 10", got)
+	}
+	if ARE(nil, o) != 0 || AAE(nil, o) != 0 {
+		t.Error("empty report should score 0")
+	}
+}
+
+func TestAREGhostFlow(t *testing.T) {
+	o := FromCounts(map[string]uint64{})
+	rep := []Entry{{"ghost", 7}}
+	if got := ARE(rep, o); got != 7 {
+		t.Errorf("ARE for never-seen flow = %v want 7 (|7-0|/1)", got)
+	}
+}
+
+func TestPerfectReportScoresZeroError(t *testing.T) {
+	o := NewOracle()
+	for i := 0; i < 100; i++ {
+		for j := 0; j <= i%10; j++ {
+			o.Insert([]byte(fmt.Sprintf("k%d", i)))
+		}
+	}
+	top := o.TopK(10)
+	if ARE(top, o) != 0 || AAE(top, o) != 0 {
+		t.Error("exact report should have zero ARE/AAE")
+	}
+	if got := Precision(top, o.TopKSet(10)); got != 1 {
+		t.Errorf("Precision of exact report = %v want 1", got)
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	packets := make([][]byte, 10000)
+	for i := range packets {
+		packets[i] = []byte{byte(i), byte(i >> 8)}
+	}
+	n := 0
+	mps := Throughput(packets, func(key []byte) { n++ })
+	if n != len(packets) {
+		t.Fatalf("insert called %d times want %d", n, len(packets))
+	}
+	if mps <= 0 {
+		t.Errorf("throughput = %v want > 0", mps)
+	}
+	n = 0
+	mps2 := ThroughputN(5000, func(i int) []byte { return packets[i] }, func(key []byte) { n++ })
+	if n != 5000 || mps2 <= 0 {
+		t.Errorf("ThroughputN: n=%d mps=%v", n, mps2)
+	}
+}
+
+func TestKthCount(t *testing.T) {
+	o := FromCounts(map[string]uint64{"a": 9, "b": 5, "c": 5, "d": 1})
+	cases := []struct {
+		k    int
+		want uint64
+	}{{1, 9}, {2, 5}, {3, 5}, {4, 1}, {5, 0}, {0, 0}}
+	for _, c := range cases {
+		if got := o.KthCount(c.k); got != c.want {
+			t.Errorf("KthCount(%d) = %d want %d", c.k, got, c.want)
+		}
+	}
+	// Cache invalidation on Insert.
+	o.Insert([]byte("e"))
+	o.Insert([]byte("e"))
+	if got := o.KthCount(4); got != 2 {
+		t.Errorf("KthCount(4) after inserts = %d want 2", got)
+	}
+}
+
+func TestPrecisionAtKTieTolerant(t *testing.T) {
+	// Five flows tie at count 5; k = 3. Any three of them are a perfect
+	// answer under the tie-tolerant metric.
+	o := FromCounts(map[string]uint64{
+		"a": 5, "b": 5, "c": 5, "d": 5, "e": 5, "x": 1,
+	})
+	rep := []Entry{{"d", 5}, {"e", 5}, {"a", 5}}
+	if got := PrecisionAtK(rep, o, 3); got != 1 {
+		t.Errorf("PrecisionAtK with ties = %v want 1", got)
+	}
+	// The exact-set metric would have punished d and e.
+	if got := Precision(rep, o.TopKSet(3)); got == 1 {
+		t.Error("exact-set precision unexpectedly tie-tolerant; test premise broken")
+	}
+	// A genuinely wrong flow still counts against.
+	rep2 := []Entry{{"a", 5}, {"x", 9}, {"b", 5}}
+	want := 2.0 / 3.0
+	if got := PrecisionAtK(rep2, o, 3); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("PrecisionAtK = %v want %v", got, want)
+	}
+	// Only the first k reported flows are considered.
+	rep3 := []Entry{{"x", 1}, {"a", 5}, {"b", 5}, {"c", 5}}
+	if got := PrecisionAtK(rep3, o, 2); got != 0.5 {
+		t.Errorf("PrecisionAtK(k=2) = %v want 0.5", got)
+	}
+	if got := PrecisionAtK(rep, o, 0); got != 0 {
+		t.Errorf("PrecisionAtK(k=0) = %v want 0", got)
+	}
+}
+
+func TestRecallEqualsPrecisionAtFullK(t *testing.T) {
+	trueTop := map[string]bool{"a": true, "b": true}
+	rep := []Entry{{"a", 1}, {"z", 1}}
+	if Recall(rep, trueTop) != Precision(rep, trueTop) {
+		t.Error("Recall != Precision for |rep| = k")
+	}
+}

@@ -1,0 +1,251 @@
+// Package minheap implements a keyed binary min-heap of (flow, size) pairs.
+//
+// This is the top-k structure the HeavyKeeper paper uses for exposition
+// (§III-C): it keeps the k largest flows seen so far, supports membership
+// queries, "update size with max", and "expel root, insert new flow". All
+// operations are O(log k) except membership, which is O(1) via an index map.
+// The paper's implementation swaps in Stream-Summary for O(1) updates; the
+// repository provides both behind one interface in internal/topk so the
+// difference can be measured.
+package minheap
+
+// Heap is a keyed min-heap with fixed capacity.
+type Heap struct {
+	capacity int
+	items    []entry
+	index    map[string]int // key -> position in items
+}
+
+type entry struct {
+	key   string
+	count uint64
+}
+
+// New returns an empty heap holding at most capacity entries. It panics if
+// capacity < 1.
+func New(capacity int) *Heap {
+	if capacity < 1 {
+		panic("minheap: capacity must be >= 1")
+	}
+	return &Heap{
+		capacity: capacity,
+		items:    make([]entry, 0, capacity),
+		index:    make(map[string]int, capacity),
+	}
+}
+
+// Len returns the number of entries.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Capacity returns the maximum number of entries.
+func (h *Heap) Capacity() int { return h.capacity }
+
+// Full reports whether the heap is at capacity.
+func (h *Heap) Full() bool { return len(h.items) >= h.capacity }
+
+// Contains reports whether key is in the heap.
+func (h *Heap) Contains(key string) bool {
+	_, ok := h.index[key]
+	return ok
+}
+
+// Count returns key's recorded size.
+func (h *Heap) Count(key string) (uint64, bool) {
+	i, ok := h.index[key]
+	if !ok {
+		return 0, false
+	}
+	return h.items[i].count, true
+}
+
+// MinCount returns the smallest recorded size (the paper's n_min), or 0 when
+// the heap is empty.
+func (h *Heap) MinCount() uint64 {
+	if len(h.items) == 0 {
+		return 0
+	}
+	return h.items[0].count
+}
+
+// Min returns the key and size at the root. ok is false when empty.
+func (h *Heap) Min() (key string, count uint64, ok bool) {
+	if len(h.items) == 0 {
+		return "", 0, false
+	}
+	return h.items[0].key, h.items[0].count, true
+}
+
+// Insert adds key with size count. If the heap is full it evicts the root
+// first and returns it with evicted=true. Inserting an existing key panics;
+// use Update.
+func (h *Heap) Insert(key string, count uint64) (evictedKey string, evictedCount uint64, evicted bool) {
+	if _, ok := h.index[key]; ok {
+		panic("minheap: Insert of existing key " + key)
+	}
+	if h.Full() {
+		evictedKey, evictedCount = h.items[0].key, h.items[0].count
+		evicted = true
+		delete(h.index, evictedKey)
+		h.items[0] = entry{key: key, count: count}
+		h.index[key] = 0
+		h.siftDown(0)
+		return evictedKey, evictedCount, evicted
+	}
+	h.items = append(h.items, entry{key: key, count: count})
+	i := len(h.items) - 1
+	h.index[key] = i
+	h.siftUp(i)
+	return "", 0, false
+}
+
+// Update sets key's size to count (any direction) and restores heap order.
+// It panics if key is absent.
+func (h *Heap) Update(key string, count uint64) {
+	i, ok := h.index[key]
+	if !ok {
+		panic("minheap: Update of absent key " + key)
+	}
+	old := h.items[i].count
+	h.items[i].count = count
+	if count > old {
+		h.siftDown(i)
+	} else if count < old {
+		h.siftUp(i)
+	}
+}
+
+// UpdateMax sets key's size to max(current, count); this is the §III-C
+// min-heap update rule. It panics if key is absent.
+func (h *Heap) UpdateMax(key string, count uint64) {
+	i, ok := h.index[key]
+	if !ok {
+		panic("minheap: UpdateMax of absent key " + key)
+	}
+	if count > h.items[i].count {
+		h.items[i].count = count
+		h.siftDown(i)
+	}
+}
+
+// Remove deletes key and reports whether it was present.
+func (h *Heap) Remove(key string) bool {
+	i, ok := h.index[key]
+	if !ok {
+		return false
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	delete(h.index, key)
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	return true
+}
+
+// Entry is a (key, count) pair returned by Items.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Items returns all entries in descending count order.
+func (h *Heap) Items() []Entry {
+	out := make([]Entry, len(h.items))
+	for i, e := range h.items {
+		out[i] = Entry{Key: e.key, Count: e.count}
+	}
+	// Simple insertion-free sort: heaps are small (k entries), use stdlib.
+	sortEntriesDesc(out)
+	return out
+}
+
+// Top returns the k largest entries in descending order.
+func (h *Heap) Top(k int) []Entry {
+	items := h.Items()
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+func sortEntriesDesc(es []Entry) {
+	// Shell sort keeps the package dependency-free and is plenty for k ≤ a
+	// few thousand entries; called only at query time, never per packet.
+	for gap := len(es) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(es); i++ {
+			e := es[i]
+			j := i
+			for ; j >= gap && less(es[j-gap], e); j -= gap {
+				es[j] = es[j-gap]
+			}
+			es[j] = e
+		}
+	}
+}
+
+// less orders descending by count, ascending by key for determinism.
+func less(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	return a.Key > b.Key
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.index[h.items[i].key] = i
+	h.index[h.items[j].key] = j
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].count <= h.items[i].count {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.items[l].count < h.items[smallest].count {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.items[r].count < h.items[smallest].count {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// checkInvariants panics if the heap property or index map is violated.
+func (h *Heap) checkInvariants() {
+	for i := range h.items {
+		if l := 2*i + 1; l < len(h.items) && h.items[l].count < h.items[i].count {
+			panic("minheap: heap property violated (left child)")
+		}
+		if r := 2*i + 2; r < len(h.items) && h.items[r].count < h.items[i].count {
+			panic("minheap: heap property violated (right child)")
+		}
+		if h.index[h.items[i].key] != i {
+			panic("minheap: index map out of sync for " + h.items[i].key)
+		}
+	}
+	if len(h.index) != len(h.items) {
+		panic("minheap: index size mismatch")
+	}
+}
+
+// BytesPerEntry estimates per-entry memory for the harness's byte budgeting,
+// mirroring streamsummary.BytesPerEntry.
+const BytesPerEntry = 32

@@ -1,0 +1,182 @@
+package packet
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func sample() FiveTuple {
+	return FiveTuple{
+		SrcIP:   [4]byte{10, 1, 2, 3},
+		DstIP:   [4]byte{192, 168, 0, 9},
+		SrcPort: 443,
+		DstPort: 51234,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	for _, proto := range []uint8{ProtoTCP, ProtoUDP} {
+		ft := sample()
+		ft.Proto = proto
+		frame := Build(ft, []byte("payload"))
+		got, err := Parse(frame)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if got != ft {
+			t.Errorf("round trip: got %+v want %+v", got, ft)
+		}
+	}
+}
+
+func TestBuildParseNonL4(t *testing.T) {
+	ft := sample()
+	ft.Proto = 1 // ICMP: no ports
+	ft.SrcPort, ft.DstPort = 0, 0
+	got, err := Parse(Build(ft, nil))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != ft {
+		t.Errorf("got %+v want %+v", got, ft)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i byte, sp, dp uint16, proto uint8) bool {
+		ft := FiveTuple{
+			SrcIP: [4]byte{a, b, c, d}, DstIP: [4]byte{e, g, h, i},
+			SrcPort: sp, DstPort: dp, Proto: proto,
+		}
+		key := ft.Key(nil)
+		if len(key) != FiveTupleLen {
+			return false
+		}
+		back, err := KeyFromBytes(key)
+		return err == nil && back == ft
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFromBytesRejectsBadLength(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, 12)); err == nil {
+		t.Error("12-byte key accepted")
+	}
+	if _, err := KeyFromBytes(make([]byte, 14)); err == nil {
+		t.Error("14-byte key accepted")
+	}
+}
+
+func TestParseVLAN(t *testing.T) {
+	ft := sample()
+	frame := Build(ft, nil)
+	// Splice in a VLAN tag after the MACs.
+	tagged := make([]byte, 0, len(frame)+4)
+	tagged = append(tagged, frame[:12]...)
+	tagged = append(tagged, 0x81, 0x00, 0x00, 0x2a) // TPID 8100, VID 42
+	tagged = append(tagged, frame[12:]...)
+	got, err := Parse(tagged)
+	if err != nil {
+		t.Fatalf("Parse(vlan): %v", err)
+	}
+	if got != ft {
+		t.Errorf("got %+v want %+v", got, ft)
+	}
+}
+
+func TestParseRejectsTruncated(t *testing.T) {
+	frame := Build(sample(), nil)
+	for _, n := range []int{0, 5, 13, 20, 30, len(frame) - len("") - 5} {
+		if n >= len(frame) {
+			continue
+		}
+		if _, err := Parse(frame[:n]); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestParseRejectsNonIPv4EtherType(t *testing.T) {
+	frame := Build(sample(), nil)
+	binary.BigEndian.PutUint16(frame[12:14], 0x86dd) // IPv6
+	if _, err := Parse(frame); err != ErrBadEtherType {
+		t.Errorf("err = %v want ErrBadEtherType", err)
+	}
+}
+
+func TestParseRejectsIPv6Version(t *testing.T) {
+	frame := Build(sample(), nil)
+	frame[14] = 0x65 // version 6
+	if _, err := Parse(frame); err != ErrNotIPv4 {
+		t.Errorf("err = %v want ErrNotIPv4", err)
+	}
+}
+
+func TestParseRejectsBadIHL(t *testing.T) {
+	frame := Build(sample(), nil)
+	frame[14] = 0x41 // IHL 1 word
+	if _, err := Parse(frame); err != ErrBadIPHeader {
+		t.Errorf("err = %v want ErrBadIPHeader", err)
+	}
+}
+
+func TestParseIPOptions(t *testing.T) {
+	// Hand-build an IPv4 header with IHL 6 (one option word).
+	ft := sample()
+	ip := make([]byte, 24+4)
+	ip[0] = 0x46
+	ip[9] = ft.Proto
+	copy(ip[12:16], ft.SrcIP[:])
+	copy(ip[16:20], ft.DstIP[:])
+	binary.BigEndian.PutUint16(ip[24:26], ft.SrcPort)
+	binary.BigEndian.PutUint16(ip[26:28], ft.DstPort)
+	got, err := ParseIPv4(ip)
+	if err != nil {
+		t.Fatalf("ParseIPv4: %v", err)
+	}
+	if got != ft {
+		t.Errorf("got %+v want %+v", got, ft)
+	}
+}
+
+func TestFragmentHasNoPorts(t *testing.T) {
+	frame := Build(sample(), nil)
+	// Set a non-zero fragment offset.
+	binary.BigEndian.PutUint16(frame[14+6:14+8], 0x0010)
+	got, err := Parse(frame)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.SrcPort != 0 || got.DstPort != 0 {
+		t.Errorf("fragment yielded ports %d/%d, want 0/0", got.SrcPort, got.DstPort)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	want := "10.1.2.3:443->192.168.0.9:51234/6"
+	if got := sample().String(); got != want {
+		t.Errorf("String = %q want %q", got, want)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	frame := Build(sample(), make([]byte, 64))
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyEncode(b *testing.B) {
+	ft := sample()
+	var buf [FiveTupleLen]byte
+	for i := 0; i < b.N; i++ {
+		ft.Key(buf[:0])
+	}
+}

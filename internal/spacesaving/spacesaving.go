@@ -1,0 +1,109 @@
+// Package spacesaving implements the Space-Saving algorithm of Metwally,
+// Agrawal and El Abbadi (ICDT 2005), the canonical admit-all-count-some
+// baseline in the HeavyKeeper paper (§II-B).
+//
+// Space-Saving monitors m flows in a Stream-Summary. Every new flow is
+// admitted: if the summary is full, the minimum flow is expelled and the
+// newcomer starts at n̂_min + 1 with recorded error n̂_min. This guarantees
+// no under-estimation but — as the paper's running example shows — lets a
+// single-packet mouse inherit a 10,000-packet count, which is the
+// over-estimation failure mode HeavyKeeper's evaluation quantifies.
+package spacesaving
+
+import (
+	"fmt"
+
+	"repro/internal/streamsummary"
+)
+
+// SpaceSaving monitors the m most frequent flows.
+type SpaceSaving struct {
+	sum *streamsummary.Summary
+}
+
+// New returns a Space-Saving instance monitoring at most m flows.
+func New(m int) (*SpaceSaving, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("spacesaving: m = %d, must be >= 1", m)
+	}
+	return &SpaceSaving{sum: streamsummary.New(m)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(m int) *SpaceSaving {
+	s, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FromBytes sizes m from a byte budget using the same per-entry accounting
+// the paper applies in §VI-A ("the number of buckets m is determined by the
+// memory size").
+func FromBytes(budget int) (*SpaceSaving, error) {
+	m := budget / streamsummary.BytesPerEntry
+	if m < 1 {
+		m = 1
+	}
+	return New(m)
+}
+
+// Insert records one packet of flow key.
+func (s *SpaceSaving) Insert(key []byte) {
+	ks := string(key)
+	if s.sum.Contains(ks) {
+		s.sum.Incr(ks)
+		return
+	}
+	if !s.sum.Full() {
+		s.sum.Insert(ks, 1, 0)
+		return
+	}
+	_, minC, _ := s.sum.EvictMin()
+	s.sum.Insert(ks, minC+1, minC)
+}
+
+// Estimate returns the recorded count for key (0 if unmonitored). Recorded
+// counts never under-estimate the true count.
+func (s *SpaceSaving) Estimate(key []byte) uint64 {
+	c, _ := s.sum.Count(string(key))
+	return c
+}
+
+// GuaranteedCount returns the collision-free lower bound, count − error.
+func (s *SpaceSaving) GuaranteedCount(key []byte) uint64 {
+	ks := string(key)
+	c, ok := s.sum.Count(ks)
+	if !ok {
+		return 0
+	}
+	return c - s.sum.Error(ks)
+}
+
+// Entry is one reported flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns the k largest monitored flows in descending recorded count.
+func (s *SpaceSaving) Top(k int) []Entry {
+	items := s.sum.Top(k)
+	out := make([]Entry, len(items))
+	for i, e := range items {
+		out[i] = Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// Len returns the number of monitored flows.
+func (s *SpaceSaving) Len() int { return s.sum.Len() }
+
+// Capacity returns m.
+func (s *SpaceSaving) Capacity() int { return s.sum.Capacity() }
+
+// MemoryBytes reports the logical footprint under the paper's accounting.
+func (s *SpaceSaving) MemoryBytes() int {
+	return s.sum.Capacity() * streamsummary.BytesPerEntry
+}

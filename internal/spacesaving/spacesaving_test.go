@@ -1,0 +1,113 @@
+package spacesaving
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/streamtest"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("flow-%d", i)) }
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if s, err := FromBytes(1); err != nil || s.Capacity() != 1 {
+		t.Errorf("FromBytes(1) = %v cap %d, want cap 1", err, s.Capacity())
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	s := MustNew(64)
+	truth := map[string]uint64{}
+	st := streamtest.Zipf(30000, 2000, 1.0, 5)
+	for _, p := range st.Packets {
+		truth[string(p)]++
+		s.Insert(p)
+	}
+	for _, e := range s.Top(64) {
+		if e.Count < truth[e.Key] {
+			t.Errorf("flow %s: %d < true %d", e.Key, e.Count, truth[e.Key])
+		}
+	}
+}
+
+func TestOverestimationExample(t *testing.T) {
+	// The paper's §II-B running example: a full summary with n̂_min = X
+	// assigns a brand-new mouse flow count X+1.
+	s := MustNew(2)
+	for i := 0; i < 100; i++ {
+		s.Insert(key(1))
+		s.Insert(key(2))
+	}
+	s.Insert(key(3)) // never seen before
+	if got := s.Estimate(key(3)); got != 101 {
+		t.Errorf("new mouse estimate = %d want 101 (n̂_min + 1)", got)
+	}
+	if got := s.GuaranteedCount(key(3)); got != 1 {
+		t.Errorf("guaranteed count = %d want 1", got)
+	}
+}
+
+func TestEveryFlowAdmitted(t *testing.T) {
+	// admit-all: a new flow always displaces the min when full.
+	s := MustNew(4)
+	for i := 0; i < 100; i++ {
+		s.Insert(key(i))
+	}
+	if got := s.Estimate(key(99)); got == 0 {
+		t.Error("latest flow not monitored; admit-all violated")
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d want 4", s.Len())
+	}
+}
+
+func TestFindsTopKWithAmpleMemory(t *testing.T) {
+	st := streamtest.Zipf(150000, 5000, 1.2, 13)
+	s := MustNew(2000)
+	for _, p := range st.Packets {
+		s.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range s.Top(20) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if p := streamtest.Precision(rep, st.TrueTop(20)); p < 0.9 {
+		t.Errorf("precision = %v want >= 0.9 with m >> k", p)
+	}
+}
+
+func TestPoorUnderTightMemory(t *testing.T) {
+	// The failure mode HeavyKeeper exploits: with small m on a heavy-tailed
+	// stream, Space-Saving's report is badly over-estimated.
+	st := streamtest.Zipf(100000, 30000, 1.0, 21)
+	s := MustNew(120)
+	for _, p := range st.Packets {
+		s.Insert(p)
+	}
+	var rep []streamtest.Reported
+	for _, e := range s.Top(100) {
+		rep = append(rep, streamtest.Reported{Key: e.Key, Count: e.Count})
+	}
+	if are := st.ARE(rep); are < 0.1 {
+		t.Errorf("ARE = %v unexpectedly small for tight-memory Space-Saving", are)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := MustNew(100)
+	if got := s.MemoryBytes(); got != 4800 {
+		t.Errorf("MemoryBytes = %d want 4800", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := MustNew(1024)
+	st := streamtest.Zipf(1<<16, 10000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}

@@ -1,0 +1,4 @@
+package streamsummary
+
+// CheckInvariants exposes the internal structural validator to tests.
+func (s *Summary) CheckInvariants() { s.checkInvariants() }

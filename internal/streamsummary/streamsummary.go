@@ -1,0 +1,356 @@
+// Package streamsummary implements the Stream-Summary data structure of
+// Metwally, Agrawal and El Abbadi ("Efficient Computation of Frequent and
+// Top-k Elements in Data Streams", ICDT 2005).
+//
+// Stream-Summary keeps m (key, count, error) entries organized as a doubly
+// linked list of count buckets, each bucket holding the entries that share
+// one count value. Incrementing an entry by one and finding/evicting the
+// minimum are O(1), which is why both Space-Saving and the HeavyKeeper
+// paper's own top-k stage (§III-C: "in our implementation, we use
+// Stream-Summary instead of min-heap") are built on it.
+//
+// The structure is not safe for concurrent use; the sketches that embed it
+// are single-writer, matching the paper's model.
+package streamsummary
+
+// node is one monitored flow.
+type node struct {
+	key        string
+	err        uint64 // over-estimation error (Space-Saving's ε_i)
+	b          *bucket
+	prev, next *node // neighbors within the bucket (circular via bucket.first)
+}
+
+// bucket groups all nodes with the same count. Buckets form a doubly linked
+// list in strictly increasing count order; head is the minimum.
+type bucket struct {
+	count      uint64
+	first      *node // any node; nodes form a nil-terminated doubly linked list
+	prev, next *bucket
+}
+
+// Summary is a Stream-Summary with fixed capacity.
+type Summary struct {
+	capacity int
+	nodes    map[string]*node
+	head     *bucket // bucket with the smallest count, nil when empty
+}
+
+// New returns an empty Stream-Summary that monitors at most capacity keys.
+// It panics if capacity < 1.
+func New(capacity int) *Summary {
+	if capacity < 1 {
+		panic("streamsummary: capacity must be >= 1")
+	}
+	return &Summary{
+		capacity: capacity,
+		nodes:    make(map[string]*node, capacity),
+	}
+}
+
+// Len returns the number of monitored keys.
+func (s *Summary) Len() int { return len(s.nodes) }
+
+// Capacity returns the maximum number of monitored keys.
+func (s *Summary) Capacity() int { return s.capacity }
+
+// Full reports whether the summary is at capacity.
+func (s *Summary) Full() bool { return len(s.nodes) >= s.capacity }
+
+// Contains reports whether key is monitored.
+func (s *Summary) Contains(key string) bool {
+	_, ok := s.nodes[key]
+	return ok
+}
+
+// Count returns the recorded count of key.
+func (s *Summary) Count(key string) (uint64, bool) {
+	n, ok := s.nodes[key]
+	if !ok {
+		return 0, false
+	}
+	return n.b.count, true
+}
+
+// Error returns the over-estimation error recorded for key (the minimum
+// count at the time key was admitted, for Space-Saving semantics). It is 0
+// for keys inserted with no error and for unknown keys.
+func (s *Summary) Error(key string) uint64 {
+	if n, ok := s.nodes[key]; ok {
+		return n.err
+	}
+	return 0
+}
+
+// Min returns the key and count of one minimum-count entry. ok is false when
+// the summary is empty.
+func (s *Summary) Min() (key string, count uint64, ok bool) {
+	if s.head == nil {
+		return "", 0, false
+	}
+	return s.head.first.key, s.head.count, true
+}
+
+// MinCount returns the smallest monitored count, or 0 when empty. This is
+// the paper's n_min.
+func (s *Summary) MinCount() uint64 {
+	if s.head == nil {
+		return 0
+	}
+	return s.head.count
+}
+
+// Incr increments key's count by one in O(1). The key must already be
+// monitored; Incr panics otherwise (callers decide admission policy).
+// It returns the new count.
+func (s *Summary) Incr(key string) uint64 {
+	n, ok := s.nodes[key]
+	if !ok {
+		panic("streamsummary: Incr on unmonitored key " + key)
+	}
+	s.moveTo(n, n.b.count+1)
+	return n.b.count
+}
+
+// Insert adds a new key with the given count and error. It panics if the key
+// is already monitored or the summary is full; callers evict first.
+func (s *Summary) Insert(key string, count, errVal uint64) {
+	if _, ok := s.nodes[key]; ok {
+		panic("streamsummary: Insert of monitored key " + key)
+	}
+	if s.Full() {
+		panic("streamsummary: Insert into full summary")
+	}
+	n := &node{key: key, err: errVal}
+	s.nodes[key] = n
+	s.placeFrom(n, s.head, count)
+}
+
+// EvictMin removes and returns one minimum-count entry. ok is false when the
+// summary is empty.
+func (s *Summary) EvictMin() (key string, count uint64, ok bool) {
+	if s.head == nil {
+		return "", 0, false
+	}
+	n := s.head.first
+	key, count = n.key, n.b.count
+	s.detach(n)
+	delete(s.nodes, key)
+	return key, count, true
+}
+
+// Remove deletes key if monitored and reports whether it was present.
+func (s *Summary) Remove(key string) bool {
+	n, ok := s.nodes[key]
+	if !ok {
+		return false
+	}
+	s.detach(n)
+	delete(s.nodes, key)
+	return true
+}
+
+// Set changes key's count to count, relocating its bucket. Unlike Incr this
+// may walk several buckets (O(#distinct counts) worst case); HeavyKeeper's
+// top-k stage uses it for the occasional "update with max" (§III-C), which
+// moves entries by small deltas in practice.
+func (s *Summary) Set(key string, count uint64) {
+	n, ok := s.nodes[key]
+	if !ok {
+		panic("streamsummary: Set on unmonitored key " + key)
+	}
+	if n.b.count == count {
+		return
+	}
+	s.moveTo(n, count)
+}
+
+// Entry is a monitored (key, count, error) triple.
+type Entry struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// Items returns all monitored entries in descending count order. Ties are
+// returned in bucket-list order (unspecified but deterministic).
+func (s *Summary) Items() []Entry {
+	out := make([]Entry, 0, len(s.nodes))
+	// Find the tail (largest) bucket, then walk backwards.
+	var tail *bucket
+	for b := s.head; b != nil; b = b.next {
+		tail = b
+	}
+	for b := tail; b != nil; b = b.prev {
+		for n := b.first; n != nil; n = n.next {
+			out = append(out, Entry{Key: n.key, Count: b.count, Err: n.err})
+		}
+	}
+	return out
+}
+
+// Top returns the k largest entries in descending count order (fewer if the
+// summary holds fewer).
+func (s *Summary) Top(k int) []Entry {
+	items := s.Items()
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// moveTo detaches n from its bucket and re-places it at newCount, starting
+// the bucket search from n's old position (O(1) for ±1 moves).
+func (s *Summary) moveTo(n *node, newCount uint64) {
+	old := n.b
+	start := old
+	// Unlink n from old bucket's node list but keep old in the bucket list
+	// until we have found the new home, so the search can start from it.
+	s.unlinkNode(n)
+	s.placeFrom(n, start, newCount)
+	if old.first == nil {
+		s.removeBucket(old)
+	}
+}
+
+// detach fully removes n and cleans up an emptied bucket.
+func (s *Summary) detach(n *node) {
+	b := n.b
+	s.unlinkNode(n)
+	if b.first == nil {
+		s.removeBucket(b)
+	}
+	n.b = nil
+}
+
+// unlinkNode removes n from its bucket's node list (bucket stays).
+func (s *Summary) unlinkNode(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		n.b.first = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// placeFrom inserts n into the bucket with count, creating the bucket if
+// needed. start is a position hint; nil means search from head.
+func (s *Summary) placeFrom(n *node, start *bucket, count uint64) {
+	if start == nil {
+		start = s.head
+	}
+	var at *bucket
+	switch {
+	case start == nil:
+		at = s.newBucket(count, nil, nil)
+	case start.count == count && start.first != nil:
+		at = start
+	case start.count < count:
+		b := start
+		for b.next != nil && b.next.count <= count {
+			b = b.next
+		}
+		if b.count == count && b.first != nil {
+			at = b
+		} else if b.count < count {
+			at = s.newBucket(count, b, b.next)
+		} else {
+			// b.count > count can only happen if start bucket emptied and
+			// we walked past; insert before b.
+			at = s.newBucket(count, b.prev, b)
+		}
+	default: // start.count > count, walk backwards
+		b := start
+		for b.prev != nil && b.prev.count >= count {
+			b = b.prev
+		}
+		if b.prev != nil && b.prev.count == count {
+			at = b.prev
+		} else if b.count == count && b.first != nil {
+			at = b
+		} else {
+			at = s.newBucket(count, b.prev, b)
+		}
+	}
+	// Prepend n to at's node list.
+	n.b = at
+	n.prev = nil
+	n.next = at.first
+	if at.first != nil {
+		at.first.prev = n
+	}
+	at.first = n
+}
+
+// newBucket creates a bucket with count between prev and next and returns it.
+func (s *Summary) newBucket(count uint64, prev, next *bucket) *bucket {
+	b := &bucket{count: count, prev: prev, next: next}
+	if prev != nil {
+		prev.next = b
+	} else {
+		s.head = b
+	}
+	if next != nil {
+		next.prev = b
+	}
+	return b
+}
+
+// removeBucket unlinks an empty bucket from the bucket list.
+func (s *Summary) removeBucket(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+// checkInvariants walks the structure and panics on corruption. Exported to
+// the test package through export_test.go; production code never calls it.
+func (s *Summary) checkInvariants() {
+	seen := 0
+	var prevCount uint64
+	first := true
+	for b := s.head; b != nil; b = b.next {
+		if !first && b.count <= prevCount {
+			panic("streamsummary: bucket counts not strictly increasing")
+		}
+		first = false
+		prevCount = b.count
+		if b.first == nil {
+			panic("streamsummary: empty bucket retained")
+		}
+		for n := b.first; n != nil; n = n.next {
+			if n.b != b {
+				panic("streamsummary: node back-pointer mismatch")
+			}
+			if n.next != nil && n.next.prev != n {
+				panic("streamsummary: node list corrupted")
+			}
+			if s.nodes[n.key] != n {
+				panic("streamsummary: map/list mismatch for " + n.key)
+			}
+			seen++
+		}
+		if b.next != nil && b.next.prev != b {
+			panic("streamsummary: bucket list corrupted")
+		}
+	}
+	if seen != len(s.nodes) {
+		panic("streamsummary: node count mismatch")
+	}
+}
+
+// BytesPerEntry estimates the memory cost of one monitored entry, used by
+// the experiment harness to convert a byte budget into a capacity the same
+// way the paper sizes Space-Saving's m from the memory size (§VI-A). The
+// constant models a C-style implementation (key pointer, count, error, four
+// links ≈ 8 words is generous; the paper's accounting is comparable).
+const BytesPerEntry = 48

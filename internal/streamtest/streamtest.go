@@ -1,0 +1,117 @@
+// Package streamtest provides deterministic skewed packet streams and
+// accuracy helpers shared by the test suites of the sketch packages. It is
+// test support code, kept out of _test files so every baseline package can
+// reuse it without duplication.
+package streamtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Stream is a generated packet stream with ground truth.
+type Stream struct {
+	Packets [][]byte
+	Exact   map[string]uint64
+}
+
+// Zipf generates npkts packets over nflows flows with Zipf-like weights
+// (flow i has weight 1/(i+1)^alpha) in deterministic shuffled order.
+func Zipf(npkts, nflows int, alpha float64, seed uint64) *Stream {
+	rng := xrand.NewXorshift64Star(seed)
+	cdf := make([]float64, nflows)
+	total := 0.0
+	for i := range cdf {
+		total += 1.0 / powf(float64(i+1), alpha)
+		cdf[i] = total
+	}
+	s := &Stream{
+		Packets: make([][]byte, npkts),
+		Exact:   make(map[string]uint64),
+	}
+	for p := 0; p < npkts; p++ {
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cdf, x)
+		if i >= nflows {
+			i = nflows - 1
+		}
+		k := []byte(fmt.Sprintf("flow-%d", i))
+		s.Packets[p] = k
+		s.Exact[string(k)]++
+	}
+	return s
+}
+
+func powf(x, a float64) float64 {
+	if a == 1 {
+		return x
+	}
+	return math.Pow(x, a)
+}
+
+// TrueTop returns the key set of the k largest flows by exact count, with
+// deterministic tie-breaking.
+func (s *Stream) TrueTop(k int) map[string]bool {
+	type kv struct {
+		k string
+		v uint64
+	}
+	all := make([]kv, 0, len(s.Exact))
+	for k, v := range s.Exact {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	out := make(map[string]bool, k)
+	for i := 0; i < k && i < len(all); i++ {
+		out[all[i].k] = true
+	}
+	return out
+}
+
+// Reported is any algorithm's top-k output in (key, count) form.
+type Reported struct {
+	Key   string
+	Count uint64
+}
+
+// Precision returns |reported ∩ trueTop| / k, the paper's §VI-B metric.
+func Precision(reported []Reported, trueTop map[string]bool) float64 {
+	if len(trueTop) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, e := range reported {
+		if trueTop[e.Key] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(trueTop))
+}
+
+// ARE returns the average relative error of reported counts against truth.
+func (s *Stream) ARE(reported []Reported) float64 {
+	if len(reported) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range reported {
+		truth := float64(s.Exact[e.Key])
+		if truth == 0 {
+			truth = 1 // a reported flow that never occurred: full error vs 1
+		}
+		d := float64(e.Count) - truth
+		if d < 0 {
+			d = -d
+		}
+		sum += d / truth
+	}
+	return sum / float64(len(reported))
+}

@@ -1,0 +1,323 @@
+// Package topk wires a HeavyKeeper sketch to a top-k structure, implementing
+// the full flow-insertion pipelines of the paper: the basic version
+// (§III-C), the Hardware Parallel version (§III-E, Algorithm 1) and the
+// Software Minimum version (§IV, Algorithm 2), including Optimization I
+// (fingerprint-collision detection) and Optimization II (selective
+// increment).
+//
+// The top-k structure is pluggable: the paper presents a min-heap for
+// exposition and uses Stream-Summary in its implementation for O(1) updates
+// (§III-C note); both are provided here behind the Store interface so the
+// trade-off can be measured.
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/minheap"
+	"repro/internal/streamsummary"
+)
+
+// Version selects the insertion discipline.
+type Version int
+
+const (
+	// Basic is §III-C: no optimizations, admit when n̂ exceeds n_min.
+	Basic Version = iota
+	// Parallel is the Hardware Parallel version (§III-E, Algorithm 1).
+	Parallel
+	// Minimum is the Software Minimum version (§IV, Algorithm 2).
+	Minimum
+)
+
+// String implements fmt.Stringer.
+func (v Version) String() string {
+	switch v {
+	case Basic:
+		return "basic"
+	case Parallel:
+		return "parallel"
+	case Minimum:
+		return "minimum"
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}
+
+// StoreKind selects the top-k structure implementation.
+type StoreKind int
+
+const (
+	// StoreHeap uses a keyed binary min-heap (O(log k) updates).
+	StoreHeap StoreKind = iota
+	// StoreSummary uses Stream-Summary (O(1) unit updates), as the paper's
+	// implementation does.
+	StoreSummary
+)
+
+// Entry is one reported top-k flow.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Store abstracts the structure holding the current top-k candidates.
+type Store interface {
+	Len() int
+	Full() bool
+	Contains(key string) bool
+	Count(key string) (uint64, bool)
+	MinCount() uint64
+	// UpdateMax raises key's recorded size to max(current, v).
+	UpdateMax(key string, v uint64)
+	// InsertEvict admits key with size v, evicting a minimum entry if full.
+	InsertEvict(key string, v uint64)
+	// Top returns up to k entries in descending size order.
+	Top(k int) []Entry
+}
+
+// heapStore adapts minheap.Heap to Store.
+type heapStore struct{ h *minheap.Heap }
+
+func (s heapStore) Len() int                        { return s.h.Len() }
+func (s heapStore) Full() bool                      { return s.h.Full() }
+func (s heapStore) Contains(key string) bool        { return s.h.Contains(key) }
+func (s heapStore) Count(key string) (uint64, bool) { return s.h.Count(key) }
+func (s heapStore) MinCount() uint64                { return s.h.MinCount() }
+func (s heapStore) UpdateMax(key string, v uint64)  { s.h.UpdateMax(key, v) }
+func (s heapStore) InsertEvict(key string, v uint64) {
+	s.h.Insert(key, v)
+}
+func (s heapStore) Top(k int) []Entry {
+	items := s.h.Top(k)
+	out := make([]Entry, len(items))
+	for i, e := range items {
+		out[i] = Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// summaryStore adapts streamsummary.Summary to Store.
+type summaryStore struct{ s *streamsummary.Summary }
+
+func (s summaryStore) Len() int                        { return s.s.Len() }
+func (s summaryStore) Full() bool                      { return s.s.Full() }
+func (s summaryStore) Contains(key string) bool        { return s.s.Contains(key) }
+func (s summaryStore) Count(key string) (uint64, bool) { return s.s.Count(key) }
+func (s summaryStore) MinCount() uint64                { return s.s.MinCount() }
+func (s summaryStore) UpdateMax(key string, v uint64) {
+	if cur, ok := s.s.Count(key); ok && v > cur {
+		s.s.Set(key, v)
+	}
+}
+func (s summaryStore) InsertEvict(key string, v uint64) {
+	if s.s.Full() {
+		s.s.EvictMin()
+	}
+	s.s.Insert(key, v, 0)
+}
+func (s summaryStore) Top(k int) []Entry {
+	items := s.s.Top(k)
+	out := make([]Entry, len(items))
+	for i, e := range items {
+		out[i] = Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// Options configures a Tracker.
+type Options struct {
+	// K is the number of flows to report. Required.
+	K int
+	// Version selects the insertion discipline. Default Parallel (the
+	// paper's default in §VI-C).
+	Version Version
+	// Store selects the top-k structure. Default StoreSummary, matching the
+	// paper's implementation note.
+	Store StoreKind
+	// Sketch configures the underlying HeavyKeeper.
+	Sketch core.Config
+	// DisableOptI turns off fingerprint-collision detection (admission only
+	// when n̂ = n_min + 1); admission then uses n̂ > n_min. For ablations.
+	DisableOptI bool
+	// DisableOptII turns off selective increment. For ablations.
+	DisableOptII bool
+}
+
+// Tracker finds the top-k elephant flows in a packet stream.
+type Tracker struct {
+	sk    *core.Sketch
+	store Store
+	opts  Options
+}
+
+// New constructs a Tracker.
+func New(opts Options) (*Tracker, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("topk: K = %d, must be >= 1", opts.K)
+	}
+	sk, err := core.New(opts.Sketch)
+	if err != nil {
+		return nil, err
+	}
+	var store Store
+	switch opts.Store {
+	case StoreHeap:
+		store = heapStore{minheap.New(opts.K)}
+	case StoreSummary:
+		store = summaryStore{streamsummary.New(opts.K)}
+	default:
+		return nil, fmt.Errorf("topk: unknown store kind %d", opts.Store)
+	}
+	return &Tracker{sk: sk, store: store, opts: opts}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(opts Options) *Tracker {
+	t, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Insert records one packet belonging to flow key.
+func (t *Tracker) Insert(key []byte) {
+	switch t.opts.Version {
+	case Basic:
+		t.insertBasic(key)
+	case Parallel:
+		t.insertOptimized(key, false)
+	case Minimum:
+		t.insertOptimized(key, true)
+	default:
+		panic("topk: invalid version " + t.opts.Version.String())
+	}
+}
+
+// insertBasic is §III-C: insert into HeavyKeeper, then update the top-k
+// structure with the reported estimate.
+func (t *Tracker) insertBasic(key []byte) {
+	est := uint64(t.sk.InsertBasic(key))
+	ks := string(key)
+	switch {
+	case t.store.Contains(ks):
+		t.store.UpdateMax(ks, est)
+	case !t.store.Full():
+		if est > 0 {
+			t.store.InsertEvict(ks, est)
+		}
+	case est > t.store.MinCount():
+		t.store.InsertEvict(ks, est)
+	}
+}
+
+// insertOptimized implements Algorithm 1 (Parallel) and Algorithm 2
+// (Minimum): Step 1 checks membership (flag), Step 2 inserts into the sketch
+// with Optimization II gating, Step 3 admits to the top-k structure under
+// Optimization I's n̂ = n_min + 1 rule.
+func (t *Tracker) insertOptimized(key []byte, minimum bool) {
+	ks := string(key)
+	flag := t.store.Contains(ks)
+
+	// Optimization II gate: while the structure has room every flow is a
+	// legitimate candidate, so gating applies only once it is full
+	// (Theorem 1's premise is a full min-heap of k flows).
+	nmin := uint32(0xffffffff)
+	if !flag && t.store.Full() && !t.opts.DisableOptII {
+		m := t.store.MinCount()
+		if m < uint64(nmin) {
+			nmin = uint32(m)
+		}
+	}
+
+	var est uint64
+	if minimum {
+		est = uint64(t.sk.InsertMinimum(key, flag, nmin))
+	} else {
+		est = uint64(t.sk.InsertParallel(key, flag, nmin))
+	}
+
+	switch {
+	case flag:
+		t.store.UpdateMax(ks, est)
+	case est == 0:
+		// The sketch did not accept the flow anywhere; nothing to report.
+	case !t.store.Full():
+		t.store.InsertEvict(ks, est)
+	default:
+		if t.opts.DisableOptI {
+			if est > t.store.MinCount() {
+				t.store.InsertEvict(ks, est)
+			}
+			return
+		}
+		// Optimization I: Theorem 1 says a legitimate newly-promoted flow
+		// reports exactly n_min + 1; a larger value signals a fingerprint
+		// collision and the flow must not be admitted.
+		if est == t.store.MinCount()+1 {
+			t.store.InsertEvict(ks, est)
+		}
+	}
+}
+
+// InsertN records a weight-n arrival of flow key (n packets, or n bytes
+// when tracking volume). Weighted arrivals break Theorem 1's n̂ = n_min+1
+// admission equality, so admission falls back to n̂ > n_min regardless of
+// the Optimization I setting; everything else follows the configured
+// version.
+func (t *Tracker) InsertN(key []byte, n uint64) {
+	if n == 0 {
+		return
+	}
+	ks := string(key)
+	flag := t.store.Contains(ks)
+	nmin := uint32(0xffffffff)
+	if !flag && t.store.Full() && !t.opts.DisableOptII {
+		if m := t.store.MinCount(); m < uint64(nmin) {
+			nmin = uint32(m)
+		}
+	}
+	var est uint64
+	switch t.opts.Version {
+	case Basic:
+		est = uint64(t.sk.InsertBasicN(key, n))
+	case Minimum:
+		est = uint64(t.sk.InsertMinimumN(key, flag, nmin, n))
+	default:
+		est = uint64(t.sk.InsertParallelN(key, flag, nmin, n))
+	}
+	switch {
+	case flag:
+		t.store.UpdateMax(ks, est)
+	case est == 0:
+	case !t.store.Full():
+		t.store.InsertEvict(ks, est)
+	case est > t.store.MinCount():
+		t.store.InsertEvict(ks, est)
+	}
+}
+
+// Query returns the sketch's current size estimate for key (not consulting
+// the top-k structure).
+func (t *Tracker) Query(key []byte) uint64 { return uint64(t.sk.Query(key)) }
+
+// Top returns the current top-k flows in descending estimated size.
+func (t *Tracker) Top() []Entry { return t.store.Top(t.opts.K) }
+
+// K returns the configured k.
+func (t *Tracker) K() int { return t.opts.K }
+
+// Sketch exposes the underlying HeavyKeeper (read-only use intended).
+func (t *Tracker) Sketch() *core.Sketch { return t.sk }
+
+// MemoryBytes reports the tracker's logical memory: the sketch plus k
+// top-k entries, using the same accounting as the paper's §VI-A setup.
+func (t *Tracker) MemoryBytes() int {
+	per := streamsummary.BytesPerEntry
+	if t.opts.Store == StoreHeap {
+		per = minheap.BytesPerEntry
+	}
+	return t.sk.MemoryBytes() + t.opts.K*per
+}

@@ -1,0 +1,82 @@
+package topk
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// TestInsertNFindsTopByVolume ranks flows by byte volume: flows with few,
+// huge packets must outrank flows with many small ones.
+func TestInsertNFindsTopByVolume(t *testing.T) {
+	for _, version := range []Version{Basic, Parallel, Minimum} {
+		t.Run(version.String(), func(t *testing.T) {
+			tr := MustNew(Options{
+				K: 10, Version: version,
+				Sketch: core.Config{W: 1024, Seed: 5},
+			})
+			rng := xrand.NewXorshift64Star(8)
+			truth := map[string]uint64{}
+			for i := 0; i < 50000; i++ {
+				var k string
+				var w uint64
+				if i%50 == 0 {
+					k = fmt.Sprintf("bulk-%d", (i/50)%5) // 5 bulk flows, 1500B packets
+					w = 1500
+				} else {
+					k = fmt.Sprintf("chat-%d", rng.Uint64n(3000)) // tiny packets
+					w = rng.Uint64n(80) + 40
+				}
+				truth[k] += w
+				tr.InsertN([]byte(k), w)
+			}
+			top := tr.Top()
+			bulk := 0
+			for _, e := range top[:5] {
+				if len(e.Key) > 5 && e.Key[:5] == "bulk-" {
+					bulk++
+				}
+			}
+			if bulk < 4 {
+				t.Errorf("only %d/5 bulk flows in the volume top-5", bulk)
+			}
+			for _, e := range top {
+				if e.Count > truth[e.Key] {
+					t.Errorf("flow %s over-estimated: %d > %d", e.Key, e.Count, truth[e.Key])
+				}
+			}
+		})
+	}
+}
+
+func TestInsertNZeroNoop(t *testing.T) {
+	tr := MustNew(Options{K: 5, Sketch: core.Config{W: 64, Seed: 1}})
+	tr.InsertN([]byte("x"), 0)
+	if got := tr.Query([]byte("x")); got != 0 {
+		t.Errorf("weight-0 insert recorded %d", got)
+	}
+	if len(tr.Top()) != 0 {
+		t.Error("weight-0 insert entered the report")
+	}
+}
+
+func TestInsertNMatchesUnitInserts(t *testing.T) {
+	// For a single uncontested flow, InsertN(k, n) must equal n unit
+	// Inserts.
+	a := MustNew(Options{K: 5, Sketch: core.Config{W: 64, Seed: 2}})
+	b := MustNew(Options{K: 5, Sketch: core.Config{W: 64, Seed: 2}})
+	k := []byte("flow")
+	for i := 0; i < 500; i++ {
+		a.Insert(k)
+	}
+	b.InsertN(k, 500)
+	if qa, qb := a.Query(k), b.Query(k); qa != qb {
+		t.Errorf("unit %d != weighted %d", qa, qb)
+	}
+	ta, tb := a.Top(), b.Top()
+	if len(ta) != 1 || len(tb) != 1 || ta[0].Count != tb[0].Count {
+		t.Errorf("reports differ: %v vs %v", ta, tb)
+	}
+}

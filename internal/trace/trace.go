@@ -1,0 +1,200 @@
+// Package trace persists generated packet traces in a compact binary format
+// so the expensive 10M+-packet workloads of the paper's evaluation can be
+// generated once and replayed across experiment runs (cmd/hkgen writes
+// them, cmd/hktopk and cmd/hkbench read them).
+//
+// Format (little-endian):
+//
+//	magic "HKTR" | version u32 | name len u32 | name bytes
+//	skew f64-bits u64 | seed u64 | kind u32 | flows u32 | packets u64
+//	flow IDs: flows × kind.Size() bytes
+//	sequence: packets × u32 flow indexes
+//
+// The ground-truth counts are not stored; they are reconstructed in one pass
+// over the sequence at load time.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/gen"
+)
+
+var magic = [4]byte{'H', 'K', 'T', 'R'}
+
+const version = 1
+
+// ErrFormat is returned when the stream is not a valid trace file.
+var ErrFormat = errors.New("trace: invalid or corrupt trace file")
+
+// Write serializes tr to w.
+func Write(w io.Writer, tr *gen.Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var hdr [4]byte
+	le.PutUint32(hdr[:], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	name := []byte(tr.Spec.Name)
+	le.PutUint32(hdr[:], uint32(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	var h8 [8]byte
+	le.PutUint64(h8[:], math.Float64bits(tr.Spec.Skew))
+	if _, err := bw.Write(h8[:]); err != nil {
+		return err
+	}
+	le.PutUint64(h8[:], tr.Spec.Seed)
+	if _, err := bw.Write(h8[:]); err != nil {
+		return err
+	}
+	le.PutUint32(hdr[:], uint32(tr.Spec.Kind))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	le.PutUint32(hdr[:], uint32(tr.Flows()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	le.PutUint64(h8[:], uint64(tr.Len()))
+	if _, err := bw.Write(h8[:]); err != nil {
+		return err
+	}
+	for _, id := range tr.IDs {
+		if _, err := bw.Write(id); err != nil {
+			return err
+		}
+	}
+	var seqBuf [4]byte
+	for _, s := range tr.Seq {
+		le.PutUint32(seqBuf[:], s)
+		if _, err := bw.Write(seqBuf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace from r.
+func Read(r io.Reader) (*gen.Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrFormat
+	}
+	le := binary.LittleEndian
+	var h4 [4]byte
+	var h8 [8]byte
+	if _, err := io.ReadFull(br, h4[:]); err != nil {
+		return nil, err
+	}
+	if le.Uint32(h4[:]) != version {
+		return nil, ErrFormat
+	}
+	if _, err := io.ReadFull(br, h4[:]); err != nil {
+		return nil, err
+	}
+	nameLen := le.Uint32(h4[:])
+	if nameLen > 1<<16 {
+		return nil, ErrFormat
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(br, h8[:]); err != nil {
+		return nil, err
+	}
+	skew := math.Float64frombits(le.Uint64(h8[:]))
+	if _, err := io.ReadFull(br, h8[:]); err != nil {
+		return nil, err
+	}
+	seed := le.Uint64(h8[:])
+	if _, err := io.ReadFull(br, h4[:]); err != nil {
+		return nil, err
+	}
+	kind := gen.IDKind(le.Uint32(h4[:]))
+	if kind != gen.IDFiveTuple && kind != gen.IDTwoTuple && kind != gen.IDWord {
+		return nil, ErrFormat
+	}
+	if _, err := io.ReadFull(br, h4[:]); err != nil {
+		return nil, err
+	}
+	flows := int(le.Uint32(h4[:]))
+	if _, err := io.ReadFull(br, h8[:]); err != nil {
+		return nil, err
+	}
+	packets := int(le.Uint64(h8[:]))
+	if flows < 1 || packets < flows {
+		return nil, ErrFormat
+	}
+
+	tr := &gen.Trace{
+		Spec: gen.Spec{
+			Name: string(name), Packets: packets, Flows: flows,
+			Skew: skew, Kind: kind, Seed: seed,
+		},
+		IDs: make([][]byte, flows),
+		Seq: make([]uint32, packets),
+	}
+	idSize := kind.Size()
+	blob := make([]byte, flows*idSize)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return nil, err
+	}
+	for i := range tr.IDs {
+		tr.IDs[i] = blob[i*idSize : (i+1)*idSize : (i+1)*idSize]
+	}
+	seqBytes := make([]byte, 4*packets)
+	if _, err := io.ReadFull(br, seqBytes); err != nil {
+		return nil, err
+	}
+	for i := range tr.Seq {
+		tr.Seq[i] = le.Uint32(seqBytes[4*i:])
+		if int(tr.Seq[i]) >= flows {
+			return nil, ErrFormat
+		}
+	}
+	tr.RebuildCounts()
+	return tr, nil
+}
+
+// WriteFile writes tr to path.
+func WriteFile(path string, tr *gen.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace from path.
+func ReadFile(path string) (*gen.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func sample(t *testing.T, kind gen.IDKind) *gen.Trace {
+	t.Helper()
+	return gen.MustGenerate(gen.Spec{
+		Name: "sample", Packets: 20000, Flows: 1500, Skew: 1.0, Kind: kind, Seed: 7,
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, kind := range []gen.IDKind{gen.IDFiveTuple, gen.IDTwoTuple, gen.IDWord} {
+		tr := sample(t, kind)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if got.Spec.Name != tr.Spec.Name || got.Spec.Skew != tr.Spec.Skew ||
+			got.Spec.Seed != tr.Spec.Seed || got.Spec.Kind != tr.Spec.Kind {
+			t.Fatalf("spec mismatch: %+v vs %+v", got.Spec, tr.Spec)
+		}
+		if got.Len() != tr.Len() || got.Flows() != tr.Flows() {
+			t.Fatalf("size mismatch")
+		}
+		for p := 0; p < tr.Len(); p++ {
+			if string(got.Key(p)) != string(tr.Key(p)) {
+				t.Fatalf("kind %d: packet %d differs", kind, p)
+			}
+		}
+		// Counts must be rebuilt.
+		for i := 0; i < tr.Flows(); i++ {
+			if got.Count(i) != tr.Count(i) {
+				t.Fatalf("flow %d count %d want %d", i, got.Count(i), tr.Count(i))
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := sample(t, gen.IDFiveTuple)
+	path := filepath.Join(t.TempDir(), "x.hktr")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatal("length mismatch after file round trip")
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE1234567890"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestRejectsTruncated(t *testing.T) {
+	tr := sample(t, gen.IDWord)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{0, 3, 10, 30, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestRejectsCorruptKind(t *testing.T) {
+	tr := sample(t, gen.IDWord)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// kind field: magic(4) + version(4) + nameLen(4) + name(6 "sample") +
+	// skew(8) + seed(8) = offset 34.
+	raw[34] = 0xff
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupt kind accepted")
+	}
+}
+
+func TestRejectsOutOfRangeIndex(t *testing.T) {
+	tr := sample(t, gen.IDWord)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Clobber the last sequence entry with a huge index.
+	for i := 1; i <= 4; i++ {
+		raw[len(raw)-i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("out-of-range flow index accepted")
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	tr := gen.MustGenerate(gen.Spec{Packets: 100000, Flows: 10000, Skew: 1, Kind: gen.IDFiveTuple, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	tr := gen.MustGenerate(gen.Spec{Packets: 100000, Flows: 10000, Skew: 1, Kind: gen.IDFiveTuple, Seed: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package vswitch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/xrand"
+)
+
+// frameWorkload synthesizes raw Ethernet frames over nflows flows with a
+// skewed distribution and returns them with exact per-key counts.
+func frameWorkload(n, nflows int, seed uint64) (frames [][]byte, exact map[string]uint64) {
+	rng := xrand.NewXorshift64Star(seed)
+	tuples := make([]packet.FiveTuple, nflows)
+	for i := range tuples {
+		tuples[i] = packet.FiveTuple{
+			SrcIP:   [4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)},
+			DstIP:   [4]byte{192, 168, byte(i >> 8), byte(i)},
+			SrcPort: uint16(1024 + i%5000),
+			DstPort: 443,
+			Proto:   packet.ProtoTCP,
+		}
+	}
+	exact = map[string]uint64{}
+	frames = make([][]byte, n)
+	for p := range frames {
+		i := int(rng.Uint64n(rng.Uint64n(uint64(nflows)) + 1)) // skewed
+		frames[p] = packet.Build(tuples[i], nil)
+		exact[string(tuples[i].Key(nil))]++
+	}
+	return frames, exact
+}
+
+func TestRunFramesParsesAndCounts(t *testing.T) {
+	frames, exact := frameWorkload(30000, 500, 7)
+	sk := core.MustNew(core.Config{W: 2048, Seed: 1})
+	p := MustNewPipeline(1024, func(key []byte) { sk.InsertBasic(key) })
+	p.BlockWhenFull = true
+	stats := p.RunFrames(len(frames), func(i int) []byte { return frames[i] })
+	if stats.Forwarded != uint64(len(frames)) {
+		t.Errorf("forwarded %d want %d", stats.Forwarded, len(frames))
+	}
+	if stats.ParseErrors != 0 {
+		t.Errorf("parse errors: %d", stats.ParseErrors)
+	}
+	if stats.Consumed != uint64(len(frames)) {
+		t.Errorf("consumed %d want %d", stats.Consumed, len(frames))
+	}
+	// The sketch must see flows under the canonical key encoding: the
+	// heaviest flow's estimate should be close to its true count.
+	var bestKey string
+	var bestCount uint64
+	for k, c := range exact {
+		if c > bestCount {
+			bestKey, bestCount = k, c
+		}
+	}
+	est := uint64(sk.Query([]byte(bestKey)))
+	if est < bestCount*9/10 || est > bestCount {
+		t.Errorf("head flow estimate %d, true %d", est, bestCount)
+	}
+}
+
+func TestRunFramesCountsParseErrors(t *testing.T) {
+	good := packet.Build(packet.FiveTuple{Proto: packet.ProtoUDP}, nil)
+	junk := []byte{1, 2, 3}
+	n := 0
+	p := MustNewPipeline(64, func(key []byte) { n++ })
+	p.BlockWhenFull = true
+	stats := p.RunFrames(10, func(i int) []byte {
+		if i%2 == 0 {
+			return junk
+		}
+		return good
+	})
+	if stats.ParseErrors != 5 {
+		t.Errorf("parse errors = %d want 5", stats.ParseErrors)
+	}
+	if stats.Forwarded != 10 {
+		t.Errorf("forwarded = %d want 10 (junk is still forwarded)", stats.Forwarded)
+	}
+	if n != 5 {
+		t.Errorf("measured %d packets want 5", n)
+	}
+}
+
+func TestFrameStatsThroughput(t *testing.T) {
+	s := FrameStats{Forwarded: 3_000_000, Elapsed: 1e9}
+	if got := s.ThroughputMps(); got != 3.0 {
+		t.Errorf("ThroughputMps = %v want 3", got)
+	}
+	if (FrameStats{}).ThroughputMps() != 0 {
+		t.Error("zero elapsed should give 0")
+	}
+}
+
+func BenchmarkRunFramesParse(b *testing.B) {
+	frames, _ := frameWorkload(1<<14, 1000, 1)
+	sk := core.MustNew(core.Config{W: 4096, Seed: 1})
+	p := MustNewPipeline(4096, func(key []byte) { sk.InsertBasic(key) })
+	p.BlockWhenFull = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RunFrames(len(frames), func(j int) []byte { return frames[j] })
+	}
+}

@@ -1,0 +1,145 @@
+package vswitch
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Stats reports one pipeline run.
+type Stats struct {
+	// Forwarded is the number of packets the datapath forwarded.
+	Forwarded uint64
+	// Tapped is the number of flow IDs successfully placed in the ring.
+	Tapped uint64
+	// Dropped is the number of IDs dropped because the ring was full.
+	Dropped uint64
+	// Consumed is the number of IDs processed by the measurement program.
+	Consumed uint64
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// ThroughputMps returns forwarded packets per second in millions — the
+// paper's Fig 34 metric.
+func (s Stats) ThroughputMps() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Forwarded) / s.Elapsed.Seconds() / 1e6
+}
+
+// forwardCost models the datapath's per-packet forwarding work (header
+// lookup and route decision). It touches a tiny routing table so the
+// simulated datapath has a realistic non-zero baseline cost that a slow
+// measurement consumer can back-pressure against.
+type forwardCost struct {
+	table [256]uint64
+}
+
+func (f *forwardCost) forward(key []byte) {
+	var h uint64
+	for _, b := range key {
+		h = h*131 + uint64(b)
+	}
+	f.table[h&255]++
+}
+
+// Pipeline is the simulated switch: datapath goroutine, shared ring, and a
+// user-space measurement program.
+type Pipeline struct {
+	ring *Ring
+	// insert is the measurement algorithm's per-packet entry point; nil
+	// means "no algorithm" (the raw-OVS baseline bar in Fig 34).
+	insert func(key []byte)
+	// BlockWhenFull makes the datapath spin instead of dropping when the
+	// ring is full. The paper's OVS tap drops under pressure (keeping
+	// forwarding at line rate); blocking mode measures the back-pressured
+	// throughput instead, which is the conservative number reported by
+	// the Fig 34 bench.
+	BlockWhenFull bool
+}
+
+// NewPipeline builds a pipeline with the given ring capacity and
+// measurement algorithm (nil for the forwarding-only baseline).
+func NewPipeline(ringCapacity int, insert func(key []byte)) (*Pipeline, error) {
+	if ringCapacity < 1 {
+		return nil, fmt.Errorf("vswitch: ring capacity %d, must be >= 1", ringCapacity)
+	}
+	ring, err := NewRing(ringCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{ring: ring, insert: insert}, nil
+}
+
+// MustNewPipeline is NewPipeline that panics on error.
+func MustNewPipeline(ringCapacity int, insert func(key []byte)) *Pipeline {
+	p, err := NewPipeline(ringCapacity, insert)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run drives n packets through the switch. keyAt returns packet i's flow
+// identifier. The datapath runs on the calling goroutine; the measurement
+// program runs on its own goroutine, exactly mirroring the paper's split
+// between the modified OVS datapath and the user-space HeavyKeeper process.
+func (p *Pipeline) Run(n int, keyAt func(i int) []byte) Stats {
+	var stats Stats
+	done := make(chan uint64)
+
+	// User-space measurement program. It spins on the ring until the
+	// producer's end-of-stream sentinel (an empty key) arrives; the
+	// producer pushes the sentinel with a blocking loop, so termination is
+	// guaranteed.
+	go func() {
+		var consumed uint64
+		var buf [MaxKeySize]byte
+		for {
+			key, ok := p.ring.Pop(buf[:])
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if len(key) == 0 {
+				break // end-of-stream sentinel
+			}
+			if p.insert != nil {
+				p.insert(key)
+			}
+			consumed++
+		}
+		done <- consumed
+	}()
+
+	fc := &forwardCost{}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		key := keyAt(i)
+		fc.forward(key)
+		stats.Forwarded++
+		if p.insert == nil {
+			continue // baseline: no tap at all
+		}
+		if p.BlockWhenFull {
+			for !p.ring.Push(key) {
+				runtime.Gosched()
+			}
+			stats.Tapped++
+		} else if p.ring.Push(key) {
+			stats.Tapped++
+		} else {
+			stats.Dropped++
+		}
+	}
+	// End-of-stream sentinel: an empty key, pushed blocking so the consumer
+	// always terminates.
+	for !p.ring.Push(nil) {
+		runtime.Gosched()
+	}
+	stats.Elapsed = time.Since(start)
+	stats.Consumed = <-done
+	return stats
+}

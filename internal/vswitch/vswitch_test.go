@@ -1,0 +1,194 @@
+package vswitch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	r := MustNewRing(3)
+	if r.Cap() != 4 {
+		t.Errorf("Cap = %d want 4 (rounded to power of two)", r.Cap())
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := MustNewRing(8)
+	for i := 0; i < 5; i++ {
+		if !r.Push([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	var buf [MaxKeySize]byte
+	for i := 0; i < 5; i++ {
+		key, ok := r.Pop(buf[:])
+		if !ok || string(key) != fmt.Sprintf("k%d", i) {
+			t.Fatalf("pop %d = %q, %v", i, key, ok)
+		}
+	}
+	if _, ok := r.Pop(buf[:]); ok {
+		t.Error("pop from empty ring succeeded")
+	}
+}
+
+func TestRingFullRejects(t *testing.T) {
+	r := MustNewRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.Push([]byte{byte(i)}) {
+			t.Fatalf("push %d failed before capacity", i)
+		}
+	}
+	if r.Push([]byte{9}) {
+		t.Error("push into full ring succeeded")
+	}
+	var buf [MaxKeySize]byte
+	r.Pop(buf[:])
+	if !r.Push([]byte{9}) {
+		t.Error("push after pop failed")
+	}
+}
+
+func TestRingRejectsOversizedKey(t *testing.T) {
+	r := MustNewRing(4)
+	if r.Push(make([]byte, MaxKeySize+1)) {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := MustNewRing(4)
+	var buf [MaxKeySize]byte
+	for round := 0; round < 100; round++ {
+		k := []byte(fmt.Sprintf("r%03d", round))
+		if !r.Push(k) {
+			t.Fatalf("push failed at round %d", round)
+		}
+		got, ok := r.Pop(buf[:])
+		if !ok || string(got) != string(k) {
+			t.Fatalf("round %d: got %q ok=%v", round, got, ok)
+		}
+	}
+}
+
+func TestRingSPSCConcurrent(t *testing.T) {
+	r := MustNewRing(64)
+	const n = 200000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var sum uint64
+	go func() {
+		defer wg.Done()
+		var buf [MaxKeySize]byte
+		got := 0
+		for got < n {
+			key, ok := r.Pop(buf[:])
+			if !ok {
+				continue
+			}
+			sum += uint64(key[0]) | uint64(key[1])<<8 | uint64(key[2])<<16
+			got++
+		}
+	}()
+	var want uint64
+	for i := 0; i < n; i++ {
+		k := []byte{byte(i), byte(i >> 8), byte(i >> 16)}
+		want += uint64(i & 0xffffff)
+		for !r.Push(k) {
+		}
+	}
+	wg.Wait()
+	if sum != want {
+		t.Errorf("consumer saw checksum %d want %d (lost or corrupt entries)", sum, want)
+	}
+}
+
+func TestPipelineDeliversAllPackets(t *testing.T) {
+	tr := gen.MustGenerate(gen.Spec{Packets: 50000, Flows: 5000, Skew: 1, Kind: gen.IDFiveTuple, Seed: 1})
+	sk := core.MustNew(core.Config{W: 1024, Seed: 2})
+	var mu sync.Mutex
+	insert := func(key []byte) {
+		mu.Lock()
+		sk.InsertBasic(key)
+		mu.Unlock()
+	}
+	p := MustNewPipeline(1024, insert)
+	p.BlockWhenFull = true
+	stats := p.Run(tr.Len(), tr.Key)
+	if stats.Forwarded != uint64(tr.Len()) {
+		t.Errorf("forwarded %d want %d", stats.Forwarded, tr.Len())
+	}
+	if stats.Consumed != uint64(tr.Len()) {
+		t.Errorf("consumed %d want %d in blocking mode", stats.Consumed, tr.Len())
+	}
+	if stats.Dropped != 0 {
+		t.Errorf("dropped %d in blocking mode", stats.Dropped)
+	}
+	mu.Lock()
+	packets := sk.Stats().Packets
+	mu.Unlock()
+	if packets != uint64(tr.Len()) {
+		t.Errorf("sketch saw %d packets want %d", packets, tr.Len())
+	}
+}
+
+func TestPipelineDropModeCountsDrops(t *testing.T) {
+	// A deliberately slow consumer with a tiny ring must produce drops
+	// while forwarding still completes.
+	slow := func(key []byte) {
+		for i := 0; i < 2000; i++ {
+			_ = i * i
+		}
+	}
+	p := MustNewPipeline(2, slow)
+	key := []byte("flow")
+	stats := p.Run(20000, func(i int) []byte { return key })
+	if stats.Forwarded != 20000 {
+		t.Errorf("forwarded %d want 20000", stats.Forwarded)
+	}
+	if stats.Dropped == 0 {
+		t.Error("expected drops with a slow consumer and tiny ring")
+	}
+	if stats.Tapped+stats.Dropped != 20000 {
+		t.Errorf("tapped %d + dropped %d != 20000", stats.Tapped, stats.Dropped)
+	}
+}
+
+func TestPipelineBaselineFasterThanMeasured(t *testing.T) {
+	tr := gen.MustGenerate(gen.Spec{Packets: 200000, Flows: 10000, Skew: 1, Kind: gen.IDWord, Seed: 3})
+	baseline := MustNewPipeline(4096, nil)
+	b := baseline.Run(tr.Len(), tr.Key)
+	if b.Consumed != 0 {
+		t.Errorf("baseline consumed %d packets, want 0", b.Consumed)
+	}
+	if b.ThroughputMps() <= 0 {
+		t.Error("baseline throughput not positive")
+	}
+}
+
+func TestStatsThroughput(t *testing.T) {
+	s := Stats{Forwarded: 2_000_000, Elapsed: 1e9} // 1s
+	if got := s.ThroughputMps(); got != 2.0 {
+		t.Errorf("ThroughputMps = %v want 2.0", got)
+	}
+	if (Stats{}).ThroughputMps() != 0 {
+		t.Error("zero-elapsed throughput should be 0")
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := MustNewRing(1024)
+	key := []byte("0123456789abc")
+	var buf [MaxKeySize]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(key)
+		r.Pop(buf[:])
+	}
+}

@@ -1,0 +1,147 @@
+// Package window provides approximate sliding-window top-k on top of
+// HeavyKeeper, using the classic two-pane construction: items are inserted
+// into a current pane; every W/2 items the panes rotate and the oldest pane
+// is discarded. A report merges the live panes, so it always covers at
+// least the last W/2 and at most the last W items — the windowed variant
+// of the paper's per-epoch reporting (footnote 2), and the setting CSS
+// (Ben-Basat et al., INFOCOM 2016) targets natively.
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/topk"
+)
+
+// TopK tracks the top-k flows of (approximately) the last W items.
+type TopK struct {
+	k       int
+	pane    int // items per pane = W/2
+	opts    topk.Options
+	seq     uint64 // items inserted into the current pane
+	current *topk.Tracker
+	prev    *topk.Tracker // nil before the first rotation
+	rotates uint64
+}
+
+// New returns a sliding-window tracker covering windowSize items, with the
+// given per-pane HeavyKeeper options (opts.K is overridden with k).
+func New(k, windowSize int, opts topk.Options) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("window: k = %d, must be >= 1", k)
+	}
+	if windowSize < 2 {
+		return nil, fmt.Errorf("window: windowSize = %d, must be >= 2", windowSize)
+	}
+	opts.K = k
+	cur, err := topk.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{
+		k:       k,
+		pane:    windowSize / 2,
+		opts:    opts,
+		current: cur,
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(k, windowSize int, opts topk.Options) *TopK {
+	w, err := New(k, windowSize, opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Add records one item and rotates the panes at pane boundaries.
+func (w *TopK) Add(key []byte) {
+	w.current.Insert(key)
+	w.seq++
+	if w.seq >= uint64(w.pane) {
+		w.rotate()
+	}
+}
+
+// rotate retires the previous pane and opens a fresh one. Pane sketches
+// reuse the same options (and hence seed); determinism is preserved and
+// panes never merge, so identical seeding is harmless.
+func (w *TopK) rotate() {
+	w.prev = w.current
+	w.current = topk.MustNew(w.opts)
+	w.seq = 0
+	w.rotates++
+}
+
+// Top reports the top-k flows over the live panes (covering the last W/2
+// to W items), combining per-pane estimates by sum: a flow active in both
+// panes accrued its count across them.
+func (w *TopK) Top() []metrics.Entry {
+	cur := toEntries(w.current.Top())
+	if w.prev == nil {
+		if len(cur) > w.k {
+			cur = cur[:w.k]
+		}
+		return cur
+	}
+	merged := map[string]uint64{}
+	for _, e := range cur {
+		merged[e.Key] += e.Count
+	}
+	for _, e := range toEntries(w.prev.Top()) {
+		merged[e.Key] += e.Count
+	}
+	out := make([]metrics.Entry, 0, len(merged))
+	for k, c := range merged {
+		out = append(out, metrics.Entry{Key: k, Count: c})
+	}
+	sortEntries(out)
+	if len(out) > w.k {
+		out = out[:w.k]
+	}
+	return out
+}
+
+// Query returns the windowed estimate for key (sum of live panes).
+func (w *TopK) Query(key []byte) uint64 {
+	est := w.current.Query(key)
+	if w.prev != nil {
+		est += w.prev.Query(key)
+	}
+	return est
+}
+
+// Rotations returns the number of pane rotations, for tests and monitoring.
+func (w *TopK) Rotations() uint64 { return w.rotates }
+
+// WindowSize returns the nominal window coverage in items.
+func (w *TopK) WindowSize() int { return 2 * w.pane }
+
+func toEntries(in []topk.Entry) []metrics.Entry {
+	out := make([]metrics.Entry, len(in))
+	for i, e := range in {
+		out[i] = metrics.Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+func sortEntries(es []metrics.Entry) {
+	// Insertion sort: reports are k-sized.
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for ; j >= 0 && less(es[j], e); j-- {
+			es[j+1] = es[j]
+		}
+		es[j+1] = e
+	}
+}
+
+func less(a, b metrics.Entry) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	return a.Key > b.Key
+}

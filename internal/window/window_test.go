@@ -1,0 +1,140 @@
+package window
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topk"
+	"repro/internal/xrand"
+)
+
+func opts() topk.Options {
+	return topk.Options{Sketch: core.Config{W: 512, Seed: 3}}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 100, opts()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(5, 1, opts()); err == nil {
+		t.Error("windowSize=1 accepted")
+	}
+	if _, err := New(5, 100, topk.Options{Sketch: core.Config{W: 0}}); err == nil {
+		t.Error("bad sketch options accepted")
+	}
+}
+
+func TestRotationCadence(t *testing.T) {
+	w := MustNew(5, 100, opts()) // pane = 50
+	for i := 0; i < 49; i++ {
+		w.Add([]byte("x"))
+	}
+	if w.Rotations() != 0 {
+		t.Fatalf("rotated after %d items", 49)
+	}
+	w.Add([]byte("x"))
+	if w.Rotations() != 1 {
+		t.Fatalf("no rotation at pane boundary")
+	}
+	if w.WindowSize() != 100 {
+		t.Errorf("WindowSize = %d want 100", w.WindowSize())
+	}
+}
+
+func TestOldTrafficExpires(t *testing.T) {
+	w := MustNew(3, 1000, opts()) // pane = 500
+	// An old elephant entirely in the first pane.
+	for i := 0; i < 400; i++ {
+		w.Add([]byte("old"))
+	}
+	if got := w.Query([]byte("old")); got != 400 {
+		t.Fatalf("fresh query = %d want 400", got)
+	}
+	// Two panes of fresh traffic push it out of the window.
+	for i := 0; i < 1100; i++ {
+		w.Add([]byte(fmt.Sprintf("fresh-%d", i%5)))
+	}
+	if got := w.Query([]byte("old")); got != 0 {
+		t.Errorf("expired flow still reports %d", got)
+	}
+	for _, e := range w.Top() {
+		if e.Key == "old" {
+			t.Error("expired flow still in the windowed top-k")
+		}
+	}
+}
+
+func TestWindowCountsSpanPanes(t *testing.T) {
+	w := MustNew(3, 200, opts()) // pane = 100
+	// A flow active across the rotation keeps its combined count.
+	for i := 0; i < 150; i++ {
+		w.Add([]byte("span"))
+	}
+	got := w.Query([]byte("span"))
+	if got != 150 {
+		t.Errorf("spanning flow reports %d want 150", got)
+	}
+	top := w.Top()
+	if len(top) == 0 || top[0].Key != "span" || top[0].Count != 150 {
+		t.Errorf("Top = %v", top)
+	}
+}
+
+func TestWindowedTopKTracksRecentElephants(t *testing.T) {
+	const pane = 5000
+	w := MustNew(5, 2*pane, opts())
+	rng := xrand.NewXorshift64Star(9)
+	// Phase 1: elephants A0..A4 dominate.
+	for i := 0; i < 2*pane; i++ {
+		if i%3 == 0 {
+			w.Add([]byte(fmt.Sprintf("A%d", i%5)))
+		} else {
+			w.Add([]byte(fmt.Sprintf("m%d", rng.Uint64n(3000))))
+		}
+	}
+	// Phase 2: elephants B0..B4 take over for two full panes.
+	for i := 0; i < 2*pane; i++ {
+		if i%3 == 0 {
+			w.Add([]byte(fmt.Sprintf("B%d", i%5)))
+		} else {
+			w.Add([]byte(fmt.Sprintf("m%d", rng.Uint64n(3000))))
+		}
+	}
+	top := w.Top()
+	bs := 0
+	for _, e := range top {
+		if e.Key[0] == 'B' {
+			bs++
+		}
+		if e.Key[0] == 'A' {
+			t.Errorf("stale elephant %s still reported", e.Key)
+		}
+	}
+	if bs < 4 {
+		t.Errorf("only %d/5 recent elephants reported: %v", bs, top)
+	}
+}
+
+func TestTopBeforeFirstRotation(t *testing.T) {
+	w := MustNew(2, 1000, opts())
+	w.Add([]byte("a"))
+	w.Add([]byte("a"))
+	w.Add([]byte("b"))
+	top := w.Top()
+	if len(top) != 2 || top[0].Key != "a" || top[0].Count != 2 {
+		t.Errorf("Top = %v", top)
+	}
+}
+
+func BenchmarkWindowAdd(b *testing.B) {
+	w := MustNew(100, 1<<16, topk.Options{Sketch: core.Config{W: 4096, Seed: 1}})
+	keys := make([][]byte, 1<<12)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(keys[i&(len(keys)-1)])
+	}
+}

@@ -1,0 +1,110 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used on the hot path of the sketches in this repository.
+//
+// The sketches need two things math/rand does not give cheaply:
+//
+//   - a raw 64-bit word per coin flip with no locking and no interface calls,
+//     so that an exponential-decay probe costs a handful of instructions; and
+//   - bit-for-bit reproducibility under an explicit seed, so that every
+//     experiment in the paper reproduction can be replayed exactly.
+//
+// Two generators are provided: SplitMix64, used to derive seeds and to
+// bootstrap other generators, and Xorshift64Star, used for per-packet decay
+// coin flips. Neither is cryptographically secure; both pass the statistical
+// smoke tests in this package's test file, which is all a measurement sketch
+// requires.
+package xrand
+
+import "math/bits"
+
+// SplitMix64 is the seed-expansion generator from Steele, Lea and Flood,
+// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014). It is used
+// to turn one user-provided seed into the many internal seeds a sketch needs
+// (one per array, one for fingerprints, one for decay flips) without the
+// correlations that naive seed arithmetic introduces.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed. Any seed, including
+// zero, is valid.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xorshift64Star is Marsaglia's xorshift generator with a multiplicative
+// output scramble (Vigna, "An experimental exploration of Marsaglia's
+// xorshift generators, scrambled"). One Next call is three shifts, three
+// xors and one multiply — cheap enough to run once per mismatched bucket on
+// the packet-insertion path.
+//
+// The zero state is invalid for raw xorshift; the constructor remaps it.
+type Xorshift64Star struct {
+	state uint64
+}
+
+// NewXorshift64Star returns a generator seeded with seed. A zero seed is
+// remapped through SplitMix64 so the state is never zero.
+func NewXorshift64Star(seed uint64) *Xorshift64Star {
+	if seed == 0 {
+		seed = NewSplitMix64(0xdeadbeefcafef00d).Next()
+	}
+	return &Xorshift64Star{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence. It is never zero.
+func (x *Xorshift64Star) Next() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform float64 in [0, 1) derived from the top 53 bits
+// of Next. It is used where a probability comparison genuinely needs a
+// float; the sketches themselves compare raw words against fixed-point
+// thresholds instead.
+func (x *Xorshift64Star) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n is zero.
+// The implementation uses the widening-multiply trick (Lemire, "Fast random
+// integer generation in an interval") without the rejection step; the bias
+// is below 2^-32 for the n values used in this repository (trace shuffling,
+// workload generation) and irrelevant for measurement workloads.
+func (x *Xorshift64Star) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, _ := bits.Mul64(x.Next(), n)
+	return hi
+}
+
+// Intn returns a uniform value in [0, n) as an int. It panics if n <= 0.
+func (x *Xorshift64Star) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+// It mirrors math/rand's Shuffle contract.
+func (x *Xorshift64Star) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}

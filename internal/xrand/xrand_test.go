@@ -1,0 +1,232 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the published splitmix64 algorithm.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("Next() #%d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64DifferentSeedsDiverge(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestXorshiftZeroSeedRemapped(t *testing.T) {
+	x := NewXorshift64Star(0)
+	if x.state == 0 {
+		t.Fatal("zero seed left state zero; generator would be stuck")
+	}
+	if x.Next() == 0 {
+		t.Fatal("xorshift64* must never emit zero")
+	}
+}
+
+func TestXorshiftNeverZero(t *testing.T) {
+	x := NewXorshift64Star(12345)
+	for i := 0; i < 100000; i++ {
+		if x.Next() == 0 {
+			t.Fatalf("emitted zero at step %d", i)
+		}
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a := NewXorshift64Star(7)
+	b := NewXorshift64Star(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXorshift64Star(99)
+	for i := 0; i < 100000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := NewXorshift64Star(4242)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of %d uniform draws = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	x := NewXorshift64Star(1)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := x.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nOneAlwaysZero(t *testing.T) {
+	x := NewXorshift64Star(8)
+	for i := 0; i < 100; i++ {
+		if v := x.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewXorshift64Star(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewXorshift64Star(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared smoke test over 16 buckets.
+	x := NewXorshift64Star(31337)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[x.Uint64n(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile is ~37.7.
+	if chi2 > 37.7 {
+		t.Errorf("chi-squared = %v, distribution looks non-uniform", chi2)
+	}
+}
+
+func TestUint64nBoundProperty(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		x := NewXorshift64Star(seed)
+		for i := 0; i < 32; i++ {
+			if x.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePermutes(t *testing.T) {
+	x := NewXorshift64Star(5)
+	const n = 100
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	x.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool, n)
+	for _, v := range vals {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("shuffle broke permutation invariant at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	mk := func() []int {
+		x := NewXorshift64Star(77)
+		v := make([]int, 50)
+		for i := range v {
+			v[i] = i
+		}
+		x.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+		return v
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shuffle not deterministic at index %d", i)
+		}
+	}
+}
+
+func BenchmarkXorshiftNext(b *testing.B) {
+	x := NewXorshift64Star(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = x.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkSplitMixNext(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Next()
+	}
+	_ = sink
+}

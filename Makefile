@@ -1,0 +1,32 @@
+# Single source of truth for the commands CI runs; humans run the same
+# targets locally.
+
+GO ?= go
+
+.PHONY: build vet fmt test race bench throughput
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (like CI) when any file needs reformatting; run `gofmt -w .` to fix.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# race covers the packages with concurrency surface (root package: Concurrent,
+# Sharded) and the sketch core under them; the full tree under -race takes
+# tens of minutes (internal/vswitch alone runs >2 min without it).
+race:
+	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary
+
+bench:
+	$(GO) test -run - -bench Ingest -benchtime 1s .
+
+throughput:
+	$(GO) run ./cmd/hkbench -throughput

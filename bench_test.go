@@ -17,10 +17,13 @@ package heavykeeper_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
 
+	heavykeeper "repro"
+	"repro/internal/gen"
 	"repro/internal/harness"
 )
 
@@ -128,6 +131,133 @@ func BenchmarkAblationFingerprint(b *testing.B)    { benchAblation(b, "fingerpri
 func BenchmarkAblationOptimizations(b *testing.B)  { benchAblation(b, "optimizations") }
 func BenchmarkAblationStore(b *testing.B)          { benchAblation(b, "store") }
 func BenchmarkAblationExpansion(b *testing.B)      { benchAblation(b, "expansion") }
+
+// ---------------------------------------------------------------------------
+// Parallel ingest benchmarks: Concurrent's single mutex vs Sharded's
+// per-shard locks, per-packet vs batched, across goroutine counts.
+//
+// Run with: go test -bench Ingest -benchtime 2s .
+// The acceptance target for the sharded subsystem is Sharded.AddBatch at
+// ≥ 2× the throughput of Concurrent.Add at 8 goroutines.
+// ---------------------------------------------------------------------------
+
+var (
+	ingestKeysOnce sync.Once
+	ingestKeys     [][]byte
+)
+
+// sharedIngestKeys is a zipfian key stream (16k distinct draws over ~3k
+// flows) shared by all ingest benchmarks.
+func sharedIngestKeys() [][]byte {
+	ingestKeysOnce.Do(func() {
+		tr := gen.MustGenerate(gen.Spec{
+			Name: "bench", Packets: 1 << 14, Flows: 3000, Skew: 1.0,
+			Kind: gen.IDTwoTuple, Seed: 7,
+		})
+		ingestKeys = make([][]byte, 0, tr.Len())
+		tr.ForEach(func(key []byte) { ingestKeys = append(ingestKeys, key) })
+	})
+	return ingestKeys
+}
+
+// benchIngest runs body via b.RunParallel with exactly g goroutines by
+// pinning GOMAXPROCS to g for the duration (RunParallel spawns GOMAXPROCS ×
+// parallelism goroutines). Each goroutine walks the shared key stream from
+// its own offset.
+func benchIngest(b *testing.B, g int, body func(pb *testing.PB, keys [][]byte)) {
+	b.Helper()
+	keys := sharedIngestKeys()
+	prev := runtime.GOMAXPROCS(g)
+	defer runtime.GOMAXPROCS(prev)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) { body(pb, keys) })
+}
+
+func BenchmarkIngestConcurrentAdd(b *testing.B) {
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			c, err := heavykeeper.NewConcurrent(100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchIngest(b, g, func(pb *testing.PB, keys [][]byte) {
+				i := 0
+				for pb.Next() {
+					c.Add(keys[i&(len(keys)-1)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkIngestShardedAdd(b *testing.B) {
+	for _, s := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("s=%d/g=%d", s, s), func(b *testing.B) {
+			sh, err := heavykeeper.NewSharded(100, heavykeeper.WithShards(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchIngest(b, s, func(pb *testing.PB, keys [][]byte) {
+				i := 0
+				for pb.Next() {
+					sh.Add(keys[i&(len(keys)-1)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+// batchedBody drains the stream in contiguous windows of size bs per
+// iteration batch; pb.Next is consumed once per packet so ns/op stays
+// per-packet comparable with the unbatched benchmarks.
+func batchedBody(add func([][]byte), bs int) func(pb *testing.PB, keys [][]byte) {
+	return func(pb *testing.PB, keys [][]byte) {
+		i := 0
+		for {
+			n := 0
+			for n < bs && pb.Next() {
+				n++
+			}
+			if n == 0 {
+				return
+			}
+			lo := i & (len(keys) - 1)
+			if lo+n > len(keys) {
+				lo = 0
+			}
+			add(keys[lo : lo+n])
+			i += n
+		}
+	}
+}
+
+func BenchmarkIngestConcurrentAddBatch(b *testing.B) {
+	for _, bs := range []int{64, 256} {
+		b.Run(fmt.Sprintf("g=8/batch=%d", bs), func(b *testing.B) {
+			c, err := heavykeeper.NewConcurrent(100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchIngest(b, 8, batchedBody(c.AddBatch, bs))
+		})
+	}
+}
+
+func BenchmarkIngestShardedAddBatch(b *testing.B) {
+	for _, s := range []int{1, 4, 8} {
+		for _, bs := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("s=%d/g=%d/batch=%d", s, s, bs), func(b *testing.B) {
+				sh, err := heavykeeper.NewSharded(100, heavykeeper.WithShards(s))
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchIngest(b, s, batchedBody(sh.AddBatch, bs))
+			})
+		}
+	}
+}
 
 // BenchmarkInsertPerPacket measures the end-to-end per-packet cost of the
 // default public-API configuration — the number behind the paper's Mps

@@ -1,5 +1,6 @@
 // Command hkbench regenerates the HeavyKeeper paper's evaluation figures
-// (Figs 4–36) as text tables, plus this repository's ablation studies.
+// (Figs 4–36) as text tables, plus this repository's ablation studies and an
+// ingest-throughput comparison of the concurrency frontends.
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	hkbench -figure all            # every figure (takes a while)
 //	hkbench -figure ablations      # the repository's extra ablations
 //	hkbench -figure 8 -scale 0.1   # closer to paper-scale workloads
+//	hkbench -throughput -shards 8 -batch 256   # TopK vs Concurrent vs Sharded
 //	hkbench -list
 package main
 
@@ -14,18 +16,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
+	heavykeeper "repro"
+	"repro/internal/gen"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		figure = flag.String("figure", "", "figure number (4-36), 'all', 'ablations', or an ablation name")
-		scale  = flag.Float64("scale", 0.02, "scale factor on the paper's packet/flow counts (1.0 = full)")
-		seed   = flag.Uint64("seed", 31337, "seed")
-		list   = flag.Bool("list", false, "list available figures")
+		figure     = flag.String("figure", "", "figure number (4-36), 'all', 'ablations', or an ablation name")
+		scale      = flag.Float64("scale", 0.02, "scale factor on the paper's packet/flow counts (1.0 = full)")
+		seed       = flag.Uint64("seed", 31337, "seed")
+		list       = flag.Bool("list", false, "list available figures")
+		throughput = flag.Bool("throughput", false, "run the ingest throughput comparison instead of a figure")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count (and writer goroutines) for -throughput")
+		batch      = flag.Int("batch", 256, "batch size for the batched ingest variants of -throughput")
 	)
 	flag.Parse()
+
+	if *throughput {
+		if err := runThroughput(*shards, *batch, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("paper figures:")
@@ -70,4 +88,110 @@ func run(r *harness.Runner, id string) (*harness.Table, error) {
 		return tab, nil
 	}
 	return r.Ablation(id)
+}
+
+// runThroughput measures ingest throughput (Mpps) of the three concurrency
+// frontends on one zipfian trace: a single TopK (sequential baseline),
+// Concurrent with g writer goroutines (per-packet and batched), and Sharded
+// with s shards and s writers (per-packet and batched). The speedup column
+// is relative to per-packet Concurrent, the paper-era default.
+func runThroughput(shards, batch int, scale float64, seed uint64) error {
+	if shards < 1 || batch < 1 {
+		return fmt.Errorf("hkbench: -shards and -batch must be >= 1")
+	}
+	tr, err := gen.Generate(gen.Synthetic(1.0, seed).Scale(scale))
+	if err != nil {
+		return err
+	}
+	keys := make([][]byte, 0, tr.Len())
+	tr.ForEach(func(key []byte) { keys = append(keys, key) })
+	fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, GOMAXPROCS %d\n\n",
+		len(keys), tr.Flows(), shards, batch, runtime.GOMAXPROCS(0))
+
+	const k = 100
+	// Untimed warmup so the first timed variant doesn't pay the page-in of
+	// the trace.
+	warm := heavykeeper.MustNew(k)
+	for _, key := range keys {
+		warm.Add(key)
+	}
+
+	single := heavykeeper.MustNew(k)
+	conc, _ := heavykeeper.NewConcurrent(k)
+	concB, _ := heavykeeper.NewConcurrent(k)
+	shrd := heavykeeper.MustNewSharded(k, heavykeeper.WithShards(shards))
+	shrdB := heavykeeper.MustNewSharded(k, heavykeeper.WithShards(shards))
+
+	var base float64
+	for _, c := range []struct {
+		name string
+		g    int
+		run  func(part [][]byte)
+	}{
+		{"TopK.Add (sequential)", 1, func(p [][]byte) {
+			for _, key := range p {
+				single.Add(key)
+			}
+		}},
+		{"Concurrent.Add", shards, func(p [][]byte) {
+			for _, key := range p {
+				conc.Add(key)
+			}
+		}},
+		{"Concurrent.AddBatch", shards, func(p [][]byte) { drainBatches(p, batch, concB.AddBatch) }},
+		{"Sharded.Add", shards, func(p [][]byte) {
+			for _, key := range p {
+				shrd.Add(key)
+			}
+		}},
+		{"Sharded.AddBatch", shards, func(p [][]byte) { drainBatches(p, batch, shrdB.AddBatch) }},
+	} {
+		elapsed := timeParallel(keys, c.g, c.run)
+		mpps := float64(len(keys)) / elapsed.Seconds() / 1e6
+		if c.name == "Concurrent.Add" {
+			base = mpps
+		}
+		speedup := "      -"
+		if base > 0 {
+			speedup = fmt.Sprintf("%6.2fx", mpps/base)
+		}
+		fmt.Printf("%-24s %2d goroutines  %8.2f Mpps  %s\n", c.name, c.g, mpps, speedup)
+	}
+	return nil
+}
+
+// timeParallel splits keys into g contiguous parts and runs fn on each from
+// its own goroutine, returning the wall time.
+func timeParallel(keys [][]byte, g int, fn func(part [][]byte)) time.Duration {
+	var wg sync.WaitGroup
+	per := (len(keys) + g - 1) / g
+	start := time.Now()
+	for i := 0; i < g; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo >= len(keys) {
+			break
+		}
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(part [][]byte) {
+			defer wg.Done()
+			fn(part)
+		}(keys[lo:hi])
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// drainBatches feeds part to add in batches of size batch.
+func drainBatches(part [][]byte, batch int, add func([][]byte)) {
+	for lo := 0; lo < len(part); lo += batch {
+		hi := lo + batch
+		if hi > len(part) {
+			hi = len(part)
+		}
+		add(part[lo:hi])
+	}
 }

@@ -4,9 +4,13 @@ import "sync"
 
 // Concurrent is a mutex-guarded TopK for multi-goroutine use. HeavyKeeper's
 // single-writer hot path is a few dozen nanoseconds, so a plain mutex keeps
-// up with millions of packets per second; pipelines that need more should
-// shard flows across several TopK instances by flow hash instead (each
-// shard then reports its own top-k, merged at query time).
+// up with millions of packets per second from a handful of goroutines.
+// Prefer Sharded when ingest is the bottleneck: it fans flows across
+// per-core TopK shards by flow hash, so writers contend on per-shard locks
+// instead of this single global one, and its AddBatch takes each shard lock
+// once per batch rather than once per packet. Concurrent remains the right
+// choice when a single global sketch is required (e.g. for snapshotting one
+// mergeable sketch) or when write concurrency is low.
 type Concurrent struct {
 	mu sync.Mutex
 	t  *TopK
@@ -32,6 +36,15 @@ func (c *Concurrent) Add(flowID []byte) {
 func (c *Concurrent) AddString(flowID string) {
 	c.mu.Lock()
 	c.t.AddString(flowID)
+	c.mu.Unlock()
+}
+
+// AddBatch records one occurrence of every flow identifier in flowIDs,
+// taking the lock once for the whole batch and using the batched sketch
+// path underneath.
+func (c *Concurrent) AddBatch(flowIDs [][]byte) {
+	c.mu.Lock()
+	c.t.AddBatch(flowIDs)
 	c.mu.Unlock()
 }
 

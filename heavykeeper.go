@@ -21,8 +21,10 @@
 //	    fmt.Printf("%x %d\n", f.ID, f.Count)
 //	}
 //
-// A TopK is not safe for concurrent use; wrap it with NewConcurrent for a
-// mutex-guarded version, or shard by flow hash for parallel pipelines.
+// A TopK is not safe for concurrent use. NewConcurrent wraps one behind a
+// single mutex for modest multi-goroutine loads; NewSharded fans flows
+// across per-core shards by flow hash, with per-shard locks and a batched
+// ingest path (AddBatch), for pipelines that need to scale with cores.
 package heavykeeper
 
 import (
@@ -87,6 +89,7 @@ type config struct {
 	useHeap         bool
 	expandThreshold uint64
 	maxArrays       int
+	shards          int
 }
 
 // Option configures New.
@@ -195,6 +198,18 @@ func WithExpansion(threshold uint64, maxArrays int) Option {
 	}
 }
 
+// WithShards sets the shard count for NewSharded (default: GOMAXPROCS at
+// construction time). It is ignored by New and NewConcurrent.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("heavykeeper: shard count %d must be >= 1", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
 // DefaultMemory is the byte budget used when neither WithMemory nor
 // WithWidth is given: 64 KB, comfortably above the paper's highest-accuracy
 // operating point for k = 100 on 10M-packet traces.
@@ -209,8 +224,17 @@ type TopK struct {
 
 // New returns a TopK tracking the k largest flows.
 func New(k int, opts ...Option) (*TopK, error) {
+	cfg, err := parseConfig(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newTopK(k, cfg)
+}
+
+// parseConfig validates k and folds the options into a config.
+func parseConfig(k int, opts []Option) (config, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("heavykeeper: k = %d, must be >= 1", k)
+		return config{}, fmt.Errorf("heavykeeper: k = %d, must be >= 1", k)
 	}
 	cfg := config{
 		depth:           core.DefaultD,
@@ -219,25 +243,38 @@ func New(k int, opts ...Option) (*TopK, error) {
 	}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
-			return nil, err
+			return config{}, err
 		}
 	}
 	if cfg.width != 0 && cfg.memoryBytes != 0 {
-		return nil, errors.New("heavykeeper: WithWidth and WithMemory are mutually exclusive")
+		return config{}, errors.New("heavykeeper: WithWidth and WithMemory are mutually exclusive")
 	}
-	width := cfg.width
-	if width == 0 {
-		budget := cfg.memoryBytes
-		if budget == 0 {
-			budget = DefaultMemory
-		}
-		rest := budget - k*streamsummary.BytesPerEntry
-		bucketBytes := core.BucketBytes(cfg.fingerprintBits, core.DefaultCounterBits)
-		width = int(float64(rest) / (float64(cfg.depth) * bucketBytes))
-		if width < 1 {
-			width = 1
-		}
+	return cfg, nil
+}
+
+// sizeWidth converts the config's byte budget into a per-array bucket count:
+// k summary entries plus bucket arrays filling the remainder, the sizing
+// used in the paper's evaluation.
+func sizeWidth(k int, cfg config) int {
+	if cfg.width != 0 {
+		return cfg.width
 	}
+	budget := cfg.memoryBytes
+	if budget == 0 {
+		budget = DefaultMemory
+	}
+	rest := budget - k*streamsummary.BytesPerEntry
+	bucketBytes := core.BucketBytes(cfg.fingerprintBits, core.DefaultCounterBits)
+	width := int(float64(rest) / (float64(cfg.depth) * bucketBytes))
+	if width < 1 {
+		width = 1
+	}
+	return width
+}
+
+// newTopK builds a TopK from a parsed config.
+func newTopK(k int, cfg config) (*TopK, error) {
+	width := sizeWidth(k, cfg)
 	var v topk.Version
 	switch cfg.version {
 	case VersionParallel:
@@ -285,6 +322,27 @@ func (t *TopK) Add(flowID []byte) { t.t.Insert(flowID) }
 
 // AddString is Add for string identifiers.
 func (t *TopK) AddString(flowID string) { t.t.Insert([]byte(flowID)) }
+
+// AddBatch records one occurrence of every flow identifier in flowIDs,
+// equivalently to calling Add on each in order but cheaper: fingerprints and
+// bucket indexes are precomputed for a chunk of identifiers at a time in
+// tight per-array loops, amortizing hash setup and bounds checks. Use it
+// whenever arrivals are already buffered (NIC batches, channel drains,
+// Sharded ingest).
+func (t *TopK) AddBatch(flowIDs [][]byte) { t.t.InsertBatch(flowIDs) }
+
+// Merge folds other into t. Both must have been built with the same
+// configuration — including WithSeed — so their sketches are bucket-
+// compatible; the per-bucket merge rule is documented in internal/core.
+// This is the paper's footnote-2 collector pattern: measurement points each
+// sketch their share of the traffic and a collector folds the snapshots.
+// other is left unmodified; neither may be in concurrent use during Merge.
+func (t *TopK) Merge(other *TopK) error {
+	if other == nil {
+		return errors.New("heavykeeper: cannot merge with nil")
+	}
+	return t.t.MergeFrom(other.t)
+}
 
 // AddN records a weight-n occurrence of flowID — n packets at once, or n
 // bytes when ranking flows by volume instead of packet count. Weighted

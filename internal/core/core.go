@@ -28,6 +28,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/hash"
 	"repro/internal/xrand"
@@ -148,6 +149,9 @@ type Sketch struct {
 	stats   Stats
 	// overflow is the §III-F global counter since the last expansion.
 	overflow uint64
+	// scratch backs the batch insert path (batch.go); single-writer like the
+	// rest of the sketch.
+	scratch batchScratch
 }
 
 // New returns a HeavyKeeper for the given configuration.
@@ -225,7 +229,15 @@ func (s *Sketch) Fingerprint(key []byte) uint32 {
 }
 
 func (s *Sketch) index(j int, key []byte) int {
-	return int(hash.Sum64(s.seeds[j], key) % uint64(s.cfg.W))
+	return fastRange(hash.Sum64(s.seeds[j], key), uint64(s.cfg.W))
+}
+
+// fastRange maps a 64-bit hash uniformly onto [0, w) via the high word of
+// the 128-bit product (Lemire's fastrange), avoiding the hardware divide a
+// % would cost on every packet-array pair.
+func fastRange(h, w uint64) int {
+	hi, _ := bits.Mul64(h, w)
+	return int(hi)
 }
 
 // shouldDecay performs one exponential-decay coin flip for counter value c.

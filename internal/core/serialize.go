@@ -5,8 +5,11 @@ import (
 	"io"
 )
 
-// snapshot format version; bump on layout changes.
-const snapshotVersion = 1
+// snapshot format version; bump on layout changes. Version 2: bucket
+// indexing switched from modulo to Lemire fast-range reduction, so v1
+// snapshots' bucket placements no longer match what this code computes for
+// the same seeds and must be rejected.
+const snapshotVersion = 2
 
 // WriteTo serializes the sketch's bucket contents and structural parameters
 // to w. Configuration closures (the decay function) are not serialized; the

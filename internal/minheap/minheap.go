@@ -49,6 +49,32 @@ func (h *Heap) Contains(key string) bool {
 	return ok
 }
 
+// ContainsKey is Contains for a byte-slice key; the string([]byte) map index
+// expression compiles to an allocation-free lookup.
+func (h *Heap) ContainsKey(key []byte) bool {
+	_, ok := h.index[string(key)]
+	return ok
+}
+
+// UpdateMaxKey sets key's size to max(current, count) in a single
+// allocation-free lookup; absent keys are ignored.
+func (h *Heap) UpdateMaxKey(key []byte, count uint64) {
+	i, ok := h.index[string(key)]
+	if !ok {
+		return
+	}
+	if count > h.items[i].count {
+		h.items[i].count = count
+		h.siftDown(i)
+	}
+}
+
+// InsertKey is Insert for a byte-slice key; the string is materialized here,
+// on admission, rather than once per packet.
+func (h *Heap) InsertKey(key []byte, count uint64) {
+	h.Insert(string(key), count)
+}
+
 // Count returns key's recorded size.
 func (h *Heap) Count(key string) (uint64, bool) {
 	i, ok := h.index[key]

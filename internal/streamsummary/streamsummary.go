@@ -34,6 +34,12 @@ type Summary struct {
 	capacity int
 	nodes    map[string]*node
 	head     *bucket // bucket with the smallest count, nil when empty
+	free     *bucket // free-list of retired buckets, chained via next
+	// cursor remembers the node found by the last ContainsKey so an
+	// immediately following UpdateMaxKey on the same key skips the map
+	// lookup — the probe-then-update shape of every HeavyKeeper packet.
+	// Mutating operations that can unmonitor a key clear it.
+	cursor *node
 }
 
 // New returns an empty Stream-Summary that monitors at most capacity keys.
@@ -61,6 +67,41 @@ func (s *Summary) Full() bool { return len(s.nodes) >= s.capacity }
 func (s *Summary) Contains(key string) bool {
 	_, ok := s.nodes[key]
 	return ok
+}
+
+// ContainsKey is Contains for a byte-slice key. The string([]byte) map index
+// expression compiles to an allocation-free lookup, which matters on the
+// batched per-packet path. A hit is remembered for UpdateMaxKey.
+func (s *Summary) ContainsKey(key []byte) bool {
+	n := s.nodes[string(key)]
+	s.cursor = n
+	return n != nil
+}
+
+// UpdateMaxKey raises key's count to max(current, count) without allocating;
+// keys that are not monitored are ignored. When the preceding ContainsKey
+// probed the same key (the per-packet pattern), the map lookup is skipped
+// entirely; the cursor is trusted only after an allocation-free key
+// comparison, so interleaved probes of other keys stay correct.
+func (s *Summary) UpdateMaxKey(key []byte, count uint64) {
+	n := s.cursor
+	if n == nil || n.key != string(key) {
+		var ok bool
+		n, ok = s.nodes[string(key)]
+		if !ok {
+			return
+		}
+	}
+	if n.b.count >= count {
+		return
+	}
+	s.moveTo(n, count)
+}
+
+// InsertKey is Insert for a byte-slice key; the string is materialized here,
+// on admission, rather than once per packet.
+func (s *Summary) InsertKey(key []byte, count, errVal uint64) {
+	s.Insert(string(key), count, errVal)
 }
 
 // Count returns the recorded count of key.
@@ -136,6 +177,9 @@ func (s *Summary) EvictMin() (key string, count uint64, ok bool) {
 	key, count = n.key, n.b.count
 	s.detach(n)
 	delete(s.nodes, key)
+	if s.cursor == n {
+		s.cursor = nil
+	}
 	return key, count, true
 }
 
@@ -147,6 +191,9 @@ func (s *Summary) Remove(key string) bool {
 	}
 	s.detach(n)
 	delete(s.nodes, key)
+	if s.cursor == n {
+		s.cursor = nil
+	}
 	return true
 }
 
@@ -285,9 +332,18 @@ func (s *Summary) placeFrom(n *node, start *bucket, count uint64) {
 	at.first = n
 }
 
-// newBucket creates a bucket with count between prev and next and returns it.
+// newBucket links a bucket with count between prev and next and returns it,
+// recycling a retired bucket when one is available: count increments retire
+// and create buckets constantly (every elephant packet moves its node up one
+// count), so pooling removes a steady per-packet allocation.
 func (s *Summary) newBucket(count uint64, prev, next *bucket) *bucket {
-	b := &bucket{count: count, prev: prev, next: next}
+	b := s.free
+	if b != nil {
+		s.free = b.next
+		b.count, b.first, b.prev, b.next = count, nil, prev, next
+	} else {
+		b = &bucket{count: count, prev: prev, next: next}
+	}
 	if prev != nil {
 		prev.next = b
 	} else {
@@ -299,7 +355,8 @@ func (s *Summary) newBucket(count uint64, prev, next *bucket) *bucket {
 	return b
 }
 
-// removeBucket unlinks an empty bucket from the bucket list.
+// removeBucket unlinks an empty bucket from the bucket list and retires it
+// to the free-list.
 func (s *Summary) removeBucket(b *bucket) {
 	if b.prev != nil {
 		b.prev.next = b.next
@@ -309,7 +366,8 @@ func (s *Summary) removeBucket(b *bucket) {
 	if b.next != nil {
 		b.next.prev = b.prev
 	}
-	b.prev, b.next = nil, nil
+	b.prev, b.next = nil, s.free
+	s.free = b
 }
 
 // checkInvariants walks the structure and panics on corruption. Exported to

@@ -13,6 +13,7 @@ package topk
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/minheap"
@@ -62,17 +63,28 @@ type Entry struct {
 	Count uint64
 }
 
-// Store abstracts the structure holding the current top-k candidates.
+// Store abstracts the structure holding the current top-k candidates. The
+// *Key methods are the batched hot path's byte-slice variants: they must not
+// materialize a string except on actual admission, so that per-packet cost
+// stays allocation-free.
 type Store interface {
 	Len() int
 	Full() bool
 	Contains(key string) bool
+	// ContainsKey is Contains without the string conversion.
+	ContainsKey(key []byte) bool
 	Count(key string) (uint64, bool)
 	MinCount() uint64
 	// UpdateMax raises key's recorded size to max(current, v).
 	UpdateMax(key string, v uint64)
+	// UpdateMaxKey is UpdateMax in a single allocation-free lookup; absent
+	// keys are ignored.
+	UpdateMaxKey(key []byte, v uint64)
 	// InsertEvict admits key with size v, evicting a minimum entry if full.
 	InsertEvict(key string, v uint64)
+	// InsertEvictKey is InsertEvict for a byte-slice key; the string is
+	// materialized on admission only.
+	InsertEvictKey(key []byte, v uint64)
 	// Top returns up to k entries in descending size order.
 	Top(k int) []Entry
 }
@@ -80,14 +92,19 @@ type Store interface {
 // heapStore adapts minheap.Heap to Store.
 type heapStore struct{ h *minheap.Heap }
 
-func (s heapStore) Len() int                        { return s.h.Len() }
-func (s heapStore) Full() bool                      { return s.h.Full() }
-func (s heapStore) Contains(key string) bool        { return s.h.Contains(key) }
-func (s heapStore) Count(key string) (uint64, bool) { return s.h.Count(key) }
-func (s heapStore) MinCount() uint64                { return s.h.MinCount() }
-func (s heapStore) UpdateMax(key string, v uint64)  { s.h.UpdateMax(key, v) }
+func (s heapStore) Len() int                          { return s.h.Len() }
+func (s heapStore) Full() bool                        { return s.h.Full() }
+func (s heapStore) Contains(key string) bool          { return s.h.Contains(key) }
+func (s heapStore) ContainsKey(key []byte) bool       { return s.h.ContainsKey(key) }
+func (s heapStore) Count(key string) (uint64, bool)   { return s.h.Count(key) }
+func (s heapStore) MinCount() uint64                  { return s.h.MinCount() }
+func (s heapStore) UpdateMax(key string, v uint64)    { s.h.UpdateMax(key, v) }
+func (s heapStore) UpdateMaxKey(key []byte, v uint64) { s.h.UpdateMaxKey(key, v) }
 func (s heapStore) InsertEvict(key string, v uint64) {
 	s.h.Insert(key, v)
+}
+func (s heapStore) InsertEvictKey(key []byte, v uint64) {
+	s.h.InsertKey(key, v)
 }
 func (s heapStore) Top(k int) []Entry {
 	items := s.h.Top(k)
@@ -101,11 +118,13 @@ func (s heapStore) Top(k int) []Entry {
 // summaryStore adapts streamsummary.Summary to Store.
 type summaryStore struct{ s *streamsummary.Summary }
 
-func (s summaryStore) Len() int                        { return s.s.Len() }
-func (s summaryStore) Full() bool                      { return s.s.Full() }
-func (s summaryStore) Contains(key string) bool        { return s.s.Contains(key) }
-func (s summaryStore) Count(key string) (uint64, bool) { return s.s.Count(key) }
-func (s summaryStore) MinCount() uint64                { return s.s.MinCount() }
+func (s summaryStore) Len() int                          { return s.s.Len() }
+func (s summaryStore) Full() bool                        { return s.s.Full() }
+func (s summaryStore) Contains(key string) bool          { return s.s.Contains(key) }
+func (s summaryStore) ContainsKey(key []byte) bool       { return s.s.ContainsKey(key) }
+func (s summaryStore) Count(key string) (uint64, bool)   { return s.s.Count(key) }
+func (s summaryStore) MinCount() uint64                  { return s.s.MinCount() }
+func (s summaryStore) UpdateMaxKey(key []byte, v uint64) { s.s.UpdateMaxKey(key, v) }
 func (s summaryStore) UpdateMax(key string, v uint64) {
 	if cur, ok := s.s.Count(key); ok && v > cur {
 		s.s.Set(key, v)
@@ -116,6 +135,12 @@ func (s summaryStore) InsertEvict(key string, v uint64) {
 		s.s.EvictMin()
 	}
 	s.s.Insert(key, v, 0)
+}
+func (s summaryStore) InsertEvictKey(key []byte, v uint64) {
+	if s.s.Full() {
+		s.s.EvictMin()
+	}
+	s.s.InsertKey(key, v, 0)
 }
 func (s summaryStore) Top(k int) []Entry {
 	items := s.s.Top(k)
@@ -161,16 +186,23 @@ func New(opts Options) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	var store Store
-	switch opts.Store {
-	case StoreHeap:
-		store = heapStore{minheap.New(opts.K)}
-	case StoreSummary:
-		store = summaryStore{streamsummary.New(opts.K)}
-	default:
-		return nil, fmt.Errorf("topk: unknown store kind %d", opts.Store)
+	store, err := newStore(opts.Store, opts.K)
+	if err != nil {
+		return nil, err
 	}
 	return &Tracker{sk: sk, store: store, opts: opts}, nil
+}
+
+// newStore constructs an empty top-k structure of the given kind.
+func newStore(kind StoreKind, k int) (Store, error) {
+	switch kind {
+	case StoreHeap:
+		return heapStore{minheap.New(k)}, nil
+	case StoreSummary:
+		return summaryStore{streamsummary.New(k)}, nil
+	default:
+		return nil, fmt.Errorf("topk: unknown store kind %d", kind)
+	}
 }
 
 // MustNew is New that panics on error, for tests and examples.
@@ -200,7 +232,12 @@ func (t *Tracker) Insert(key []byte) {
 // structure with the reported estimate.
 func (t *Tracker) insertBasic(key []byte) {
 	est := uint64(t.sk.InsertBasic(key))
-	ks := string(key)
+	t.admitBasic(string(key), est)
+}
+
+// admitBasic updates the top-k structure after a basic-discipline insertion
+// reported estimate est for flow ks (§III-C admission: n̂ > n_min).
+func (t *Tracker) admitBasic(ks string, est uint64) {
 	switch {
 	case t.store.Contains(ks):
 		t.store.UpdateMax(ks, est)
@@ -220,17 +257,7 @@ func (t *Tracker) insertBasic(key []byte) {
 func (t *Tracker) insertOptimized(key []byte, minimum bool) {
 	ks := string(key)
 	flag := t.store.Contains(ks)
-
-	// Optimization II gate: while the structure has room every flow is a
-	// legitimate candidate, so gating applies only once it is full
-	// (Theorem 1's premise is a full min-heap of k flows).
-	nmin := uint32(0xffffffff)
-	if !flag && t.store.Full() && !t.opts.DisableOptII {
-		m := t.store.MinCount()
-		if m < uint64(nmin) {
-			nmin = uint32(m)
-		}
-	}
+	nmin := t.gateNMin(flag)
 
 	var est uint64
 	if minimum {
@@ -238,7 +265,64 @@ func (t *Tracker) insertOptimized(key []byte, minimum bool) {
 	} else {
 		est = uint64(t.sk.InsertParallel(key, flag, nmin))
 	}
+	t.admitOptimized(ks, flag, est)
+}
 
+// gateNMin computes the Optimization II gate value for a flow whose store
+// membership is flag: while the structure has room every flow is a
+// legitimate candidate, so gating applies only once it is full (Theorem 1's
+// premise is a full min-heap of k flows).
+func (t *Tracker) gateNMin(flag bool) uint32 {
+	nmin := uint32(0xffffffff)
+	if !flag && t.store.Full() && !t.opts.DisableOptII {
+		m := t.store.MinCount()
+		if m < uint64(nmin) {
+			nmin = uint32(m)
+		}
+	}
+	return nmin
+}
+
+// admitBasicKey is admitBasic on the allocation-free byte-key store path,
+// used by InsertBatch: a string is materialized only on actual admission.
+func (t *Tracker) admitBasicKey(key []byte, est uint64) {
+	switch {
+	case t.store.ContainsKey(key):
+		t.store.UpdateMaxKey(key, est)
+	case !t.store.Full():
+		if est > 0 {
+			t.store.InsertEvictKey(key, est)
+		}
+	case est > t.store.MinCount():
+		t.store.InsertEvictKey(key, est)
+	}
+}
+
+// admitOptimizedKey is admitOptimized on the allocation-free byte-key store
+// path, used by InsertBatch.
+func (t *Tracker) admitOptimizedKey(key []byte, flag bool, est uint64) {
+	switch {
+	case flag:
+		t.store.UpdateMaxKey(key, est)
+	case est == 0:
+	case !t.store.Full():
+		t.store.InsertEvictKey(key, est)
+	default:
+		if t.opts.DisableOptI {
+			if est > t.store.MinCount() {
+				t.store.InsertEvictKey(key, est)
+			}
+			return
+		}
+		if est == t.store.MinCount()+1 {
+			t.store.InsertEvictKey(key, est)
+		}
+	}
+}
+
+// admitOptimized updates the top-k structure after an optimized-discipline
+// insertion reported estimate est for flow ks (Optimization I admission).
+func (t *Tracker) admitOptimized(ks string, flag bool, est uint64) {
 	switch {
 	case flag:
 		t.store.UpdateMax(ks, est)
@@ -273,12 +357,7 @@ func (t *Tracker) InsertN(key []byte, n uint64) {
 	}
 	ks := string(key)
 	flag := t.store.Contains(ks)
-	nmin := uint32(0xffffffff)
-	if !flag && t.store.Full() && !t.opts.DisableOptII {
-		if m := t.store.MinCount(); m < uint64(nmin) {
-			nmin = uint32(m)
-		}
-	}
+	nmin := t.gateNMin(flag)
 	var est uint64
 	switch t.opts.Version {
 	case Basic:
@@ -297,6 +376,144 @@ func (t *Tracker) InsertN(key []byte, n uint64) {
 	case est > t.store.MinCount():
 		t.store.InsertEvict(ks, est)
 	}
+}
+
+// InsertBatch records one packet per key, equivalently to calling Insert on
+// each key in order but cheaper: the sketch's batch path (core batch.go)
+// precomputes fingerprints and bucket indexes for a chunk of keys in tight
+// per-array loops before touching any bucket. The top-k structure is
+// consulted and updated between keys exactly as in the sequential path, so
+// results are bit-for-bit identical.
+//
+// The Minimum discipline's at-most-one-bucket scan is not batched yet and
+// falls back to the sequential path.
+func (t *Tracker) InsertBatch(keys [][]byte) {
+	switch t.opts.Version {
+	case Minimum:
+		for _, key := range keys {
+			t.Insert(key)
+		}
+	case Basic:
+		t.sk.InsertBasicBatch(keys, func(i int, est uint32) {
+			t.admitBasicKey(keys[i], uint64(est))
+		})
+	case Parallel:
+		// The default configuration (Parallel × Stream-Summary) gets a fused
+		// loop with the store devirtualized; anything else goes through the
+		// generic closure-based path.
+		if ss, ok := t.store.(summaryStore); ok {
+			t.insertParallelBatchSummary(keys, ss.s)
+			return
+		}
+		// gate and report run back to back per key, so flag carries from
+		// one closure to the other without a second store lookup.
+		var flag bool
+		t.sk.InsertParallelBatch(keys,
+			func(i int) (bool, uint32) {
+				flag = t.store.ContainsKey(keys[i])
+				return flag, t.gateNMin(flag)
+			},
+			func(i int, est uint32) {
+				t.admitOptimizedKey(keys[i], flag, uint64(est))
+			})
+	default:
+		panic("topk: invalid version " + t.opts.Version.String())
+	}
+}
+
+// insertParallelBatchSummary is InsertBatch's hot path: the Parallel
+// discipline against a Stream-Summary store, with the store accessed through
+// its concrete type (no interface dispatch) and the per-key control flow
+// inlined (no gate/report closures). Behavior is identical to a sequential
+// loop over Insert; the equivalence tests in batch_test.go pin that.
+func (t *Tracker) insertParallelBatchSummary(keys [][]byte, ss *streamsummary.Summary) {
+	optI := !t.opts.DisableOptI
+	optII := !t.opts.DisableOptII
+	k := t.opts.K
+	for off := 0; off < len(keys); off += core.BatchChunk {
+		end := off + core.BatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		preD := t.sk.PrecomputeBatch(chunk)
+		for ci, key := range chunk {
+			flag := ss.ContainsKey(key)
+			full := ss.Len() >= k
+			nmin := uint32(0xffffffff)
+			var minCount uint64
+			if full {
+				minCount = ss.MinCount()
+				if !flag && optII && minCount < uint64(nmin) {
+					nmin = uint32(minCount)
+				}
+			}
+			est := uint64(t.sk.ApplyHashed(key, ci, preD, flag, nmin))
+			switch {
+			case flag:
+				ss.UpdateMaxKey(key, est)
+			case est == 0:
+			case !full:
+				ss.InsertKey(key, est, 0)
+			case optI && est == minCount+1, !optI && est > minCount:
+				ss.EvictMin()
+				ss.InsertKey(key, est, 0)
+			}
+		}
+	}
+}
+
+// MergeFrom folds other into t: the sketches merge bucket by bucket
+// (core.Sketch.Merge, requiring both trackers were built with the same
+// sketch configuration and seed) and the top-k structure is rebuilt from the
+// union of both trackers' candidates, each re-estimated against the merged
+// sketch. This is the collector pattern of the paper's footnote 2 applied at
+// the tracker level: each measurement point (or shard, or epoch) runs its
+// own tracker and the results fold into one. other is left unmodified.
+func (t *Tracker) MergeFrom(other *Tracker) error {
+	if other == nil || other == t {
+		return fmt.Errorf("topk: cannot merge a tracker with %v", other)
+	}
+	if err := t.sk.Merge(other.sk); err != nil {
+		return err
+	}
+	type cand struct {
+		key string
+		est uint64
+	}
+	seen := make(map[string]bool, 2*t.opts.K)
+	cands := make([]cand, 0, 2*t.opts.K)
+	for _, entries := range [][]Entry{t.store.Top(t.opts.K), other.store.Top(other.K())} {
+		for _, e := range entries {
+			if seen[e.Key] {
+				continue
+			}
+			seen[e.Key] = true
+			if est := uint64(t.sk.Query([]byte(e.Key))); est > 0 {
+				cands = append(cands, cand{e.Key, est})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].est != cands[j].est {
+			return cands[i].est > cands[j].est
+		}
+		return cands[i].key < cands[j].key
+	})
+	if len(cands) > t.opts.K {
+		cands = cands[:t.opts.K]
+	}
+	store, err := newStore(t.opts.Store, t.opts.K)
+	if err != nil {
+		return err
+	}
+	// Ascending insertion keeps Stream-Summary's recency tie-breaking from
+	// reordering equal counts relative to the sort above.
+	for i := len(cands) - 1; i >= 0; i-- {
+		store.InsertEvict(cands[i].key, cands[i].est)
+	}
+	t.store = store
+	return nil
 }
 
 // Query returns the sketch's current size estimate for key (not consulting

@@ -1,0 +1,275 @@
+package heavykeeper
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// shardSeedSalt decorrelates the shard-selector hash from the seeds the
+// sketches derive internally from the same user seed.
+const shardSeedSalt = 0x9e3779b97f4a7c15
+
+// Sharded is the scale-out TopK: flows fan across N per-core TopK shards by
+// flow hash, so a flow always lands on the same shard and each shard is an
+// exact HeavyKeeper over its slice of the traffic — the software analogue of
+// the paper's Hardware Parallel version (§III-E), whose point is that
+// per-array work is independent and parallelizable. Each shard has its own
+// mutex, so the hot path scales with cores instead of serializing on one
+// lock the way Concurrent does, and AddBatch takes each shard lock once per
+// batch instead of once per packet.
+//
+// Query routes to the owning shard and is as accurate as a single TopK over
+// that flow's packets. List merges the per-shard summaries into a global
+// top-k; because every flow lives in exactly one shard the merge is exact
+// over the reported candidates.
+//
+// The WithMemory budget (or the default) is the total across shards: each
+// shard gets an equal slice for its bucket arrays, plus its own k-entry
+// summary. WithWidth, by contrast, is per shard. All shards share the
+// configured seed, so shard i of one Sharded is bucket-compatible with
+// shard i of another built with the same options — which is what Merge
+// exploits.
+type Sharded struct {
+	shards    []shard
+	shardSeed uint64
+	k         int
+	groups    sync.Pool // *[][][]byte scratch for AddBatch grouping
+}
+
+// shard pads each (mutex, TopK) pair to its own cache line so neighboring
+// shard locks don't false-share.
+type shard struct {
+	mu sync.Mutex
+	t  *TopK
+	_  [64 - 16]byte
+}
+
+// NewSharded returns a Sharded with the shard count from WithShards
+// (default: GOMAXPROCS at construction time).
+func NewSharded(k int, opts ...Option) (*Sharded, error) {
+	cfg, err := parseConfig(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	shardCfg := cfg
+	if cfg.width == 0 {
+		budget := cfg.memoryBytes
+		if budget == 0 {
+			budget = DefaultMemory
+		}
+		shardCfg.memoryBytes = budget / n
+		if shardCfg.memoryBytes < 1 {
+			shardCfg.memoryBytes = 1
+		}
+	}
+	s := &Sharded{
+		shards:    make([]shard, n),
+		shardSeed: xrand.NewSplitMix64(cfg.seed ^ shardSeedSalt).Next(),
+		k:         k,
+	}
+	for i := range s.shards {
+		t, err := newTopK(k, shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].t = t
+	}
+	return s, nil
+}
+
+// MustNewSharded is NewSharded that panics on error, for tests and examples.
+func MustNewSharded(k int, opts ...Option) *Sharded {
+	s, err := NewSharded(k, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// shardFor returns the shard owning flowID.
+func (s *Sharded) shardFor(flowID []byte) *shard {
+	return &s.shards[hash.Sum64(s.shardSeed, flowID)%uint64(len(s.shards))]
+}
+
+// Add records one occurrence of flowID on its owning shard.
+func (s *Sharded) Add(flowID []byte) {
+	sh := s.shardFor(flowID)
+	sh.mu.Lock()
+	sh.t.Add(flowID)
+	sh.mu.Unlock()
+}
+
+// AddString is Add for string identifiers.
+func (s *Sharded) AddString(flowID string) { s.Add([]byte(flowID)) }
+
+// AddN records a weight-n occurrence of flowID.
+func (s *Sharded) AddN(flowID []byte, n uint64) {
+	sh := s.shardFor(flowID)
+	sh.mu.Lock()
+	sh.t.AddN(flowID, n)
+	sh.mu.Unlock()
+}
+
+// AddBatch records one occurrence of every flow identifier in flowIDs. The
+// batch is grouped by owning shard first, then each shard's lock is taken
+// once for its whole group and the group flows down the batched sketch path
+// (TopK.AddBatch), turning the per-packet lock into a per-batch lock.
+// Within a shard, identifiers are processed in stream order, so results
+// match per-packet Add exactly.
+func (s *Sharded) AddBatch(flowIDs [][]byte) {
+	n := len(s.shards)
+	if n == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.t.AddBatch(flowIDs)
+		sh.mu.Unlock()
+		return
+	}
+	var groups [][][]byte
+	if g, ok := s.groups.Get().(*[][][]byte); ok {
+		groups = *g
+	} else {
+		groups = make([][][]byte, n)
+	}
+	for _, id := range flowIDs {
+		j := hash.Sum64(s.shardSeed, id) % uint64(n)
+		groups[j] = append(groups[j], id)
+	}
+	for j := range groups {
+		if len(groups[j]) == 0 {
+			continue
+		}
+		sh := &s.shards[j]
+		sh.mu.Lock()
+		sh.t.AddBatch(groups[j])
+		sh.mu.Unlock()
+		groups[j] = groups[j][:0]
+	}
+	s.groups.Put(&groups)
+}
+
+// Query returns the current size estimate for flowID from its owning shard;
+// the estimate is exact in the HeavyKeeper sense, as if a single TopK had
+// seen all of the flow's packets.
+func (s *Sharded) Query(flowID []byte) uint64 {
+	sh := s.shardFor(flowID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.t.Query(flowID)
+}
+
+// List returns the current global top-k in descending estimated size,
+// merging the per-shard summaries (each flow is reported by exactly one
+// shard, so candidate counts combine without double-counting). Shard locks
+// are taken one at a time; under concurrent ingest the result is a slightly
+// time-smeared snapshot, like Concurrent.List taken during writes.
+func (s *Sharded) List() []Flow {
+	reports := make([][]metrics.Entry, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		top := sh.t.t.Top()
+		sh.mu.Unlock()
+		rep := make([]metrics.Entry, len(top))
+		for j, e := range top {
+			rep[j] = metrics.Entry{Key: e.Key, Count: e.Count}
+		}
+		reports[i] = rep
+	}
+	merged, err := collector.MergeReports(s.k, collector.Sum, reports...)
+	if err != nil {
+		// k and policy are validated at construction; unreachable.
+		panic(fmt.Sprintf("heavykeeper: sharded merge: %v", err))
+	}
+	out := make([]Flow, len(merged))
+	for i, e := range merged {
+		out[i] = Flow{ID: []byte(e.Key), Count: e.Count}
+	}
+	return out
+}
+
+// Merge folds other into s, shard by shard, reusing the bucket-level merge
+// rule of internal/core: shard i's sketches are bucket-compatible because
+// both Shardeds were built with the same options (including WithSeed and
+// WithShards), and the shard selector is seed-derived, so flow ownership
+// agrees on both sides. Use it to fold per-epoch or per-measurement-point
+// Shardeds into one, the paper's footnote-2 collector pattern. other is
+// left unmodified; neither side may be ingesting during the merge.
+func (s *Sharded) Merge(other *Sharded) error {
+	if other == nil || other == s {
+		return errors.New("heavykeeper: cannot merge a Sharded with itself or nil")
+	}
+	if len(s.shards) != len(other.shards) || s.shardSeed != other.shardSeed {
+		return fmt.Errorf("heavykeeper: shard layout mismatch: %d shards/seed %#x vs %d shards/seed %#x",
+			len(s.shards), s.shardSeed, len(other.shards), other.shardSeed)
+	}
+	// Lock each shard pair in a deterministic instance order so concurrent
+	// a.Merge(b) and b.Merge(a) cannot deadlock.
+	first, second := s, other
+	if reflect.ValueOf(first).Pointer() > reflect.ValueOf(second).Pointer() {
+		first, second = second, first
+	}
+	for i := range s.shards {
+		sh, oh := &s.shards[i], &other.shards[i]
+		first.shards[i].mu.Lock()
+		second.shards[i].mu.Lock()
+		err := sh.t.Merge(oh.t)
+		oh.mu.Unlock()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("heavykeeper: merging shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// K returns the configured report size.
+func (s *Sharded) K() int { return s.k }
+
+// MemoryBytes returns the total logical memory footprint across shards.
+func (s *Sharded) MemoryBytes() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.t.MemoryBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns the sketch event counters summed across shards.
+func (s *Sharded) Stats() core.Stats {
+	var total core.Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.t.Stats()
+		sh.mu.Unlock()
+		total.Packets += st.Packets
+		total.Increments += st.Increments
+		total.EmptyTakes += st.EmptyTakes
+		total.DecayProbes += st.DecayProbes
+		total.Decays += st.Decays
+		total.Replacements += st.Replacements
+		total.Overflows += st.Overflows
+		total.Expansions += st.Expansions
+	}
+	return total
+}

@@ -1,0 +1,214 @@
+package heavykeeper
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// genTrace builds a small zipfian workload from internal/gen.
+func genTrace(t testing.TB, skew float64, scale float64, seed uint64) *gen.Trace {
+	t.Helper()
+	tr, err := gen.Generate(gen.Synthetic(skew, seed).Scale(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestShardedMatchesSingleInstance feeds the same zipfian stream to a single
+// TopK and to a Sharded with the same total memory, and checks that the
+// sharded top-k recalls the ground-truth elephants at least as well (small
+// slack allowed: the shards' summaries jointly monitor n×k candidates but
+// each shard has a narrower sketch).
+func TestShardedMatchesSingleInstance(t *testing.T) {
+	const k = 50
+	tr := genTrace(t, 1.2, 0.002, 4242) // 64k packets over ~4.3k flows
+	single := MustNew(k, WithSeed(1))
+	sharded := MustNewSharded(k, WithSeed(1), WithShards(4))
+
+	tr.ForEach(single.Add)
+	tr.ForEach(sharded.Add)
+
+	truth := map[string]bool{}
+	for _, i := range tr.TopK(k) {
+		truth[string(tr.IDs[i])] = true
+	}
+	recall := func(flows []Flow) int {
+		n := 0
+		for _, f := range flows {
+			if truth[string(f.ID)] {
+				n++
+			}
+		}
+		return n
+	}
+	rs, r1 := recall(sharded.List()), recall(single.List())
+	t.Logf("recall: single %d/%d, sharded %d/%d", r1, k, rs, k)
+	if rs < r1-3 {
+		t.Fatalf("sharded recall %d/%d much worse than single-instance %d/%d", rs, k, r1, k)
+	}
+	// Per-flow estimates stay exact in the HeavyKeeper sense: never above
+	// the true count for the heavy flows (Theorem 2 per shard).
+	for _, i := range tr.TopK(10) {
+		id := tr.IDs[i]
+		if est, truth := sharded.Query(id), tr.Count(i); est > truth {
+			t.Fatalf("sharded estimate for %x overshoots: %d > true %d", id, est, truth)
+		}
+	}
+}
+
+// TestShardedBatchMatchesUnbatched checks AddBatch against per-packet Add on
+// two identically configured Shardeds: grouping preserves per-shard stream
+// order and the sketch batch path is exactly equivalent, so the global
+// top-k must be identical.
+func TestShardedBatchMatchesUnbatched(t *testing.T) {
+	tr := genTrace(t, 1.0, 0.001, 7)
+	a := MustNewSharded(20, WithSeed(3), WithShards(8))
+	b := MustNewSharded(20, WithSeed(3), WithShards(8))
+
+	tr.ForEach(a.Add)
+	var batch [][]byte
+	tr.ForEach(func(key []byte) {
+		batch = append(batch, key)
+		if len(batch) == 97 {
+			b.AddBatch(batch)
+			batch = batch[:0]
+		}
+	})
+	b.AddBatch(batch)
+
+	la, lb := a.List(), b.List()
+	if len(la) != len(lb) {
+		t.Fatalf("list lengths diverge: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if !bytes.Equal(la[i].ID, lb[i].ID) || la[i].Count != lb[i].Count {
+			t.Fatalf("entry %d diverges: %x/%d vs %x/%d", i, la[i].ID, la[i].Count, lb[i].ID, lb[i].Count)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge:\nunbatched %+v\nbatched   %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestShardedMerge splits a stream across two Shardeds (two measurement
+// points) and folds them; the combined top-k must recover the elephants
+// with summed counts.
+func TestShardedMerge(t *testing.T) {
+	const k = 30
+	tr := genTrace(t, 1.2, 0.002, 99)
+	a := MustNewSharded(k, WithSeed(5), WithShards(4))
+	b := MustNewSharded(k, WithSeed(5), WithShards(4))
+	p := 0
+	tr.ForEach(func(key []byte) {
+		if p%2 == 0 {
+			a.Add(key)
+		} else {
+			b.Add(key)
+		}
+		p++
+	})
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	truth := map[string]bool{}
+	for _, i := range tr.TopK(k) {
+		truth[string(tr.IDs[i])] = true
+	}
+	matched := 0
+	for _, f := range a.List() {
+		if truth[string(f.ID)] {
+			matched++
+		}
+	}
+	t.Logf("merged recall %d/%d", matched, k)
+	if matched < k*8/10 {
+		t.Fatalf("merged recall too low: %d/%d", matched, k)
+	}
+	// The biggest flow was split evenly; the merged estimate must see both
+	// halves (well above one half) without exceeding the truth.
+	top := tr.TopK(1)[0]
+	id, want := tr.IDs[top], tr.Count(top)
+	got := a.Query(id)
+	if got > want || got <= want/2 {
+		t.Fatalf("merged estimate for top flow: got %d, want in (%d, %d]", got, want/2, want)
+	}
+}
+
+// TestShardedMergeErrors covers layout-mismatch rejection.
+func TestShardedMergeErrors(t *testing.T) {
+	a := MustNewSharded(5, WithShards(2))
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("merge with nil must fail")
+	}
+	if err := a.Merge(a); err == nil {
+		t.Fatal("merge with self must fail")
+	}
+	if err := a.Merge(MustNewSharded(5, WithShards(3))); err == nil {
+		t.Fatal("merge across shard counts must fail")
+	}
+	if err := a.Merge(MustNewSharded(5, WithShards(2), WithSeed(9))); err == nil {
+		t.Fatal("merge across seeds must fail")
+	}
+}
+
+// TestShardedOptions covers construction validation and accessors.
+func TestShardedOptions(t *testing.T) {
+	if _, err := NewSharded(10, WithShards(0)); err == nil {
+		t.Fatal("WithShards(0) must fail")
+	}
+	if _, err := NewSharded(0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	s := MustNewSharded(10, WithShards(4), WithMemory(64<<10))
+	if s.Shards() != 4 || s.K() != 10 {
+		t.Fatalf("accessors: shards=%d k=%d", s.Shards(), s.K())
+	}
+	// The total footprint respects the shared budget (k-entry summaries are
+	// per shard and come out of each shard's slice).
+	if mb := s.MemoryBytes(); mb > 64<<10 {
+		t.Fatalf("MemoryBytes %d exceeds the 64 KB budget", mb)
+	}
+	if def := MustNewSharded(10); def.Shards() < 1 {
+		t.Fatalf("default shard count %d", def.Shards())
+	}
+}
+
+// TestShardedConcurrentHammer drives Add/AddBatch/Query/List from many
+// goroutines; run with -race in CI.
+func TestShardedConcurrentHammer(t *testing.T) {
+	tr := genTrace(t, 1.0, 0.0005, 31)
+	s := MustNewSharded(20, WithShards(4))
+	keys := make([][]byte, 0, tr.Len())
+	tr.ForEach(func(key []byte) { keys = append(keys, key) })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(keys); i += 8 {
+				switch {
+				case g%4 == 3 && i%1024 == 3:
+					s.List()
+				case g%2 == 0:
+					s.Add(keys[i])
+				case i+64 <= len(keys):
+					s.AddBatch(keys[i : i+64])
+				default:
+					s.Query(keys[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Stats().Packets == 0 {
+		t.Fatal("no packets recorded")
+	}
+	if len(s.List()) == 0 {
+		t.Fatal("empty list after ingest")
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench throughput
+.PHONY: build vet fmt test race bench bench-smoke bench-json fuzz-smoke throughput
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,23 @@ race:
 
 bench:
 	$(GO) test -run - -bench Ingest -benchtime 1s .
+
+# bench-smoke is CI's fast pass over the ingest benchmarks: 10 iterations per
+# benchmark just proves the perf paths still run (and report allocs).
+bench-smoke:
+	$(GO) test -run=NONE -bench=Ingest -benchtime=10x .
+
+# bench-json emits the machine-readable throughput rows used for the BENCH_*
+# trend files committed per perf PR. Each run is one standalone JSON document,
+# written to its own file so the output stays parseable.
+bench-json:
+	$(GO) run ./cmd/hkbench -throughput -shards 1 -batch 256 -json > bench-1shard.json
+	$(GO) run ./cmd/hkbench -throughput -shards 4 -batch 256 -json > bench-4shard.json
+	@echo "wrote bench-1shard.json and bench-4shard.json"
+
+# fuzz-smoke gives the snapshot decoder a short adversarial workout.
+fuzz-smoke:
+	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDecode -fuzztime=10s
 
 throughput:
 	$(GO) run ./cmd/hkbench -throughput

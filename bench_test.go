@@ -169,6 +169,7 @@ func benchIngest(b *testing.B, g int, body func(pb *testing.PB, keys [][]byte)) 
 	keys := sharedIngestKeys()
 	prev := runtime.GOMAXPROCS(g)
 	defer runtime.GOMAXPROCS(prev)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) { body(pb, keys) })
 }
@@ -270,6 +271,7 @@ func BenchmarkInsertPerPacket(b *testing.B) {
 			for i := range keys {
 				keys[i] = []byte(fmt.Sprintf("flow-%d", i%3000))
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a.Insert(keys[i&(len(keys)-1)])

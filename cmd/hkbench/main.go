@@ -9,14 +9,18 @@
 //	hkbench -figure ablations      # the repository's extra ablations
 //	hkbench -figure 8 -scale 0.1   # closer to paper-scale workloads
 //	hkbench -throughput -shards 8 -batch 256   # TopK vs Concurrent vs Sharded
+//	hkbench -throughput -json                  # machine-readable results
+//	hkbench -throughput -cpuprofile cpu.pprof  # attach pprof evidence
 //	hkbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -26,6 +30,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so that deferred profile writers execute before
+// the process exits, even on error paths (os.Exit in main would skip them,
+// truncating the CPU profile and dropping the heap profile).
+func run() int {
 	var (
 		figure     = flag.String("figure", "", "figure number (4-36), 'all', 'ablations', or an ablation name")
 		scale      = flag.Float64("scale", 0.02, "scale factor on the paper's packet/flow counts (1.0 = full)")
@@ -34,15 +45,46 @@ func main() {
 		throughput = flag.Bool("throughput", false, "run the ingest throughput comparison instead of a figure")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count (and writer goroutines) for -throughput")
 		batch      = flag.Int("batch", 256, "batch size for the batched ingest variants of -throughput")
+		jsonOut    = flag.Bool("json", false, "emit -throughput results as JSON (for BENCH_*.json trend files)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *throughput {
-		if err := runThroughput(*shards, *batch, *scale, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hkbench: ", err)
+			return 1
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hkbench: ", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hkbench: ", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hkbench: ", err)
+			}
+		}()
+	}
+
+	if *throughput {
+		if err := runThroughput(*shards, *batch, *scale, *seed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {
@@ -54,11 +96,11 @@ func main() {
 		for _, id := range harness.AblationIDs() {
 			fmt.Printf("  %s\n", id)
 		}
-		return
+		return 0
 	}
 	if *figure == "" {
 		fmt.Fprintln(os.Stderr, "hkbench: -figure is required (-list to enumerate)")
-		os.Exit(1)
+		return 1
 	}
 
 	r := harness.NewRunner(harness.RunConfig{Scale: *scale, Seed: *seed})
@@ -74,20 +116,39 @@ func main() {
 		ids = []string{*figure}
 	}
 	for _, id := range ids {
-		tab, err := run(r, id)
+		tab, err := runFigure(r, id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(tab)
 	}
+	return 0
 }
 
-func run(r *harness.Runner, id string) (*harness.Table, error) {
+func runFigure(r *harness.Runner, id string) (*harness.Table, error) {
 	if tab, err := r.Figure(id); err == nil {
 		return tab, nil
 	}
 	return r.Ablation(id)
+}
+
+// throughputResult is one -throughput row, as emitted by -json.
+type throughputResult struct {
+	Name       string  `json:"name"`
+	Goroutines int     `json:"goroutines"`
+	Mpps       float64 `json:"mpps"`
+	Speedup    float64 `json:"speedup_vs_concurrent_add,omitempty"`
+}
+
+// throughputReport is the -json document for one -throughput invocation.
+type throughputReport struct {
+	Packets    int                `json:"packets"`
+	Flows      int                `json:"flows"`
+	Shards     int                `json:"shards"`
+	Batch      int                `json:"batch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    []throughputResult `json:"results"`
 }
 
 // runThroughput measures ingest throughput (Mpps) of the three concurrency
@@ -95,7 +156,7 @@ func run(r *harness.Runner, id string) (*harness.Table, error) {
 // Concurrent with g writer goroutines (per-packet and batched), and Sharded
 // with s shards and s writers (per-packet and batched). The speedup column
 // is relative to per-packet Concurrent, the paper-era default.
-func runThroughput(shards, batch int, scale float64, seed uint64) error {
+func runThroughput(shards, batch int, scale float64, seed uint64, jsonOut bool) error {
 	if shards < 1 || batch < 1 {
 		return fmt.Errorf("hkbench: -shards and -batch must be >= 1")
 	}
@@ -105,8 +166,14 @@ func runThroughput(shards, batch int, scale float64, seed uint64) error {
 	}
 	keys := make([][]byte, 0, tr.Len())
 	tr.ForEach(func(key []byte) { keys = append(keys, key) })
-	fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, GOMAXPROCS %d\n\n",
-		len(keys), tr.Flows(), shards, batch, runtime.GOMAXPROCS(0))
+	report := throughputReport{
+		Packets: len(keys), Flows: tr.Flows(), Shards: shards, Batch: batch,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if !jsonOut {
+		fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, GOMAXPROCS %d\n\n",
+			len(keys), tr.Flows(), shards, batch, runtime.GOMAXPROCS(0))
+	}
 
 	const k = 100
 	// Untimed warmup so the first timed variant doesn't pay the page-in of
@@ -151,11 +218,23 @@ func runThroughput(shards, batch int, scale float64, seed uint64) error {
 		if c.name == "Concurrent.Add" {
 			base = mpps
 		}
-		speedup := "      -"
+		res := throughputResult{Name: c.name, Goroutines: c.g, Mpps: mpps}
 		if base > 0 {
-			speedup = fmt.Sprintf("%6.2fx", mpps/base)
+			res.Speedup = mpps / base
 		}
-		fmt.Printf("%-24s %2d goroutines  %8.2f Mpps  %s\n", c.name, c.g, mpps, speedup)
+		report.Results = append(report.Results, res)
+		if !jsonOut {
+			speedup := "      -"
+			if base > 0 {
+				speedup = fmt.Sprintf("%6.2fx", res.Speedup)
+			}
+			fmt.Printf("%-24s %2d goroutines  %8.2f Mpps  %s\n", c.name, c.g, mpps, speedup)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	return nil
 }

@@ -320,6 +320,20 @@ func MustNew(k int, opts ...Option) *TopK {
 // Add records one occurrence of flowID (one packet of the flow).
 func (t *TopK) Add(flowID []byte) { t.t.Insert(flowID) }
 
+// keyHash returns the single per-key hash the structure derives everything
+// from; Sharded computes it once per packet for routing and hands it down
+// through the *hashed entry points so the key bytes are never hashed twice.
+func (t *TopK) keyHash(flowID []byte) uint64 { return t.t.KeyHash(flowID) }
+
+// addHashed, addNHashed, addBatchHashed and queryHashed are the
+// precomputed-hash twins of Add/AddN/AddBatch/Query, for the sharded router.
+func (t *TopK) addHashed(flowID []byte, h uint64)            { t.t.InsertHashed(flowID, h) }
+func (t *TopK) addNHashed(flowID []byte, h uint64, n uint64) { t.t.InsertNHashed(flowID, h, n) }
+func (t *TopK) addBatchHashed(flowIDs [][]byte, hashes []uint64) {
+	t.t.InsertBatchHashed(flowIDs, hashes)
+}
+func (t *TopK) queryHashed(flowID []byte, h uint64) uint64 { return t.t.QueryHashed(flowID, h) }
+
 // AddString is Add for string identifiers.
 func (t *TopK) AddString(flowID string) { t.t.Insert([]byte(flowID)) }
 

@@ -1,0 +1,107 @@
+// Hot-path regression tests: the ingest path performs exactly one key-bytes
+// hash per packet and zero heap allocations per operation, across every
+// frontend (TopK, Concurrent, Sharded). These pin the PR 2 one-hash /
+// packed-layout properties so later work cannot silently regress them.
+package heavykeeper_test
+
+import (
+	"fmt"
+	"testing"
+
+	heavykeeper "repro"
+	"repro/internal/hash"
+)
+
+// hotKeys returns n distinct flow IDs.
+func hotKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("flow-%04d", i))
+	}
+	return keys
+}
+
+// countKeyHashes returns the number of hash.Sum64 invocations fn makes.
+func countKeyHashes(fn func()) uint64 {
+	var n uint64
+	hash.CountCalls(&n)
+	defer hash.CountCalls(nil)
+	fn()
+	return n
+}
+
+// TestOneHashPerPacket: every public ingest and query entry point hashes the
+// key bytes exactly once per packet — including Sharded, whose router mixes
+// the same hash for shard selection instead of hashing again.
+func TestOneHashPerPacket(t *testing.T) {
+	keys := hotKeys(256)
+	k := keys[0]
+
+	tk := heavykeeper.MustNew(100, heavykeeper.WithSeed(1))
+	conc, _ := heavykeeper.NewConcurrent(100, heavykeeper.WithSeed(1))
+	shrd := heavykeeper.MustNewSharded(100, heavykeeper.WithSeed(1), heavykeeper.WithShards(4))
+
+	for name, tc := range map[string]struct {
+		fn   func()
+		want uint64
+	}{
+		"TopK.Add":         {func() { tk.Add(k) }, 1},
+		"TopK.AddN":        {func() { tk.AddN(k, 3) }, 1},
+		"TopK.Query":       {func() { tk.Query(k) }, 1},
+		"TopK.AddBatch":    {func() { tk.AddBatch(keys) }, uint64(len(keys))},
+		"Concurrent.Add":   {func() { conc.Add(k) }, 1},
+		"Concurrent.Query": {func() { conc.Query(k) }, 1},
+		"Concurrent.AddBatch": {
+			func() { conc.AddBatch(keys) }, uint64(len(keys)),
+		},
+		"Sharded.Add":   {func() { shrd.Add(k) }, 1},
+		"Sharded.AddN":  {func() { shrd.AddN(k, 3) }, 1},
+		"Sharded.Query": {func() { shrd.Query(k) }, 1},
+		"Sharded.AddBatch": {
+			func() { shrd.AddBatch(keys) }, uint64(len(keys)),
+		},
+	} {
+		if got := countKeyHashes(tc.fn); got != tc.want {
+			t.Errorf("%s: %d key hashes, want %d", name, got, tc.want)
+		}
+	}
+}
+
+// TestZeroAllocIngest: steady-state Add, AddBatch and Query allocate nothing
+// on TopK and Sharded. The structures are warmed with the exact key set
+// first so the measurement sees increments and bucket moves, not first-time
+// admissions (which legitimately materialize one string per admitted flow).
+func TestZeroAllocIngest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race (sync.Pool caches are dropped)")
+	}
+	keys := hotKeys(64)
+	k := keys[0]
+
+	tk := heavykeeper.MustNew(100, heavykeeper.WithSeed(1))
+	shrd := heavykeeper.MustNewSharded(100, heavykeeper.WithSeed(1), heavykeeper.WithShards(4))
+	warm := func() {
+		for i := 0; i < 50; i++ {
+			tk.AddBatch(keys)
+			shrd.AddBatch(keys)
+			for _, key := range keys {
+				tk.Add(key)
+				shrd.Add(key)
+			}
+		}
+	}
+	warm()
+
+	for name, fn := range map[string]func(){
+		"TopK.Add":         func() { tk.Add(k) },
+		"TopK.AddBatch":    func() { tk.AddBatch(keys) },
+		"TopK.Query":       func() { tk.Query(k) },
+		"Sharded.Add":      func() { shrd.Add(k) },
+		"Sharded.AddBatch": func() { shrd.AddBatch(keys) },
+		"Sharded.Query":    func() { shrd.Query(k) },
+	} {
+		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, avg)
+		}
+	}
+}

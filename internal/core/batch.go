@@ -3,158 +3,78 @@ package core
 import "repro/internal/hash"
 
 // BatchChunk is the number of keys whose hashes are precomputed at a time by
-// the batch insert path. It bounds the scratch footprint (one fingerprint and
-// d bucket indexes per key) while staying large enough to amortize per-loop
-// setup; 256 keys at d = 2 is ~3 KB of scratch, well inside L1. Callers
-// driving PrecomputeBatch/ApplyHashed themselves chunk by this size.
+// the batch insert path. It bounds the scratch footprint — one 64-bit key
+// hash per key under the one-hash scheme, so 256 keys is 2 KB, well inside
+// L1 — while staying large enough to amortize per-loop setup. Callers
+// driving HashBatch themselves chunk by this size.
 const BatchChunk = 256
 
-// batchScratch holds the precomputed hashing for one chunk of keys. It lives
-// on the Sketch (which is single-writer by contract) so steady-state batch
-// ingestion allocates nothing.
+// batchScratch holds the precomputed key hashes for one chunk of keys. It
+// lives on the Sketch (which is single-writer by contract) so steady-state
+// batch ingestion allocates nothing. Fingerprints and bucket indexes are no
+// longer staged here: both derive from the key hash in registers at apply
+// time, so the scratch is 8 bytes per key instead of (d+1)×8.
 type batchScratch struct {
-	fp  []uint32
-	idx [][]int32 // idx[j][i] = bucket index of chunk key i in array j
+	hashes []uint64
 }
 
-// precompute fills the scratch with fingerprints and bucket indexes for keys
-// (at most BatchChunk of them) and returns the number of arrays covered.
-// Hashing is done in tight per-array loops: the seed and width load once per
-// array instead of once per (key, array) pair, which is where the batch
-// path's amortization comes from.
-func (s *Sketch) precompute(keys [][]byte) int {
+// HashBatch hashes every key once into the sketch's scratch and returns the
+// hash slice, valid until the next HashBatch call. The tight loop loads the
+// seed once for the whole batch; this is the batch path's only pass over key
+// bytes. Callers pass hashes[i] to the *Hashed entry points.
+func (s *Sketch) HashBatch(keys [][]byte) []uint64 {
 	b := &s.scratch
 	n := len(keys)
-	if cap(b.fp) < n {
-		b.fp = make([]uint32, n)
+	if cap(b.hashes) < n {
+		b.hashes = make([]uint64, n)
 	}
-	b.fp = b.fp[:n]
-	fpSeed, fpMask := s.fpSeed, s.fpMask
+	hs := b.hashes[:n]
+	seed := s.keySeed
 	for i, key := range keys {
-		fp := uint32(hash.Sum64(fpSeed, key)) & fpMask
-		if fp == 0 {
-			fp = 1
-		}
-		b.fp[i] = fp
+		hs[i] = hash.Sum64(seed, key)
 	}
-	d := len(s.arrays)
-	for len(b.idx) < d {
-		b.idx = append(b.idx, make([]int32, 0, BatchChunk))
-	}
-	w := uint64(s.cfg.W)
-	for j := 0; j < d; j++ {
-		if cap(b.idx[j]) < n {
-			b.idx[j] = make([]int32, n)
-		}
-		row := b.idx[j][:n]
-		seed := s.seeds[j]
-		for i, key := range keys {
-			row[i] = int32(fastRange(hash.Sum64(seed, key), w))
-		}
-		b.idx[j] = row
-	}
-	return d
+	b.hashes = hs
+	return hs
 }
 
-// applyHashed performs one Parallel-discipline insertion of chunk key i using
-// the precomputed hashes. preD is the array count covered by precompute; any
-// array appended by auto-expansion mid-chunk is hashed on demand so the
-// result is identical to the unbatched path. The basic discipline (§III-C)
-// is the same case analysis with the Optimization II gate always open, so
-// callers express it as inHeap = true.
-func (s *Sketch) applyHashed(key []byte, i, preD int, inHeap bool, nmin uint32) uint32 {
-	s.stats.Packets++
-	fp := s.scratch.fp[i]
-	var est uint32
-	blocked := true
-	for j := range s.arrays {
-		var bi int
-		if j < preD {
-			bi = int(s.scratch.idx[j][i])
-		} else {
-			bi = s.index(j, key)
-		}
-		b := &s.arrays[j][bi]
-		switch {
-		case b.c == 0:
-			b.fp, b.c = fp, 1
-			s.stats.EmptyTakes++
-			blocked = false
-			if est < 1 {
-				est = 1
-			}
-		case b.fp == fp:
-			blocked = false
-			if inHeap || b.c <= nmin {
-				if b.c < s.maxC {
-					b.c++
-				}
-				s.stats.Increments++
-				if est < b.c {
-					est = b.c
-				}
-			}
-		default:
-			if b.c < s.cfg.LargeC {
-				blocked = false
-			}
-			if s.shouldDecay(b.c) {
-				b.c--
-				s.stats.Decays++
-				if b.c == 0 {
-					b.fp, b.c = fp, 1
-					s.stats.Replacements++
-					if est < 1 {
-						est = 1
-					}
-				}
-			}
-		}
-	}
-	s.noteBlocked(blocked)
-	return est
-}
-
-// PrecomputeBatch fills the sketch's scratch with hashes for keys (at most
-// BatchChunk of them) and returns the array count covered; pass the result
-// to ApplyHashed as preD. It exists so that a caller owning the per-key
-// control flow (e.g. topk's fused batch loop, which interleaves top-k store
-// reads and writes between keys without closure indirection) can still use
-// the amortized hashing path.
-func (s *Sketch) PrecomputeBatch(keys [][]byte) int {
-	return s.precompute(keys)
-}
-
-// ApplyHashed performs one Parallel-discipline insertion of chunk key i
-// using the hashes precomputed by PrecomputeBatch. Semantics, statistics and
-// RNG consumption are identical to InsertParallel(key, inHeap, nmin).
-func (s *Sketch) ApplyHashed(key []byte, i, preD int, inHeap bool, nmin uint32) uint32 {
-	return s.applyHashed(key, i, preD, inHeap, nmin)
-}
-
-// InsertParallelBatch is InsertParallel over a batch of keys. gate, when
-// non-nil, is invoked per key in stream order immediately before that key's
-// buckets change, and report (when non-nil) immediately after — so a caller
-// updating a top-k structure from report sees exactly the interleaving of a
-// sequential loop over InsertParallel. Only hashing is done ahead of time,
-// and hashing depends on no mutable state, so the batch is bit-for-bit
-// equivalent to the sequential path (including the decay RNG stream).
-// A nil gate means no Optimization II gating (every matching counter may
-// increment), which is the basic discipline.
-func (s *Sketch) InsertParallelBatch(keys [][]byte, gate func(i int) (inHeap bool, nmin uint32), report func(i int, est uint32)) {
+// InsertParallelBatch is InsertParallel over a batch of keys. hashes, when
+// non-nil, must hold KeyHash(keys[i]) for every i (a router that already
+// hashed each key passes them through so nothing is hashed twice); when nil
+// the batch hashes each key once itself. gate, when non-nil, is invoked per
+// key in stream order immediately before that key's buckets change, and
+// report (when non-nil) immediately after — so a caller updating a top-k
+// structure from report sees exactly the interleaving of a sequential loop
+// over InsertParallel. Only hashing is done ahead of time, and hashing
+// depends on no mutable state, so the batch is bit-for-bit equivalent to the
+// sequential path (including the decay RNG stream). A nil gate means no
+// Optimization II gating (every matching counter may increment), which is
+// the basic discipline.
+func (s *Sketch) InsertParallelBatch(keys [][]byte, hashes []uint64, gate func(i int) (inHeap bool, nmin uint32), report func(i int, est uint32)) {
 	for off := 0; off < len(keys); off += BatchChunk {
 		end := off + BatchChunk
 		if end > len(keys) {
 			end = len(keys)
 		}
 		chunk := keys[off:end]
-		preD := s.precompute(chunk)
+		// A v2-restored sketch ignores precomputed hashes (legacy per-array
+		// placement), so don't spend a pass producing them; locateFor takes
+		// the key-only path regardless of the h it is handed.
+		var hs []uint64
+		if hashes != nil {
+			hs = hashes[off:end]
+		} else if !s.LegacyHashing() {
+			hs = s.HashBatch(chunk)
+		}
 		for ci, key := range chunk {
 			inHeap, nmin := true, uint32(0xffffffff)
 			if gate != nil {
 				inHeap, nmin = gate(off + ci)
 			}
-			est := s.applyHashed(key, ci, preD, inHeap, nmin)
+			var h uint64
+			if hs != nil {
+				h = hs[ci]
+			}
+			est := s.InsertParallelHashed(key, h, inHeap, nmin)
 			if report != nil {
 				report(off+ci, est)
 			}
@@ -165,7 +85,7 @@ func (s *Sketch) InsertParallelBatch(keys [][]byte, gate func(i int) (inHeap boo
 // InsertBasicBatch is InsertBasic over a batch of keys, reporting each key's
 // post-insertion estimate to report when non-nil.
 func (s *Sketch) InsertBasicBatch(keys [][]byte, report func(i int, est uint32)) {
-	s.InsertParallelBatch(keys, nil, report)
+	s.InsertParallelBatch(keys, nil, nil, report)
 }
 
 // AddBatch records one basic-discipline packet per key. It is the

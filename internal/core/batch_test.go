@@ -95,13 +95,31 @@ func TestInsertParallelBatchMatchesSequential(t *testing.T) {
 		want[i] = seq.InsertParallel(k, inHeap, nmin)
 	}
 	got := make([]uint32, len(stream))
-	bat.InsertParallelBatch(stream, gate, func(i int, est uint32) { got[i] = est })
+	bat.InsertParallelBatch(stream, nil, gate, func(i int, est uint32) { got[i] = est })
 	for i := range want {
 		if want[i] != got[i] {
 			t.Fatalf("estimate %d diverges: sequential %d, batch %d", i, want[i], got[i])
 		}
 	}
 	requireEqualState(t, seq, bat, stream)
+}
+
+// TestInsertParallelBatchPrehashed: a caller that already computed KeyHash
+// per key (the sharded router) passes the hashes through and gets the exact
+// same result as the self-hashing batch.
+func TestInsertParallelBatchPrehashed(t *testing.T) {
+	cfg := Config{W: 64, Seed: 13}
+	self := MustNew(cfg)
+	pre := MustNew(cfg)
+	stream := batchStream(20_000, 500, 321)
+
+	hashes := make([]uint64, len(stream))
+	for i, k := range stream {
+		hashes[i] = pre.KeyHash(k)
+	}
+	self.InsertParallelBatch(stream, nil, nil, nil)
+	pre.InsertParallelBatch(stream, hashes, nil, nil)
+	requireEqualState(t, self, pre, stream)
 }
 
 // TestBatchExpansionMidChunk forces §III-F auto-expansion while a batch is

@@ -21,6 +21,22 @@
 //   - Minimum (§IV, Algorithm 2): at most one bucket is modified per packet
 //     (minimum decay), trading the parallel property for accuracy.
 //
+// # One hash per packet
+//
+// The hot path hashes the key bytes exactly once (KeyHash). The fingerprint
+// and every array index derive from that single 64-bit value by cheap
+// register mixing: fp = Mix(fpSeed, h) and, Kirsch–Mitzenmacher style,
+// idx_j = reduce(h1 + j·h2, W) with h1 = Mix(h1Seed, h), h2 = Mix(h2Seed, h)|1.
+// This matches the paper's hardware variants, which assume a single hash
+// unit feeding all d arrays, and removes d of the d+1 key traversals the
+// textbook formulation pays. Callers that already hold the key's hash (the
+// batch scratch, the sharded router) pass it to the *Hashed entry points so
+// nothing is hashed twice.
+//
+// Buckets live in one contiguous packed []uint64 slab (fingerprint in the
+// high 32 bits, counter in the low 32, row-major by array), so each probe is
+// a single aligned load with no outer-slice indirection.
+//
 // The sketch is deliberately single-writer (the paper's model); wrap it for
 // concurrent use at a higher layer.
 package core
@@ -28,7 +44,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 
 	"repro/internal/hash"
 	"repro/internal/xrand"
@@ -109,18 +124,18 @@ func (c *Config) setDefaults() error {
 	if c.MaxArrays != 0 && c.MaxArrays < c.D {
 		return fmt.Errorf("core: MaxArrays = %d < D = %d", c.MaxArrays, c.D)
 	}
-	if c.Decay == nil {
-		c.Decay = ExpDecay(c.B)
-	}
 	return nil
 }
 
-// bucket is one (fingerprint, counter) cell. Fingerprint 0 means empty; the
-// hash layer never emits a zero fingerprint.
-type bucket struct {
-	fp uint32
-	c  uint32
-}
+// A cell is one packed (fingerprint, counter) bucket: fingerprint in the
+// high 32 bits, counter in the low 32. A zero counter means empty, so a
+// matching increment below saturation is a bare cell+1. Fingerprints are
+// remapped away from 0 on creation, but an all-zero cell is the canonical
+// empty state.
+func packCell(fp, c uint32) uint64 { return uint64(fp)<<32 | uint64(c) }
+
+func cellFP(cell uint64) uint32 { return uint32(cell >> 32) }
+func cellC(cell uint64) uint32  { return uint32(cell) }
 
 // Stats counts the sketch's internal events; useful in tests, ablations and
 // the EXPERIMENTS write-up.
@@ -135,13 +150,34 @@ type Stats struct {
 	Expansions   uint64 // arrays added by auto-expansion
 }
 
+// legacyV2 carries the per-array hash seeds of a sketch restored from a
+// version-2 snapshot. v2 writers placed flows with d+1 independent xxHash64
+// passes (one per array plus the fingerprint); those placements cannot be
+// reproduced by the one-hash derivation, so a restored sketch keeps hashing
+// the old way — correct, at the old d+1-hashes-per-packet cost. Freshly
+// constructed sketches never enter this mode.
+type legacyV2 struct {
+	seeds  []uint64 // per-array hash seed
+	fpSeed uint64   // fingerprint hash seed
+}
+
 // Sketch is a HeavyKeeper. Create one with New.
 type Sketch struct {
-	cfg     Config
-	arrays  [][]bucket // arrays[j][i]
-	seeds   []uint64   // hash seed per array
+	cfg  Config
+	d    int      // current number of arrays (>= cfg.D; expansion grows it)
+	w    uint64   // cfg.W, pre-widened for index reduction
+	slab []uint64 // packed cells, row-major: cell (j,i) at slab[j*cfg.W+i]
+
+	// One-hash derivation seeds: the key bytes are hashed once under
+	// keySeed; fingerprint and double-hashing increments mix that value
+	// under fpSeed / h1Seed / h2Seed.
+	keySeed uint64
+	h1Seed  uint64
+	h2Seed  uint64
 	fpSeed  uint64
-	seedGen *xrand.SplitMix64 // source of future array seeds (expansion)
+
+	legacy  *legacyV2         // non-nil only after restoring a v2 snapshot
+	seedGen *xrand.SplitMix64 // source of legacy expansion seeds
 	rng     *xrand.Xorshift64Star
 	decay   decayTable
 	maxC    uint32 // counter saturation value
@@ -149,8 +185,10 @@ type Sketch struct {
 	stats   Stats
 	// overflow is the §III-F global counter since the last expansion.
 	overflow uint64
-	// scratch backs the batch insert path (batch.go); single-writer like the
-	// rest of the sketch.
+	// pos is the per-insert scratch of flat cell positions, one per array;
+	// single-writer like the rest of the sketch.
+	pos []int
+	// scratch backs the batch insert path (batch.go).
 	scratch batchScratch
 }
 
@@ -159,22 +197,24 @@ func New(cfg Config) (*Sketch, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	decay := tableFor(&cfg)
 	sm := xrand.NewSplitMix64(cfg.Seed)
 	s := &Sketch{
 		cfg:     cfg,
-		arrays:  make([][]bucket, cfg.D),
-		seeds:   make([]uint64, cfg.D),
-		seedGen: sm,
-		decay:   buildDecayTable(cfg.Decay),
+		d:       cfg.D,
+		w:       uint64(cfg.W),
+		slab:    make([]uint64, cfg.D*cfg.W),
+		keySeed: sm.Next(),
+		h1Seed:  sm.Next(),
+		h2Seed:  sm.Next(),
+		fpSeed:  sm.Next(),
+		decay:   decay,
 		maxC:    uint32((uint64(1) << cfg.CounterBits) - 1),
 		fpMask:  uint32((uint64(1) << cfg.FingerprintBits) - 1),
+		pos:     make([]int, cfg.D),
 	}
-	for j := range s.arrays {
-		s.arrays[j] = make([]bucket, cfg.W)
-		s.seeds[j] = sm.Next()
-	}
-	s.fpSeed = sm.Next()
 	s.rng = xrand.NewXorshift64Star(sm.Next())
+	s.seedGen = xrand.NewSplitMix64(sm.Next())
 	return s, nil
 }
 
@@ -188,7 +228,7 @@ func MustNew(cfg Config) *Sketch {
 }
 
 // D returns the current number of arrays (may grow via expansion).
-func (s *Sketch) D() int { return len(s.arrays) }
+func (s *Sketch) D() int { return s.d }
 
 // W returns the number of buckets per array.
 func (s *Sketch) W() int { return s.cfg.W }
@@ -202,7 +242,7 @@ func (s *Sketch) Config() Config { return s.cfg }
 // MemoryBytes returns the sketch's logical memory footprint: buckets times
 // (fingerprint + counter) bits, the accounting the paper uses in §VI-A.
 func (s *Sketch) MemoryBytes() int {
-	bits := int(s.cfg.FingerprintBits+s.cfg.CounterBits) * s.cfg.W * len(s.arrays)
+	bits := int(s.cfg.FingerprintBits+s.cfg.CounterBits) * s.cfg.W * s.d
 	return (bits + 7) / 8
 }
 
@@ -219,25 +259,95 @@ func BucketBytes(fingerprintBits, counterBits uint) float64 {
 	return float64(fingerprintBits+counterBits) / 8
 }
 
+// KeyHash returns the sketch's single 64-bit hash of key, the one pass over
+// the key bytes from which the fingerprint and every bucket index derive.
+// Callers that route or batch keys compute it once and hand it to the
+// *Hashed entry points, keeping the whole stack at one hash per packet.
+func (s *Sketch) KeyHash(key []byte) uint64 { return hash.Sum64(s.keySeed, key) }
+
+// LegacyHashing reports whether the sketch was restored from a v2 snapshot
+// and therefore places flows with the legacy per-array hashes, ignoring
+// KeyHash values. Batch paths use it to skip precomputing hashes that would
+// be discarded.
+func (s *Sketch) LegacyHashing() bool { return s.legacy != nil }
+
+// locateHash fills s.pos with key's flat cell position in every array,
+// derived from the single key hash h, and returns the positions and the
+// fingerprint. Indexes follow Kirsch–Mitzenmacher double hashing
+// (idx_j = reduce(h1 + j·h2, W)); h2 is forced odd so consecutive arrays
+// never collapse onto one stride.
+func (s *Sketch) locateHash(h uint64) ([]int, uint32) {
+	d := s.d
+	if cap(s.pos) < d {
+		s.pos = make([]int, d)
+	}
+	pos := s.pos[:d]
+	h1 := hash.Mix(s.h1Seed, h)
+	h2 := hash.Mix(s.h2Seed, h) | 1
+	base := 0
+	for j := range pos {
+		pos[j] = base + int(hash.Reduce(h1, s.w))
+		h1 += h2
+		base += s.cfg.W
+	}
+	fp := uint32(hash.Mix(s.fpSeed, h)) & s.fpMask
+	if fp == 0 {
+		fp = 1
+	}
+	return pos, fp
+}
+
+// locateLegacy is locateHash for v2-restored sketches: placement and
+// fingerprint come from the snapshot's per-array seeds (d+1 key hashes).
+func (s *Sketch) locateLegacy(key []byte) ([]int, uint32) {
+	lg := s.legacy
+	d := s.d
+	if cap(s.pos) < d {
+		s.pos = make([]int, d)
+	}
+	pos := s.pos[:d]
+	base := 0
+	for j := range pos {
+		pos[j] = base + int(hash.Reduce(hash.Sum64(lg.seeds[j], key), s.w))
+		base += s.cfg.W
+	}
+	fp := uint32(hash.Sum64(lg.fpSeed, key)) & s.fpMask
+	if fp == 0 {
+		fp = 1
+	}
+	return pos, fp
+}
+
+// locateKey locates key with exactly one pass over its bytes (modern
+// sketches) or the legacy d+1 passes (v2-restored sketches).
+func (s *Sketch) locateKey(key []byte) ([]int, uint32) {
+	if s.legacy != nil {
+		return s.locateLegacy(key)
+	}
+	return s.locateHash(hash.Sum64(s.keySeed, key))
+}
+
+// locateFor locates key given its precomputed KeyHash h; v2-restored
+// sketches ignore h and re-hash with their legacy seeds.
+func (s *Sketch) locateFor(key []byte, h uint64) ([]int, uint32) {
+	if s.legacy != nil {
+		return s.locateLegacy(key)
+	}
+	return s.locateHash(h)
+}
+
 // Fingerprint returns the sketch's fingerprint for key.
 func (s *Sketch) Fingerprint(key []byte) uint32 {
-	fp := uint32(hash.Sum64(s.fpSeed, key)) & s.fpMask
+	var fp uint32
+	if lg := s.legacy; lg != nil {
+		fp = uint32(hash.Sum64(lg.fpSeed, key)) & s.fpMask
+	} else {
+		fp = uint32(hash.Mix(s.fpSeed, hash.Sum64(s.keySeed, key))) & s.fpMask
+	}
 	if fp == 0 {
 		fp = 1
 	}
 	return fp
-}
-
-func (s *Sketch) index(j int, key []byte) int {
-	return fastRange(hash.Sum64(s.seeds[j], key), uint64(s.cfg.W))
-}
-
-// fastRange maps a 64-bit hash uniformly onto [0, w) via the high word of
-// the 128-bit product (Lemire's fastrange), avoiding the hardware divide a
-// % would cost on every packet-array pair.
-func fastRange(h, w uint64) int {
-	hi, _ := bits.Mul64(h, w)
-	return int(hi)
 }
 
 // shouldDecay performs one exponential-decay coin flip for counter value c.
@@ -254,51 +364,22 @@ func (s *Sketch) shouldDecay(c uint32) bool {
 // (§III-B/C): all d mapped buckets are processed with no top-k feedback.
 // It returns the sketch's estimate for key after the insertion.
 func (s *Sketch) InsertBasic(key []byte) uint32 {
-	s.stats.Packets++
-	fp := s.Fingerprint(key)
-	var est uint32
-	blocked := true
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
-		switch {
-		case b.c == 0:
-			// Case 1: empty bucket — take it.
-			b.fp, b.c = fp, 1
-			s.stats.EmptyTakes++
-			blocked = false
-			if est < 1 {
-				est = 1
-			}
-		case b.fp == fp:
-			// Case 2: our bucket — increment (saturating).
-			if b.c < s.maxC {
-				b.c++
-			}
-			s.stats.Increments++
-			blocked = false
-			if est < b.c {
-				est = b.c
-			}
-		default:
-			// Case 3: someone else's bucket — exponential-weakening decay.
-			if b.c < s.cfg.LargeC {
-				blocked = false
-			}
-			if s.shouldDecay(b.c) {
-				b.c--
-				s.stats.Decays++
-				if b.c == 0 {
-					b.fp, b.c = fp, 1
-					s.stats.Replacements++
-					if est < 1 {
-						est = 1
-					}
-				}
-			}
-		}
-	}
-	s.noteBlocked(blocked)
-	return est
+	pos, fp := s.locateKey(key)
+	return s.insertBasicAt(pos, fp)
+}
+
+// InsertBasicHashed is InsertBasic for a caller that precomputed KeyHash.
+func (s *Sketch) InsertBasicHashed(key []byte, h uint64) uint32 {
+	pos, fp := s.locateFor(key, h)
+	return s.insertBasicAt(pos, fp)
+}
+
+// insertBasicAt is the basic discipline: the same case analysis as the
+// Parallel discipline with the Optimization II gate permanently open (the
+// relationship InsertBasicBatch already exploits), so it delegates rather
+// than duplicating the packed-cell switch.
+func (s *Sketch) insertBasicAt(pos []int, fp uint32) uint32 {
+	return s.insertParallelAt(pos, fp, true, 0)
 }
 
 // InsertParallel records one packet of flow key using the Hardware Parallel
@@ -309,50 +390,65 @@ func (s *Sketch) InsertBasic(key []byte) uint32 {
 // Algorithm 1's HeavyK_V: the estimate established by this insertion, and 0
 // if no bucket accepted the flow.
 func (s *Sketch) InsertParallel(key []byte, inHeap bool, nmin uint32) uint32 {
+	pos, fp := s.locateKey(key)
+	return s.insertParallelAt(pos, fp, inHeap, nmin)
+}
+
+// InsertParallelHashed is InsertParallel for a caller that precomputed
+// KeyHash. Semantics, statistics and RNG consumption are identical to
+// InsertParallel(key, inHeap, nmin).
+func (s *Sketch) InsertParallelHashed(key []byte, h uint64, inHeap bool, nmin uint32) uint32 {
+	pos, fp := s.locateFor(key, h)
+	return s.insertParallelAt(pos, fp, inHeap, nmin)
+}
+
+func (s *Sketch) insertParallelAt(pos []int, fp uint32, inHeap bool, nmin uint32) uint32 {
 	s.stats.Packets++
-	fp := s.Fingerprint(key)
 	var est uint32
 	blocked := true
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
+	for _, p := range pos {
+		cell := s.slab[p]
+		c := cellC(cell)
 		switch {
-		case b.c == 0:
-			b.fp, b.c = fp, 1
+		case c == 0:
+			s.slab[p] = packCell(fp, 1)
 			s.stats.EmptyTakes++
 			blocked = false
 			if est < 1 {
 				est = 1
 			}
-		case b.fp == fp:
+		case cellFP(cell) == fp:
 			blocked = false
 			// Optimization II: if the flow is not monitored and this counter
 			// already exceeds nmin, it cannot legitimately belong to the
 			// flow (Theorem 1) — leave it untouched. The gate admits
 			// C <= nmin so a legitimate flow can reach exactly nmin+1, the
 			// value Optimization I's admission rule requires.
-			if inHeap || b.c <= nmin {
-				if b.c < s.maxC {
-					b.c++
+			if inHeap || c <= nmin {
+				if c < s.maxC {
+					c++
+					s.slab[p] = cell + 1
 				}
 				s.stats.Increments++
-				if est < b.c {
-					est = b.c
+				if est < c {
+					est = c
 				}
 			}
 		default:
-			if b.c < s.cfg.LargeC {
+			if c < s.cfg.LargeC {
 				blocked = false
 			}
-			if s.shouldDecay(b.c) {
-				b.c--
+			if s.shouldDecay(c) {
+				cell--
 				s.stats.Decays++
-				if b.c == 0 {
-					b.fp, b.c = fp, 1
+				if cellC(cell) == 0 {
+					cell = packCell(fp, 1)
 					s.stats.Replacements++
 					if est < 1 {
 						est = 1
 					}
 				}
+				s.slab[p] = cell
 			}
 		}
 	}
@@ -370,53 +466,64 @@ func (s *Sketch) InsertParallel(key []byte, inHeap bool, nmin uint32) uint32 {
 //
 // The return value is Algorithm 2's HeavyK_V (0 when nothing was updated).
 func (s *Sketch) InsertMinimum(key []byte, inHeap bool, nmin uint32) uint32 {
+	pos, fp := s.locateKey(key)
+	return s.insertMinimumAt(pos, fp, inHeap, nmin)
+}
+
+// InsertMinimumHashed is InsertMinimum for a caller that precomputed KeyHash.
+func (s *Sketch) InsertMinimumHashed(key []byte, h uint64, inHeap bool, nmin uint32) uint32 {
+	pos, fp := s.locateFor(key, h)
+	return s.insertMinimumAt(pos, fp, inHeap, nmin)
+}
+
+func (s *Sketch) insertMinimumAt(pos []int, fp uint32, inHeap bool, nmin uint32) uint32 {
 	s.stats.Packets++
-	fp := s.Fingerprint(key)
 
 	firstEmpty := -1
-	minArray := -1
+	minPos := -1
 	var minCount uint32
 	matched := false
 
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
-		if b.c != 0 && b.fp == fp {
+	for _, p := range pos {
+		cell := s.slab[p]
+		c := cellC(cell)
+		if c != 0 && cellFP(cell) == fp {
 			matched = true
 			// Situation 1 (with Optimization II gating as in Algorithm 2
 			// line 11): increment only when monitored or not yet past nmin,
 			// so an unmonitored flow can reach exactly nmin+1 and qualify
 			// for Optimization I's admission rule.
-			if inHeap || b.c <= nmin {
-				if b.c < s.maxC {
-					b.c++
+			if inHeap || c <= nmin {
+				if c < s.maxC {
+					c++
+					s.slab[p] = cell + 1
 				}
 				s.stats.Increments++
-				return b.c
+				return c
 			}
 			// Matching but frozen: Algorithm 2 leaves this bucket alone and
 			// keeps scanning; the flow may still claim an empty bucket or
 			// decay a minimum elsewhere.
 			continue
 		}
-		if b.c == 0 {
+		if c == 0 {
 			if firstEmpty < 0 {
-				firstEmpty = j
+				firstEmpty = p
 			}
 			continue
 		}
-		if minArray < 0 || b.c < minCount {
-			minArray, minCount = j, b.c
+		if minPos < 0 || c < minCount {
+			minPos, minCount = p, c
 		}
 	}
 
 	if firstEmpty >= 0 {
 		// Situation 2: claim the first empty bucket.
-		b := &s.arrays[firstEmpty][s.index(firstEmpty, key)]
-		b.fp, b.c = fp, 1
+		s.slab[firstEmpty] = packCell(fp, 1)
 		s.stats.EmptyTakes++
 		return 1
 	}
-	if minArray < 0 {
+	if minPos < 0 {
 		// Every mapped bucket matched but was frozen; nothing to do.
 		return 0
 	}
@@ -425,15 +532,16 @@ func (s *Sketch) InsertMinimum(key []byte, inHeap bool, nmin uint32) uint32 {
 	if !matched {
 		s.noteBlocked(minCount >= s.cfg.LargeC)
 	}
-	b := &s.arrays[minArray][s.index(minArray, key)]
-	if s.shouldDecay(b.c) {
-		b.c--
+	cell := s.slab[minPos]
+	if s.shouldDecay(cellC(cell)) {
+		cell--
 		s.stats.Decays++
-		if b.c == 0 {
-			b.fp, b.c = fp, 1
+		if cellC(cell) == 0 {
+			s.slab[minPos] = packCell(fp, 1)
 			s.stats.Replacements++
 			return 1
 		}
+		s.slab[minPos] = cell
 	}
 	return 0
 }
@@ -442,12 +550,22 @@ func (s *Sketch) InsertMinimum(key []byte, inHeap bool, nmin uint32) uint32 {
 // among mapped buckets whose fingerprint matches (§III-B Query). A flow held
 // in no bucket reports 0 — "it is a mouse flow".
 func (s *Sketch) Query(key []byte) uint32 {
-	fp := s.Fingerprint(key)
+	pos, fp := s.locateKey(key)
+	return s.queryAt(pos, fp)
+}
+
+// QueryHashed is Query for a caller that precomputed KeyHash.
+func (s *Sketch) QueryHashed(key []byte, h uint64) uint32 {
+	pos, fp := s.locateFor(key, h)
+	return s.queryAt(pos, fp)
+}
+
+func (s *Sketch) queryAt(pos []int, fp uint32) uint32 {
 	var est uint32
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
-		if b.c != 0 && b.fp == fp && b.c > est {
-			est = b.c
+	for _, p := range pos {
+		cell := s.slab[p]
+		if c := cellC(cell); c != 0 && cellFP(cell) == fp && c > est {
+			est = c
 		}
 	}
 	return est
@@ -465,11 +583,14 @@ func (s *Sketch) noteBlocked(blocked bool) {
 	if s.overflow <= s.cfg.ExpandThreshold {
 		return
 	}
-	if s.cfg.MaxArrays > 0 && len(s.arrays) >= s.cfg.MaxArrays {
+	if s.cfg.MaxArrays > 0 && s.d >= s.cfg.MaxArrays {
 		return
 	}
-	s.arrays = append(s.arrays, make([]bucket, s.cfg.W))
-	s.seeds = append(s.seeds, s.seedGen.Next())
+	s.slab = append(s.slab, make([]uint64, s.cfg.W)...)
+	s.d++
+	if s.legacy != nil {
+		s.legacy.seeds = append(s.legacy.seeds, s.seedGen.Next())
+	}
 	s.overflow = 0
 	s.stats.Expansions++
 }
@@ -480,9 +601,7 @@ func (s *Sketch) OverflowCount() uint64 { return s.overflow }
 // Reset clears all buckets and statistics while keeping configuration,
 // seeds and any expanded arrays.
 func (s *Sketch) Reset() {
-	for j := range s.arrays {
-		clear(s.arrays[j])
-	}
+	clear(s.slab)
 	s.stats = Stats{}
 	s.overflow = 0
 }

@@ -172,10 +172,10 @@ func TestCounterNeverZeroOnceMapped(t *testing.T) {
 		s.InsertBasic(key(int(rng.Uint64n(50))))
 	}
 	touched := 0
-	for _, b := range s.arrays[0] {
-		if b.fp != 0 {
+	for _, cell := range s.slab[:s.cfg.W] {
+		if cellFP(cell) != 0 {
 			touched++
-			if b.c == 0 {
+			if cellC(cell) == 0 {
 				t.Error("bucket holds a fingerprint with zero counter")
 			}
 		}
@@ -232,12 +232,15 @@ func TestMinimumTouchesAtMostOneBucket(t *testing.T) {
 	}
 }
 
-func (s *Sketch) snapshotBuckets() []bucket {
-	var out []bucket
-	for j := range s.arrays {
-		out = append(out, s.arrays[j]...)
-	}
-	return out
+func (s *Sketch) snapshotBuckets() []uint64 {
+	return append([]uint64(nil), s.slab...)
+}
+
+// indexOf returns key's bucket index within array j, for tests that need to
+// steer keys onto specific buckets.
+func (s *Sketch) indexOf(j int, key []byte) int {
+	pos, _ := s.locateKey(key)
+	return pos[j] - j*s.cfg.W
 }
 
 func TestMinimumPrefersEmptyBucket(t *testing.T) {
@@ -285,10 +288,10 @@ func TestExpansion(t *testing.T) {
 	// Fill both buckets of the single array with large counters.
 	heavyA, heavyB := 0, 0
 	for i := 0; i < 1000 && (heavyA == 0 || heavyB == 0); i++ {
-		if s.index(0, key(i)) == 0 && heavyA == 0 {
+		if s.indexOf(0, key(i)) == 0 && heavyA == 0 {
 			heavyA = i + 1 // avoid key(0) colliding with sentinel 0
 		}
-		if s.index(0, key(i)) == 1 && heavyB == 0 {
+		if s.indexOf(0, key(i)) == 1 && heavyB == 0 {
 			heavyB = i + 1
 		}
 	}
@@ -448,6 +451,7 @@ func TestFingerprintStability(t *testing.T) {
 func BenchmarkInsertBasic(b *testing.B) {
 	s := MustNew(Config{W: 4096, Seed: 1})
 	keys := makeKeys(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.InsertBasic(keys[i&(len(keys)-1)])
@@ -457,6 +461,7 @@ func BenchmarkInsertBasic(b *testing.B) {
 func BenchmarkInsertParallel(b *testing.B) {
 	s := MustNew(Config{W: 4096, Seed: 1})
 	keys := makeKeys(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.InsertParallel(keys[i&(len(keys)-1)], false, 10)
@@ -466,6 +471,7 @@ func BenchmarkInsertParallel(b *testing.B) {
 func BenchmarkInsertMinimum(b *testing.B) {
 	s := MustNew(Config{W: 4096, Seed: 1})
 	keys := makeKeys(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.InsertMinimum(keys[i&(len(keys)-1)], false, 10)

@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // DecayFunc maps a counter value C >= 1 to the probability, in [0, 1], of
 // decrementing that counter when a foreign flow probes its bucket. The paper
@@ -75,6 +78,28 @@ func buildDecayTable(f DecayFunc) decayTable {
 		t.thresholds = append(t.thresholds, th)
 	}
 	return t
+}
+
+// expTables caches compiled tables for the default exponential decay, keyed
+// by base. Every shard of a Sharded (and every sketch of a fleet built with
+// the same base) shares one immutable table instead of recompiling ~600
+// math.Exp calls per sketch; the table is read-only after construction so
+// sharing is safe.
+var expTables sync.Map // float64 (base) -> decayTable
+
+// tableFor returns the compiled decay table for cfg, reusing the shared
+// per-base cache when the decay function is the default exponential. It also
+// fills cfg.Decay for the default case so Config() round-trips.
+func tableFor(cfg *Config) decayTable {
+	if cfg.Decay != nil {
+		return buildDecayTable(cfg.Decay)
+	}
+	cfg.Decay = ExpDecay(cfg.B)
+	if t, ok := expTables.Load(cfg.B); ok {
+		return t.(decayTable)
+	}
+	t, _ := expTables.LoadOrStore(cfg.B, buildDecayTable(cfg.Decay))
+	return t.(decayTable)
 }
 
 // probToThreshold converts a probability to the 64-bit comparison threshold:

@@ -2,6 +2,28 @@ package core
 
 import "fmt"
 
+// hashCompatible reports whether two sketches place flows identically: same
+// derivation seeds, and both on the same hashing scheme (modern one-hash or
+// legacy v2 per-array).
+func (s *Sketch) hashCompatible(other *Sketch) bool {
+	if (s.legacy == nil) != (other.legacy == nil) {
+		return false
+	}
+	if s.legacy != nil {
+		if s.legacy.fpSeed != other.legacy.fpSeed || len(s.legacy.seeds) != len(other.legacy.seeds) {
+			return false
+		}
+		for j := range s.legacy.seeds {
+			if s.legacy.seeds[j] != other.legacy.seeds[j] {
+				return false
+			}
+		}
+		return true
+	}
+	return s.keySeed == other.keySeed && s.h1Seed == other.h1Seed &&
+		s.h2Seed == other.h2Seed && s.fpSeed == other.fpSeed
+}
+
 // Merge folds other into s, bucket by bucket. Both sketches must share the
 // same configuration and seeds (i.e. be constructed with identical Config
 // including Seed, or restored from snapshots of such sketches) so that a
@@ -28,38 +50,32 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other == nil {
 		return fmt.Errorf("core: merge with nil sketch")
 	}
-	if len(s.arrays) != len(other.arrays) || s.cfg.W != other.cfg.W {
+	if s.d != other.d || s.cfg.W != other.cfg.W {
 		return fmt.Errorf("core: merge shape mismatch: %dx%d vs %dx%d",
-			len(s.arrays), s.cfg.W, len(other.arrays), other.cfg.W)
+			s.d, s.cfg.W, other.d, other.cfg.W)
 	}
-	if s.fpSeed != other.fpSeed {
-		return fmt.Errorf("core: merge fingerprint-seed mismatch")
+	if !s.hashCompatible(other) {
+		return fmt.Errorf("core: merge hash-seed mismatch")
 	}
-	for j := range s.arrays {
-		if s.seeds[j] != other.seeds[j] {
-			return fmt.Errorf("core: merge seed mismatch in array %d", j)
-		}
-	}
-	for j := range s.arrays {
-		for i := range s.arrays[j] {
-			a := &s.arrays[j][i]
-			b := other.arrays[j][i]
-			switch {
-			case b.c == 0:
-				// Nothing to fold in.
-			case a.c == 0:
-				*a = b
-			case a.fp == b.fp:
-				a.c = s.addSaturating(a.c, uint64(b.c))
-			case b.c > a.c:
-				a.fp = b.fp
-				a.c = b.c - a.c
-			default:
-				a.c -= b.c
-				if a.c == 0 {
-					// Contest ended in a tie; the bucket returns to empty.
-					a.fp = 0
-				}
+	for i, b := range other.slab {
+		a := s.slab[i]
+		ac, bc := cellC(a), cellC(b)
+		switch {
+		case bc == 0:
+			// Nothing to fold in.
+		case ac == 0:
+			s.slab[i] = b
+		case cellFP(a) == cellFP(b):
+			s.slab[i] = packCell(cellFP(a), s.addSaturating(ac, uint64(bc)))
+		case bc > ac:
+			s.slab[i] = packCell(cellFP(b), bc-ac)
+		default:
+			ac -= bc
+			if ac == 0 {
+				// Contest ended in a tie; the bucket returns to empty.
+				s.slab[i] = 0
+			} else {
+				s.slab[i] = packCell(cellFP(a), ac)
 			}
 		}
 	}

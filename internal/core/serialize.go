@@ -2,19 +2,37 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 )
 
-// snapshot format version; bump on layout changes. Version 2: bucket
-// indexing switched from modulo to Lemire fast-range reduction, so v1
-// snapshots' bucket placements no longer match what this code computes for
-// the same seeds and must be rejected.
-const snapshotVersion = 2
+// Snapshot format versions. Version 2 (the per-array-seed era) stored one
+// hash seed per array plus a fingerprint seed and split (fp, counter) pairs;
+// version 3 stores the one-hash derivation seeds and the packed []uint64
+// cell slab verbatim. v3 is what WriteTo emits; ReadFrom decodes both — a v2
+// frame flips the restored sketch into legacy hashing mode (see legacyV2) so
+// the snapshot's bucket placements stay valid. v1 snapshots (modulo bucket
+// indexing) remain rejected.
+const (
+	snapshotV2      = 2
+	snapshotVersion = 3
+)
+
+// maxSnapshotArrays bounds the array count a snapshot may declare. Real
+// sketches hold a handful of arrays (expansion adds them one at a time, and
+// every insert walks all of them, so thousands would be unusable anyway).
+// Together with the row-at-a-time cell reads below — which keep the decoder's
+// allocation proportional to bytes actually received rather than to the
+// declared d·W — the bound stops a corrupt or adversarial header from
+// provoking work the stream never backs up.
+const maxSnapshotArrays = 1 << 12
 
 // WriteTo serializes the sketch's bucket contents and structural parameters
 // to w. Configuration closures (the decay function) are not serialized; the
 // reader must construct a sketch with the same Config and call ReadFrom.
-// The format is little-endian: version, d, w, seeds, fpSeed, then buckets.
+// The format is little-endian: version, d, w, seeds, then cells. A sketch
+// restored from a v2 snapshot re-encodes as v2, since its placements depend
+// on the legacy seeds.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	write := func(v any) error {
@@ -24,10 +42,33 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
+	if lg := s.legacy; lg != nil {
+		header := []uint64{snapshotV2, uint64(s.d), uint64(s.cfg.W), lg.fpSeed}
+		for _, h := range header {
+			if err := write(h); err != nil {
+				return n, err
+			}
+		}
+		if err := write(lg.seeds); err != nil {
+			return n, err
+		}
+		for _, cell := range s.slab {
+			if err := write(cellFP(cell)); err != nil {
+				return n, err
+			}
+			if err := write(cellC(cell)); err != nil {
+				return n, err
+			}
+		}
+		return n, nil
+	}
 	header := []uint64{
 		snapshotVersion,
-		uint64(len(s.arrays)),
+		uint64(s.d),
 		uint64(s.cfg.W),
+		s.keySeed,
+		s.h1Seed,
+		s.h2Seed,
 		s.fpSeed,
 	}
 	for _, h := range header {
@@ -35,18 +76,8 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	if err := write(s.seeds); err != nil {
+	if err := write(s.slab); err != nil {
 		return n, err
-	}
-	for j := range s.arrays {
-		for i := range s.arrays[j] {
-			if err := write(s.arrays[j][i].fp); err != nil {
-				return n, err
-			}
-			if err := write(s.arrays[j][i].c); err != nil {
-				return n, err
-			}
-		}
 	}
 	return n, nil
 }
@@ -54,46 +85,88 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 // ReadFrom restores bucket contents and seeds previously written by WriteTo
 // into s. The receiving sketch must have been constructed with a matching W;
 // arrays are grown if the snapshot had expanded. The stored seeds replace
-// the receiver's so that queries hash identically to the snapshot's writer.
+// the receiver's so that queries hash identically to the snapshot's writer;
+// a v2 frame additionally switches the sketch to legacy per-array hashing.
+// Any malformed, truncated or oversized frame returns an error matching
+// ErrCorrupt (errors.Is), wrapping the underlying reader error when there
+// was one so transient I/O causes stay diagnosable — decoding never panics
+// and never partially mutates s. Cells are read one array row at a time, so
+// a frame whose header declares more data than the stream carries fails
+// without the decoder ever allocating ahead of the bytes actually received.
 func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
 	var n int64
-	read := func(v any) error {
+	var readErr error
+	read := func(v any) bool {
 		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-			return err
+			readErr = err
+			return false
 		}
 		n += int64(binary.Size(v))
-		return nil
+		return true
 	}
-	var version, d, w, fpSeed uint64
-	for _, p := range []*uint64{&version, &d, &w, &fpSeed} {
-		if err := read(p); err != nil {
-			return n, err
+	// corrupt reports decode failure, preserving the reader's own error (if
+	// any) underneath ErrCorrupt.
+	corrupt := func() error {
+		if readErr != nil {
+			return fmt.Errorf("%w: %w", ErrCorrupt, readErr)
+		}
+		return ErrCorrupt
+	}
+	var version, d, w uint64
+	for _, p := range []*uint64{&version, &d, &w} {
+		if !read(p) {
+			return n, corrupt()
 		}
 	}
-	if version != snapshotVersion {
-		return n, ErrCorrupt
+	if version != snapshotVersion && version != snapshotV2 {
+		return n, corrupt()
 	}
-	if d == 0 || w == 0 || int(w) != s.cfg.W {
-		return n, ErrCorrupt
+	if d == 0 || d > maxSnapshotArrays || w == 0 || int(w) != s.cfg.W {
+		return n, corrupt()
 	}
-	seeds := make([]uint64, d)
-	if err := read(seeds); err != nil {
-		return n, err
-	}
-	arrays := make([][]bucket, d)
-	for j := range arrays {
-		arrays[j] = make([]bucket, w)
-		for i := range arrays[j] {
-			if err := read(&arrays[j][i].fp); err != nil {
-				return n, err
+
+	if version == snapshotV2 {
+		var fpSeed uint64
+		if !read(&fpSeed) {
+			return n, corrupt()
+		}
+		seeds := make([]uint64, d)
+		if !read(seeds) {
+			return n, corrupt()
+		}
+		slab := make([]uint64, 0, s.cfg.W)
+		pairs := make([]uint32, 2*s.cfg.W) // one row of (fp, c) pairs
+		for j := 0; j < int(d); j++ {
+			if !read(pairs) {
+				return n, corrupt()
 			}
-			if err := read(&arrays[j][i].c); err != nil {
-				return n, err
+			for i := 0; i < s.cfg.W; i++ {
+				slab = append(slab, packCell(pairs[2*i], pairs[2*i+1]))
 			}
 		}
+		s.slab = slab
+		s.d = int(d)
+		s.legacy = &legacyV2{seeds: seeds, fpSeed: fpSeed}
+		return n, nil
 	}
-	s.arrays = arrays
-	s.seeds = seeds
-	s.fpSeed = fpSeed
+
+	var keySeed, h1Seed, h2Seed, fpSeed uint64
+	for _, p := range []*uint64{&keySeed, &h1Seed, &h2Seed, &fpSeed} {
+		if !read(p) {
+			return n, corrupt()
+		}
+	}
+	slab := make([]uint64, 0, s.cfg.W)
+	row := make([]uint64, s.cfg.W)
+	for j := 0; j < int(d); j++ {
+		if !read(row) {
+			return n, corrupt()
+		}
+		slab = append(slab, row...)
+	}
+	s.slab = slab
+	s.d = int(d)
+	s.keySeed, s.h1Seed, s.h2Seed, s.fpSeed = keySeed, h1Seed, h2Seed, fpSeed
+	s.legacy = nil
 	return n, nil
 }

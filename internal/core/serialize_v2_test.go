@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// encodeV2Empty builds a syntactically valid, all-empty version-2 snapshot
+// frame: [version=2, d, w, fpSeed, seeds[d], d*w × (fp uint32, c uint32)],
+// little-endian, with seeds drawn from a SplitMix64 stream — exactly what
+// the PR 1 era WriteTo produced for a freshly constructed sketch.
+func encodeV2Empty(d, w int, seed uint64) []byte {
+	var buf bytes.Buffer
+	sm := xrand.NewSplitMix64(seed)
+	seeds := make([]uint64, d)
+	for i := range seeds {
+		seeds[i] = sm.Next()
+	}
+	fpSeed := sm.Next()
+	for _, v := range []uint64{2, uint64(d), uint64(w), fpSeed} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	binary.Write(&buf, binary.LittleEndian, seeds)
+	binary.Write(&buf, binary.LittleEndian, make([]uint32, 2*d*w))
+	return buf.Bytes()
+}
+
+// TestSnapshotV2Shim: a v2 frame decodes into a working sketch — inserts,
+// queries and all three disciplines behave, estimates stay exact for a lone
+// flow — and re-encodes as v2 so its legacy placements round-trip.
+func TestSnapshotV2Shim(t *testing.T) {
+	cfg := Config{W: 64, Seed: 7}
+	s := legacySketch(t, cfg, 2)
+
+	rng := xrand.NewXorshift64Star(3)
+	for i := 0; i < 20000; i++ {
+		s.InsertBasic(key(int(rng.Uint64n(300))))
+	}
+	lone := key(100000)
+	for i := 0; i < 500; i++ {
+		s.InsertParallel(lone, true, 0)
+	}
+	if got := s.Query(lone); got != 500 {
+		t.Errorf("legacy-mode lone flow Query = %d want 500", got)
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo on legacy sketch: %v", err)
+	}
+	if v := binary.LittleEndian.Uint64(buf.Bytes()[:8]); v != 2 {
+		t.Fatalf("legacy sketch re-encoded as version %d, want 2", v)
+	}
+	restored := MustNew(cfg)
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		if a, b := s.Query(key(i)), restored.Query(key(i)); a != b {
+			t.Fatalf("flow %d: legacy original %d, restored %d", i, a, b)
+		}
+	}
+	if a, b := s.Query(lone), restored.Query(lone); a != b {
+		t.Fatalf("lone flow: legacy original %d, restored %d", a, b)
+	}
+}
+
+// TestSnapshotV2ShimMinimumAndWeighted drives the remaining disciplines
+// through a legacy-mode sketch so the shim's placement is exercised on every
+// path.
+func TestSnapshotV2ShimMinimumAndWeighted(t *testing.T) {
+	s := legacySketch(t, Config{W: 32, Seed: 9}, 2)
+	k := key(5)
+	for i := 0; i < 100; i++ {
+		s.InsertMinimum(k, true, 0)
+	}
+	if got := s.Query(k); got != 100 {
+		t.Errorf("legacy InsertMinimum lone flow = %d want 100", got)
+	}
+	s.InsertBasicN(k, 50)
+	if got := s.Query(k); got != 150 {
+		t.Errorf("legacy weighted insert = %d want 150", got)
+	}
+}
+
+// TestSnapshotV2Corrupt: malformed v2 frames must return ErrCorrupt, not
+// panic and not partially apply.
+func TestSnapshotV2Corrupt(t *testing.T) {
+	frame := encodeV2Empty(2, 8, 1)
+	s := MustNew(Config{W: 8, Seed: 1})
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated-header": func(b []byte) []byte { return b[:12] },
+		"truncated-seeds":  func(b []byte) []byte { return b[:40] },
+		"truncated-cells":  func(b []byte) []byte { return b[:len(b)-5] },
+		"huge-d": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(c[8:16], 1<<40)
+			return c
+		},
+		"zero-d": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(c[8:16], 0)
+			return c
+		},
+		"wrong-w": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(c[16:24], 9)
+			return c
+		},
+	} {
+		if _, err := s.ReadFrom(bytes.NewReader(mutate(frame))); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+		if s.legacy != nil {
+			t.Fatalf("%s: failed decode left sketch in legacy mode", name)
+		}
+	}
+}
+
+// TestSnapshotV3VersionTag pins the on-wire version of freshly written
+// snapshots.
+func TestSnapshotV3VersionTag(t *testing.T) {
+	s := MustNew(Config{W: 8, Seed: 1})
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint64(buf.Bytes()[:8]); v != 3 {
+		t.Errorf("fresh snapshot version = %d, want 3", v)
+	}
+}

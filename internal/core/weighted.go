@@ -23,28 +23,33 @@ func (s *Sketch) addSaturating(c uint32, w uint64) uint32 {
 	return uint32(nv)
 }
 
-// contested runs weight decay trials against a foreign bucket. It returns
-// the weight remaining after the bucket (possibly) reaches zero and is
-// taken over; taken reports whether the takeover happened.
-func (s *Sketch) contested(b *bucket, fp uint32, weight uint64) (remaining uint64, taken bool) {
+// contested runs weight decay trials against the foreign cell at flat
+// position p. It returns the weight remaining after the cell (possibly)
+// reaches zero and is taken over; taken reports whether the takeover
+// happened (the cell then holds fp with counter 0, for the caller to top
+// up).
+func (s *Sketch) contested(p int, fp uint32, weight uint64) (remaining uint64, taken bool) {
+	cell := s.slab[p]
 	for u := uint64(0); u < weight; u++ {
-		th := s.decay.threshold(b.c)
+		th := s.decay.threshold(cellC(cell))
 		if th == 0 {
 			// Decay probability is exactly zero and the counter can only
 			// grow from here; no further trial can change anything.
+			s.slab[p] = cell
 			return 0, false
 		}
 		s.stats.DecayProbes++
 		if s.rng.Next() < th {
-			b.c--
+			cell--
 			s.stats.Decays++
-			if b.c == 0 {
-				b.fp = fp
+			if cellC(cell) == 0 {
+				s.slab[p] = packCell(fp, 0)
 				s.stats.Replacements++
 				return weight - u - 1, true
 			}
 		}
 	}
+	s.slab[p] = cell
 	return 0, false
 }
 
@@ -55,32 +60,46 @@ func (s *Sketch) InsertBasicN(key []byte, n uint64) uint32 {
 	if n == 0 {
 		return s.Query(key)
 	}
+	pos, fp := s.locateKey(key)
+	return s.insertBasicNAt(pos, fp, n)
+}
+
+// InsertBasicNHashed is InsertBasicN for a caller that precomputed KeyHash.
+func (s *Sketch) InsertBasicNHashed(key []byte, h uint64, n uint64) uint32 {
+	if n == 0 {
+		return s.QueryHashed(key, h)
+	}
+	pos, fp := s.locateFor(key, h)
+	return s.insertBasicNAt(pos, fp, n)
+}
+
+func (s *Sketch) insertBasicNAt(pos []int, fp uint32, n uint64) uint32 {
 	s.stats.Packets++
-	fp := s.Fingerprint(key)
 	var est uint32
 	blocked := true
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
+	for _, p := range pos {
+		cell := s.slab[p]
+		c := cellC(cell)
 		switch {
-		case b.c == 0:
-			b.fp = fp
-			b.c = s.addSaturating(0, n)
+		case c == 0:
+			s.slab[p] = packCell(fp, s.addSaturating(0, n))
 			s.stats.EmptyTakes++
 			blocked = false
-		case b.fp == fp:
-			b.c = s.addSaturating(b.c, n)
+		case cellFP(cell) == fp:
+			s.slab[p] = packCell(fp, s.addSaturating(c, n))
 			s.stats.Increments++
 			blocked = false
 		default:
-			if b.c < s.cfg.LargeC {
+			if c < s.cfg.LargeC {
 				blocked = false
 			}
-			if rem, taken := s.contested(b, fp, n); taken {
-				b.c = s.addSaturating(1, rem)
+			if rem, taken := s.contested(p, fp, n); taken {
+				s.slab[p] = packCell(fp, s.addSaturating(1, rem))
 			}
 		}
-		if b.fp == fp && b.c > est {
-			est = b.c
+		cell = s.slab[p]
+		if cellFP(cell) == fp && cellC(cell) > est {
+			est = cellC(cell)
 		}
 	}
 	s.noteBlocked(blocked)
@@ -95,38 +114,55 @@ func (s *Sketch) InsertParallelN(key []byte, inHeap bool, nmin uint32, n uint64)
 	if n == 0 {
 		return s.Query(key)
 	}
+	pos, fp := s.locateKey(key)
+	return s.insertParallelNAt(pos, fp, inHeap, nmin, n)
+}
+
+// InsertParallelNHashed is InsertParallelN for a caller that precomputed
+// KeyHash.
+func (s *Sketch) InsertParallelNHashed(key []byte, h uint64, inHeap bool, nmin uint32, n uint64) uint32 {
+	if n == 0 {
+		return s.QueryHashed(key, h)
+	}
+	pos, fp := s.locateFor(key, h)
+	return s.insertParallelNAt(pos, fp, inHeap, nmin, n)
+}
+
+func (s *Sketch) insertParallelNAt(pos []int, fp uint32, inHeap bool, nmin uint32, n uint64) uint32 {
 	s.stats.Packets++
-	fp := s.Fingerprint(key)
 	var est uint32
 	blocked := true
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
+	for _, p := range pos {
+		cell := s.slab[p]
+		c := cellC(cell)
 		switch {
-		case b.c == 0:
-			b.fp = fp
-			b.c = s.addSaturating(0, n)
+		case c == 0:
+			nc := s.addSaturating(0, n)
+			s.slab[p] = packCell(fp, nc)
 			s.stats.EmptyTakes++
 			blocked = false
-			if b.c > est {
-				est = b.c
+			if nc > est {
+				est = nc
 			}
-		case b.fp == fp:
+		case cellFP(cell) == fp:
 			blocked = false
-			if inHeap || b.c <= nmin {
-				b.c = s.addSaturating(b.c, n)
+			if inHeap || c <= nmin {
+				nc := s.addSaturating(c, n)
+				s.slab[p] = packCell(fp, nc)
 				s.stats.Increments++
-				if b.c > est {
-					est = b.c
+				if nc > est {
+					est = nc
 				}
 			}
 		default:
-			if b.c < s.cfg.LargeC {
+			if c < s.cfg.LargeC {
 				blocked = false
 			}
-			if rem, taken := s.contested(b, fp, n); taken {
-				b.c = s.addSaturating(1, rem)
-				if b.c > est {
-					est = b.c
+			if rem, taken := s.contested(p, fp, n); taken {
+				nc := s.addSaturating(1, rem)
+				s.slab[p] = packCell(fp, nc)
+				if nc > est {
+					est = nc
 				}
 			}
 		}
@@ -141,53 +177,68 @@ func (s *Sketch) InsertMinimumN(key []byte, inHeap bool, nmin uint32, n uint64) 
 	if n == 0 {
 		return s.Query(key)
 	}
+	pos, fp := s.locateKey(key)
+	return s.insertMinimumNAt(pos, fp, inHeap, nmin, n)
+}
+
+// InsertMinimumNHashed is InsertMinimumN for a caller that precomputed
+// KeyHash.
+func (s *Sketch) InsertMinimumNHashed(key []byte, h uint64, inHeap bool, nmin uint32, n uint64) uint32 {
+	if n == 0 {
+		return s.QueryHashed(key, h)
+	}
+	pos, fp := s.locateFor(key, h)
+	return s.insertMinimumNAt(pos, fp, inHeap, nmin, n)
+}
+
+func (s *Sketch) insertMinimumNAt(pos []int, fp uint32, inHeap bool, nmin uint32, n uint64) uint32 {
 	s.stats.Packets++
-	fp := s.Fingerprint(key)
 
 	firstEmpty := -1
-	minArray := -1
+	minPos := -1
 	var minCount uint32
 	matched := false
 
-	for j := range s.arrays {
-		b := &s.arrays[j][s.index(j, key)]
-		if b.c != 0 && b.fp == fp {
+	for _, p := range pos {
+		cell := s.slab[p]
+		c := cellC(cell)
+		if c != 0 && cellFP(cell) == fp {
 			matched = true
-			if inHeap || b.c <= nmin {
-				b.c = s.addSaturating(b.c, n)
+			if inHeap || c <= nmin {
+				nc := s.addSaturating(c, n)
+				s.slab[p] = packCell(fp, nc)
 				s.stats.Increments++
-				return b.c
+				return nc
 			}
 			continue
 		}
-		if b.c == 0 {
+		if c == 0 {
 			if firstEmpty < 0 {
-				firstEmpty = j
+				firstEmpty = p
 			}
 			continue
 		}
-		if minArray < 0 || b.c < minCount {
-			minArray, minCount = j, b.c
+		if minPos < 0 || c < minCount {
+			minPos, minCount = p, c
 		}
 	}
 
 	if firstEmpty >= 0 {
-		b := &s.arrays[firstEmpty][s.index(firstEmpty, key)]
-		b.fp = fp
-		b.c = s.addSaturating(0, n)
+		nc := s.addSaturating(0, n)
+		s.slab[firstEmpty] = packCell(fp, nc)
 		s.stats.EmptyTakes++
-		return b.c
+		return nc
 	}
-	if minArray < 0 {
+	if minPos < 0 {
 		return 0
 	}
 	if !matched {
 		s.noteBlocked(minCount >= s.cfg.LargeC)
 	}
-	b := &s.arrays[minArray][s.index(minArray, key)]
-	if rem, taken := s.contested(b, fp, n); taken {
-		b.c = s.addSaturating(1, rem)
-		return b.c
+	if rem, taken := s.contested(minPos, fp, n); taken {
+		nc := s.addSaturating(1, rem)
+		s.slab[minPos] = packCell(fp, nc)
+		return nc
 	}
 	return 0
 }

@@ -29,8 +29,24 @@ const (
 	prime5 uint64 = 0x27d4eb2f165667c5
 )
 
+// keyHashCount, when non-nil, is incremented on every Sum64 call. It backs
+// the one-hash-per-packet regression tests; see CountCalls.
+var keyHashCount *uint64
+
+// CountCalls directs Sum64 to increment *c on every invocation until called
+// again with nil. It exists so tests can prove hot paths traverse the key
+// bytes exactly once per packet. Counting is not synchronized; enable it only
+// around single-goroutine sections. The production cost is one load of a
+// cached global and a perfectly-predicted branch per call — measured as noise
+// next to the hash itself, and accepted so the one-hash invariant stays
+// testable from ordinary `go test` without build tags.
+func CountCalls(c *uint64) { keyHashCount = c }
+
 // Sum64 returns the 64-bit xxHash64 of data under seed.
 func Sum64(seed uint64, data []byte) uint64 {
+	if c := keyHashCount; c != nil {
+		*c++
+	}
 	n := len(data)
 	var h uint64
 
@@ -95,6 +111,31 @@ func Sum64Uint64(seed, key uint64) uint64 {
 	h *= prime3
 	h ^= h >> 32
 	return h
+}
+
+// Mix derives a new 64-bit value from an already well-mixed hash h and a
+// seed, via the xxHash64 avalanche finalizer. It is the one-hash hot path's
+// derive step: a sketch hashes the key bytes once (Sum64) and then Mixes the
+// result under per-purpose seeds to obtain the fingerprint and the
+// Kirsch–Mitzenmacher double-hashing increments, instead of re-walking the
+// key once per array. Mix is a bijection of h for fixed seed, so it preserves
+// the full entropy of the underlying hash.
+func Mix(seed, h uint64) uint64 {
+	h ^= seed
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Reduce maps a 64-bit hash uniformly onto [0, n) via the high word of the
+// 128-bit product (Lemire's fastrange), avoiding the hardware divide a %
+// would cost on every packet.
+func Reduce(h, n uint64) uint64 {
+	hi, _ := bits.Mul64(h, n)
+	return hi
 }
 
 func round(acc, input uint64) uint64 {

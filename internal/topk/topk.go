@@ -214,58 +214,45 @@ func MustNew(opts Options) *Tracker {
 	return t
 }
 
-// Insert records one packet belonging to flow key.
+// Insert records one packet belonging to flow key. The key bytes are hashed
+// exactly once; the top-k structure is consulted through its allocation-free
+// byte-key operations, so the per-packet path allocates only on actual
+// admission of a new flow.
 func (t *Tracker) Insert(key []byte) {
+	t.insertHashed(key, t.sk.KeyHash(key))
+}
+
+// InsertHashed is Insert for a caller that already computed the sketch's
+// KeyHash for key (e.g. the sharded router, which hashes once to pick a
+// shard and passes the value through).
+func (t *Tracker) InsertHashed(key []byte, h uint64) {
+	t.insertHashed(key, h)
+}
+
+// insertHashed dispatches one packet with a precomputed key hash. For the
+// optimized disciplines it implements Algorithm 1/2's three steps: Step 1
+// checks membership (flag), Step 2 inserts into the sketch with
+// Optimization II gating, Step 3 admits to the top-k structure under
+// Optimization I's n̂ = n_min + 1 rule.
+func (t *Tracker) insertHashed(key []byte, h uint64) {
 	switch t.opts.Version {
 	case Basic:
-		t.insertBasic(key)
-	case Parallel:
-		t.insertOptimized(key, false)
-	case Minimum:
-		t.insertOptimized(key, true)
+		// §III-C: insert into HeavyKeeper, then update the top-k structure
+		// with the reported estimate.
+		t.admitBasicKey(key, uint64(t.sk.InsertBasicHashed(key, h)))
+	case Parallel, Minimum:
+		flag := t.store.ContainsKey(key)
+		nmin := t.gateNMin(flag)
+		var est uint64
+		if t.opts.Version == Minimum {
+			est = uint64(t.sk.InsertMinimumHashed(key, h, flag, nmin))
+		} else {
+			est = uint64(t.sk.InsertParallelHashed(key, h, flag, nmin))
+		}
+		t.admitOptimizedKey(key, flag, est)
 	default:
 		panic("topk: invalid version " + t.opts.Version.String())
 	}
-}
-
-// insertBasic is §III-C: insert into HeavyKeeper, then update the top-k
-// structure with the reported estimate.
-func (t *Tracker) insertBasic(key []byte) {
-	est := uint64(t.sk.InsertBasic(key))
-	t.admitBasic(string(key), est)
-}
-
-// admitBasic updates the top-k structure after a basic-discipline insertion
-// reported estimate est for flow ks (§III-C admission: n̂ > n_min).
-func (t *Tracker) admitBasic(ks string, est uint64) {
-	switch {
-	case t.store.Contains(ks):
-		t.store.UpdateMax(ks, est)
-	case !t.store.Full():
-		if est > 0 {
-			t.store.InsertEvict(ks, est)
-		}
-	case est > t.store.MinCount():
-		t.store.InsertEvict(ks, est)
-	}
-}
-
-// insertOptimized implements Algorithm 1 (Parallel) and Algorithm 2
-// (Minimum): Step 1 checks membership (flag), Step 2 inserts into the sketch
-// with Optimization II gating, Step 3 admits to the top-k structure under
-// Optimization I's n̂ = n_min + 1 rule.
-func (t *Tracker) insertOptimized(key []byte, minimum bool) {
-	ks := string(key)
-	flag := t.store.Contains(ks)
-	nmin := t.gateNMin(flag)
-
-	var est uint64
-	if minimum {
-		est = uint64(t.sk.InsertMinimum(key, flag, nmin))
-	} else {
-		est = uint64(t.sk.InsertParallel(key, flag, nmin))
-	}
-	t.admitOptimized(ks, flag, est)
 }
 
 // gateNMin computes the Optimization II gate value for a flow whose store
@@ -320,32 +307,6 @@ func (t *Tracker) admitOptimizedKey(key []byte, flag bool, est uint64) {
 	}
 }
 
-// admitOptimized updates the top-k structure after an optimized-discipline
-// insertion reported estimate est for flow ks (Optimization I admission).
-func (t *Tracker) admitOptimized(ks string, flag bool, est uint64) {
-	switch {
-	case flag:
-		t.store.UpdateMax(ks, est)
-	case est == 0:
-		// The sketch did not accept the flow anywhere; nothing to report.
-	case !t.store.Full():
-		t.store.InsertEvict(ks, est)
-	default:
-		if t.opts.DisableOptI {
-			if est > t.store.MinCount() {
-				t.store.InsertEvict(ks, est)
-			}
-			return
-		}
-		// Optimization I: Theorem 1 says a legitimate newly-promoted flow
-		// reports exactly n_min + 1; a larger value signals a fingerprint
-		// collision and the flow must not be admitted.
-		if est == t.store.MinCount()+1 {
-			t.store.InsertEvict(ks, est)
-		}
-	}
-}
-
 // InsertN records a weight-n arrival of flow key (n packets, or n bytes
 // when tracking volume). Weighted arrivals break Theorem 1's n̂ = n_min+1
 // admission equality, so admission falls back to n̂ > n_min regardless of
@@ -355,46 +316,76 @@ func (t *Tracker) InsertN(key []byte, n uint64) {
 	if n == 0 {
 		return
 	}
-	ks := string(key)
-	flag := t.store.Contains(ks)
+	t.insertNHashed(key, t.sk.KeyHash(key), n)
+}
+
+// InsertNHashed is InsertN with a precomputed KeyHash.
+func (t *Tracker) InsertNHashed(key []byte, h uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	t.insertNHashed(key, h, n)
+}
+
+func (t *Tracker) insertNHashed(key []byte, h uint64, n uint64) {
+	flag := t.store.ContainsKey(key)
 	nmin := t.gateNMin(flag)
 	var est uint64
 	switch t.opts.Version {
 	case Basic:
-		est = uint64(t.sk.InsertBasicN(key, n))
+		est = uint64(t.sk.InsertBasicNHashed(key, h, n))
 	case Minimum:
-		est = uint64(t.sk.InsertMinimumN(key, flag, nmin, n))
+		est = uint64(t.sk.InsertMinimumNHashed(key, h, flag, nmin, n))
 	default:
-		est = uint64(t.sk.InsertParallelN(key, flag, nmin, n))
+		est = uint64(t.sk.InsertParallelNHashed(key, h, flag, nmin, n))
 	}
 	switch {
 	case flag:
-		t.store.UpdateMax(ks, est)
+		t.store.UpdateMaxKey(key, est)
 	case est == 0:
 	case !t.store.Full():
-		t.store.InsertEvict(ks, est)
+		t.store.InsertEvictKey(key, est)
 	case est > t.store.MinCount():
-		t.store.InsertEvict(ks, est)
+		t.store.InsertEvictKey(key, est)
 	}
 }
 
 // InsertBatch records one packet per key, equivalently to calling Insert on
 // each key in order but cheaper: the sketch's batch path (core batch.go)
-// precomputes fingerprints and bucket indexes for a chunk of keys in tight
-// per-array loops before touching any bucket. The top-k structure is
-// consulted and updated between keys exactly as in the sequential path, so
-// results are bit-for-bit identical.
+// hashes a chunk of keys at a time in one tight loop — one 64-bit hash per
+// key, from which fingerprint and bucket indexes derive in registers —
+// before touching any bucket. The top-k structure is consulted and updated
+// between keys exactly as in the sequential path, so results are bit-for-bit
+// identical.
 //
 // The Minimum discipline's at-most-one-bucket scan is not batched yet and
 // falls back to the sequential path.
 func (t *Tracker) InsertBatch(keys [][]byte) {
+	t.insertBatch(keys, nil)
+}
+
+// InsertBatchHashed is InsertBatch for a caller that already computed
+// KeyHash for every key; hashes[i] must correspond to keys[i]. The sharded
+// router uses it so grouping a batch by shard and ingesting it costs one
+// hash per key in total.
+func (t *Tracker) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	t.insertBatch(keys, hashes)
+}
+
+func (t *Tracker) insertBatch(keys [][]byte, hashes []uint64) {
 	switch t.opts.Version {
 	case Minimum:
-		for _, key := range keys {
-			t.Insert(key)
+		if hashes == nil {
+			for _, key := range keys {
+				t.Insert(key)
+			}
+			return
+		}
+		for i, key := range keys {
+			t.insertHashed(key, hashes[i])
 		}
 	case Basic:
-		t.sk.InsertBasicBatch(keys, func(i int, est uint32) {
+		t.sk.InsertParallelBatch(keys, hashes, nil, func(i int, est uint32) {
 			t.admitBasicKey(keys[i], uint64(est))
 		})
 	case Parallel:
@@ -402,13 +393,13 @@ func (t *Tracker) InsertBatch(keys [][]byte) {
 		// loop with the store devirtualized; anything else goes through the
 		// generic closure-based path.
 		if ss, ok := t.store.(summaryStore); ok {
-			t.insertParallelBatchSummary(keys, ss.s)
+			t.insertParallelBatchSummary(keys, hashes, ss.s)
 			return
 		}
 		// gate and report run back to back per key, so flag carries from
 		// one closure to the other without a second store lookup.
 		var flag bool
-		t.sk.InsertParallelBatch(keys,
+		t.sk.InsertParallelBatch(keys, hashes,
 			func(i int) (bool, uint32) {
 				flag = t.store.ContainsKey(keys[i])
 				return flag, t.gateNMin(flag)
@@ -424,9 +415,11 @@ func (t *Tracker) InsertBatch(keys [][]byte) {
 // insertParallelBatchSummary is InsertBatch's hot path: the Parallel
 // discipline against a Stream-Summary store, with the store accessed through
 // its concrete type (no interface dispatch) and the per-key control flow
-// inlined (no gate/report closures). Behavior is identical to a sequential
-// loop over Insert; the equivalence tests in batch_test.go pin that.
-func (t *Tracker) insertParallelBatchSummary(keys [][]byte, ss *streamsummary.Summary) {
+// inlined (no gate/report closures). hashes, when non-nil, carries the
+// caller's precomputed KeyHash per key; otherwise each chunk is hashed once
+// here. Behavior is identical to a sequential loop over Insert; the
+// equivalence tests in batch_test.go pin that.
+func (t *Tracker) insertParallelBatchSummary(keys [][]byte, hashes []uint64, ss *streamsummary.Summary) {
 	optI := !t.opts.DisableOptI
 	optII := !t.opts.DisableOptII
 	k := t.opts.K
@@ -436,7 +429,14 @@ func (t *Tracker) insertParallelBatchSummary(keys [][]byte, ss *streamsummary.Su
 			end = len(keys)
 		}
 		chunk := keys[off:end]
-		preD := t.sk.PrecomputeBatch(chunk)
+		// As in core.InsertParallelBatch: a v2-restored sketch ignores
+		// precomputed hashes, so skip the pass that would produce them.
+		var hs []uint64
+		if hashes != nil {
+			hs = hashes[off:end]
+		} else if !t.sk.LegacyHashing() {
+			hs = t.sk.HashBatch(chunk)
+		}
 		for ci, key := range chunk {
 			flag := ss.ContainsKey(key)
 			full := ss.Len() >= k
@@ -448,7 +448,11 @@ func (t *Tracker) insertParallelBatchSummary(keys [][]byte, ss *streamsummary.Su
 					nmin = uint32(minCount)
 				}
 			}
-			est := uint64(t.sk.ApplyHashed(key, ci, preD, flag, nmin))
+			var h uint64
+			if hs != nil {
+				h = hs[ci]
+			}
+			est := uint64(t.sk.InsertParallelHashed(key, h, flag, nmin))
 			switch {
 			case flag:
 				ss.UpdateMaxKey(key, est)
@@ -519,6 +523,15 @@ func (t *Tracker) MergeFrom(other *Tracker) error {
 // Query returns the sketch's current size estimate for key (not consulting
 // the top-k structure).
 func (t *Tracker) Query(key []byte) uint64 { return uint64(t.sk.Query(key)) }
+
+// QueryHashed is Query with a precomputed KeyHash.
+func (t *Tracker) QueryHashed(key []byte, h uint64) uint64 {
+	return uint64(t.sk.QueryHashed(key, h))
+}
+
+// KeyHash returns the underlying sketch's single per-key hash; routers
+// compute it once and feed the *Hashed entry points.
+func (t *Tracker) KeyHash(key []byte) uint64 { return t.sk.KeyHash(key) }
 
 // Top returns the current top-k flows in descending estimated size.
 func (t *Tracker) Top() []Entry { return t.store.Top(t.opts.K) }

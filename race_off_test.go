@@ -1,0 +1,8 @@
+//go:build !race
+
+package heavykeeper_test
+
+// raceEnabled reports whether the race detector is active; allocation
+// -accounting tests skip under it (the detector deliberately drops
+// sync.Pool caches and instruments allocations).
+const raceEnabled = false

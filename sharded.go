@@ -42,7 +42,15 @@ type Sharded struct {
 	shards    []shard
 	shardSeed uint64
 	k         int
-	groups    sync.Pool // *[][][]byte scratch for AddBatch grouping
+	groups    sync.Pool // *batchGroups scratch for AddBatch grouping
+}
+
+// batchGroups is the reusable AddBatch scratch: one key slice and one
+// parallel KeyHash slice per shard, so the router's single hash per key
+// rides along to the shard's batched sketch path.
+type batchGroups struct {
+	keys   [][][]byte
+	hashes [][]uint64
 }
 
 // shard pads each (mutex, TopK) pair to its own cache line so neighboring
@@ -99,16 +107,21 @@ func MustNewSharded(k int, opts ...Option) *Sharded {
 	return s
 }
 
-// shardFor returns the shard owning flowID.
-func (s *Sharded) shardFor(flowID []byte) *shard {
-	return &s.shards[hash.Sum64(s.shardSeed, flowID)%uint64(len(s.shards))]
+// shardFor returns the shard owning flowID plus the flow's KeyHash. All
+// shards share the configured seed, so the hash is valid on every shard's
+// sketch; the shard index mixes it under the router's own seed (decorrelated
+// from bucket placement) — one pass over the key bytes covers both routing
+// and sketching.
+func (s *Sharded) shardFor(flowID []byte) (*shard, uint64) {
+	h := s.shards[0].t.keyHash(flowID)
+	return &s.shards[hash.Reduce(hash.Mix(s.shardSeed, h), uint64(len(s.shards)))], h
 }
 
 // Add records one occurrence of flowID on its owning shard.
 func (s *Sharded) Add(flowID []byte) {
-	sh := s.shardFor(flowID)
+	sh, h := s.shardFor(flowID)
 	sh.mu.Lock()
-	sh.t.Add(flowID)
+	sh.t.addHashed(flowID, h)
 	sh.mu.Unlock()
 }
 
@@ -117,9 +130,9 @@ func (s *Sharded) AddString(flowID string) { s.Add([]byte(flowID)) }
 
 // AddN records a weight-n occurrence of flowID.
 func (s *Sharded) AddN(flowID []byte, n uint64) {
-	sh := s.shardFor(flowID)
+	sh, h := s.shardFor(flowID)
 	sh.mu.Lock()
-	sh.t.AddN(flowID, n)
+	sh.t.addNHashed(flowID, h, n)
 	sh.mu.Unlock()
 }
 
@@ -138,37 +151,41 @@ func (s *Sharded) AddBatch(flowIDs [][]byte) {
 		sh.mu.Unlock()
 		return
 	}
-	var groups [][][]byte
-	if g, ok := s.groups.Get().(*[][][]byte); ok {
-		groups = *g
+	var g *batchGroups
+	if got, ok := s.groups.Get().(*batchGroups); ok {
+		g = got
 	} else {
-		groups = make([][][]byte, n)
+		g = &batchGroups{keys: make([][][]byte, n), hashes: make([][]uint64, n)}
 	}
+	keyHash := s.shards[0].t.keyHash
 	for _, id := range flowIDs {
-		j := hash.Sum64(s.shardSeed, id) % uint64(n)
-		groups[j] = append(groups[j], id)
+		h := keyHash(id)
+		j := hash.Reduce(hash.Mix(s.shardSeed, h), uint64(n))
+		g.keys[j] = append(g.keys[j], id)
+		g.hashes[j] = append(g.hashes[j], h)
 	}
-	for j := range groups {
-		if len(groups[j]) == 0 {
+	for j := range g.keys {
+		if len(g.keys[j]) == 0 {
 			continue
 		}
 		sh := &s.shards[j]
 		sh.mu.Lock()
-		sh.t.AddBatch(groups[j])
+		sh.t.addBatchHashed(g.keys[j], g.hashes[j])
 		sh.mu.Unlock()
-		groups[j] = groups[j][:0]
+		g.keys[j] = g.keys[j][:0]
+		g.hashes[j] = g.hashes[j][:0]
 	}
-	s.groups.Put(&groups)
+	s.groups.Put(g)
 }
 
 // Query returns the current size estimate for flowID from its owning shard;
 // the estimate is exact in the HeavyKeeper sense, as if a single TopK had
 // seen all of the flow's packets.
 func (s *Sharded) Query(flowID []byte) uint64 {
-	sh := s.shardFor(flowID)
+	sh, h := s.shardFor(flowID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.t.Query(flowID)
+	return sh.t.queryHashed(flowID, h)
 }
 
 // List returns the current global top-k in descending estimated size,

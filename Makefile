@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json fuzz-smoke throughput
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare fuzz-smoke throughput
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,35 @@ bench-json:
 	$(GO) run ./cmd/hkbench -throughput -shards 4 -batch 256 -json > bench-4shard.json
 	@echo "wrote bench-1shard.json and bench-4shard.json"
 
-# fuzz-smoke gives the snapshot decoder a short adversarial workout.
+# bench-compare runs the smoke benchmarks against a baseline git ref (BASE,
+# default HEAD) in a temporary worktree and diffs the results: benchstat when
+# it is installed, a side-by-side dump otherwise. Usage:
+#   make bench-compare                 # working tree vs HEAD
+#   make bench-compare BASE=HEAD~1     # working tree vs previous commit
+# COUNT controls benchmark repetitions (benchstat wants >= 5 for statistics).
+BASE ?= HEAD
+COUNT ?= 5
+bench-compare:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'git worktree remove --force "$$tmp/base" >/dev/null 2>&1 || true; rm -rf "$$tmp"' EXIT; \
+	git worktree add -q "$$tmp/base" $(BASE); \
+	echo "benchmarking $(BASE) ..."; \
+	( cd "$$tmp/base" && $(GO) test -run=NONE -bench=Ingest -benchtime=10x -count=$(COUNT) . ) > "$$tmp/old.txt"; \
+	echo "benchmarking working tree ..."; \
+	$(GO) test -run=NONE -bench=Ingest -benchtime=10x -count=$(COUNT) . > "$$tmp/new.txt"; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$$tmp/old.txt" "$$tmp/new.txt"; \
+	else \
+		echo "benchstat not installed; raw results"; \
+		echo "== $(BASE) =="; grep ^Benchmark "$$tmp/old.txt"; \
+		echo "== working tree =="; grep ^Benchmark "$$tmp/new.txt"; \
+	fi
+
+# fuzz-smoke gives the snapshot decoder and the open-addressed store index a
+# short adversarial workout (CI runs this target).
 fuzz-smoke:
 	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDecode -fuzztime=10s
+	$(GO) test ./internal/streamsummary -run=NONE -fuzz=FuzzStoreEquivalence -fuzztime=10s
 
 throughput:
 	$(GO) run ./cmd/hkbench -throughput

@@ -45,6 +45,7 @@ func run() int {
 		throughput = flag.Bool("throughput", false, "run the ingest throughput comparison instead of a figure")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count (and writer goroutines) for -throughput")
 		batch      = flag.Int("batch", 256, "batch size for the batched ingest variants of -throughput")
+		store      = flag.String("store", "open", "top-k store index for -throughput: open (open-addressed) or map (retained reference)")
 		jsonOut    = flag.Bool("json", false, "emit -throughput results as JSON (for BENCH_*.json trend files)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,7 +81,7 @@ func run() int {
 	}
 
 	if *throughput {
-		if err := runThroughput(*shards, *batch, *scale, *seed, *jsonOut); err != nil {
+		if err := runThroughput(*shards, *batch, *scale, *seed, *store, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -141,6 +142,18 @@ type throughputResult struct {
 	Speedup    float64 `json:"speedup_vs_concurrent_add,omitempty"`
 }
 
+// storeIndexReport is the -json rendering of one frontend's store-index
+// occupancy and probe-length histogram after the timed ingest.
+type storeIndexReport struct {
+	Source    string  `json:"source"`
+	Capacity  int     `json:"capacity"`
+	TableSize int     `json:"table_size"`
+	Occupied  int     `json:"occupied"`
+	Load      float64 `json:"load"`
+	MaxProbe  int     `json:"max_probe"`
+	ProbeHist []int   `json:"probe_hist"`
+}
+
 // throughputReport is the -json document for one -throughput invocation.
 type throughputReport struct {
 	Packets    int                `json:"packets"`
@@ -148,17 +161,29 @@ type throughputReport struct {
 	Shards     int                `json:"shards"`
 	Batch      int                `json:"batch"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
+	Store      string             `json:"store"`
 	Results    []throughputResult `json:"results"`
+	StoreIndex []storeIndexReport `json:"store_index,omitempty"`
 }
 
 // runThroughput measures ingest throughput (Mpps) of the three concurrency
 // frontends on one zipfian trace: a single TopK (sequential baseline),
 // Concurrent with g writer goroutines (per-packet and batched), and Sharded
 // with s shards and s writers (per-packet and batched). The speedup column
-// is relative to per-packet Concurrent, the paper-era default.
-func runThroughput(shards, batch int, scale float64, seed uint64, jsonOut bool) error {
+// is relative to per-packet Concurrent, the paper-era default. store selects
+// the top-k store index: "open" (the open-addressed default) or "map" (the
+// retained reference), making the PR 3 index swap measurable from the CLI.
+func runThroughput(shards, batch int, scale float64, seed uint64, store string, jsonOut bool) error {
 	if shards < 1 || batch < 1 {
 		return fmt.Errorf("hkbench: -shards and -batch must be >= 1")
+	}
+	var storeOpts []heavykeeper.Option
+	switch store {
+	case "open":
+	case "map":
+		storeOpts = append(storeOpts, heavykeeper.WithMapStore())
+	default:
+		return fmt.Errorf("hkbench: -store must be open or map, got %q", store)
 	}
 	tr, err := gen.Generate(gen.Synthetic(1.0, seed).Scale(scale))
 	if err != nil {
@@ -168,26 +193,27 @@ func runThroughput(shards, batch int, scale float64, seed uint64, jsonOut bool) 
 	tr.ForEach(func(key []byte) { keys = append(keys, key) })
 	report := throughputReport{
 		Packets: len(keys), Flows: tr.Flows(), Shards: shards, Batch: batch,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Store: store,
 	}
 	if !jsonOut {
-		fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, GOMAXPROCS %d\n\n",
-			len(keys), tr.Flows(), shards, batch, runtime.GOMAXPROCS(0))
+		fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, store %s, GOMAXPROCS %d\n\n",
+			len(keys), tr.Flows(), shards, batch, store, runtime.GOMAXPROCS(0))
 	}
 
 	const k = 100
 	// Untimed warmup so the first timed variant doesn't pay the page-in of
 	// the trace.
-	warm := heavykeeper.MustNew(k)
+	warm := heavykeeper.MustNew(k, storeOpts...)
 	for _, key := range keys {
 		warm.Add(key)
 	}
 
-	single := heavykeeper.MustNew(k)
-	conc, _ := heavykeeper.NewConcurrent(k)
-	concB, _ := heavykeeper.NewConcurrent(k)
-	shrd := heavykeeper.MustNewSharded(k, heavykeeper.WithShards(shards))
-	shrdB := heavykeeper.MustNewSharded(k, heavykeeper.WithShards(shards))
+	single := heavykeeper.MustNew(k, storeOpts...)
+	singleB := heavykeeper.MustNew(k, storeOpts...)
+	conc, _ := heavykeeper.NewConcurrent(k, storeOpts...)
+	concB, _ := heavykeeper.NewConcurrent(k, storeOpts...)
+	shrd := heavykeeper.MustNewSharded(k, append([]heavykeeper.Option{heavykeeper.WithShards(shards)}, storeOpts...)...)
+	shrdB := heavykeeper.MustNewSharded(k, append([]heavykeeper.Option{heavykeeper.WithShards(shards)}, storeOpts...)...)
 
 	var base float64
 	for _, c := range []struct {
@@ -200,6 +226,7 @@ func runThroughput(shards, batch int, scale float64, seed uint64, jsonOut bool) 
 				single.Add(key)
 			}
 		}},
+		{"TopK.AddBatch (sequential)", 1, func(p [][]byte) { drainBatches(p, batch, singleB.AddBatch) }},
 		{"Concurrent.Add", shards, func(p [][]byte) {
 			for _, key := range p {
 				conc.Add(key)
@@ -231,12 +258,39 @@ func runThroughput(shards, batch int, scale float64, seed uint64, jsonOut bool) 
 			fmt.Printf("%-24s %2d goroutines  %8.2f Mpps  %s\n", c.name, c.g, mpps, speedup)
 		}
 	}
+	if st, ok := single.StoreIndexStats(); ok {
+		report.StoreIndex = append(report.StoreIndex, indexReport("TopK", st))
+	}
+	if st, ok := shrdB.StoreIndexStats(); ok {
+		report.StoreIndex = append(report.StoreIndex, indexReport("Sharded.AddBatch", st))
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)
 	}
+	for _, st := range report.StoreIndex {
+		fmt.Printf("\n%s store index: %d/%d slots (load %.2f), max probe %d, probe hist %v\n",
+			st.Source, st.Occupied, st.TableSize, st.Load, st.MaxProbe, st.ProbeHist)
+	}
 	return nil
+}
+
+// indexReport converts store index stats into the -json shape.
+func indexReport(source string, st heavykeeper.StoreIndexStats) storeIndexReport {
+	load := 0.0
+	if st.TableSize > 0 {
+		load = float64(st.Occupied) / float64(st.TableSize)
+	}
+	return storeIndexReport{
+		Source:    source,
+		Capacity:  st.Capacity,
+		TableSize: st.TableSize,
+		Occupied:  st.Occupied,
+		Load:      load,
+		MaxProbe:  st.MaxProbe,
+		ProbeHist: st.ProbeHist,
+	}
 }
 
 // timeParallel splits keys into g contiguous parts and runs fn on each from

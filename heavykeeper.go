@@ -87,6 +87,7 @@ type config struct {
 	version         Version
 	seed            uint64
 	useHeap         bool
+	useMapStore     bool
 	expandThreshold uint64
 	maxArrays       int
 	shards          int
@@ -184,6 +185,18 @@ func WithMinHeap() Option {
 	}
 }
 
+// WithMapStore stores the top-k candidates in the retained map-indexed
+// Stream-Summary instead of the default open-addressed one. The two are
+// behaviorally identical — the map variant exists as a differential-testing
+// reference and as hkbench's -store=map baseline, so the index swap stays
+// measurable; there is no reason to choose it in production.
+func WithMapStore() Option {
+	return func(c *config) error {
+		c.useMapStore = true
+		return nil
+	}
+}
+
 // WithExpansion enables the paper's §III-F auto-expansion: after threshold
 // arrivals that found every mapped bucket saturated by a large counter, an
 // additional bucket array is appended (up to maxArrays; 0 = unlimited).
@@ -249,6 +262,9 @@ func parseConfig(k int, opts []Option) (config, error) {
 	if cfg.width != 0 && cfg.memoryBytes != 0 {
 		return config{}, errors.New("heavykeeper: WithWidth and WithMemory are mutually exclusive")
 	}
+	if cfg.useHeap && cfg.useMapStore {
+		return config{}, errors.New("heavykeeper: WithMinHeap and WithMapStore are mutually exclusive")
+	}
 	return cfg, nil
 }
 
@@ -287,6 +303,8 @@ func newTopK(k int, cfg config) (*TopK, error) {
 	store := topk.StoreSummary
 	if cfg.useHeap {
 		store = topk.StoreHeap
+	} else if cfg.useMapStore {
+		store = topk.StoreSummaryRef
 	}
 	tr, err := topk.New(topk.Options{
 		K:       k,
@@ -391,3 +409,37 @@ func (t *TopK) MemoryBytes() int { return t.t.MemoryBytes() }
 // Stats exposes the sketch's internal event counters (decays, replacements,
 // expansions), useful for monitoring and tuning.
 func (t *TopK) Stats() core.Stats { return t.t.Sketch().Stats() }
+
+// StoreIndexStats describes the open-addressed key index of the top-k store
+// at a point in time; hkbench reports it so index pressure stays observable.
+type StoreIndexStats struct {
+	// Capacity is the store's entry capacity (k); TableSize the index size.
+	Capacity  int `json:"capacity"`
+	TableSize int `json:"table_size"`
+	// Occupied is the number of live index slots.
+	Occupied int `json:"occupied"`
+	// MaxProbe is the largest current displacement of any entry from its
+	// home slot.
+	MaxProbe int `json:"max_probe"`
+	// ProbeHist[d] counts entries displaced exactly d slots from home; the
+	// last bin also absorbs anything beyond it.
+	ProbeHist []int `json:"probe_hist"`
+}
+
+// StoreIndexStats reports the top-k store's index occupancy and probe
+// lengths. ok is false when no stats are surfaced for the configured store:
+// WithMapStore has no open-addressed index at all, and WithMinHeap's index
+// (the heap has one too) is not currently reported.
+func (t *TopK) StoreIndexStats() (st StoreIndexStats, ok bool) {
+	is, ok := t.t.StoreIndexStats()
+	if !ok {
+		return StoreIndexStats{}, false
+	}
+	return StoreIndexStats{
+		Capacity:  is.Capacity,
+		TableSize: is.TableSize,
+		Occupied:  is.Occupied,
+		MaxProbe:  is.MaxProbe,
+		ProbeHist: is.ProbeHist,
+	}, true
+}

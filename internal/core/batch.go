@@ -11,9 +11,10 @@ const BatchChunk = 256
 
 // batchScratch holds the precomputed key hashes for one chunk of keys. It
 // lives on the Sketch (which is single-writer by contract) so steady-state
-// batch ingestion allocates nothing. Fingerprints and bucket indexes are no
-// longer staged here: both derive from the key hash in registers at apply
-// time, so the scratch is 8 bytes per key instead of (d+1)×8.
+// batch ingestion allocates nothing. Fingerprints and bucket indexes are not
+// staged here: both derive from the key hash in registers at apply time,
+// which measured faster than staging them through memory (see ROADMAP's
+// PR 3 entry), so the scratch is 8 bytes per key.
 type batchScratch struct {
 	hashes []uint64
 }
@@ -40,43 +41,48 @@ func (s *Sketch) HashBatch(keys [][]byte) []uint64 {
 // InsertParallelBatch is InsertParallel over a batch of keys. hashes, when
 // non-nil, must hold KeyHash(keys[i]) for every i (a router that already
 // hashed each key passes them through so nothing is hashed twice); when nil
-// the batch hashes each key once itself. gate, when non-nil, is invoked per
-// key in stream order immediately before that key's buckets change, and
-// report (when non-nil) immediately after — so a caller updating a top-k
-// structure from report sees exactly the interleaving of a sequential loop
-// over InsertParallel. Only hashing is done ahead of time, and hashing
-// depends on no mutable state, so the batch is bit-for-bit equivalent to the
-// sequential path (including the decay RNG stream). A nil gate means no
-// Optimization II gating (every matching counter may increment), which is
-// the basic discipline.
-func (s *Sketch) InsertParallelBatch(keys [][]byte, hashes []uint64, gate func(i int) (inHeap bool, nmin uint32), report func(i int, est uint32)) {
+// the batch hashes each key once itself — including on a v2-restored sketch,
+// whose own placement ignores KeyHash but whose callers key their store
+// index by it, so the hash must exist and be real either way. gate, when
+// non-nil, is invoked per key in stream order immediately before that key's
+// buckets change, and report (when non-nil) immediately after — so a caller
+// updating a top-k structure from report sees exactly the interleaving of a
+// sequential loop over InsertParallel; both receive the key's hash so store
+// probes need not re-derive it. Only hashing is done ahead of time, and
+// hashing depends on no mutable state, so the batch is bit-for-bit
+// equivalent to the sequential path (including the decay RNG stream). A nil
+// gate means no Optimization II gating (every matching counter may
+// increment), which is the basic discipline.
+func (s *Sketch) InsertParallelBatch(keys [][]byte, hashes []uint64, gate func(i int, h uint64) (inHeap bool, nmin uint32), report func(i int, h uint64, est uint32)) {
+	// A v2-restored sketch ignores KeyHash for placement, so the hash pass
+	// is only worth paying when a gate or report callback will consume the
+	// values (topk keys its store index by them); a sketch-only legacy
+	// batch skips it and hands the (ignored) zero hash down.
+	skipHash := s.legacy != nil && gate == nil && report == nil
 	for off := 0; off < len(keys); off += BatchChunk {
 		end := off + BatchChunk
 		if end > len(keys) {
 			end = len(keys)
 		}
 		chunk := keys[off:end]
-		// A v2-restored sketch ignores precomputed hashes (legacy per-array
-		// placement), so don't spend a pass producing them; locateFor takes
-		// the key-only path regardless of the h it is handed.
-		var hs []uint64
-		if hashes != nil {
+		hs := hashes
+		if hs != nil {
 			hs = hashes[off:end]
-		} else if !s.LegacyHashing() {
+		} else if !skipHash {
 			hs = s.HashBatch(chunk)
 		}
 		for ci, key := range chunk {
-			inHeap, nmin := true, uint32(0xffffffff)
-			if gate != nil {
-				inHeap, nmin = gate(off + ci)
-			}
 			var h uint64
 			if hs != nil {
 				h = hs[ci]
 			}
+			inHeap, nmin := true, uint32(0xffffffff)
+			if gate != nil {
+				inHeap, nmin = gate(off+ci, h)
+			}
 			est := s.InsertParallelHashed(key, h, inHeap, nmin)
 			if report != nil {
-				report(off+ci, est)
+				report(off+ci, h, est)
 			}
 		}
 	}
@@ -85,7 +91,11 @@ func (s *Sketch) InsertParallelBatch(keys [][]byte, hashes []uint64, gate func(i
 // InsertBasicBatch is InsertBasic over a batch of keys, reporting each key's
 // post-insertion estimate to report when non-nil.
 func (s *Sketch) InsertBasicBatch(keys [][]byte, report func(i int, est uint32)) {
-	s.InsertParallelBatch(keys, nil, nil, report)
+	var rep func(i int, h uint64, est uint32)
+	if report != nil {
+		rep = func(i int, _ uint64, est uint32) { report(i, est) }
+	}
+	s.InsertParallelBatch(keys, nil, nil, rep)
 }
 
 // AddBatch records one basic-discipline packet per key. It is the

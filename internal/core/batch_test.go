@@ -95,7 +95,9 @@ func TestInsertParallelBatchMatchesSequential(t *testing.T) {
 		want[i] = seq.InsertParallel(k, inHeap, nmin)
 	}
 	got := make([]uint32, len(stream))
-	bat.InsertParallelBatch(stream, nil, gate, func(i int, est uint32) { got[i] = est })
+	bat.InsertParallelBatch(stream, nil,
+		func(i int, _ uint64) (bool, uint32) { return gate(i) },
+		func(i int, _ uint64, est uint32) { got[i] = est })
 	for i := range want {
 		if want[i] != got[i] {
 			t.Fatalf("estimate %d diverges: sequential %d, batch %d", i, want[i], got[i])

@@ -265,10 +265,20 @@ func BucketBytes(fingerprintBits, counterBits uint) float64 {
 // *Hashed entry points, keeping the whole stack at one hash per packet.
 func (s *Sketch) KeyHash(key []byte) uint64 { return hash.Sum64(s.keySeed, key) }
 
+// KeySeed returns the seed under which KeyHash hashes key bytes. The top-k
+// store layer (internal/topk) builds its open-addressed key index with this
+// seed so KeyHash values computed here index the store directly — one hash
+// per packet across sketch, router and store. The seed is fixed for the
+// sketch's lifetime except by snapshot restore (ReadFrom), after which any
+// external structure keyed by old KeyHash values must be rebuilt.
+func (s *Sketch) KeySeed() uint64 { return s.keySeed }
+
 // LegacyHashing reports whether the sketch was restored from a v2 snapshot
 // and therefore places flows with the legacy per-array hashes, ignoring
-// KeyHash values. Batch paths use it to skip precomputing hashes that would
-// be discarded.
+// KeyHash values. Callers that pay for KeyHash precomputation purely to
+// speed up placement can skip it in this mode; note that KeyHash itself
+// remains valid (the key seed survives a v2 restore), which is what lets
+// the topk store index keep working over a legacy sketch.
 func (s *Sketch) LegacyHashing() bool { return s.legacy != nil }
 
 // locateHash fills s.pos with key's flat cell position in every array,
@@ -396,8 +406,24 @@ func (s *Sketch) InsertParallel(key []byte, inHeap bool, nmin uint32) uint32 {
 
 // InsertParallelHashed is InsertParallel for a caller that precomputed
 // KeyHash. Semantics, statistics and RNG consumption are identical to
-// InsertParallel(key, inHeap, nmin).
+// InsertParallel(key, inHeap, nmin). The common shape — a modern sketch at
+// the default d = 2 — derives both cell positions into a stack buffer with
+// the locate arithmetic inlined, skipping the s.pos scratch round-trip the
+// general locate path pays; the positions and fingerprint are the same
+// values locateHash would produce, so results are bit-identical.
 func (s *Sketch) InsertParallelHashed(key []byte, h uint64, inHeap bool, nmin uint32) uint32 {
+	if s.legacy == nil && s.d == 2 {
+		var buf [2]int
+		h1 := hash.Mix(s.h1Seed, h)
+		h2 := hash.Mix(s.h2Seed, h) | 1
+		buf[0] = int(hash.Reduce(h1, s.w))
+		buf[1] = s.cfg.W + int(hash.Reduce(h1+h2, s.w))
+		fp := uint32(hash.Mix(s.fpSeed, h)) & s.fpMask
+		if fp == 0 {
+			fp = 1
+		}
+		return s.insertParallelAt(buf[:], fp, inHeap, nmin)
+	}
 	pos, fp := s.locateFor(key, h)
 	return s.insertParallelAt(pos, fp, inHeap, nmin)
 }

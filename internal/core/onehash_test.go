@@ -78,8 +78,11 @@ func TestLegacySketchHashesPerArray(t *testing.T) {
 	if got := countHashes(func() { s.Query(key(1)) }); got != d+1 {
 		t.Errorf("legacy Query: %d key hashes, want d+1 = %d", got, d+1)
 	}
-	// The batch path must not waste a KeyHash pass the legacy placement
-	// would then discard.
+	// A sketch-only batch (no gate/report consuming the hashes) must not
+	// waste a KeyHash pass the legacy placement would then discard. Batches
+	// driven through internal/topk do hash once per key regardless — the
+	// store index is keyed by KeyHash, which stays valid after a v2
+	// restore — putting those at d+2 passes per key.
 	stream := batchStream(500, 50, 4)
 	want := uint64(len(stream)) * (d + 1)
 	if got := countHashes(func() { s.AddBatch(stream) }); got != want {

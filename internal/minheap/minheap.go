@@ -3,36 +3,88 @@
 // This is the top-k structure the HeavyKeeper paper uses for exposition
 // (§III-C): it keeps the k largest flows seen so far, supports membership
 // queries, "update size with max", and "expel root, insert new flow". All
-// operations are O(log k) except membership, which is O(1) via an index map.
+// operations are O(log k) except membership, which is O(1) via the key index.
 // The paper's implementation swaps in Stream-Summary for O(1) updates; the
 // repository provides both behind one interface in internal/topk so the
 // difference can be measured.
+//
+// Like internal/streamsummary, membership is resolved through a flat
+// open-addressed table keyed by a 64-bit key hash rather than a Go map, so
+// callers that already hold the key's hash (internal/topk reuses
+// core.Sketch.KeyHash) probe without re-traversing the key bytes. Each slot
+// stores the entry's full hash plus its heap position; sift swaps re-point
+// the two affected slots by (hash, old position), which identifies them
+// exactly even under full 64-bit hash collisions. Deletion backward-shifts
+// the probe chain, so the table stays tombstone-free across any number of
+// expel/insert cycles.
+//
+// The probing machinery (power-of-two sizing, linear probe, backward-shift
+// delete, chain-integrity checks) is a deliberate twin of the one in
+// internal/streamsummary — the slot payloads differ (heap position here,
+// node pointer there) and both sit on per-packet paths, so they are kept
+// concrete rather than shared through an abstraction. A fix to either
+// copy's probe or shift logic must be mirrored in the other; each package's
+// invariant checker and randomized tests police its own copy.
 package minheap
+
+import "repro/internal/hash"
 
 // Heap is a keyed min-heap with fixed capacity.
 type Heap struct {
 	capacity int
+	seed     uint64 // hash seed for keys arriving without a precomputed hash
 	items    []entry
-	index    map[string]int // key -> position in items
+	table    []slot // open-addressed key index, power-of-two sized
+	mask     uint64 // len(table) - 1
 }
 
 type entry struct {
-	key   string
+	key string
+	// hash is the heap's 64-bit hash of key, computed once on admission and
+	// reused by every index fix-up.
+	hash  uint64
 	count uint64
 }
 
-// New returns an empty heap holding at most capacity entries. It panics if
-// capacity < 1.
-func New(capacity int) *Heap {
+// slot maps one entry's hash to its heap position. pos is the items index
+// plus one; 0 marks the slot empty, so the zero value is an empty table.
+type slot struct {
+	h   uint64
+	pos int32
+}
+
+// New returns an empty heap holding at most capacity entries, hashing keys
+// under a fixed default seed. It panics if capacity < 1.
+func New(capacity int) *Heap { return NewSeeded(capacity, 0) }
+
+// NewSeeded is New with an explicit key-hash seed; an embedding sketch that
+// feeds the *Hashed entry points must share its key-hash seed here so
+// precomputed and internal hashes agree (internal/topk passes
+// core.Sketch.KeySeed).
+func NewSeeded(capacity int, seed uint64) *Heap {
 	if capacity < 1 {
 		panic("minheap: capacity must be >= 1")
 	}
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
 	return &Heap{
 		capacity: capacity,
+		seed:     seed,
 		items:    make([]entry, 0, capacity),
-		index:    make(map[string]int, capacity),
+		table:    make([]slot, size),
+		mask:     uint64(size - 1),
 	}
 }
+
+// Hash returns the heap's 64-bit hash of key: the value the *Hashed entry
+// points expect for that key.
+func (h *Heap) Hash(key []byte) uint64 { return hash.Sum64(h.seed, key) }
+
+// hashString is Hash for a string key; the []byte view does not escape into
+// the hash, so the conversion stays on the stack.
+func (h *Heap) hashString(key string) uint64 { return hash.Sum64(h.seed, []byte(key)) }
 
 // Len returns the number of entries.
 func (h *Heap) Len() int { return len(h.items) }
@@ -43,24 +95,116 @@ func (h *Heap) Capacity() int { return h.capacity }
 // Full reports whether the heap is at capacity.
 func (h *Heap) Full() bool { return len(h.items) >= h.capacity }
 
+// find returns the heap position of key (whose hash is hk), or -1. Probing
+// stops at the first empty slot; backward-shift deletion keeps chains
+// gapless.
+func (h *Heap) find(hk uint64, key string) int {
+	i := hk & h.mask
+	for {
+		sl := h.table[i]
+		if sl.pos == 0 {
+			return -1
+		}
+		if sl.h == hk {
+			if p := int(sl.pos - 1); h.items[p].key == key {
+				return p
+			}
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// findBytes is find for a byte-slice key; the comparison compiles
+// allocation-free.
+func (h *Heap) findBytes(hk uint64, key []byte) int {
+	i := hk & h.mask
+	for {
+		sl := h.table[i]
+		if sl.pos == 0 {
+			return -1
+		}
+		if sl.h == hk {
+			if p := int(sl.pos - 1); h.items[p].key == string(key) {
+				return p
+			}
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// slotOf returns the table index of the slot holding (hk, pos). The pair is
+// unique — two live entries can share a 64-bit hash, but not a heap
+// position — so no key bytes are consulted.
+func (h *Heap) slotOf(hk uint64, pos int) uint64 {
+	i := hk & h.mask
+	want := int32(pos + 1)
+	for {
+		if sl := h.table[i]; sl.h == hk && sl.pos == want {
+			return i
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// indexInsert records that the entry with hash hk sits at heap position pos.
+func (h *Heap) indexInsert(hk uint64, pos int) {
+	i := hk & h.mask
+	for h.table[i].pos != 0 {
+		i = (i + 1) & h.mask
+	}
+	h.table[i] = slot{h: hk, pos: int32(pos + 1)}
+}
+
+// indexDelete removes the slot for (hk, pos) and backward-shifts the tail of
+// its probe chain (same tombstone-free scheme as streamsummary).
+func (h *Heap) indexDelete(hk uint64, pos int) {
+	i := h.slotOf(hk, pos)
+	for {
+		h.table[i] = slot{}
+		j := i
+		for {
+			j = (j + 1) & h.mask
+			sl := h.table[j]
+			if sl.pos == 0 {
+				return
+			}
+			home := sl.h & h.mask
+			if (j-home)&h.mask >= (j-i)&h.mask {
+				h.table[i] = sl
+				i = j
+				break
+			}
+		}
+	}
+}
+
 // Contains reports whether key is in the heap.
 func (h *Heap) Contains(key string) bool {
-	_, ok := h.index[key]
-	return ok
+	return h.find(h.hashString(key), key) >= 0
 }
 
-// ContainsKey is Contains for a byte-slice key; the string([]byte) map index
-// expression compiles to an allocation-free lookup.
+// ContainsKey is Contains for a byte-slice key, hashing it here.
 func (h *Heap) ContainsKey(key []byte) bool {
-	_, ok := h.index[string(key)]
-	return ok
+	return h.findBytes(h.Hash(key), key) >= 0
 }
 
-// UpdateMaxKey sets key's size to max(current, count) in a single
-// allocation-free lookup; absent keys are ignored.
+// ContainsHashed reports whether key (whose precomputed hash is hk) is in
+// the heap without re-hashing the key bytes.
+func (h *Heap) ContainsHashed(key []byte, hk uint64) bool {
+	return h.findBytes(hk, key) >= 0
+}
+
+// UpdateMaxKey sets key's size to max(current, count); absent keys are
+// ignored.
 func (h *Heap) UpdateMaxKey(key []byte, count uint64) {
-	i, ok := h.index[string(key)]
-	if !ok {
+	h.UpdateMaxHashed(key, h.Hash(key), count)
+}
+
+// UpdateMaxHashed is UpdateMaxKey with a precomputed key hash; absent keys
+// are ignored.
+func (h *Heap) UpdateMaxHashed(key []byte, hk uint64, count uint64) {
+	i := h.findBytes(hk, key)
+	if i < 0 {
 		return
 	}
 	if count > h.items[i].count {
@@ -72,13 +216,23 @@ func (h *Heap) UpdateMaxKey(key []byte, count uint64) {
 // InsertKey is Insert for a byte-slice key; the string is materialized here,
 // on admission, rather than once per packet.
 func (h *Heap) InsertKey(key []byte, count uint64) {
-	h.Insert(string(key), count)
+	h.InsertHashed(key, h.Hash(key), count)
+}
+
+// InsertHashed is Insert with a precomputed key hash: it admits key with
+// size count, evicting the root first when full. Inserting an existing key
+// panics.
+func (h *Heap) InsertHashed(key []byte, hk uint64, count uint64) (evictedKey string, evictedCount uint64, evicted bool) {
+	if h.findBytes(hk, key) >= 0 {
+		panic("minheap: Insert of existing key " + string(key))
+	}
+	return h.insertNew(entry{key: string(key), hash: hk, count: count})
 }
 
 // Count returns key's recorded size.
 func (h *Heap) Count(key string) (uint64, bool) {
-	i, ok := h.index[key]
-	if !ok {
+	i := h.find(h.hashString(key), key)
+	if i < 0 {
 		return 0, false
 	}
 	return h.items[i].count, true
@@ -105,21 +259,26 @@ func (h *Heap) Min() (key string, count uint64, ok bool) {
 // first and returns it with evicted=true. Inserting an existing key panics;
 // use Update.
 func (h *Heap) Insert(key string, count uint64) (evictedKey string, evictedCount uint64, evicted bool) {
-	if _, ok := h.index[key]; ok {
+	hk := h.hashString(key)
+	if h.find(hk, key) >= 0 {
 		panic("minheap: Insert of existing key " + key)
 	}
+	return h.insertNew(entry{key: key, hash: hk, count: count})
+}
+
+// insertNew admits an already-hashed entry, evicting the root when full.
+func (h *Heap) insertNew(e entry) (evictedKey string, evictedCount uint64, evicted bool) {
 	if h.Full() {
-		evictedKey, evictedCount = h.items[0].key, h.items[0].count
-		evicted = true
-		delete(h.index, evictedKey)
-		h.items[0] = entry{key: key, count: count}
-		h.index[key] = 0
+		root := h.items[0]
+		h.indexDelete(root.hash, 0)
+		h.items[0] = e
+		h.indexInsert(e.hash, 0)
 		h.siftDown(0)
-		return evictedKey, evictedCount, evicted
+		return root.key, root.count, true
 	}
-	h.items = append(h.items, entry{key: key, count: count})
+	h.items = append(h.items, e)
 	i := len(h.items) - 1
-	h.index[key] = i
+	h.indexInsert(e.hash, i)
 	h.siftUp(i)
 	return "", 0, false
 }
@@ -127,8 +286,8 @@ func (h *Heap) Insert(key string, count uint64) (evictedKey string, evictedCount
 // Update sets key's size to count (any direction) and restores heap order.
 // It panics if key is absent.
 func (h *Heap) Update(key string, count uint64) {
-	i, ok := h.index[key]
-	if !ok {
+	i := h.find(h.hashString(key), key)
+	if i < 0 {
 		panic("minheap: Update of absent key " + key)
 	}
 	old := h.items[i].count
@@ -143,8 +302,8 @@ func (h *Heap) Update(key string, count uint64) {
 // UpdateMax sets key's size to max(current, count); this is the §III-C
 // min-heap update rule. It panics if key is absent.
 func (h *Heap) UpdateMax(key string, count uint64) {
-	i, ok := h.index[key]
-	if !ok {
+	i := h.find(h.hashString(key), key)
+	if i < 0 {
 		panic("minheap: UpdateMax of absent key " + key)
 	}
 	if count > h.items[i].count {
@@ -155,14 +314,14 @@ func (h *Heap) UpdateMax(key string, count uint64) {
 
 // Remove deletes key and reports whether it was present.
 func (h *Heap) Remove(key string) bool {
-	i, ok := h.index[key]
-	if !ok {
+	i := h.find(h.hashString(key), key)
+	if i < 0 {
 		return false
 	}
 	last := len(h.items) - 1
 	h.swap(i, last)
+	h.indexDelete(h.items[last].hash, last)
 	h.items = h.items[:last]
-	delete(h.index, key)
 	if i < last {
 		h.siftDown(i)
 		h.siftUp(i)
@@ -219,10 +378,18 @@ func less(a, b Entry) bool {
 	return a.Key > b.Key
 }
 
+// swap exchanges heap positions i and j, re-pointing their index slots
+// first: each slot is located by its (hash, pre-swap position) pair, which
+// stays unambiguous even if the two keys collide on the full 64-bit hash.
 func (h *Heap) swap(i, j int) {
+	if i == j {
+		return
+	}
+	si := h.slotOf(h.items[i].hash, i)
+	sj := h.slotOf(h.items[j].hash, j)
+	h.table[si].pos = int32(j + 1)
+	h.table[sj].pos = int32(i + 1)
 	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.index[h.items[i].key] = i
-	h.index[h.items[j].key] = j
 }
 
 func (h *Heap) siftUp(i int) {
@@ -254,7 +421,7 @@ func (h *Heap) siftDown(i int) {
 	}
 }
 
-// checkInvariants panics if the heap property or index map is violated.
+// checkInvariants panics if the heap property or the key index is violated.
 func (h *Heap) checkInvariants() {
 	for i := range h.items {
 		if l := 2*i + 1; l < len(h.items) && h.items[l].count < h.items[i].count {
@@ -263,11 +430,34 @@ func (h *Heap) checkInvariants() {
 		if r := 2*i + 2; r < len(h.items) && h.items[r].count < h.items[i].count {
 			panic("minheap: heap property violated (right child)")
 		}
-		if h.index[h.items[i].key] != i {
-			panic("minheap: index map out of sync for " + h.items[i].key)
+		e := h.items[i]
+		if e.hash != h.hashString(e.key) {
+			panic("minheap: stored hash mismatch for " + e.key)
+		}
+		if h.find(e.hash, e.key) != i {
+			panic("minheap: index out of sync for " + e.key)
 		}
 	}
-	if len(h.index) != len(h.items) {
+	occupied := 0
+	for j, sl := range h.table {
+		if sl.pos == 0 {
+			continue
+		}
+		occupied++
+		p := int(sl.pos - 1)
+		if p >= len(h.items) {
+			panic("minheap: index slot points past the heap")
+		}
+		if h.items[p].hash != sl.h {
+			panic("minheap: slot hash disagrees with entry hash for " + h.items[p].key)
+		}
+		for i := sl.h & h.mask; i != uint64(j); i = (i + 1) & h.mask {
+			if h.table[i].pos == 0 {
+				panic("minheap: probe chain split by empty slot for " + h.items[p].key)
+			}
+		}
+	}
+	if occupied != len(h.items) {
 		panic("minheap: index size mismatch")
 	}
 }

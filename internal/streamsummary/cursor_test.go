@@ -1,0 +1,196 @@
+package streamsummary
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// The probe cursor (set by ContainsKey/ContainsHashed, consumed by
+// UpdateMaxKey/UpdateMaxHashed) is an aliasing hazard by construction: it
+// is a bare *node that mutating operations can unmonitor between the probe
+// and the update. These tests enumerate every interleaving that could make
+// a stale cursor receive an update and prove none does.
+
+// TestCursorClearedByEvict: probe a key, evict it (it is the minimum), then
+// UpdateMax the same key. The update must be a silent no-op — not a write
+// through the detached node, which would resurrect it into the bucket lists.
+func TestCursorClearedByEvict(t *testing.T) {
+	s := New(4)
+	s.Insert("victim", 1, 0)
+	s.Insert("other", 9, 0)
+
+	if !s.ContainsKey([]byte("victim")) {
+		t.Fatal("victim not monitored")
+	}
+	if !s.CursorFor("victim") {
+		t.Fatal("cursor not set by ContainsKey")
+	}
+	if key, _, _ := s.EvictMin(); key != "victim" {
+		t.Fatalf("evicted %q, want victim", key)
+	}
+	if s.HasCursor() {
+		t.Fatal("cursor survived eviction of its node")
+	}
+	s.UpdateMaxKey([]byte("victim"), 100)
+	if s.Contains("victim") {
+		t.Fatal("stale-cursor update resurrected an evicted key")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.CheckInvariants()
+}
+
+// TestCursorClearedByRemove is the same hazard through Remove.
+func TestCursorClearedByRemove(t *testing.T) {
+	s := New(4)
+	s.Insert("victim", 5, 0)
+	s.ContainsKey([]byte("victim"))
+	if !s.Remove("victim") {
+		t.Fatal("Remove(victim) = false")
+	}
+	if s.HasCursor() {
+		t.Fatal("cursor survived Remove of its node")
+	}
+	s.UpdateMaxKey([]byte("victim"), 100)
+	if s.Contains("victim") {
+		t.Fatal("stale-cursor update resurrected a removed key")
+	}
+	s.CheckInvariants()
+}
+
+// TestCursorMismatchFallsBackToIndex: the cursor points at key B when key A
+// is updated; the update must reach A through the index, not B through the
+// cursor.
+func TestCursorMismatchFallsBackToIndex(t *testing.T) {
+	s := New(4)
+	s.Insert("a", 3, 0)
+	s.Insert("b", 7, 0)
+	s.ContainsKey([]byte("b")) // cursor -> b
+	s.UpdateMaxKey([]byte("a"), 5)
+	if got, _ := s.Count("a"); got != 5 {
+		t.Fatalf("Count(a) = %d, want 5", got)
+	}
+	if got, _ := s.Count("b"); got != 7 {
+		t.Fatalf("Count(b) = %d, want 7 (cursor must not have taken the update)", got)
+	}
+	s.CheckInvariants()
+}
+
+// TestCursorSurvivesReinsertion: evict a probed key, re-admit the same key
+// (a fresh node), then update it. The stale cursor must not shadow the new
+// node, and the new node must take the update.
+func TestCursorSurvivesReinsertion(t *testing.T) {
+	s := New(2)
+	s.Insert("flow", 1, 0)
+	s.Insert("big", 9, 0)
+	s.ContainsKey([]byte("flow"))
+	s.EvictMin() // removes flow, clears cursor
+	s.Insert("flow", 2, 1)
+	s.UpdateMaxKey([]byte("flow"), 6)
+	if got, _ := s.Count("flow"); got != 6 {
+		t.Fatalf("Count(flow) = %d, want 6", got)
+	}
+	if got := s.Error("flow"); got != 1 {
+		t.Fatalf("Error(flow) = %d, want 1 (update must hit the readmitted node)", got)
+	}
+	s.CheckInvariants()
+}
+
+// TestCursorHashedInterleaving drives the hashed probe/update pair with
+// evictions of unrelated keys in between: the cursor stays valid (its node
+// is still monitored) and the update must land on it.
+func TestCursorHashedInterleaving(t *testing.T) {
+	s := New(3)
+	s.Insert("hot", 5, 0)
+	s.Insert("cold", 1, 0)
+	s.Insert("warm", 3, 0)
+
+	h := s.Hash([]byte("hot"))
+	if !s.ContainsHashed([]byte("hot"), h) {
+		t.Fatal("hot not monitored")
+	}
+	s.EvictMin() // evicts cold, not the cursor's node
+	if !s.CursorFor("hot") {
+		t.Fatal("cursor lost though its node was not evicted")
+	}
+	s.UpdateMaxHashed([]byte("hot"), h, 8)
+	if got, _ := s.Count("hot"); got != 8 {
+		t.Fatalf("Count(hot) = %d, want 8", got)
+	}
+	s.CheckInvariants()
+}
+
+// TestCursorInterleavingMatchesReference hammers randomized
+// probe/evict/update/remove/insert interleavings against the map-backed
+// reference. Any stale-cursor write diverges the two (the reference clears
+// its cursor identically, so a divergence means the open-addressed side
+// updated through a node the reference no longer has).
+func TestCursorInterleavingMatchesReference(t *testing.T) {
+	const cap = 8
+	open := New(cap)
+	ref := NewRef(cap)
+	rng := xrand.NewXorshift64Star(99)
+	key := func() []byte { return []byte(fmt.Sprintf("k%d", rng.Uint64n(24))) }
+
+	for step := 0; step < 50000; step++ {
+		switch rng.Uint64n(10) {
+		case 0, 1, 2: // probe (sets both cursors)
+			k := key()
+			if open.ContainsKey(k) != ref.ContainsKey(k) {
+				t.Fatalf("step %d: ContainsKey(%s) diverged", step, k)
+			}
+		case 3, 4, 5: // update-max, often right after a probe
+			k := key()
+			v := rng.Uint64n(50) + 1
+			open.UpdateMaxKey(k, v)
+			ref.UpdateMaxKey(k, v)
+		case 6: // evict the minimum
+			k1, c1, ok1 := open.EvictMin()
+			k2, c2, ok2 := ref.EvictMin()
+			if k1 != k2 || c1 != c2 || ok1 != ok2 {
+				t.Fatalf("step %d: EvictMin diverged: (%q,%d,%v) vs (%q,%d,%v)",
+					step, k1, c1, ok1, k2, c2, ok2)
+			}
+		case 7: // remove a specific key
+			k := string(key())
+			if open.Remove(k) != ref.Remove(k) {
+				t.Fatalf("step %d: Remove(%s) diverged", step, k)
+			}
+		default: // admit when there is room
+			k := key()
+			if !open.Contains(string(k)) && !open.Full() {
+				c := rng.Uint64n(20) + 1
+				open.InsertKey(k, c, 0)
+				ref.InsertKey(k, c, 0)
+			}
+		}
+		if open.Len() != ref.Len() || open.MinCount() != ref.MinCount() {
+			t.Fatalf("step %d: state diverged: Len %d vs %d, MinCount %d vs %d",
+				step, open.Len(), ref.Len(), open.MinCount(), ref.MinCount())
+		}
+		if step%1000 == 0 {
+			open.CheckInvariants()
+			ref.CheckInvariants()
+		}
+	}
+	open.CheckInvariants()
+	ref.CheckInvariants()
+	assertSameItems(t, open.Items(), ref.Items())
+}
+
+// assertSameItems fails unless both summaries report identical entries in
+// identical order.
+func assertSameItems(t *testing.T, a, b []Entry) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("Items length diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Items[%d] diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -9,16 +9,49 @@
 // paper's own top-k stage (§III-C: "in our implementation, we use
 // Stream-Summary instead of min-heap") are built on it.
 //
+// # Open-addressed key index
+//
+// Membership is resolved through a flat open-addressed table keyed by a
+// 64-bit key hash, not a Go map: a map[string]*node probe re-hashes the key
+// bytes inside the map runtime on every lookup, and the per-packet
+// probe-then-update pattern of HeavyKeeper made that re-hash the dominant
+// cost of the batch ingest path. Here the caller that already holds the
+// key's hash (internal/topk reuses core.Sketch.KeyHash) passes it to the
+// *Hashed entry points and no key bytes are traversed at all; the stored
+// 64-bit hash doubles as the in-slot fingerprint, so a probe is a word
+// compare per slot and the one byte-compare against the node's key happens
+// only on a full 64-bit match (in practice: exactly once, on the hit).
+//
+// The table uses linear probing at a load factor <= 1/2 (it is sized once,
+// from the fixed capacity) and tombstone-free deletion by backward shift,
+// so probe chains never accumulate garbage no matter how many
+// evict/insert cycles the summary goes through.
+//
+// Callers that cannot supply a hash (string-keyed queries, Space-Saving's
+// Incr loop) fall back to hashing internally under the summary's seed;
+// NewSeeded lets an embedding sketch share its own key-hash seed so both
+// sides agree on every key's hash. The map-indexed original is retained as
+// RefSummary (ref.go) for differential testing. internal/minheap carries a
+// deliberate twin of this probing machinery (different slot payload, same
+// sizing/probe/backward-shift logic); a fix to either copy must be mirrored
+// in the other.
+//
 // The structure is not safe for concurrent use; the sketches that embed it
 // are single-writer, matching the paper's model.
 package streamsummary
 
+import "repro/internal/hash"
+
 // node is one monitored flow.
 type node struct {
-	key        string
+	key string
+	// hash is the summary's 64-bit hash of key, computed exactly once (or
+	// taken from the caller) on admission; eviction and index maintenance
+	// reuse it so key bytes are never re-traversed.
+	hash       uint64
 	err        uint64 // over-estimation error (Space-Saving's ε_i)
 	b          *bucket
-	prev, next *node // neighbors within the bucket (circular via bucket.first)
+	prev, next *node // neighbors within the bucket (nil-terminated via bucket.first)
 }
 
 // bucket groups all nodes with the same count. Buckets form a doubly linked
@@ -29,66 +62,240 @@ type bucket struct {
 	prev, next *bucket
 }
 
+// slot is one entry of the open-addressed index: the node's full 64-bit hash
+// (fingerprint and home-position source in one word) plus the node pointer.
+// n == nil marks the slot empty.
+type slot struct {
+	h uint64
+	n *node
+}
+
 // Summary is a Stream-Summary with fixed capacity.
 type Summary struct {
 	capacity int
-	nodes    map[string]*node
-	head     *bucket // bucket with the smallest count, nil when empty
+	count    int
+	seed     uint64 // hash seed for keys arriving without a precomputed hash
+	table    []slot // open-addressed index, power-of-two sized
+	mask     uint64 // len(table) - 1
+	head     *bucket
 	free     *bucket // free-list of retired buckets, chained via next
-	// cursor remembers the node found by the last ContainsKey so an
-	// immediately following UpdateMaxKey on the same key skips the map
-	// lookup — the probe-then-update shape of every HeavyKeeper packet.
-	// Mutating operations that can unmonitor a key clear it.
+	// cursor remembers the node found by the last ContainsHashed (or
+	// ContainsKey) so an immediately following UpdateMaxHashed on the same
+	// key skips the index probe — the probe-then-update shape of every
+	// HeavyKeeper packet. The cursor is trusted only after its stored hash
+	// and key match the update's, and every operation that unmonitors a key
+	// (EvictMin, Remove) clears it when it points at the victim, so a stale
+	// cursor can never receive an update; cursor_test.go pins this.
 	cursor *node
+	// touch sinks the index loads issued by Prefetch so they cannot be
+	// optimized away.
+	touch uint64
 }
 
-// New returns an empty Stream-Summary that monitors at most capacity keys.
-// It panics if capacity < 1.
-func New(capacity int) *Summary {
+// New returns an empty Stream-Summary that monitors at most capacity keys,
+// hashing keys under a fixed default seed. It panics if capacity < 1.
+func New(capacity int) *Summary { return NewSeeded(capacity, 0) }
+
+// NewSeeded is New with an explicit key-hash seed. An embedding sketch that
+// feeds the *Hashed entry points must construct the summary with the same
+// seed its own key hash uses (internal/topk passes core.Sketch.KeySeed), so
+// precomputed hashes and internally computed ones agree on every key.
+func NewSeeded(capacity int, seed uint64) *Summary {
 	if capacity < 1 {
 		panic("streamsummary: capacity must be >= 1")
 	}
+	size := tableSize(capacity)
 	return &Summary{
 		capacity: capacity,
-		nodes:    make(map[string]*node, capacity),
+		seed:     seed,
+		table:    make([]slot, size),
+		mask:     uint64(size - 1),
 	}
 }
 
+// tableSize returns the index size for capacity entries: the smallest power
+// of two holding them at load factor <= 1/2 (never below 8), keeping linear
+// probe chains short for the summary's whole fixed-capacity life.
+func tableSize(capacity int) int {
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
+	return size
+}
+
+// Hash returns the summary's 64-bit hash of key: the value the *Hashed entry
+// points expect for that key. It is the same function as the embedding
+// sketch's KeyHash when the summary was built with NewSeeded on the sketch's
+// key seed.
+func (s *Summary) Hash(key []byte) uint64 { return hash.Sum64(s.seed, key) }
+
+// hashString is Hash for a string key; the []byte view does not escape into
+// the hash, so the conversion stays on the stack.
+func (s *Summary) hashString(key string) uint64 { return hash.Sum64(s.seed, []byte(key)) }
+
 // Len returns the number of monitored keys.
-func (s *Summary) Len() int { return len(s.nodes) }
+func (s *Summary) Len() int { return s.count }
 
 // Capacity returns the maximum number of monitored keys.
 func (s *Summary) Capacity() int { return s.capacity }
 
 // Full reports whether the summary is at capacity.
-func (s *Summary) Full() bool { return len(s.nodes) >= s.capacity }
+func (s *Summary) Full() bool { return s.count >= s.capacity }
+
+// findHashed returns the node for key (whose hash is h), or nil. Probing
+// stops at the first empty slot: backward-shift deletion guarantees no gaps
+// ever split a probe chain.
+func (s *Summary) findHashed(h uint64, key []byte) *node {
+	i := h & s.mask
+	for {
+		sl := s.table[i]
+		if sl.n == nil {
+			return nil
+		}
+		if sl.h == h && sl.n.key == string(key) {
+			return sl.n
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// findString is findHashed for a string key.
+func (s *Summary) findString(h uint64, key string) *node {
+	i := h & s.mask
+	for {
+		sl := s.table[i]
+		if sl.n == nil {
+			return nil
+		}
+		if sl.h == h && sl.n.key == key {
+			return sl.n
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// indexInsert places n (whose hash is already set) into the first free slot
+// of its probe chain.
+func (s *Summary) indexInsert(n *node) {
+	i := n.hash & s.mask
+	for s.table[i].n != nil {
+		i = (i + 1) & s.mask
+	}
+	s.table[i] = slot{h: n.hash, n: n}
+}
+
+// indexDelete removes n from the table and backward-shifts the tail of its
+// probe chain so no tombstone is left behind: each following entry moves one
+// step back iff its own home position precedes the hole (cyclically), which
+// preserves the no-gap reachability invariant for every remaining entry.
+func (s *Summary) indexDelete(n *node) {
+	i := n.hash & s.mask
+	for s.table[i].n != n {
+		i = (i + 1) & s.mask
+	}
+	for {
+		s.table[i] = slot{}
+		j := i
+		for {
+			j = (j + 1) & s.mask
+			sl := s.table[j]
+			if sl.n == nil {
+				return
+			}
+			home := sl.h & s.mask
+			if (j-home)&s.mask >= (j-i)&s.mask {
+				s.table[i] = sl
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Prefetch touches the home index slot of every hash in hs, pulling the
+// cache lines the upcoming probes will hit. The batch ingest path calls it
+// as pass 1 of its grouped two-pass probe: the loads are independent, so the
+// hardware overlaps them, where the probe-update-probe sequence of the apply
+// pass is a chain of dependent accesses. It reads only; results are sunk
+// into a field so the loop is not dead code.
+func (s *Summary) Prefetch(hs []uint64) {
+	var x uint64
+	mask := s.mask
+	for _, h := range hs {
+		x ^= s.table[h&mask].h
+	}
+	s.touch = x
+}
 
 // Contains reports whether key is monitored.
 func (s *Summary) Contains(key string) bool {
-	_, ok := s.nodes[key]
-	return ok
+	return s.findString(s.hashString(key), key) != nil
 }
 
-// ContainsKey is Contains for a byte-slice key. The string([]byte) map index
-// expression compiles to an allocation-free lookup, which matters on the
-// batched per-packet path. A hit is remembered for UpdateMaxKey.
+// ContainsKey is Contains for a byte-slice key, hashing it here. A hit is
+// remembered for UpdateMaxKey. Hot paths that already hold the key's hash
+// use ContainsHashed instead.
 func (s *Summary) ContainsKey(key []byte) bool {
-	n := s.nodes[string(key)]
+	return s.ContainsHashed(key, s.Hash(key))
+}
+
+// ContainsHashed reports whether key (whose precomputed hash is h) is
+// monitored, without touching the key bytes except for the single
+// equality check on a full hash match. A hit is remembered for
+// UpdateMaxHashed — the probe-then-update shape of every HeavyKeeper packet.
+func (s *Summary) ContainsHashed(key []byte, h uint64) bool {
+	n := s.findHashed(h, key)
 	s.cursor = n
 	return n != nil
 }
 
-// UpdateMaxKey raises key's count to max(current, count) without allocating;
-// keys that are not monitored are ignored. When the preceding ContainsKey
-// probed the same key (the per-packet pattern), the map lookup is skipped
-// entirely; the cursor is trusted only after an allocation-free key
-// comparison, so interleaved probes of other keys stay correct.
+// Probe is an opaque handle to a monitored entry returned by ProbeHashed.
+// It stays valid only until the next operation that can unmonitor a key
+// (EvictMin, Remove); UpdateMaxProbe rejects a handle whose entry has been
+// detached, but a caller that evicts between probe and update must re-probe.
+type Probe struct{ n *node }
+
+// ProbeHashed is ContainsHashed returning the entry handle alongside the
+// verdict, so the caller's follow-up update needs no second index probe and
+// no re-verification — the fused batch loop's probe-then-update pair costs
+// exactly one key comparison total. It does not touch the cursor: the handle
+// replaces it, and a previously remembered cursor stays subject to the same
+// invalidation rules.
+func (s *Summary) ProbeHashed(key []byte, h uint64) (Probe, bool) {
+	n := s.findHashed(h, key)
+	return Probe{n: n}, n != nil
+}
+
+// UpdateMaxProbe raises the probed entry's count to max(current, count).
+// Empty and detached (evicted since the probe) handles are ignored.
+func (s *Summary) UpdateMaxProbe(p Probe, count uint64) {
+	n := p.n
+	if n == nil || n.b == nil {
+		return
+	}
+	if n.b.count >= count {
+		return
+	}
+	s.moveTo(n, count)
+}
+
+// UpdateMaxKey raises key's count to max(current, count); keys that are not
+// monitored are ignored.
 func (s *Summary) UpdateMaxKey(key []byte, count uint64) {
+	s.UpdateMaxHashed(key, s.Hash(key), count)
+}
+
+// UpdateMaxHashed raises key's count to max(current, count) without
+// allocating; unmonitored keys are ignored. When the preceding
+// ContainsHashed probed the same key (the per-packet pattern), the index
+// probe is skipped entirely; the cursor is trusted only after its stored
+// hash and key match, so interleaved probes and evictions of other keys
+// stay correct.
+func (s *Summary) UpdateMaxHashed(key []byte, h uint64, count uint64) {
 	n := s.cursor
-	if n == nil || n.key != string(key) {
-		var ok bool
-		n, ok = s.nodes[string(key)]
-		if !ok {
+	if n == nil || n.hash != h || n.key != string(key) {
+		if n = s.findHashed(h, key); n == nil {
 			return
 		}
 	}
@@ -101,13 +308,23 @@ func (s *Summary) UpdateMaxKey(key []byte, count uint64) {
 // InsertKey is Insert for a byte-slice key; the string is materialized here,
 // on admission, rather than once per packet.
 func (s *Summary) InsertKey(key []byte, count, errVal uint64) {
-	s.Insert(string(key), count, errVal)
+	s.InsertHashed(key, s.Hash(key), count, errVal)
+}
+
+// InsertHashed admits key (whose precomputed hash is h) with the given count
+// and error. Like Insert it panics on a duplicate key or a full summary;
+// callers evict first.
+func (s *Summary) InsertHashed(key []byte, h uint64, count, errVal uint64) {
+	if s.findHashed(h, key) != nil {
+		panic("streamsummary: Insert of monitored key " + string(key))
+	}
+	s.insertNew(&node{key: string(key), hash: h, err: errVal}, count)
 }
 
 // Count returns the recorded count of key.
 func (s *Summary) Count(key string) (uint64, bool) {
-	n, ok := s.nodes[key]
-	if !ok {
+	n := s.findString(s.hashString(key), key)
+	if n == nil {
 		return 0, false
 	}
 	return n.b.count, true
@@ -117,7 +334,7 @@ func (s *Summary) Count(key string) (uint64, bool) {
 // count at the time key was admitted, for Space-Saving semantics). It is 0
 // for keys inserted with no error and for unknown keys.
 func (s *Summary) Error(key string) uint64 {
-	if n, ok := s.nodes[key]; ok {
+	if n := s.findString(s.hashString(key), key); n != nil {
 		return n.err
 	}
 	return 0
@@ -145,8 +362,8 @@ func (s *Summary) MinCount() uint64 {
 // monitored; Incr panics otherwise (callers decide admission policy).
 // It returns the new count.
 func (s *Summary) Incr(key string) uint64 {
-	n, ok := s.nodes[key]
-	if !ok {
+	n := s.findString(s.hashString(key), key)
+	if n == nil {
 		panic("streamsummary: Incr on unmonitored key " + key)
 	}
 	s.moveTo(n, n.b.count+1)
@@ -156,14 +373,20 @@ func (s *Summary) Incr(key string) uint64 {
 // Insert adds a new key with the given count and error. It panics if the key
 // is already monitored or the summary is full; callers evict first.
 func (s *Summary) Insert(key string, count, errVal uint64) {
-	if _, ok := s.nodes[key]; ok {
+	h := s.hashString(key)
+	if s.findString(h, key) != nil {
 		panic("streamsummary: Insert of monitored key " + key)
 	}
+	s.insertNew(&node{key: key, hash: h, err: errVal}, count)
+}
+
+// insertNew indexes a freshly built node and places it in its count bucket.
+func (s *Summary) insertNew(n *node, count uint64) {
 	if s.Full() {
 		panic("streamsummary: Insert into full summary")
 	}
-	n := &node{key: key, err: errVal}
-	s.nodes[key] = n
+	s.indexInsert(n)
+	s.count++
 	s.placeFrom(n, s.head, count)
 }
 
@@ -175,26 +398,30 @@ func (s *Summary) EvictMin() (key string, count uint64, ok bool) {
 	}
 	n := s.head.first
 	key, count = n.key, n.b.count
-	s.detach(n)
-	delete(s.nodes, key)
-	if s.cursor == n {
-		s.cursor = nil
-	}
+	s.unmonitor(n)
 	return key, count, true
 }
 
 // Remove deletes key if monitored and reports whether it was present.
 func (s *Summary) Remove(key string) bool {
-	n, ok := s.nodes[key]
-	if !ok {
+	n := s.findString(s.hashString(key), key)
+	if n == nil {
 		return false
 	}
+	s.unmonitor(n)
+	return true
+}
+
+// unmonitor removes n from the index, the bucket lists and — when it is the
+// remembered probe — the cursor. Every path that unmonitors a key funnels
+// through here, so cursor invalidation cannot be forgotten case by case.
+func (s *Summary) unmonitor(n *node) {
+	s.indexDelete(n)
+	s.count--
 	s.detach(n)
-	delete(s.nodes, key)
 	if s.cursor == n {
 		s.cursor = nil
 	}
-	return true
 }
 
 // Set changes key's count to count, relocating its bucket. Unlike Incr this
@@ -202,8 +429,8 @@ func (s *Summary) Remove(key string) bool {
 // top-k stage uses it for the occasional "update with max" (§III-C), which
 // moves entries by small deltas in practice.
 func (s *Summary) Set(key string, count uint64) {
-	n, ok := s.nodes[key]
-	if !ok {
+	n := s.findString(s.hashString(key), key)
+	if n == nil {
 		panic("streamsummary: Set on unmonitored key " + key)
 	}
 	if n.b.count == count {
@@ -222,7 +449,7 @@ type Entry struct {
 // Items returns all monitored entries in descending count order. Ties are
 // returned in bucket-list order (unspecified but deterministic).
 func (s *Summary) Items() []Entry {
-	out := make([]Entry, 0, len(s.nodes))
+	out := make([]Entry, 0, s.count)
 	// Find the tail (largest) bucket, then walk backwards.
 	var tail *bucket
 	for b := s.head; b != nil; b = b.next {
@@ -246,10 +473,65 @@ func (s *Summary) Top(k int) []Entry {
 	return items
 }
 
-// moveTo detaches n from its bucket and re-places it at newCount, starting
-// the bucket search from n's old position (O(1) for ±1 moves).
+// IndexStats describes the open-addressed index at a point in time; hkbench
+// reports it so table pressure and probe lengths stay observable.
+type IndexStats struct {
+	// Capacity is the summary's entry capacity; TableSize the index size.
+	Capacity  int `json:"capacity"`
+	TableSize int `json:"table_size"`
+	// Occupied is the number of live slots (== Len()).
+	Occupied int `json:"occupied"`
+	// MaxProbe is the largest current displacement of any entry from its
+	// home slot, i.e. the worst-case probe length minus one.
+	MaxProbe int `json:"max_probe"`
+	// ProbeHist[d] is the number of entries displaced exactly d slots from
+	// home; displacements beyond the last bin are clamped into it.
+	ProbeHist []int `json:"probe_hist"`
+}
+
+// IndexStats computes the current index occupancy and probe-length
+// histogram. It is a diagnostic walk over the table, not a hot-path method.
+func (s *Summary) IndexStats() IndexStats {
+	st := IndexStats{
+		Capacity:  s.capacity,
+		TableSize: len(s.table),
+		Occupied:  s.count,
+		ProbeHist: make([]int, 8),
+	}
+	for j, sl := range s.table {
+		if sl.n == nil {
+			continue
+		}
+		d := int((uint64(j) - sl.h&s.mask) & s.mask)
+		if d > st.MaxProbe {
+			st.MaxProbe = d
+		}
+		bin := d
+		if bin >= len(st.ProbeHist) {
+			bin = len(st.ProbeHist) - 1
+		}
+		st.ProbeHist[bin]++
+	}
+	return st
+}
+
+// moveTo re-places n at newCount. When n is alone in its bucket and the new
+// count still fits strictly between the neighbor buckets, the bucket's count
+// is bumped in place — no unlinking, no bucket retire/create. That is the
+// elephant fast path: a resident heavy flow's +1 increment almost always has
+// a private bucket (heavy counts are distinct) and lands here, replacing a
+// dozen pointer writes per packet with one store. The resulting structure is
+// indistinguishable from detach-and-replace: same entries, same bucket
+// order, same tie layout. Otherwise n detaches and re-places, starting the
+// bucket search from its old position (O(1) for ±1 moves).
 func (s *Summary) moveTo(n *node, newCount uint64) {
 	old := n.b
+	if n.prev == nil && n.next == nil &&
+		(old.prev == nil || old.prev.count < newCount) &&
+		(old.next == nil || old.next.count > newCount) {
+		old.count = newCount
+		return
+	}
 	start := old
 	// Unlink n from old bucket's node list but keep old in the bucket list
 	// until we have found the new home, so the search can start from it.
@@ -260,7 +542,8 @@ func (s *Summary) moveTo(n *node, newCount uint64) {
 	}
 }
 
-// detach fully removes n and cleans up an emptied bucket.
+// detach fully removes n from the bucket lists and cleans up an emptied
+// bucket.
 func (s *Summary) detach(n *node) {
 	b := n.b
 	s.unlinkNode(n)
@@ -392,8 +675,11 @@ func (s *Summary) checkInvariants() {
 			if n.next != nil && n.next.prev != n {
 				panic("streamsummary: node list corrupted")
 			}
-			if s.nodes[n.key] != n {
-				panic("streamsummary: map/list mismatch for " + n.key)
+			if n.hash != s.hashString(n.key) {
+				panic("streamsummary: stored hash mismatch for " + n.key)
+			}
+			if s.findString(n.hash, n.key) != n {
+				panic("streamsummary: index/list mismatch for " + n.key)
 			}
 			seen++
 		}
@@ -401,14 +687,42 @@ func (s *Summary) checkInvariants() {
 			panic("streamsummary: bucket list corrupted")
 		}
 	}
-	if seen != len(s.nodes) {
+	if seen != s.count {
 		panic("streamsummary: node count mismatch")
+	}
+	// Index-side checks: every occupied slot holds a monitored node with a
+	// consistent hash, occupancy matches, and no probe chain is split by an
+	// empty slot (the backward-shift invariant findHashed relies on).
+	occupied := 0
+	for j, sl := range s.table {
+		if sl.n == nil {
+			continue
+		}
+		occupied++
+		if sl.h != sl.n.hash {
+			panic("streamsummary: slot hash disagrees with node hash for " + sl.n.key)
+		}
+		if sl.n.b == nil {
+			panic("streamsummary: index references detached node " + sl.n.key)
+		}
+		for i := sl.h & s.mask; i != uint64(j); i = (i + 1) & s.mask {
+			if s.table[i].n == nil {
+				panic("streamsummary: probe chain split by empty slot for " + sl.n.key)
+			}
+		}
+	}
+	if occupied != s.count {
+		panic("streamsummary: index occupancy mismatch")
+	}
+	if s.cursor != nil && s.cursor.b == nil {
+		panic("streamsummary: cursor points at detached node")
 	}
 }
 
 // BytesPerEntry estimates the memory cost of one monitored entry, used by
 // the experiment harness to convert a byte budget into a capacity the same
 // way the paper sizes Space-Saving's m from the memory size (§VI-A). The
-// constant models a C-style implementation (key pointer, count, error, four
-// links ≈ 8 words is generous; the paper's accounting is comparable).
+// constant models a C-style implementation (key pointer, hash, count, error,
+// links plus two index-slot words ≈ 6 words; the paper's accounting is
+// comparable).
 const BytesPerEntry = 48

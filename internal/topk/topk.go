@@ -53,8 +53,13 @@ const (
 	// StoreHeap uses a keyed binary min-heap (O(log k) updates).
 	StoreHeap StoreKind = iota
 	// StoreSummary uses Stream-Summary (O(1) unit updates), as the paper's
-	// implementation does.
+	// implementation does, indexed by the open-addressed KeyHash table.
 	StoreSummary
+	// StoreSummaryRef uses the retained map-indexed Stream-Summary
+	// (streamsummary.RefSummary). It exists for differential testing and for
+	// benchmarking the index swap (hkbench -store=map); behavior is
+	// identical to StoreSummary, only the key index differs.
+	StoreSummaryRef
 )
 
 // Entry is one reported top-k flow.
@@ -64,27 +69,31 @@ type Entry struct {
 }
 
 // Store abstracts the structure holding the current top-k candidates. The
-// *Key methods are the batched hot path's byte-slice variants: they must not
-// materialize a string except on actual admission, so that per-packet cost
-// stays allocation-free.
+// *Hashed methods are the hot path: they take the packet's single KeyHash
+// (already computed for the sketch) so the store probes its index without
+// re-hashing — and they must not materialize a string except on actual
+// admission, so per-packet cost stays allocation-free. Implementations are
+// constructed with the sketch's key-hash seed (newStore), making the
+// caller's h and any internally computed hash agree on every key.
 type Store interface {
 	Len() int
 	Full() bool
 	Contains(key string) bool
-	// ContainsKey is Contains without the string conversion.
-	ContainsKey(key []byte) bool
+	// ContainsHashed is Contains from the key's precomputed KeyHash, with no
+	// string conversion and no re-hash.
+	ContainsHashed(key []byte, h uint64) bool
 	Count(key string) (uint64, bool)
 	MinCount() uint64
 	// UpdateMax raises key's recorded size to max(current, v).
 	UpdateMax(key string, v uint64)
-	// UpdateMaxKey is UpdateMax in a single allocation-free lookup; absent
-	// keys are ignored.
-	UpdateMaxKey(key []byte, v uint64)
+	// UpdateMaxHashed is UpdateMax in a single hash-free probe; absent keys
+	// are ignored.
+	UpdateMaxHashed(key []byte, h uint64, v uint64)
 	// InsertEvict admits key with size v, evicting a minimum entry if full.
 	InsertEvict(key string, v uint64)
-	// InsertEvictKey is InsertEvict for a byte-slice key; the string is
-	// materialized on admission only.
-	InsertEvictKey(key []byte, v uint64)
+	// InsertEvictHashed is InsertEvict for a byte-slice key with its
+	// precomputed KeyHash; the string is materialized on admission only.
+	InsertEvictHashed(key []byte, h uint64, v uint64)
 	// Top returns up to k entries in descending size order.
 	Top(k int) []Entry
 }
@@ -92,39 +101,28 @@ type Store interface {
 // heapStore adapts minheap.Heap to Store.
 type heapStore struct{ h *minheap.Heap }
 
-func (s heapStore) Len() int                          { return s.h.Len() }
-func (s heapStore) Full() bool                        { return s.h.Full() }
-func (s heapStore) Contains(key string) bool          { return s.h.Contains(key) }
-func (s heapStore) ContainsKey(key []byte) bool       { return s.h.ContainsKey(key) }
-func (s heapStore) Count(key string) (uint64, bool)   { return s.h.Count(key) }
-func (s heapStore) MinCount() uint64                  { return s.h.MinCount() }
-func (s heapStore) UpdateMax(key string, v uint64)    { s.h.UpdateMax(key, v) }
-func (s heapStore) UpdateMaxKey(key []byte, v uint64) { s.h.UpdateMaxKey(key, v) }
-func (s heapStore) InsertEvict(key string, v uint64) {
-	s.h.Insert(key, v)
-}
-func (s heapStore) InsertEvictKey(key []byte, v uint64) {
-	s.h.InsertKey(key, v)
-}
-func (s heapStore) Top(k int) []Entry {
-	items := s.h.Top(k)
-	out := make([]Entry, len(items))
-	for i, e := range items {
-		out[i] = Entry{Key: e.Key, Count: e.Count}
-	}
-	return out
-}
+func (s heapStore) Len() int                                  { return s.h.Len() }
+func (s heapStore) Full() bool                                { return s.h.Full() }
+func (s heapStore) Contains(key string) bool                  { return s.h.Contains(key) }
+func (s heapStore) ContainsHashed(key []byte, h uint64) bool  { return s.h.ContainsHashed(key, h) }
+func (s heapStore) Count(key string) (uint64, bool)           { return s.h.Count(key) }
+func (s heapStore) MinCount() uint64                          { return s.h.MinCount() }
+func (s heapStore) UpdateMax(key string, v uint64)            { s.h.UpdateMax(key, v) }
+func (s heapStore) UpdateMaxHashed(key []byte, h, v uint64)   { s.h.UpdateMaxHashed(key, h, v) }
+func (s heapStore) InsertEvict(key string, v uint64)          { s.h.Insert(key, v) }
+func (s heapStore) InsertEvictHashed(key []byte, h, v uint64) { s.h.InsertHashed(key, h, v) }
+func (s heapStore) Top(k int) []Entry                         { return convertEntries(s.h.Top(k)) }
 
 // summaryStore adapts streamsummary.Summary to Store.
 type summaryStore struct{ s *streamsummary.Summary }
 
-func (s summaryStore) Len() int                          { return s.s.Len() }
-func (s summaryStore) Full() bool                        { return s.s.Full() }
-func (s summaryStore) Contains(key string) bool          { return s.s.Contains(key) }
-func (s summaryStore) ContainsKey(key []byte) bool       { return s.s.ContainsKey(key) }
-func (s summaryStore) Count(key string) (uint64, bool)   { return s.s.Count(key) }
-func (s summaryStore) MinCount() uint64                  { return s.s.MinCount() }
-func (s summaryStore) UpdateMaxKey(key []byte, v uint64) { s.s.UpdateMaxKey(key, v) }
+func (s summaryStore) Len() int                                 { return s.s.Len() }
+func (s summaryStore) Full() bool                               { return s.s.Full() }
+func (s summaryStore) Contains(key string) bool                 { return s.s.Contains(key) }
+func (s summaryStore) ContainsHashed(key []byte, h uint64) bool { return s.s.ContainsHashed(key, h) }
+func (s summaryStore) Count(key string) (uint64, bool)          { return s.s.Count(key) }
+func (s summaryStore) MinCount() uint64                         { return s.s.MinCount() }
+func (s summaryStore) UpdateMaxHashed(key []byte, h, v uint64)  { s.s.UpdateMaxHashed(key, h, v) }
 func (s summaryStore) UpdateMax(key string, v uint64) {
 	if cur, ok := s.s.Count(key); ok && v > cur {
 		s.s.Set(key, v)
@@ -136,14 +134,57 @@ func (s summaryStore) InsertEvict(key string, v uint64) {
 	}
 	s.s.Insert(key, v, 0)
 }
-func (s summaryStore) InsertEvictKey(key []byte, v uint64) {
+func (s summaryStore) InsertEvictHashed(key []byte, h, v uint64) {
 	if s.s.Full() {
 		s.s.EvictMin()
 	}
-	s.s.InsertKey(key, v, 0)
+	s.s.InsertHashed(key, h, v, 0)
 }
-func (s summaryStore) Top(k int) []Entry {
-	items := s.s.Top(k)
+func (s summaryStore) Top(k int) []Entry { return convertSummaryEntries(s.s.Top(k)) }
+
+// refStore adapts the map-indexed streamsummary.RefSummary to Store; the
+// precomputed hashes are accepted and discarded (the map re-hashes
+// internally), which is exactly the cost difference StoreSummaryRef exists
+// to measure.
+type refStore struct{ s *streamsummary.RefSummary }
+
+func (s refStore) Len() int                                 { return s.s.Len() }
+func (s refStore) Full() bool                               { return s.s.Full() }
+func (s refStore) Contains(key string) bool                 { return s.s.Contains(key) }
+func (s refStore) ContainsHashed(key []byte, h uint64) bool { return s.s.ContainsHashed(key, h) }
+func (s refStore) Count(key string) (uint64, bool)          { return s.s.Count(key) }
+func (s refStore) MinCount() uint64                         { return s.s.MinCount() }
+func (s refStore) UpdateMaxHashed(key []byte, h, v uint64)  { s.s.UpdateMaxHashed(key, h, v) }
+func (s refStore) UpdateMax(key string, v uint64) {
+	if cur, ok := s.s.Count(key); ok && v > cur {
+		s.s.Set(key, v)
+	}
+}
+func (s refStore) InsertEvict(key string, v uint64) {
+	if s.s.Full() {
+		s.s.EvictMin()
+	}
+	s.s.Insert(key, v, 0)
+}
+func (s refStore) InsertEvictHashed(key []byte, h, v uint64) {
+	if s.s.Full() {
+		s.s.EvictMin()
+	}
+	s.s.InsertHashed(key, h, v, 0)
+}
+func (s refStore) Top(k int) []Entry { return convertSummaryEntries(s.s.Top(k)) }
+
+// convertEntries converts minheap entries to topk entries.
+func convertEntries(items []minheap.Entry) []Entry {
+	out := make([]Entry, len(items))
+	for i, e := range items {
+		out[i] = Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// convertSummaryEntries converts streamsummary entries to topk entries.
+func convertSummaryEntries(items []streamsummary.Entry) []Entry {
 	out := make([]Entry, len(items))
 	for i, e := range items {
 		out[i] = Entry{Key: e.Key, Count: e.Count}
@@ -186,20 +227,24 @@ func New(opts Options) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := newStore(opts.Store, opts.K)
+	store, err := newStore(opts.Store, opts.K, sk.KeySeed())
 	if err != nil {
 		return nil, err
 	}
 	return &Tracker{sk: sk, store: store, opts: opts}, nil
 }
 
-// newStore constructs an empty top-k structure of the given kind.
-func newStore(kind StoreKind, k int) (Store, error) {
+// newStore constructs an empty top-k structure of the given kind. seed is
+// the sketch's key-hash seed: the store's index hashes under it, so the
+// KeyHash the tracker computes once per packet indexes the store directly.
+func newStore(kind StoreKind, k int, seed uint64) (Store, error) {
 	switch kind {
 	case StoreHeap:
-		return heapStore{minheap.New(k)}, nil
+		return heapStore{minheap.NewSeeded(k, seed)}, nil
 	case StoreSummary:
-		return summaryStore{streamsummary.New(k)}, nil
+		return summaryStore{streamsummary.NewSeeded(k, seed)}, nil
+	case StoreSummaryRef:
+		return refStore{streamsummary.NewRef(k)}, nil
 	default:
 		return nil, fmt.Errorf("topk: unknown store kind %d", kind)
 	}
@@ -239,9 +284,16 @@ func (t *Tracker) insertHashed(key []byte, h uint64) {
 	case Basic:
 		// §III-C: insert into HeavyKeeper, then update the top-k structure
 		// with the reported estimate.
-		t.admitBasicKey(key, uint64(t.sk.InsertBasicHashed(key, h)))
+		t.admitBasicHashed(key, h, uint64(t.sk.InsertBasicHashed(key, h)))
 	case Parallel, Minimum:
-		flag := t.store.ContainsKey(key)
+		// The default store gets a devirtualized path with the fused
+		// probe-then-update pair (one index probe per packet); other stores
+		// go through the interface.
+		if ss, ok := t.store.(summaryStore); ok {
+			t.insertHashedSummary(ss.s, key, h)
+			return
+		}
+		flag := t.store.ContainsHashed(key, h)
 		nmin := t.gateNMin(flag)
 		var est uint64
 		if t.opts.Version == Minimum {
@@ -249,9 +301,49 @@ func (t *Tracker) insertHashed(key []byte, h uint64) {
 		} else {
 			est = uint64(t.sk.InsertParallelHashed(key, h, flag, nmin))
 		}
-		t.admitOptimizedKey(key, flag, est)
+		t.admitOptimizedHashed(key, h, flag, est)
 	default:
 		panic("topk: invalid version " + t.opts.Version.String())
+	}
+}
+
+// insertHashedSummary is insertHashed for the Parallel/Minimum disciplines
+// against the concrete Stream-Summary store: no interface dispatch, and the
+// store is probed exactly once per packet — the handle from ProbeHashed
+// takes the eventual update, valid because nothing between probe and update
+// can unmonitor the entry. Behavior is identical to the generic path; the
+// equivalence tests pin it.
+func (t *Tracker) insertHashedSummary(ss *streamsummary.Summary, key []byte, h uint64) {
+	probe, flag := ss.ProbeHashed(key, h)
+	full := ss.Len() >= t.opts.K
+	nmin := uint32(0xffffffff)
+	var minCount uint64
+	if full {
+		minCount = ss.MinCount()
+		if !flag && !t.opts.DisableOptII && minCount < uint64(nmin) {
+			nmin = uint32(minCount)
+		}
+	}
+	var est uint64
+	if t.opts.Version == Minimum {
+		est = uint64(t.sk.InsertMinimumHashed(key, h, flag, nmin))
+	} else {
+		est = uint64(t.sk.InsertParallelHashed(key, h, flag, nmin))
+	}
+	switch {
+	case flag:
+		ss.UpdateMaxProbe(probe, est)
+	case est == 0:
+	case !full:
+		ss.InsertHashed(key, h, est, 0)
+	case t.opts.DisableOptI:
+		if est > minCount {
+			ss.EvictMin()
+			ss.InsertHashed(key, h, est, 0)
+		}
+	case est == minCount+1:
+		ss.EvictMin()
+		ss.InsertHashed(key, h, est, 0)
 	}
 }
 
@@ -270,39 +362,40 @@ func (t *Tracker) gateNMin(flag bool) uint32 {
 	return nmin
 }
 
-// admitBasicKey is admitBasic on the allocation-free byte-key store path,
-// used by InsertBatch: a string is materialized only on actual admission.
-func (t *Tracker) admitBasicKey(key []byte, est uint64) {
+// admitBasicHashed is the basic-discipline admission rule on the
+// allocation-free hashed store path: a string is materialized only on actual
+// admission, and the packet's single KeyHash h indexes every store probe.
+func (t *Tracker) admitBasicHashed(key []byte, h uint64, est uint64) {
 	switch {
-	case t.store.ContainsKey(key):
-		t.store.UpdateMaxKey(key, est)
+	case t.store.ContainsHashed(key, h):
+		t.store.UpdateMaxHashed(key, h, est)
 	case !t.store.Full():
 		if est > 0 {
-			t.store.InsertEvictKey(key, est)
+			t.store.InsertEvictHashed(key, h, est)
 		}
 	case est > t.store.MinCount():
-		t.store.InsertEvictKey(key, est)
+		t.store.InsertEvictHashed(key, h, est)
 	}
 }
 
-// admitOptimizedKey is admitOptimized on the allocation-free byte-key store
-// path, used by InsertBatch.
-func (t *Tracker) admitOptimizedKey(key []byte, flag bool, est uint64) {
+// admitOptimizedHashed is the Algorithm 1/2 Step-3 admission rule on the
+// allocation-free hashed store path.
+func (t *Tracker) admitOptimizedHashed(key []byte, h uint64, flag bool, est uint64) {
 	switch {
 	case flag:
-		t.store.UpdateMaxKey(key, est)
+		t.store.UpdateMaxHashed(key, h, est)
 	case est == 0:
 	case !t.store.Full():
-		t.store.InsertEvictKey(key, est)
+		t.store.InsertEvictHashed(key, h, est)
 	default:
 		if t.opts.DisableOptI {
 			if est > t.store.MinCount() {
-				t.store.InsertEvictKey(key, est)
+				t.store.InsertEvictHashed(key, h, est)
 			}
 			return
 		}
 		if est == t.store.MinCount()+1 {
-			t.store.InsertEvictKey(key, est)
+			t.store.InsertEvictHashed(key, h, est)
 		}
 	}
 }
@@ -328,7 +421,7 @@ func (t *Tracker) InsertNHashed(key []byte, h uint64, n uint64) {
 }
 
 func (t *Tracker) insertNHashed(key []byte, h uint64, n uint64) {
-	flag := t.store.ContainsKey(key)
+	flag := t.store.ContainsHashed(key, h)
 	nmin := t.gateNMin(flag)
 	var est uint64
 	switch t.opts.Version {
@@ -341,12 +434,12 @@ func (t *Tracker) insertNHashed(key []byte, h uint64, n uint64) {
 	}
 	switch {
 	case flag:
-		t.store.UpdateMaxKey(key, est)
+		t.store.UpdateMaxHashed(key, h, est)
 	case est == 0:
 	case !t.store.Full():
-		t.store.InsertEvictKey(key, est)
+		t.store.InsertEvictHashed(key, h, est)
 	case est > t.store.MinCount():
-		t.store.InsertEvictKey(key, est)
+		t.store.InsertEvictHashed(key, h, est)
 	}
 }
 
@@ -385,8 +478,8 @@ func (t *Tracker) insertBatch(keys [][]byte, hashes []uint64) {
 			t.insertHashed(key, hashes[i])
 		}
 	case Basic:
-		t.sk.InsertParallelBatch(keys, hashes, nil, func(i int, est uint32) {
-			t.admitBasicKey(keys[i], uint64(est))
+		t.sk.InsertParallelBatch(keys, hashes, nil, func(i int, h uint64, est uint32) {
+			t.admitBasicHashed(keys[i], h, uint64(est))
 		})
 	case Parallel:
 		// The default configuration (Parallel × Stream-Summary) gets a fused
@@ -400,12 +493,12 @@ func (t *Tracker) insertBatch(keys [][]byte, hashes []uint64) {
 		// one closure to the other without a second store lookup.
 		var flag bool
 		t.sk.InsertParallelBatch(keys, hashes,
-			func(i int) (bool, uint32) {
-				flag = t.store.ContainsKey(keys[i])
+			func(i int, h uint64) (bool, uint32) {
+				flag = t.store.ContainsHashed(keys[i], h)
 				return flag, t.gateNMin(flag)
 			},
-			func(i int, est uint32) {
-				t.admitOptimizedKey(keys[i], flag, uint64(est))
+			func(i int, h uint64, est uint32) {
+				t.admitOptimizedHashed(keys[i], h, flag, uint64(est))
 			})
 	default:
 		panic("topk: invalid version " + t.opts.Version.String())
@@ -413,56 +506,46 @@ func (t *Tracker) insertBatch(keys [][]byte, hashes []uint64) {
 }
 
 // insertParallelBatchSummary is InsertBatch's hot path: the Parallel
-// discipline against a Stream-Summary store, with the store accessed through
-// its concrete type (no interface dispatch) and the per-key control flow
-// inlined (no gate/report closures). hashes, when non-nil, carries the
+// discipline against a Stream-Summary store. Per-key work goes through
+// insertHashedSummary — the same devirtualized probe/gate/sketch/admit body
+// the sequential path uses, so the admission rule lives in one place — with
+// no gate/report closures in between. hashes, when non-nil, carries the
 // caller's precomputed KeyHash per key; otherwise each chunk is hashed once
-// here. Behavior is identical to a sequential loop over Insert; the
-// equivalence tests in batch_test.go pin that.
+// here (on a v2-restored sketch too — the legacy placement ignores the
+// value, but the store index is keyed by it).
+//
+// Each chunk is a grouped two-pass probe. Pass 1 (Prefetch) computes every
+// key's home index slot from its hash and touches it: the loads carry no
+// dependencies, so the hardware pipelines them and the slot cache lines are
+// warm before any of them is needed. Pass 2 applies the per-key
+// probe/sketch/admit sequence in stream order — the same dependent chain as
+// the sequential path, now mostly hitting L1. Pass 1 only reads, so results
+// stay bit-identical to a sequential loop over Insert; the equivalence tests
+// in batch_test.go pin that.
 func (t *Tracker) insertParallelBatchSummary(keys [][]byte, hashes []uint64, ss *streamsummary.Summary) {
-	optI := !t.opts.DisableOptI
-	optII := !t.opts.DisableOptII
-	k := t.opts.K
 	for off := 0; off < len(keys); off += core.BatchChunk {
 		end := off + core.BatchChunk
 		if end > len(keys) {
 			end = len(keys)
 		}
 		chunk := keys[off:end]
-		// As in core.InsertParallelBatch: a v2-restored sketch ignores
-		// precomputed hashes, so skip the pass that would produce them.
-		var hs []uint64
-		if hashes != nil {
+		// Pass 1 of the grouped probe: one tight hash loop over the chunk
+		// (on a v2-restored sketch too — its placement ignores KeyHash, but
+		// the store index is keyed by it), then a touch of every key's home
+		// store slot. The touches are independent loads the hardware
+		// overlaps freely, so pass 2's dependent probe chains run against
+		// warm lines. Sketch-side staging was tried here and measured
+		// slower than re-deriving cell indexes in registers at apply time
+		// (see ROADMAP); only the store side keeps a prefetch pass.
+		hs := hashes
+		if hs != nil {
 			hs = hashes[off:end]
-		} else if !t.sk.LegacyHashing() {
+		} else {
 			hs = t.sk.HashBatch(chunk)
 		}
+		ss.Prefetch(hs)
 		for ci, key := range chunk {
-			flag := ss.ContainsKey(key)
-			full := ss.Len() >= k
-			nmin := uint32(0xffffffff)
-			var minCount uint64
-			if full {
-				minCount = ss.MinCount()
-				if !flag && optII && minCount < uint64(nmin) {
-					nmin = uint32(minCount)
-				}
-			}
-			var h uint64
-			if hs != nil {
-				h = hs[ci]
-			}
-			est := uint64(t.sk.InsertParallelHashed(key, h, flag, nmin))
-			switch {
-			case flag:
-				ss.UpdateMaxKey(key, est)
-			case est == 0:
-			case !full:
-				ss.InsertKey(key, est, 0)
-			case optI && est == minCount+1, !optI && est > minCount:
-				ss.EvictMin()
-				ss.InsertKey(key, est, 0)
-			}
+			t.insertHashedSummary(ss, key, hs[ci])
 		}
 	}
 }
@@ -507,7 +590,7 @@ func (t *Tracker) MergeFrom(other *Tracker) error {
 	if len(cands) > t.opts.K {
 		cands = cands[:t.opts.K]
 	}
-	store, err := newStore(t.opts.Store, t.opts.K)
+	store, err := newStore(t.opts.Store, t.opts.K, t.sk.KeySeed())
 	if err != nil {
 		return err
 	}
@@ -540,7 +623,20 @@ func (t *Tracker) Top() []Entry { return t.store.Top(t.opts.K) }
 func (t *Tracker) K() int { return t.opts.K }
 
 // Sketch exposes the underlying HeavyKeeper (read-only use intended).
+// Restoring a snapshot into it (ReadFrom) would replace the key-hash seed
+// the tracker's store index was built on; build a fresh Tracker instead.
 func (t *Tracker) Sketch() *core.Sketch { return t.sk }
+
+// StoreIndexStats reports the open-addressed store index's occupancy and
+// probe-length histogram. ok is false when no stats are surfaced for the
+// configured store: StoreSummaryRef is a Go map with no such index, and
+// StoreHeap's index (the heap has one too) is not currently reported.
+func (t *Tracker) StoreIndexStats() (st streamsummary.IndexStats, ok bool) {
+	if ss, isSummary := t.store.(summaryStore); isSummary {
+		return ss.s.IndexStats(), true
+	}
+	return streamsummary.IndexStats{}, false
+}
 
 // MemoryBytes reports the tracker's logical memory: the sketch plus k
 // top-k entries, using the same accounting as the paper's §VI-A setup.

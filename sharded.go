@@ -271,6 +271,35 @@ func (s *Sharded) MemoryBytes() int {
 	return total
 }
 
+// StoreIndexStats aggregates the per-shard store index statistics: sizes and
+// occupancy sum, probe histograms add bin-wise, MaxProbe is the worst shard.
+// ok is false when the configured store has no open-addressed index.
+func (s *Sharded) StoreIndexStats() (StoreIndexStats, bool) {
+	var total StoreIndexStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st, ok := sh.t.StoreIndexStats()
+		sh.mu.Unlock()
+		if !ok {
+			return StoreIndexStats{}, false
+		}
+		total.Capacity += st.Capacity
+		total.TableSize += st.TableSize
+		total.Occupied += st.Occupied
+		if st.MaxProbe > total.MaxProbe {
+			total.MaxProbe = st.MaxProbe
+		}
+		if total.ProbeHist == nil {
+			total.ProbeHist = make([]int, len(st.ProbeHist))
+		}
+		for b, n := range st.ProbeHist {
+			total.ProbeHist[b] += n
+		}
+	}
+	return total, true
+}
+
 // Stats returns the sketch event counters summed across shards.
 func (s *Sharded) Stats() core.Stats {
 	var total core.Stats

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare fuzz-smoke throughput
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare fuzz-smoke throughput examples algo-smoke
 
 build:
 	$(GO) build ./...
@@ -73,3 +73,20 @@ fuzz-smoke:
 
 throughput:
 	$(GO) run ./cmd/hkbench -throughput
+
+# examples builds and runs every program under examples/ (CI runs this
+# target, so the README's entry points can never rot).
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d > /dev/null; \
+	done; echo "all examples ran"
+
+# algo-smoke runs the hkbench throughput comparison once per registered
+# algorithm at a tiny scale: every engine must construct and ingest under
+# all three frontends (CI runs this target).
+algo-smoke:
+	@set -e; for a in $$($(GO) run ./cmd/hkbench -list-algos); do \
+		$(GO) run ./cmd/hkbench -throughput -algo $$a -scale 0.001 -shards 2 -batch 64 > /dev/null; \
+		echo "algo $$a ok"; \
+	done

@@ -9,9 +9,11 @@
 //	hkbench -figure ablations      # the repository's extra ablations
 //	hkbench -figure 8 -scale 0.1   # closer to paper-scale workloads
 //	hkbench -throughput -shards 8 -batch 256   # TopK vs Concurrent vs Sharded
+//	hkbench -throughput -algo spacesaving      # same comparison, another engine
 //	hkbench -throughput -json                  # machine-readable results
 //	hkbench -throughput -cpuprofile cpu.pprof  # attach pprof evidence
 //	hkbench -list
+//	hkbench -list-algos            # registered algorithm names, one per line
 package main
 
 import (
@@ -45,6 +47,8 @@ func run() int {
 		throughput = flag.Bool("throughput", false, "run the ingest throughput comparison instead of a figure")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count (and writer goroutines) for -throughput")
 		batch      = flag.Int("batch", 256, "batch size for the batched ingest variants of -throughput")
+		algo       = flag.String("algo", heavykeeper.AlgorithmHeavyKeeper, "registered algorithm backing the -throughput frontends (-list-algos to enumerate)")
+		listAlgos  = flag.Bool("list-algos", false, "list registered algorithm names, one per line")
 		store      = flag.String("store", "open", "top-k store index for -throughput: open (open-addressed) or map (retained reference)")
 		jsonOut    = flag.Bool("json", false, "emit -throughput results as JSON (for BENCH_*.json trend files)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,8 +84,15 @@ func run() int {
 		}()
 	}
 
+	if *listAlgos {
+		for _, name := range heavykeeper.Algorithms() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
 	if *throughput {
-		if err := runThroughput(*shards, *batch, *scale, *seed, *store, *jsonOut); err != nil {
+		if err := runThroughput(*shards, *batch, *scale, *seed, *algo, *store, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -96,6 +107,10 @@ func run() int {
 		fmt.Println("ablations:")
 		for _, id := range harness.AblationIDs() {
 			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("algorithms (for -algo):")
+		for _, name := range heavykeeper.Algorithms() {
+			fmt.Printf("  %s\n", name)
 		}
 		return 0
 	}
@@ -161,6 +176,7 @@ type throughputReport struct {
 	Shards     int                `json:"shards"`
 	Batch      int                `json:"batch"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
+	Algo       string             `json:"algo"`
 	Store      string             `json:"store"`
 	Results    []throughputResult `json:"results"`
 	StoreIndex []storeIndexReport `json:"store_index,omitempty"`
@@ -170,18 +186,20 @@ type throughputReport struct {
 // frontends on one zipfian trace: a single TopK (sequential baseline),
 // Concurrent with g writer goroutines (per-packet and batched), and Sharded
 // with s shards and s writers (per-packet and batched). The speedup column
-// is relative to per-packet Concurrent, the paper-era default. store selects
-// the top-k store index: "open" (the open-addressed default) or "map" (the
+// is relative to per-packet Concurrent, the paper-era default. algo selects
+// the backing engine from the public registry, so every registered
+// algorithm gets the same three-frontend comparison. store selects the
+// top-k store index: "open" (the open-addressed default) or "map" (the
 // retained reference), making the PR 3 index swap measurable from the CLI.
-func runThroughput(shards, batch int, scale float64, seed uint64, store string, jsonOut bool) error {
+func runThroughput(shards, batch int, scale float64, seed uint64, algo, store string, jsonOut bool) error {
 	if shards < 1 || batch < 1 {
 		return fmt.Errorf("hkbench: -shards and -batch must be >= 1")
 	}
-	var storeOpts []heavykeeper.Option
+	opts := []heavykeeper.Option{heavykeeper.WithAlgorithm(algo)}
 	switch store {
 	case "open":
 	case "map":
-		storeOpts = append(storeOpts, heavykeeper.WithMapStore())
+		opts = append(opts, heavykeeper.WithMapStore())
 	default:
 		return fmt.Errorf("hkbench: -store must be open or map, got %q", store)
 	}
@@ -193,27 +211,40 @@ func runThroughput(shards, batch int, scale float64, seed uint64, store string, 
 	tr.ForEach(func(key []byte) { keys = append(keys, key) })
 	report := throughputReport{
 		Packets: len(keys), Flows: tr.Flows(), Shards: shards, Batch: batch,
-		GOMAXPROCS: runtime.GOMAXPROCS(0), Store: store,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Algo: algo, Store: store,
 	}
 	if !jsonOut {
-		fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, store %s, GOMAXPROCS %d\n\n",
-			len(keys), tr.Flows(), shards, batch, store, runtime.GOMAXPROCS(0))
+		fmt.Printf("throughput: %d packets, %d flows, %d shards/goroutines, batch %d, algo %s, store %s, GOMAXPROCS %d\n\n",
+			len(keys), tr.Flows(), shards, batch, algo, store, runtime.GOMAXPROCS(0))
 	}
 
 	const k = 100
+	newSummarizer := func(extra ...heavykeeper.Option) (heavykeeper.Summarizer, error) {
+		return heavykeeper.New(k, append(append([]heavykeeper.Option{}, opts...), extra...)...)
+	}
 	// Untimed warmup so the first timed variant doesn't pay the page-in of
-	// the trace.
-	warm := heavykeeper.MustNew(k, storeOpts...)
+	// the trace; it also validates the flag combination once up front.
+	warm, err := newSummarizer()
+	if err != nil {
+		return fmt.Errorf("hkbench: %w", err)
+	}
 	for _, key := range keys {
 		warm.Add(key)
 	}
 
-	single := heavykeeper.MustNew(k, storeOpts...)
-	singleB := heavykeeper.MustNew(k, storeOpts...)
-	conc, _ := heavykeeper.NewConcurrent(k, storeOpts...)
-	concB, _ := heavykeeper.NewConcurrent(k, storeOpts...)
-	shrd := heavykeeper.MustNewSharded(k, append([]heavykeeper.Option{heavykeeper.WithShards(shards)}, storeOpts...)...)
-	shrdB := heavykeeper.MustNewSharded(k, append([]heavykeeper.Option{heavykeeper.WithShards(shards)}, storeOpts...)...)
+	must := func(extra ...heavykeeper.Option) heavykeeper.Summarizer {
+		s, err := newSummarizer(extra...)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	single := must()
+	singleB := must()
+	conc := must(heavykeeper.WithConcurrency())
+	concB := must(heavykeeper.WithConcurrency())
+	shrd := must(heavykeeper.WithShards(shards))
+	shrdB := must(heavykeeper.WithShards(shards))
 
 	var base float64
 	for _, c := range []struct {
@@ -258,11 +289,15 @@ func runThroughput(shards, batch int, scale float64, seed uint64, store string, 
 			fmt.Printf("%-24s %2d goroutines  %8.2f Mpps  %s\n", c.name, c.g, mpps, speedup)
 		}
 	}
-	if st, ok := single.StoreIndexStats(); ok {
-		report.StoreIndex = append(report.StoreIndex, indexReport("TopK", st))
-	}
-	if st, ok := shrdB.StoreIndexStats(); ok {
-		report.StoreIndex = append(report.StoreIndex, indexReport("Sharded.AddBatch", st))
+	for _, src := range []struct {
+		name string
+		s    heavykeeper.Summarizer
+	}{{"TopK", single}, {"Sharded.AddBatch", shrdB}} {
+		if r, ok := src.s.(heavykeeper.StoreIndexReporter); ok {
+			if st, ok := r.StoreIndexStats(); ok {
+				report.StoreIndex = append(report.StoreIndex, indexReport(src.name, st))
+			}
+		}
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -6,6 +6,7 @@
 //
 //	hktopk -trace campus.hktr -algo HeavyKeeper -k 100 -mem 50
 //	hktopk -dataset caida -scale 0.02 -algo SS -k 100 -mem 20
+//	hktopk -dataset zipf -algo spacesaving        # registry names work too
 //	hktopk -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	heavykeeper "repro"
 	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -26,6 +28,18 @@ var algoNames = []string{
 	harness.AlgoSS, harness.AlgoLC, harness.AlgoCSS, harness.AlgoCM,
 	harness.AlgoFrequent, harness.AlgoElastic, harness.AlgoColdFilter,
 	harness.AlgoCounterTree, harness.AlgoGuardian,
+}
+
+// printAlgos lists the paper legend names plus the public registry names
+// (both are accepted by -algo; the registry includes user-registered
+// engines).
+func printAlgos() {
+	for _, n := range algoNames {
+		fmt.Println(n)
+	}
+	for _, n := range heavykeeper.Algorithms() {
+		fmt.Println(n)
+	}
 }
 
 func main() {
@@ -44,9 +58,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range algoNames {
-			fmt.Println(n)
-		}
+		printAlgos()
 		return
 	}
 

@@ -1,6 +1,11 @@
 package heavykeeper
 
-import "sync"
+import (
+	"fmt"
+	"iter"
+	"reflect"
+	"sync"
+)
 
 // Concurrent is a mutex-guarded TopK for multi-goroutine use. HeavyKeeper's
 // single-writer hot path is a few dozen nanoseconds, so a plain mutex keeps
@@ -11,18 +16,41 @@ import "sync"
 // once per batch rather than once per packet. Concurrent remains the right
 // choice when a single global sketch is required (e.g. for snapshotting one
 // mergeable sketch) or when write concurrency is low.
+//
+// Construct one with New(k, WithConcurrency(), ...).
 type Concurrent struct {
 	mu sync.Mutex
 	t  *TopK
 }
 
 // NewConcurrent returns a concurrency-safe TopK.
+//
+// Deprecated: use New(k, WithConcurrency(), opts...). This wrapper remains
+// for compatibility: as before this constructor existed under the unified
+// New, a WithShards option is ignored rather than treated as a conflict.
 func NewConcurrent(k int, opts ...Option) (*Concurrent, error) {
-	t, err := New(k, opts...)
+	cfg, err := parseConfig(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.shards = 0 // historical contract: WithShards is ignored here
+	t, err := newTopK(k, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Concurrent{t: t}, nil
+}
+
+// MustNewConcurrent is NewConcurrent that panics on error, for tests and
+// examples.
+//
+// Deprecated: use MustNew(k, WithConcurrency(), opts...).
+func MustNewConcurrent(k int, opts ...Option) *Concurrent {
+	c, err := NewConcurrent(k, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Add records one occurrence of flowID.
@@ -32,10 +60,17 @@ func (c *Concurrent) Add(flowID []byte) {
 	c.mu.Unlock()
 }
 
-// AddString is Add for string identifiers.
+// AddString is Add for string identifiers, without copying the string.
 func (c *Concurrent) AddString(flowID string) {
 	c.mu.Lock()
 	c.t.AddString(flowID)
+	c.mu.Unlock()
+}
+
+// AddN records a weight-n occurrence of flowID.
+func (c *Concurrent) AddN(flowID []byte, n uint64) {
+	c.mu.Lock()
+	c.t.AddN(flowID, n)
 	c.mu.Unlock()
 }
 
@@ -62,6 +97,40 @@ func (c *Concurrent) List() []Flow {
 	return c.t.List()
 }
 
+// All returns an iterator over the current top-k flows in descending
+// estimated size. The snapshot is taken under the lock when iteration
+// starts; the caller consumes it lock-free, so ingest may continue (and
+// Add from inside the loop cannot deadlock).
+func (c *Concurrent) All() iter.Seq[Flow] {
+	return func(yield func(Flow) bool) {
+		for _, f := range c.List() {
+			if !yield(f) {
+				return
+			}
+		}
+	}
+}
+
+// Merge folds other into c. other must be a *Concurrent built with the same
+// configuration; both sides' locks are held (in a deterministic instance
+// order, so concurrent a.Merge(b) and b.Merge(a) cannot deadlock) and
+// other is left unmodified.
+func (c *Concurrent) Merge(other Summarizer) error {
+	o, ok := other.(*Concurrent)
+	if !ok || o == nil || o == c {
+		return fmt.Errorf("%w: Concurrent cannot merge %T (nil or self included)", ErrMergeMismatch, other)
+	}
+	first, second := c, o
+	if reflect.ValueOf(first).Pointer() > reflect.ValueOf(second).Pointer() {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	return c.t.Merge(o.t)
+}
+
 // K returns the configured report size.
 func (c *Concurrent) K() int { return c.t.K() }
 
@@ -70,4 +139,11 @@ func (c *Concurrent) MemoryBytes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.t.MemoryBytes()
+}
+
+// Stats exposes the engine's internal event counters.
+func (c *Concurrent) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Stats()
 }

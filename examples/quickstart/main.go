@@ -33,9 +33,11 @@ func main() {
 
 	exact := tr.ExactCounts()
 	fmt.Println("top-10 flows (estimate vs. exact):")
-	for rank, f := range tk.List() {
+	rank := 0
+	for f := range tk.All() { // streams off the store in descending order
+		rank++
 		fmt.Printf("  #%-2d %x  est=%-6d true=%d\n",
-			rank+1, f.ID, f.Count, exact[string(f.ID)])
+			rank, f.ID, f.Count, exact[string(f.ID)])
 	}
 	st := tk.Stats()
 	fmt.Printf("\nsketch events: %d packets, %d decays, %d replacements\n",

@@ -33,7 +33,7 @@ func main() {
 	})
 
 	// The measurement program swaps in a fresh HeavyKeeper per epoch.
-	newTracker := func() *heavykeeper.TopK {
+	newTracker := func() heavykeeper.Summarizer {
 		return heavykeeper.MustNew(k,
 			heavykeeper.WithMemory(32<<10),
 			heavykeeper.WithVersion(heavykeeper.VersionMinimum),

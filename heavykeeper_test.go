@@ -1,6 +1,7 @@
 package heavykeeper
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,31 +40,92 @@ func TestNewValidation(t *testing.T) {
 		name string
 		k    int
 		opts []Option
+		want error
 	}{
-		{"k=0", 0, nil},
-		{"bad memory", 10, []Option{WithMemory(-1)}},
-		{"bad width", 10, []Option{WithWidth(0)}},
-		{"bad depth", 10, []Option{WithDepth(0)}},
-		{"bad base", 10, []Option{WithDecayBase(1.0)}},
-		{"bad fp", 10, []Option{WithFingerprintBits(40)}},
-		{"bad version", 10, []Option{WithVersion(Version(99))}},
-		{"width+memory", 10, []Option{WithWidth(10), WithMemory(1000)}},
-		{"bad expansion", 10, []Option{WithExpansion(0, 4)}},
+		{"k=0", 0, nil, ErrInvalidK},
+		{"bad memory", 10, []Option{WithMemory(-1)}, ErrInvalidMemory},
+		{"bad width", 10, []Option{WithWidth(0)}, ErrInvalidWidth},
+		{"bad depth", 10, []Option{WithDepth(0)}, ErrInvalidDepth},
+		{"bad base", 10, []Option{WithDecayBase(1.0)}, ErrInvalidDecayBase},
+		{"bad fp", 10, []Option{WithFingerprintBits(40)}, ErrInvalidFingerprintBits},
+		{"bad version", 10, []Option{WithVersion(Version(99))}, ErrInvalidVersion},
+		{"width+memory", 10, []Option{WithWidth(10), WithMemory(1000)}, ErrOptionConflict},
+		{"bad expansion", 10, []Option{WithExpansion(0, 4)}, ErrInvalidExpansion},
+		{"bad shards", 10, []Option{WithShards(0)}, ErrInvalidShards},
+		{"heap+map store", 10, []Option{WithMinHeap(), WithMapStore()}, ErrOptionConflict},
+		{"shards+concurrency", 10, []Option{WithShards(2), WithConcurrency()}, ErrOptionConflict},
+		{"unknown algorithm", 10, []Option{WithAlgorithm("nope")}, ErrUnknownAlgorithm},
+		{"empty algorithm", 10, []Option{WithAlgorithm("")}, ErrUnknownAlgorithm},
+		{"hk option on engine", 10, []Option{WithAlgorithm(AlgorithmSpaceSaving), WithMinHeap()}, ErrOptionConflict},
+		{"width on engine", 10, []Option{WithAlgorithm(AlgorithmFrequent), WithWidth(64)}, ErrOptionConflict},
+		{
+			"version vs versioned algorithm", 10,
+			[]Option{WithVersion(VersionBasic), WithAlgorithm(AlgorithmHeavyKeeperMinimum)},
+			ErrOptionConflict,
+		},
 	}
 	for _, c := range cases {
-		if _, err := New(c.k, c.opts...); err == nil {
+		_, err := New(c.k, c.opts...)
+		if err == nil {
 			t.Errorf("%s: invalid configuration accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: error %v, want errors.Is %v", c.name, err, c.want)
 		}
 	}
 }
 
+// TestNewDispatch pins the unified constructor's frontend selection: the
+// options, not parallel constructors, decide the concrete type.
+func TestNewDispatch(t *testing.T) {
+	if s := MustNew(10); s == nil {
+		t.Fatal("nil summarizer")
+	} else if _, ok := s.(*TopK); !ok {
+		t.Errorf("New(k) = %T, want *TopK", s)
+	}
+	if s := MustNew(10, WithConcurrency()); s == nil {
+		t.Fatal("nil summarizer")
+	} else if _, ok := s.(*Concurrent); !ok {
+		t.Errorf("New(k, WithConcurrency()) = %T, want *Concurrent", s)
+	}
+	s := MustNew(10, WithShards(4))
+	sh, ok := s.(*Sharded)
+	if !ok {
+		t.Fatalf("New(k, WithShards(4)) = %T, want *Sharded", s)
+	}
+	if sh.Shards() != 4 {
+		t.Errorf("Shards() = %d want 4", sh.Shards())
+	}
+}
+
+// TestDeprecatedConstructorCompat pins the wrappers' historical contracts:
+// NewConcurrent ignores WithShards (as its pre-unification docs promised)
+// and an agreeing WithVersion + versioned algorithm name is not a conflict.
+func TestDeprecatedConstructorCompat(t *testing.T) {
+	c, err := NewConcurrent(10, WithShards(4))
+	if err != nil {
+		t.Fatalf("NewConcurrent with WithShards: %v", err)
+	}
+	c.Add([]byte("x"))
+	if c.Query([]byte("x")) != 1 {
+		t.Error("NewConcurrent(WithShards) not usable")
+	}
+	if _, err := New(10, WithVersion(VersionMinimum), WithAlgorithm(AlgorithmHeavyKeeperMinimum)); err != nil {
+		t.Errorf("agreeing WithVersion + versioned algorithm rejected: %v", err)
+	}
+}
+
 func TestDefaultsAreUsable(t *testing.T) {
-	tk := MustNew(10)
+	tk := MustNew(10).(*TopK)
 	if tk.MemoryBytes() > DefaultMemory+1024 {
 		t.Errorf("default memory %d exceeds DefaultMemory %d", tk.MemoryBytes(), DefaultMemory)
 	}
 	if tk.Version() != VersionParallel {
 		t.Errorf("default version = %v want parallel", tk.Version())
+	}
+	if tk.Algorithm() != AlgorithmHeavyKeeper {
+		t.Errorf("default algorithm = %q want %q", tk.Algorithm(), AlgorithmHeavyKeeper)
 	}
 	tk.AddString("hello")
 	if got := tk.Query([]byte("hello")); got != 1 {
@@ -242,6 +304,20 @@ func BenchmarkAdd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tk.Add(stream[i&(len(stream)-1)])
+	}
+}
+
+func BenchmarkAddBatch(b *testing.B) {
+	tk := MustNew(100, WithMemory(64<<10), WithSeed(1))
+	stream, _ := skewed(1<<16, 20000, 1)
+	const bs = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i += bs {
+		lo := i & (len(stream) - 1)
+		if lo+bs > len(stream) {
+			lo = 0
+		}
+		tk.AddBatch(stream[lo : lo+bs])
 	}
 }
 

@@ -9,9 +9,16 @@
 // probability of fingerprint aliasing, which Space-Saving semantics absorb
 // as extra over-estimation.
 //
-// Reported keys come from a side table mapping each live fingerprint to the
-// most recent full flow ID that claimed it — the same reporting device the
+// Reported keys come from a side table mapping each live fingerprint to a
+// representative full flow ID that claimed it — the same reporting device the
 // paper's evaluation needs to compare CSS's output against ground truth.
+//
+// The ingest path follows the repository's one-hash discipline: the key
+// bytes are hashed exactly once per packet (or not at all when the caller
+// supplies the hash to InsertHashed) and the fingerprint derives from that
+// hash via hash.Mix. The Stream-Summary underneath is fingerprint-keyed; its
+// index hashes are derived from the fingerprint word with Sum64Uint64, so no
+// per-packet path re-walks key bytes.
 package css
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"repro/internal/hash"
 	"repro/internal/streamsummary"
+	"repro/internal/xrand"
 )
 
 // BytesPerEntry models one compact entry: a 16-bit fingerprint, a 32-bit
@@ -32,10 +40,12 @@ const BytesPerEntry = 24
 
 // CSS is a compact Space-Saving tracker.
 type CSS struct {
-	sum     *streamsummary.Summary
-	family  *hash.Family
+	sum     *streamsummary.Summary // keyed by 4-byte fingerprint strings
+	keySeed uint64                 // seed of the single per-key hash
+	fpSalt  uint64                 // Mix salt deriving the fingerprint from KeyHash
+	sumSeed uint64                 // the summary's index seed, for fingerprint hashes
 	fpBits  uint
-	keyOfFP map[string]string // fingerprint -> representative full key
+	keyOfFP map[uint32]string // fingerprint -> representative full key
 }
 
 // New returns a CSS instance monitoring at most m fingerprints, with
@@ -47,11 +57,15 @@ func New(m int, fpBits uint, seed uint64) (*CSS, error) {
 	if fpBits < 8 || fpBits > 32 {
 		return nil, fmt.Errorf("css: fpBits = %d, must be in [8, 32]", fpBits)
 	}
+	sm := xrand.NewSplitMix64(seed)
+	keySeed, fpSalt, sumSeed := sm.Next(), sm.Next(), sm.Next()
 	return &CSS{
-		sum:     streamsummary.New(m),
-		family:  hash.NewFamily(seed, 1),
+		sum:     streamsummary.NewSeeded(m, sumSeed),
+		keySeed: keySeed,
+		fpSalt:  fpSalt,
+		sumSeed: sumSeed,
 		fpBits:  fpBits,
-		keyOfFP: make(map[string]string, m),
+		keyOfFP: make(map[uint32]string, m),
 	}, nil
 }
 
@@ -73,37 +87,103 @@ func FromBytes(budget int, seed uint64) (*CSS, error) {
 	return New(m, 16, seed)
 }
 
-// fpKey returns the fingerprint of key encoded as a compact string.
-func (c *CSS) fpKey(key []byte) string {
-	fp := c.family.Fingerprint(key, c.fpBits)
-	var buf [4]byte
+// KeyHash returns the single hash of the key bytes everything else derives
+// from; routers compute it once and feed InsertHashed/EstimateHashed.
+func (c *CSS) KeyHash(key []byte) uint64 { return hash.Sum64(c.keySeed, key) }
+
+// fpOf derives the fingerprint from the key's one hash. Zero remaps to one
+// so the all-zero fingerprint stays reserved, as in the sketch cores.
+func (c *CSS) fpOf(h uint64) uint32 {
+	fp := uint32(hash.Mix(c.fpSalt, h) & ((1 << c.fpBits) - 1))
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// fpHash returns the summary-index hash of a fingerprint. Sum64Uint64 over
+// the fingerprint word matches what the summary needs for its open-addressed
+// probes without ever materializing the 4-byte fingerprint key, and without
+// touching the flow's key bytes again.
+func (c *CSS) fpHash(fp uint32) uint64 { return hash.Sum64Uint64(c.sumSeed, uint64(fp)) }
+
+// fpKeyBytes encodes fp as the summary's 4-byte key, in a stack buffer.
+func fpKeyBytes(buf *[4]byte, fp uint32) []byte {
 	binary.LittleEndian.PutUint32(buf[:], fp)
-	return string(buf[:])
+	return buf[:]
+}
+
+// fpOfKey decodes a summary key back to its fingerprint.
+func fpOfKey(key string) uint32 {
+	return uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24
 }
 
 // Insert records one packet of flow key with Space-Saving semantics over
-// fingerprints.
-func (c *CSS) Insert(key []byte) {
-	fk := c.fpKey(key)
-	c.keyOfFP[fk] = string(key)
-	if c.sum.Contains(fk) {
-		c.sum.Incr(fk)
+// fingerprints, hashing the key bytes exactly once.
+func (c *CSS) Insert(key []byte) { c.InsertHashed(key, c.KeyHash(key)) }
+
+// InsertHashed is Insert with the key's precomputed KeyHash: no key bytes
+// are traversed at all, and the steady-state path (a monitored fingerprint
+// being incremented) allocates nothing.
+func (c *CSS) InsertHashed(key []byte, h uint64) {
+	fp := c.fpOf(h)
+	fh := c.fpHash(fp)
+	var buf [4]byte
+	fk := fpKeyBytes(&buf, fp)
+	if _, ok := c.sum.IncrHashed(fk, fh, 1); ok {
 		return
 	}
+	// Admission: remember a representative full ID for the fingerprint. The
+	// map writes happen only here, so the hot path stays allocation-free.
+	c.keyOfFP[fp] = string(key)
 	if !c.sum.Full() {
-		c.sum.Insert(fk, 1, 0)
+		c.sum.InsertHashed(fk, fh, 1, 0)
 		return
 	}
 	evicted, minC, _ := c.sum.EvictMin()
-	if evicted != fk {
-		delete(c.keyOfFP, evicted)
+	if efp := fpOfKey(evicted); efp != fp {
+		delete(c.keyOfFP, efp)
 	}
-	c.sum.Insert(fk, minC+1, minC)
+	c.sum.InsertHashed(fk, fh, minC+1, minC)
+}
+
+// InsertN records a weight-n arrival of flow key: the fingerprint's count
+// rises by n, and an unmonitored fingerprint inherits n̂_min + n with
+// recorded error n̂_min.
+func (c *CSS) InsertN(key []byte, n uint64) { c.InsertNHashed(key, c.KeyHash(key), n) }
+
+// InsertNHashed is InsertN with the key's precomputed KeyHash.
+func (c *CSS) InsertNHashed(key []byte, h uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	fp := c.fpOf(h)
+	fh := c.fpHash(fp)
+	var buf [4]byte
+	fk := fpKeyBytes(&buf, fp)
+	if _, ok := c.sum.IncrHashed(fk, fh, n); ok {
+		return
+	}
+	c.keyOfFP[fp] = string(key)
+	if !c.sum.Full() {
+		c.sum.InsertHashed(fk, fh, n, 0)
+		return
+	}
+	evicted, minC, _ := c.sum.EvictMin()
+	if efp := fpOfKey(evicted); efp != fp {
+		delete(c.keyOfFP, efp)
+	}
+	c.sum.InsertHashed(fk, fh, minC+n, minC)
 }
 
 // Estimate returns the recorded count for key's fingerprint (0 if absent).
-func (c *CSS) Estimate(key []byte) uint64 {
-	v, _ := c.sum.Count(c.fpKey(key))
+func (c *CSS) Estimate(key []byte) uint64 { return c.EstimateHashed(key, c.KeyHash(key)) }
+
+// EstimateHashed is Estimate with the key's precomputed KeyHash.
+func (c *CSS) EstimateHashed(key []byte, h uint64) uint64 {
+	fp := c.fpOf(h)
+	var buf [4]byte
+	v, _ := c.sum.CountHashed(fpKeyBytes(&buf, fp), c.fpHash(fp))
 	return v
 }
 
@@ -119,7 +199,7 @@ func (c *CSS) Top(k int) []Entry {
 	items := c.sum.Top(k)
 	out := make([]Entry, 0, len(items))
 	for _, e := range items {
-		out = append(out, Entry{Key: c.keyOfFP[e.Key], Count: e.Count})
+		out = append(out, Entry{Key: c.keyOfFP[fpOfKey(e.Key)], Count: e.Count})
 	}
 	return out
 }

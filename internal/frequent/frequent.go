@@ -71,6 +71,46 @@ func (f *Frequent) Insert(key []byte) {
 	}
 }
 
+// InsertN records a weight-n arrival of flow key, the standard weighted
+// Misra–Gries step (as in Agarwal et al., "Mergeable Summaries"): a
+// monitored flow's counter rises by n; an unmonitored one joins at weight n
+// and then every counter — the newcomer included — is offset down by the
+// amount that zeroes at least one of them, with zeroed counters discarded.
+// For n = 1 this reduces exactly to Insert.
+func (f *Frequent) InsertN(key []byte, n uint64) {
+	if n == 0 {
+		return
+	}
+	ks := string(key)
+	if _, ok := f.flows[ks]; ok {
+		f.flows[ks] += n
+		return
+	}
+	if len(f.flows) < f.m {
+		f.flows[ks] = n
+		return
+	}
+	min := n
+	for _, c := range f.flows {
+		if c < min {
+			min = c
+		}
+	}
+	if n > min {
+		f.flows[ks] = n - min
+	}
+	for k, c := range f.flows {
+		if k == ks {
+			continue
+		}
+		if c <= min {
+			delete(f.flows, k)
+		} else {
+			f.flows[k] = c - min
+		}
+	}
+}
+
 // Estimate returns the recorded count for key (0 if not monitored). Counts
 // never over-estimate.
 func (f *Frequent) Estimate(key []byte) uint64 { return f.flows[string(key)] }

@@ -8,19 +8,12 @@ package harness
 import (
 	"fmt"
 
+	heavykeeper "repro"
 	"repro/internal/cmsketch"
 	"repro/internal/coldfilter"
-	"repro/internal/core"
 	"repro/internal/countertree"
-	"repro/internal/css"
 	"repro/internal/elastic"
-	"repro/internal/frequent"
-	"repro/internal/heavyguardian"
-	"repro/internal/lossycounting"
 	"repro/internal/metrics"
-	"repro/internal/spacesaving"
-	"repro/internal/streamsummary"
-	"repro/internal/topk"
 )
 
 // Algo is the uniform harness view of a top-k algorithm.
@@ -57,8 +50,26 @@ const (
 	AlgoGuardian    = "HeavyGuardian" // HeavyGuardian (extension)
 )
 
+// registryName maps the paper legend names onto the public algorithm
+// registry. Everything the registry covers builds through it — the harness
+// no longer keeps its own constructor table for those algorithms — while
+// the paper-only estimators (CM, Elastic, ColdFilter, Counter Tree) stay
+// local below.
+var registryName = map[string]string{
+	AlgoHK:        heavykeeper.AlgorithmHeavyKeeper,
+	AlgoHKMinimum: heavykeeper.AlgorithmHeavyKeeperMinimum,
+	AlgoHKBasic:   heavykeeper.AlgorithmHeavyKeeperBasic,
+	AlgoSS:        heavykeeper.AlgorithmSpaceSaving,
+	AlgoLC:        heavykeeper.AlgorithmLossyCounting,
+	AlgoCSS:       heavykeeper.AlgorithmCSS,
+	AlgoFrequent:  heavykeeper.AlgorithmFrequent,
+	AlgoGuardian:  heavykeeper.AlgorithmHeavyGuardian,
+}
+
 // Build constructs algorithm name with the given byte budget, report size k
-// and seed, applying the paper's §VI-A sizing rules.
+// and seed, applying the paper's §VI-A sizing rules. name is a paper legend
+// name (AlgoHK, AlgoSS, ...) or any public registry name ("spacesaving",
+// "css", a user-registered engine, ...), so hktopk -algo accepts both.
 func Build(name string, budget, k int, seed uint64) (Algo, error) {
 	if budget < 64 {
 		return nil, fmt.Errorf("harness: budget %dB too small", budget)
@@ -67,30 +78,6 @@ func Build(name string, budget, k int, seed uint64) (Algo, error) {
 		return nil, fmt.Errorf("harness: k = %d, must be >= 1", k)
 	}
 	switch name {
-	case AlgoHK:
-		return buildHK(name, topk.Parallel, budget, k, seed)
-	case AlgoHKMinimum:
-		return buildHK(name, topk.Minimum, budget, k, seed)
-	case AlgoHKBasic:
-		return buildHK(name, topk.Basic, budget, k, seed)
-	case AlgoSS:
-		ss, err := spacesaving.FromBytes(budget)
-		if err != nil {
-			return nil, err
-		}
-		return ssAlgo{ss}, nil
-	case AlgoLC:
-		lc, err := lossycounting.FromBytes(budget)
-		if err != nil {
-			return nil, err
-		}
-		return lcAlgo{lc}, nil
-	case AlgoCSS:
-		c, err := css.FromBytes(budget, seed)
-		if err != nil {
-			return nil, err
-		}
-		return cssAlgo{c}, nil
 	case AlgoCM:
 		// §VI-A: heap of size k; 3 arrays; width from the remaining memory.
 		rest := budget - k*32
@@ -106,12 +93,6 @@ func Build(name string, budget, k int, seed uint64) (Algo, error) {
 			return nil, err
 		}
 		return cmAlgo{t}, nil
-	case AlgoFrequent:
-		f, err := frequent.FromBytes(budget)
-		if err != nil {
-			return nil, err
-		}
-		return freqAlgo{f}, nil
 	case AlgoElastic:
 		e, err := elastic.FromBytes(budget, seed)
 		if err != nil {
@@ -130,15 +111,18 @@ func Build(name string, budget, k int, seed uint64) (Algo, error) {
 			return nil, err
 		}
 		return &ctAlgo{t: t}, nil
-	case AlgoGuardian:
-		g, err := heavyguardian.FromBytes(budget, seed)
-		if err != nil {
-			return nil, err
-		}
-		return hgAlgo{g}, nil
-	default:
-		return nil, fmt.Errorf("harness: unknown algorithm %q", name)
 	}
+	reg, ok := registryName[name]
+	if !ok {
+		reg = name // allow registry names (and user registrations) directly
+	}
+	eng, err := heavykeeper.BuildEngine(reg, heavykeeper.EngineConfig{
+		K: k, MemoryBytes: budget, Seed: seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: unknown algorithm %q: %w", name, err)
+	}
+	return engineAlgo{name: name, eng: eng}, nil
 }
 
 // MustBuild is Build that panics on error.
@@ -150,76 +134,21 @@ func MustBuild(name string, budget, k int, seed uint64) Algo {
 	return a
 }
 
-// buildHK applies the paper's sizing: the Stream-Summary holds exactly k
-// entries, HeavyKeeper takes the remaining bytes with d = 2 arrays, 16-bit
-// fingerprints and 32-bit counters (see EXPERIMENTS.md on the counter-width
-// deviation from the paper's 16 bits).
-func buildHK(name string, v topk.Version, budget, k int, seed uint64) (Algo, error) {
-	rest := budget - k*streamsummary.BytesPerEntry
-	bucketBytes := core.BucketBytes(16, 32)
-	w := int(float64(rest) / (2 * bucketBytes))
-	if w < 1 {
-		w = 1
-	}
-	tr, err := topk.New(topk.Options{
-		K:       k,
-		Version: v,
-		Store:   topk.StoreSummary,
-		Sketch:  core.Config{D: 2, W: w, Seed: seed, FingerprintBits: 16, CounterBits: 32},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return hkAlgo{name: name, t: tr}, nil
-}
-
 // --- adapters ---
 
-type hkAlgo struct {
+// engineAlgo adapts a public registry engine to the harness view, keeping
+// the display name the caller built it under (paper legend or registry).
+type engineAlgo struct {
 	name string
-	t    *topk.Tracker
+	eng  heavykeeper.Engine
 }
 
-func (a hkAlgo) Name() string      { return a.name }
-func (a hkAlgo) Insert(key []byte) { a.t.Insert(key) }
-func (a hkAlgo) MemoryBytes() int  { return a.t.MemoryBytes() }
-func (a hkAlgo) Top(k int) []metrics.Entry {
-	top := a.t.Top()
-	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
-}
-
-type ssAlgo struct{ s *spacesaving.SpaceSaving }
-
-func (a ssAlgo) Name() string      { return AlgoSS }
-func (a ssAlgo) Insert(key []byte) { a.s.Insert(key) }
-func (a ssAlgo) MemoryBytes() int  { return a.s.MemoryBytes() }
-func (a ssAlgo) Top(k int) []metrics.Entry {
-	top := a.s.Top(k)
-	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
-}
-
-type lcAlgo struct{ l *lossycounting.LossyCounting }
-
-func (a lcAlgo) Name() string      { return AlgoLC }
-func (a lcAlgo) Insert(key []byte) { a.l.Insert(key) }
-func (a lcAlgo) MemoryBytes() int {
-	// Lossy Counting's live footprint fluctuates; report the sized budget
-	// (1/ε entries) that FromBytes provisioned.
-	return int(1/a.l.Epsilon()) * lossycounting.BytesPerEntry
-}
-func (a lcAlgo) Top(k int) []metrics.Entry {
-	top := a.l.Top(k)
-	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
-}
-
-type cssAlgo struct{ c *css.CSS }
-
-func (a cssAlgo) Name() string      { return AlgoCSS }
-func (a cssAlgo) Insert(key []byte) { a.c.Insert(key) }
-func (a cssAlgo) MemoryBytes() int  { return a.c.MemoryBytes() }
-func (a cssAlgo) Top(k int) []metrics.Entry {
-	top := a.c.Top(k)
-	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
+func (a engineAlgo) Name() string      { return a.name }
+func (a engineAlgo) Insert(key []byte) { a.eng.Insert(key) }
+func (a engineAlgo) MemoryBytes() int  { return a.eng.MemoryBytes() }
+func (a engineAlgo) Top(k int) []metrics.Entry {
+	top := a.eng.Top(k)
+	return convert(len(top), func(i int) (string, uint64) { return string(top[i].ID), top[i].Count })
 }
 
 type cmAlgo struct{ t *cmsketch.TopK }
@@ -229,16 +158,6 @@ func (a cmAlgo) Insert(key []byte) { a.t.Insert(key) }
 func (a cmAlgo) MemoryBytes() int  { return a.t.MemoryBytes() }
 func (a cmAlgo) Top(k int) []metrics.Entry {
 	top := a.t.Top()
-	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
-}
-
-type freqAlgo struct{ f *frequent.Frequent }
-
-func (a freqAlgo) Name() string      { return AlgoFrequent }
-func (a freqAlgo) Insert(key []byte) { a.f.Insert(key) }
-func (a freqAlgo) MemoryBytes() int  { return a.f.MemoryBytes() }
-func (a freqAlgo) Top(k int) []metrics.Entry {
-	top := a.f.Top(k)
 	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
 }
 
@@ -275,16 +194,6 @@ func (a *ctAlgo) MemoryBytes() int                  { return a.t.MemoryBytes() }
 func (a *ctAlgo) SetCandidates(candidates [][]byte) { a.candidates = candidates }
 func (a *ctAlgo) Top(k int) []metrics.Entry {
 	top := a.t.TopOf(a.candidates, k)
-	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
-}
-
-type hgAlgo struct{ g *heavyguardian.Guardian }
-
-func (a hgAlgo) Name() string      { return AlgoGuardian }
-func (a hgAlgo) Insert(key []byte) { a.g.Insert(key) }
-func (a hgAlgo) MemoryBytes() int  { return a.g.MemoryBytes() }
-func (a hgAlgo) Top(k int) []metrics.Entry {
-	top := a.g.Top(k)
 	return convert(len(top), func(i int) (string, uint64) { return top[i].Key, top[i].Count })
 }
 

@@ -12,6 +12,12 @@
 // cell (inheriting nothing), with the displaced count's remainder flushed to
 // the light part.
 //
+// The ingest path follows the repository's one-hash discipline: the key
+// bytes are hashed exactly once per packet (KeyHash) and the bucket and
+// light-slot indexes derive from that hash Kirsch–Mitzenmacher-style via
+// hash.Mix, so a caller that already holds the hash (a sharded router) pays
+// no key-bytes traversal at all through InsertHashed.
+//
 // The HeavyKeeper paper deliberately does not benchmark against
 // HeavyGuardian (§VI-E lists three reasons); the implementation is provided
 // as the lineage substrate and for the repository's extension benches.
@@ -19,6 +25,7 @@ package heavyguardian
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -74,11 +81,13 @@ type gbucket struct {
 
 // Guardian is a HeavyGuardian sketch.
 type Guardian struct {
-	cfg     Config
-	buckets []gbucket
-	family  *hash.Family
-	rng     *xrand.Xorshift64Star
-	decay   []uint64 // fixed-point decay thresholds, index C-1
+	cfg        Config
+	buckets    []gbucket
+	keySeed    uint64 // seed of the single per-key hash
+	bucketSalt uint64 // Mix salt deriving the bucket index from KeyHash
+	lightSalt  uint64 // Mix salt deriving the light slot from KeyHash
+	rng        *xrand.Xorshift64Star
+	decay      []uint64 // fixed-point decay thresholds, index C-1
 }
 
 // CellBytes is the logical size of one heavy cell (key id 8B + count 4B).
@@ -89,11 +98,14 @@ func New(cfg Config) (*Guardian, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	sm := xrand.NewSplitMix64(cfg.Seed)
 	g := &Guardian{
-		cfg:     cfg,
-		buckets: make([]gbucket, cfg.Buckets),
-		family:  hash.NewFamily(cfg.Seed, 2), // [0] bucket, [1] light slot
-		rng:     xrand.NewXorshift64Star(cfg.Seed ^ 0x1234abcd),
+		cfg:        cfg,
+		buckets:    make([]gbucket, cfg.Buckets),
+		keySeed:    sm.Next(),
+		bucketSalt: sm.Next(),
+		lightSalt:  sm.Next(),
+		rng:        xrand.NewXorshift64Star(cfg.Seed ^ 0x1234abcd),
 	}
 	f := core.ExpDecay(cfg.B)
 	for c := uint32(1); c < 1024; c++ {
@@ -141,21 +153,39 @@ func (g *Guardian) shouldDecay(c uint32) bool {
 	return g.rng.Next() < g.decay[i]
 }
 
-// Insert records one packet of flow key.
-func (g *Guardian) Insert(key []byte) {
-	b := &g.buckets[g.family.Index(0, key, g.cfg.Buckets)]
-	ks := string(key)
+// KeyHash returns the single per-key hash the structure derives everything
+// from; routers compute it once and feed InsertHashed/EstimateHashed.
+func (g *Guardian) KeyHash(key []byte) uint64 { return hash.Sum64(g.keySeed, key) }
+
+// bucketOf derives the owning bucket from the key's one hash.
+func (g *Guardian) bucketOf(h uint64) *gbucket {
+	return &g.buckets[hash.Reduce(hash.Mix(g.bucketSalt, h), uint64(len(g.buckets)))]
+}
+
+// lightOf derives the light-part slot from the key's one hash.
+func (g *Guardian) lightOf(h uint64) int {
+	return int(hash.Reduce(hash.Mix(g.lightSalt, h), uint64(g.cfg.LightCells)))
+}
+
+// Insert records one packet of flow key, hashing the key bytes exactly once.
+func (g *Guardian) Insert(key []byte) { g.InsertHashed(key, g.KeyHash(key)) }
+
+// InsertHashed is Insert with the key's precomputed KeyHash; no key bytes
+// are traversed (the resident-cell comparison is a string equality on the
+// guarded id, needed for correctness either way).
+func (g *Guardian) InsertHashed(key []byte, h uint64) {
+	b := g.bucketOf(h)
 	weakest := -1
 	var weakestC uint32
 	for i := range b.heavy {
 		c := &b.heavy[i]
-		if c.count > 0 && c.key == ks {
+		if c.count > 0 && c.key == string(key) {
 			c.count++
 			return
 		}
 		if c.count == 0 {
 			// Free cell: claim it immediately.
-			c.key, c.count = ks, 1
+			c.key, c.count = string(key), 1
 			return
 		}
 		if weakest < 0 || c.count < weakestC {
@@ -167,33 +197,67 @@ func (g *Guardian) Insert(key []byte) {
 	if g.shouldDecay(w.count) {
 		w.count--
 		if w.count == 0 {
-			w.key, w.count = ks, 1
+			w.key, w.count = string(key), 1
 			return
 		}
 	}
 	// Packet not absorbed by the heavy part: count it in the light part.
 	if g.cfg.LightCells > 0 {
-		slot := g.family.Index(1, key, g.cfg.LightCells)
+		slot := g.lightOf(h)
 		if b.light[slot] < 255 {
 			b.light[slot]++
 		}
 	}
 }
 
+// InsertN records a weight-n arrival of flow key. A guarded flow's cell
+// rises by n in one step (saturating at the counter width); an unguarded
+// flow replays the per-packet contest n times, since each packet's decay
+// trial is an independent event — O(n) for non-resident weighted arrivals,
+// O(1) once the flow is guarded.
+func (g *Guardian) InsertN(key []byte, n uint64) { g.InsertNHashed(key, g.KeyHash(key), n) }
+
+// InsertNHashed is InsertN with the key's precomputed KeyHash.
+func (g *Guardian) InsertNHashed(key []byte, h uint64, n uint64) {
+	for ; n > 0; n-- {
+		b := g.bucketOf(h)
+		resident := false
+		for i := range b.heavy {
+			c := &b.heavy[i]
+			if c.count > 0 && c.key == string(key) {
+				// Guarded: absorb the whole remaining weight at once.
+				if rest := uint64(c.count) + n; rest <= math.MaxUint32 {
+					c.count = uint32(rest)
+				} else {
+					c.count = math.MaxUint32
+				}
+				resident = true
+				break
+			}
+		}
+		if resident {
+			return
+		}
+		g.InsertHashed(key, h)
+	}
+}
+
 // Estimate returns the size estimate for key: its heavy cell if guarded,
 // otherwise its light counter.
-func (g *Guardian) Estimate(key []byte) uint64 {
-	b := &g.buckets[g.family.Index(0, key, g.cfg.Buckets)]
-	ks := string(key)
+func (g *Guardian) Estimate(key []byte) uint64 { return g.EstimateHashed(key, g.KeyHash(key)) }
+
+// EstimateHashed is Estimate with the key's precomputed KeyHash.
+func (g *Guardian) EstimateHashed(key []byte, h uint64) uint64 {
+	b := g.bucketOf(h)
 	for i := range b.heavy {
-		if b.heavy[i].count > 0 && b.heavy[i].key == ks {
+		if b.heavy[i].count > 0 && b.heavy[i].key == string(key) {
 			return uint64(b.heavy[i].count)
 		}
 	}
 	if g.cfg.LightCells == 0 {
 		return 0
 	}
-	return uint64(b.light[g.family.Index(1, key, g.cfg.LightCells)])
+	return uint64(b.light[g.lightOf(h)])
 }
 
 // Entry is one reported flow.

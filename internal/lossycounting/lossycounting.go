@@ -87,6 +87,30 @@ func (l *LossyCounting) Insert(key []byte) {
 	}
 }
 
+// InsertN records a weight-n arrival of flow key: the entry's count rises
+// by n and every window boundary the n arrivals cross triggers the usual
+// prune. The whole weight lands before the boundary pruning, so an entry
+// can survive a boundary that n interleaved unit inserts would have pruned
+// it at — a conservative (never-losing) difference.
+func (l *LossyCounting) InsertN(key []byte, n uint64) {
+	if n == 0 {
+		return
+	}
+	ks := string(key)
+	if e, ok := l.flows[ks]; ok {
+		e.count += n
+		l.flows[ks] = e
+	} else {
+		l.flows[ks] = entry{count: n, delta: l.current - 1}
+	}
+	boundaries := (l.seen+n)/l.window - l.seen/l.window
+	l.seen += n
+	for ; boundaries > 0; boundaries-- {
+		l.prune()
+		l.current++
+	}
+}
+
 // prune drops entries with count + delta <= current window id.
 func (l *LossyCounting) prune() {
 	for k, e := range l.flows {

@@ -8,6 +8,12 @@
 // no under-estimation but — as the paper's running example shows — lets a
 // single-packet mouse inherit a 10,000-packet count, which is the
 // over-estimation failure mode HeavyKeeper's evaluation quantifies.
+//
+// The ingest path follows the repository's one-hash discipline: Insert
+// hashes the key bytes exactly once and InsertHashed accepts a hash the
+// caller already computed (a sharded router, a batch pre-pass), feeding the
+// Stream-Summary's open-addressed index through its *Hashed entry points so
+// the key bytes are never traversed again.
 package spacesaving
 
 import (
@@ -22,11 +28,16 @@ type SpaceSaving struct {
 }
 
 // New returns a Space-Saving instance monitoring at most m flows.
-func New(m int) (*SpaceSaving, error) {
+func New(m int) (*SpaceSaving, error) { return NewSeeded(m, 0) }
+
+// NewSeeded is New with an explicit key-hash seed. Callers that precompute
+// key hashes for InsertHashed/EstimateHashed must construct the instance
+// with the seed those hashes were computed under (or use KeyHash).
+func NewSeeded(m int, seed uint64) (*SpaceSaving, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("spacesaving: m = %d, must be >= 1", m)
 	}
-	return &SpaceSaving{sum: streamsummary.New(m)}, nil
+	return &SpaceSaving{sum: streamsummary.NewSeeded(m, seed)}, nil
 }
 
 // MustNew is New that panics on error.
@@ -41,33 +52,58 @@ func MustNew(m int) *SpaceSaving {
 // FromBytes sizes m from a byte budget using the same per-entry accounting
 // the paper applies in §VI-A ("the number of buckets m is determined by the
 // memory size").
-func FromBytes(budget int) (*SpaceSaving, error) {
+func FromBytes(budget int) (*SpaceSaving, error) { return FromBytesSeeded(budget, 0) }
+
+// FromBytesSeeded is FromBytes with an explicit key-hash seed.
+func FromBytesSeeded(budget int, seed uint64) (*SpaceSaving, error) {
 	m := budget / streamsummary.BytesPerEntry
 	if m < 1 {
 		m = 1
 	}
-	return New(m)
+	return NewSeeded(m, seed)
 }
 
-// Insert records one packet of flow key.
-func (s *SpaceSaving) Insert(key []byte) {
-	ks := string(key)
-	if s.sum.Contains(ks) {
-		s.sum.Incr(ks)
+// KeyHash returns the single per-key hash the structure derives everything
+// from; routers compute it once and feed InsertHashed/EstimateHashed.
+func (s *SpaceSaving) KeyHash(key []byte) uint64 { return s.sum.Hash(key) }
+
+// Insert records one packet of flow key, hashing the key bytes exactly once.
+func (s *SpaceSaving) Insert(key []byte) { s.InsertNHashed(key, s.sum.Hash(key), 1) }
+
+// InsertHashed is Insert with the key's precomputed KeyHash.
+func (s *SpaceSaving) InsertHashed(key []byte, h uint64) { s.InsertNHashed(key, h, 1) }
+
+// InsertN records a weight-n arrival of flow key (n packets at once, or n
+// bytes when ranking by volume): a monitored flow's count rises by n, and an
+// unmonitored one inherits n̂_min + n with recorded error n̂_min — the
+// natural weighted extension of the admit-all rule.
+func (s *SpaceSaving) InsertN(key []byte, n uint64) { s.InsertNHashed(key, s.sum.Hash(key), n) }
+
+// InsertNHashed is InsertN with the key's precomputed KeyHash.
+func (s *SpaceSaving) InsertNHashed(key []byte, h uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if _, ok := s.sum.IncrHashed(key, h, n); ok {
 		return
 	}
 	if !s.sum.Full() {
-		s.sum.Insert(ks, 1, 0)
+		s.sum.InsertHashed(key, h, n, 0)
 		return
 	}
 	_, minC, _ := s.sum.EvictMin()
-	s.sum.Insert(ks, minC+1, minC)
+	s.sum.InsertHashed(key, h, minC+n, minC)
 }
 
 // Estimate returns the recorded count for key (0 if unmonitored). Recorded
 // counts never under-estimate the true count.
 func (s *SpaceSaving) Estimate(key []byte) uint64 {
-	c, _ := s.sum.Count(string(key))
+	return s.EstimateHashed(key, s.sum.Hash(key))
+}
+
+// EstimateHashed is Estimate with the key's precomputed KeyHash.
+func (s *SpaceSaving) EstimateHashed(key []byte, h uint64) uint64 {
+	c, _ := s.sum.CountHashed(key, h)
 	return c
 }
 

@@ -40,7 +40,11 @@
 // are single-writer, matching the paper's model.
 package streamsummary
 
-import "repro/internal/hash"
+import (
+	"iter"
+
+	"repro/internal/hash"
+)
 
 // node is one monitored flow.
 type node struct {
@@ -330,6 +334,16 @@ func (s *Summary) Count(key string) (uint64, bool) {
 	return n.b.count, true
 }
 
+// CountHashed is Count from the key's precomputed hash, with no string
+// conversion and no re-hash.
+func (s *Summary) CountHashed(key []byte, h uint64) (uint64, bool) {
+	n := s.findHashed(h, key)
+	if n == nil {
+		return 0, false
+	}
+	return n.b.count, true
+}
+
 // Error returns the over-estimation error recorded for key (the minimum
 // count at the time key was admitted, for Space-Saving semantics). It is 0
 // for keys inserted with no error and for unknown keys.
@@ -368,6 +382,20 @@ func (s *Summary) Incr(key string) uint64 {
 	}
 	s.moveTo(n, n.b.count+1)
 	return n.b.count
+}
+
+// IncrHashed adds delta to key's count from the key's precomputed hash, with
+// no string conversion and no re-hash. Unlike Incr it tolerates unmonitored
+// keys: ok reports whether the key was found (and incremented), which is the
+// contains-then-increment shape of Space-Saving's hot path collapsed into a
+// single index probe.
+func (s *Summary) IncrHashed(key []byte, h uint64, delta uint64) (count uint64, ok bool) {
+	n := s.findHashed(h, key)
+	if n == nil {
+		return 0, false
+	}
+	s.moveTo(n, n.b.count+delta)
+	return n.b.count, true
 }
 
 // Insert adds a new key with the given count and error. It panics if the key
@@ -446,19 +474,33 @@ type Entry struct {
 	Err   uint64
 }
 
+// All returns an iterator over the monitored entries in descending count
+// order (ties in bucket-list order, unspecified but deterministic), walking
+// the bucket list directly instead of materializing a slice the way Items
+// does. The summary must not be mutated while the iterator is consumed.
+func (s *Summary) All() iter.Seq[Entry] {
+	return func(yield func(Entry) bool) {
+		// Find the tail (largest) bucket, then walk backwards.
+		var tail *bucket
+		for b := s.head; b != nil; b = b.next {
+			tail = b
+		}
+		for b := tail; b != nil; b = b.prev {
+			for n := b.first; n != nil; n = n.next {
+				if !yield(Entry{Key: n.key, Count: b.count, Err: n.err}) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Items returns all monitored entries in descending count order. Ties are
 // returned in bucket-list order (unspecified but deterministic).
 func (s *Summary) Items() []Entry {
 	out := make([]Entry, 0, s.count)
-	// Find the tail (largest) bucket, then walk backwards.
-	var tail *bucket
-	for b := s.head; b != nil; b = b.next {
-		tail = b
-	}
-	for b := tail; b != nil; b = b.prev {
-		for n := b.first; n != nil; n = n.next {
-			out = append(out, Entry{Key: n.key, Count: b.count, Err: n.err})
-		}
+	for e := range s.All() {
+		out = append(out, e)
 	}
 	return out
 }

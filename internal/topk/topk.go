@@ -13,6 +13,7 @@ package topk
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 
 	"repro/internal/core"
@@ -618,6 +619,30 @@ func (t *Tracker) KeyHash(key []byte) uint64 { return t.sk.KeyHash(key) }
 
 // Top returns the current top-k flows in descending estimated size.
 func (t *Tracker) Top() []Entry { return t.store.Top(t.opts.K) }
+
+// All returns an iterator over the current top-k flows in descending
+// estimated size. For the default Stream-Summary store it streams straight
+// off the bucket list without materializing a slice; other stores fall back
+// to iterating a Top snapshot. The tracker must not be mutated while a
+// streaming iteration is consumed.
+func (t *Tracker) All() iter.Seq[Entry] {
+	if ss, ok := t.store.(summaryStore); ok {
+		return func(yield func(Entry) bool) {
+			for e := range ss.s.All() {
+				if !yield(Entry{Key: e.Key, Count: e.Count}) {
+					return
+				}
+			}
+		}
+	}
+	return func(yield func(Entry) bool) {
+		for _, e := range t.store.Top(t.opts.K) {
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
 
 // K returns the configured k.
 func (t *Tracker) K() int { return t.opts.K }

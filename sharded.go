@@ -1,14 +1,13 @@
 package heavykeeper
 
 import (
-	"errors"
 	"fmt"
+	"iter"
 	"reflect"
 	"runtime"
 	"sync"
 
 	"repro/internal/collector"
-	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/metrics"
 	"repro/internal/xrand"
@@ -63,11 +62,24 @@ type shard struct {
 
 // NewSharded returns a Sharded with the shard count from WithShards
 // (default: GOMAXPROCS at construction time).
+//
+// Deprecated: use New(k, WithShards(n), opts...). This wrapper remains for
+// compatibility (it still defaults the shard count to GOMAXPROCS when
+// WithShards is absent) and forwards to the same construction path.
 func NewSharded(k int, opts ...Option) (*Sharded, error) {
 	cfg, err := parseConfig(k, opts)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.concurrent {
+		return nil, fmt.Errorf("%w: WithConcurrency under NewSharded", ErrOptionConflict)
+	}
+	return newShardedFromConfig(k, cfg)
+}
+
+// newShardedFromConfig builds a Sharded from a parsed config; a zero shard
+// count (possible only through the deprecated NewSharded) means GOMAXPROCS.
+func newShardedFromConfig(k int, cfg config) (*Sharded, error) {
 	n := cfg.shards
 	if n == 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -99,6 +111,8 @@ func NewSharded(k int, opts ...Option) (*Sharded, error) {
 }
 
 // MustNewSharded is NewSharded that panics on error, for tests and examples.
+//
+// Deprecated: use MustNew(k, WithShards(n), opts...).
 func MustNewSharded(k int, opts ...Option) *Sharded {
 	s, err := NewSharded(k, opts...)
 	if err != nil {
@@ -125,8 +139,8 @@ func (s *Sharded) Add(flowID []byte) {
 	sh.mu.Unlock()
 }
 
-// AddString is Add for string identifiers.
-func (s *Sharded) AddString(flowID string) { s.Add([]byte(flowID)) }
+// AddString is Add for string identifiers, without copying the string.
+func (s *Sharded) AddString(flowID string) { s.Add(bytesOf(flowID)) }
 
 // AddN records a weight-n occurrence of flowID.
 func (s *Sharded) AddN(flowID []byte, n uint64) {
@@ -198,13 +212,8 @@ func (s *Sharded) List() []Flow {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		top := sh.t.t.Top()
+		reports[i] = sh.t.topEntries()
 		sh.mu.Unlock()
-		rep := make([]metrics.Entry, len(top))
-		for j, e := range top {
-			rep[j] = metrics.Entry{Key: e.Key, Count: e.Count}
-		}
-		reports[i] = rep
 	}
 	merged, err := collector.MergeReports(s.k, collector.Sum, reports...)
 	if err != nil {
@@ -224,23 +233,26 @@ func (s *Sharded) List() []Flow {
 // WithShards), and the shard selector is seed-derived, so flow ownership
 // agrees on both sides. Use it to fold per-epoch or per-measurement-point
 // Shardeds into one, the paper's footnote-2 collector pattern. other is
-// left unmodified; neither side may be ingesting during the merge.
-func (s *Sharded) Merge(other *Sharded) error {
-	if other == nil || other == s {
-		return errors.New("heavykeeper: cannot merge a Sharded with itself or nil")
+// left unmodified; neither side may be ingesting during the merge. other
+// must itself be a *Sharded with the same layout; ErrMergeMismatch
+// otherwise.
+func (s *Sharded) Merge(other Summarizer) error {
+	o, ok := other.(*Sharded)
+	if !ok || o == nil || o == s {
+		return fmt.Errorf("%w: Sharded cannot merge %T (nil or self included)", ErrMergeMismatch, other)
 	}
-	if len(s.shards) != len(other.shards) || s.shardSeed != other.shardSeed {
-		return fmt.Errorf("heavykeeper: shard layout mismatch: %d shards/seed %#x vs %d shards/seed %#x",
-			len(s.shards), s.shardSeed, len(other.shards), other.shardSeed)
+	if len(s.shards) != len(o.shards) || s.shardSeed != o.shardSeed {
+		return fmt.Errorf("%w: shard layout mismatch: %d shards/seed %#x vs %d shards/seed %#x",
+			ErrMergeMismatch, len(s.shards), s.shardSeed, len(o.shards), o.shardSeed)
 	}
 	// Lock each shard pair in a deterministic instance order so concurrent
 	// a.Merge(b) and b.Merge(a) cannot deadlock.
-	first, second := s, other
+	first, second := s, o
 	if reflect.ValueOf(first).Pointer() > reflect.ValueOf(second).Pointer() {
 		first, second = second, first
 	}
 	for i := range s.shards {
-		sh, oh := &s.shards[i], &other.shards[i]
+		sh, oh := &s.shards[i], &o.shards[i]
 		first.shards[i].mu.Lock()
 		second.shards[i].mu.Lock()
 		err := sh.t.Merge(oh.t)
@@ -251,6 +263,19 @@ func (s *Sharded) Merge(other *Sharded) error {
 		}
 	}
 	return nil
+}
+
+// All returns an iterator over the current global top-k in descending
+// estimated size. The merged snapshot is taken (shard locks one at a time)
+// when iteration starts; the caller consumes it lock-free.
+func (s *Sharded) All() iter.Seq[Flow] {
+	return func(yield func(Flow) bool) {
+		for _, f := range s.List() {
+			if !yield(f) {
+				return
+			}
+		}
+	}
 }
 
 // Shards returns the shard count.
@@ -300,9 +325,9 @@ func (s *Sharded) StoreIndexStats() (StoreIndexStats, bool) {
 	return total, true
 }
 
-// Stats returns the sketch event counters summed across shards.
-func (s *Sharded) Stats() core.Stats {
-	var total core.Stats
+// Stats returns the engine event counters summed across shards.
+func (s *Sharded) Stats() Stats {
+	var total Stats
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

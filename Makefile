@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare fuzz-smoke throughput examples algo-smoke
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare fuzz-smoke throughput examples algo-smoke hkd-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 # Sharded) and the sketch core under them; the full tree under -race takes
 # tens of minutes (internal/vswitch alone runs >2 min without it).
 race:
-	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary
+	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./server ./wire
 
 bench:
 	$(GO) test -run - -bench Ingest -benchtime 1s .
@@ -65,11 +65,13 @@ bench-compare:
 		echo "== working tree =="; grep ^Benchmark "$$tmp/new.txt"; \
 	fi
 
-# fuzz-smoke gives the snapshot decoder and the open-addressed store index a
-# short adversarial workout (CI runs this target).
+# fuzz-smoke gives the snapshot decoder, the open-addressed store index and
+# the ingest wire-frame decoder a short adversarial workout (CI runs this
+# target).
 fuzz-smoke:
 	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDecode -fuzztime=10s
 	$(GO) test ./internal/streamsummary -run=NONE -fuzz=FuzzStoreEquivalence -fuzztime=10s
+	$(GO) test ./wire -run=NONE -fuzz=FuzzWireDecode -fuzztime=10s
 
 throughput:
 	$(GO) run ./cmd/hkbench -throughput
@@ -81,6 +83,46 @@ examples:
 		echo "== go run ./$$d"; \
 		$(GO) run ./$$d > /dev/null; \
 	done; echo "all examples ran"
+
+# hkd-smoke boots the daemon end to end (CI runs this target): build hkd and
+# hkbench, start hkd on ephemeral loopback ports with a snapshot file, stream
+# a generated trace over the wire protocol, and verify /topk flow-for-flow
+# against a twin summarizer replaying the same trace in process (hkbench
+# -verify rebuilds the daemon's engine from /config with the same sizing
+# hktopk uses, so this is the machine-checked diff against an offline run).
+# Then SIGTERM the daemon, restart it from the snapshot, verify the restored
+# state, and finally repeat the ingest+verify over UDP against a fresh
+# instance.
+hkd-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hkd" ./cmd/hkd; \
+	$(GO) build -o "$$tmp/hkbench" ./cmd/hkbench; \
+	start_hkd() { \
+		rm -f "$$tmp/addrs"; \
+		"$$tmp/hkd" -listen-tcp 127.0.0.1:0 -listen-udp 127.0.0.1:0 \
+			-listen-http 127.0.0.1:0 -addr-file "$$tmp/addrs" -quiet "$$@" & pid=$$!; \
+		i=0; while [ ! -f "$$tmp/addrs" ]; do \
+			i=$$((i+1)); [ $$i -le 100 ] || { echo "hkd never published addresses"; exit 1; }; \
+			sleep 0.1; done; \
+		tcp=$$(grep '^tcp=' "$$tmp/addrs" | cut -d= -f2-); \
+		udp=$$(grep '^udp=' "$$tmp/addrs" | cut -d= -f2-); \
+		http=$$(grep '^http=' "$$tmp/addrs" | cut -d= -f2-); \
+	}; \
+	stop_hkd() { kill -TERM $$pid; wait $$pid; pid=""; }; \
+	echo "== hkd-smoke: TCP ingest + verify"; \
+	start_hkd -snapshot "$$tmp/hkd.snap"; \
+	"$$tmp/hkbench" -connect "$$tcp" -verify "$$http" -scale 0.002 -batch 256; \
+	stop_hkd; \
+	echo "== hkd-smoke: restart from snapshot + verify restored state"; \
+	start_hkd -snapshot "$$tmp/hkd.snap"; \
+	"$$tmp/hkbench" -verify "$$http" -scale 0.002 -batch 256; \
+	stop_hkd; \
+	echo "== hkd-smoke: UDP ingest + verify (fresh instance)"; \
+	start_hkd; \
+	"$$tmp/hkbench" -connect-udp "$$udp" -verify "$$http" -scale 0.001 -batch 64; \
+	stop_hkd; \
+	echo "hkd-smoke ok"
 
 # algo-smoke runs the hkbench throughput comparison once per registered
 # algorithm at a tiny scale: every engine must construct and ingest under

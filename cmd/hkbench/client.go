@@ -1,0 +1,285 @@
+// hkbench client mode: a load generator and verifier for the hkd daemon.
+// It replays a generated trace over the binary wire protocol (TCP stream
+// or UDP datagrams), measures achieved ingest throughput, and optionally
+// verifies the daemon's /topk report against a twin summarizer built
+// from the daemon's own /config and fed the same trace directly — the
+// wire path and the in-process path must agree flow for flow.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	heavykeeper "repro"
+	"repro/internal/gen"
+	"repro/wire"
+)
+
+// clientReport is the -json document of one client-mode run.
+type clientReport struct {
+	Transport      string  `json:"transport"`
+	Packets        int     `json:"packets"`
+	Frames         int     `json:"frames"`
+	Bytes          int64   `json:"bytes"`
+	Batch          int     `json:"batch"`
+	Repeat         int     `json:"repeat"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Mpps           float64 `json:"mpps"`
+	// DrainSeconds/DrainMpps measure from first send until the daemon
+	// reports every record ingested (only with -verify): the daemon-side
+	// ingest rate, which is the honest number when the sender outruns it.
+	DrainSeconds float64 `json:"drain_seconds,omitempty"`
+	DrainMpps    float64 `json:"drain_mpps,omitempty"`
+	Verified     *bool   `json:"verified,omitempty"`
+}
+
+// runClient sends the trace to connect (TCP) or connectUDP, then — when
+// verifyAddr names the daemon's HTTP API — checks the daemon's report
+// against a local twin. With an empty connect address it verifies only,
+// which is how a restarted daemon's restored state is checked.
+func runClient(connect, connectUDP, verifyAddr string, rate, repeat, batch int, scale float64, seed uint64, jsonOut bool) error {
+	if batch < 1 || repeat < 1 {
+		return fmt.Errorf("hkbench: -batch and -repeat must be >= 1")
+	}
+	tr, err := gen.Generate(gen.Synthetic(1.0, seed).Scale(scale))
+	if err != nil {
+		return err
+	}
+	keys := make([][]byte, 0, tr.Len())
+	tr.ForEach(func(key []byte) { keys = append(keys, key) })
+
+	report := clientReport{Transport: "none", Batch: batch, Repeat: repeat}
+	start := time.Now()
+	switch {
+	case connect != "":
+		report.Transport = "tcp"
+		err = sendTrace(&report, keys, rate, repeat, batch, func() (net.Conn, error) {
+			return net.Dial("tcp", connect)
+		}, false)
+	case connectUDP != "":
+		report.Transport = "udp"
+		err = sendTrace(&report, keys, rate, repeat, batch, func() (net.Conn, error) {
+			return net.Dial("udp", connectUDP)
+		}, true)
+	}
+	if err != nil {
+		return err
+	}
+
+	if verifyAddr != "" {
+		base := verifyAddr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		if report.Transport != "none" {
+			// The sender can outrun the daemon; wait until every record is
+			// ingested and report the daemon-side drain rate alongside the
+			// send rate.
+			if err := waitForRecords(base, uint64(report.Packets)); err != nil {
+				return err
+			}
+			report.DrainSeconds = time.Since(start).Seconds()
+			if report.DrainSeconds > 0 {
+				report.DrainMpps = float64(report.Packets) / report.DrainSeconds / 1e6
+			}
+		}
+		ok, err := verifyAgainstDaemon(base, keys, repeat, batch)
+		if err != nil {
+			return err
+		}
+		report.Verified = &ok
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else if report.Transport != "none" {
+		fmt.Printf("sent %d packets in %d frames (%d bytes) over %s in %.2fs: %.2f Mpps\n",
+			report.Packets, report.Frames, report.Bytes, report.Transport,
+			report.ElapsedSeconds, report.Mpps)
+		if report.DrainMpps > 0 {
+			fmt.Printf("daemon drained all records in %.2fs: %.2f Mpps ingested\n",
+				report.DrainSeconds, report.DrainMpps)
+		}
+	}
+	if report.Verified != nil {
+		if !*report.Verified {
+			return fmt.Errorf("hkbench: daemon report does not match the local twin")
+		}
+		if !jsonOut {
+			fmt.Println("daemon /topk matches the local twin")
+		}
+	}
+	return nil
+}
+
+// sendTrace streams the trace repeat times in frames of batch keys.
+// rate > 0 caps the frame rate. UDP sends self-throttle lightly even
+// unlimited, so loopback smoke runs don't overrun the receive buffer.
+func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, dial func() (net.Conn, error), udp bool) error {
+	conn, err := dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var tick *time.Ticker
+	if rate > 0 {
+		tick = time.NewTicker(time.Second / time.Duration(rate))
+		defer tick.Stop()
+	}
+	var frame []byte
+	start := time.Now()
+	for r := 0; r < repeat; r++ {
+		for lo := 0; lo < len(keys); lo += batch {
+			hi := lo + batch
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			frame, err = wire.AppendFrame(frame[:0], keys[lo:hi], nil)
+			if err != nil {
+				return err
+			}
+			if tick != nil {
+				<-tick.C
+			}
+			if _, err := conn.Write(frame); err != nil {
+				return fmt.Errorf("hkbench: send: %w", err)
+			}
+			report.Frames++
+			report.Bytes += int64(len(frame))
+			if udp && report.Frames%8 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		report.Packets += len(keys)
+	}
+	report.ElapsedSeconds = time.Since(start).Seconds()
+	if report.ElapsedSeconds > 0 {
+		report.Mpps = float64(report.Packets) / report.ElapsedSeconds / 1e6
+	}
+	return nil
+}
+
+// verifyAgainstDaemon builds a twin summarizer from the daemon's /config,
+// replays the same trace into it directly, and compares the daemon's
+// /topk report flow for flow. The caller has already waited for the
+// stream to drain. Over UDP, delivery on loopback is expected to be
+// complete; any datagram loss shows up here as a count mismatch.
+func verifyAgainstDaemon(base string, keys [][]byte, repeat, batch int) (bool, error) {
+	var info map[string]string
+	if err := getJSON(base+"/config", &info); err != nil {
+		return false, fmt.Errorf("hkbench: fetching daemon config: %w", err)
+	}
+	twin, err := twinFromConfig(info)
+	if err != nil {
+		return false, err
+	}
+	for r := 0; r < repeat; r++ {
+		for lo := 0; lo < len(keys); lo += batch {
+			hi := lo + batch
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			twin.AddBatch(keys[lo:hi])
+		}
+	}
+
+	var doc struct {
+		Flows []struct {
+			ID    string `json:"id"`
+			Count uint64 `json:"count"`
+		} `json:"flows"`
+	}
+	if err := getJSON(base+"/topk", &doc); err != nil {
+		return false, fmt.Errorf("hkbench: fetching daemon topk: %w", err)
+	}
+	want := twin.List()
+	if len(doc.Flows) != len(want) {
+		fmt.Printf("verify: daemon reports %d flows, twin %d\n", len(doc.Flows), len(want))
+		return false, nil
+	}
+	for i, f := range doc.Flows {
+		wantID := hex.EncodeToString(want[i].ID)
+		if f.ID != wantID || f.Count != want[i].Count {
+			fmt.Printf("verify: rank %d: daemon %s/%d, twin %s/%d\n",
+				i+1, f.ID, f.Count, wantID, want[i].Count)
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// twinFromConfig rebuilds the daemon's summarizer shape from its /config
+// echo, so wire-fed daemon and directly-fed twin are bit-compatible.
+func twinFromConfig(info map[string]string) (heavykeeper.Summarizer, error) {
+	atoi := func(key string, def int) int {
+		v, err := strconv.Atoi(info[key])
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	k := atoi("k", 100)
+	seed, _ := strconv.ParseUint(info["seed"], 10, 64)
+	algo := info["algo"]
+	if algo == "" {
+		algo = heavykeeper.AlgorithmHeavyKeeper
+	}
+	opts := []heavykeeper.Option{
+		heavykeeper.WithAlgorithm(algo),
+		heavykeeper.WithSeed(seed),
+	}
+	if mem := atoi("mem_bytes", 0); mem > 0 {
+		opts = append(opts, heavykeeper.WithMemory(mem))
+	}
+	if epoch := atoi("epoch", 0); epoch != 0 {
+		return heavykeeper.NewWindow(k, epoch, opts...)
+	}
+	if shards := atoi("shards", 0); shards > 0 {
+		opts = append(opts, heavykeeper.WithShards(shards))
+	}
+	return heavykeeper.New(k, opts...)
+}
+
+// waitForRecords polls the daemon's /stats until it has ingested want
+// records (or 60s pass).
+func waitForRecords(base string, want uint64) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st struct {
+			Server struct {
+				Records uint64 `json:"records"`
+			} `json:"server"`
+		}
+		if err := getJSON(base+"/stats", &st); err == nil && st.Server.Records >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hkbench: daemon never reported %d ingested records", want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

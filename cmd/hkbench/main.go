@@ -14,6 +14,14 @@
 //	hkbench -throughput -cpuprofile cpu.pprof  # attach pprof evidence
 //	hkbench -list
 //	hkbench -list-algos            # registered algorithm names, one per line
+//
+// Client mode drives a running hkd daemon over the wire protocol:
+//
+//	hkbench -connect 127.0.0.1:4774 -batch 256            # TCP load generator
+//	hkbench -connect-udp 127.0.0.1:4774 -rate 5000        # UDP, capped frames/s
+//	hkbench -connect HOST:4774 -verify HOST:8474          # send, then check /topk
+//	hkbench -verify HOST:8474 -scale 0.02                 # verify only (restart check)
+//	hkbench -connect HOST:4774 -repeat 16 -json           # >= 10M keys, JSON report
 package main
 
 import (
@@ -53,6 +61,11 @@ func run() int {
 		jsonOut    = flag.Bool("json", false, "emit -throughput results as JSON (for BENCH_*.json trend files)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		connect    = flag.String("connect", "", "client mode: stream the trace to this hkd TCP ingest address")
+		connectUDP = flag.String("connect-udp", "", "client mode: send the trace to this hkd UDP ingest address")
+		verify     = flag.String("verify", "", "client mode: after sending (or alone), verify this hkd HTTP API against a local twin")
+		rate       = flag.Int("rate", 0, "client mode: cap on frames per second (0 = unlimited)")
+		repeat     = flag.Int("repeat", 1, "client mode: times to replay the trace (scale total keys sent)")
 	)
 	flag.Parse()
 
@@ -87,6 +100,18 @@ func run() int {
 	if *listAlgos {
 		for _, name := range heavykeeper.Algorithms() {
 			fmt.Println(name)
+		}
+		return 0
+	}
+
+	if *connect != "" || *connectUDP != "" || *verify != "" {
+		if *connect != "" && *connectUDP != "" {
+			fmt.Fprintln(os.Stderr, "hkbench: -connect and -connect-udp are mutually exclusive")
+			return 1
+		}
+		if err := runClient(*connect, *connectUDP, *verify, *rate, *repeat, *batch, *scale, *seed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 		return 0
 	}

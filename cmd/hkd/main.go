@@ -1,0 +1,224 @@
+// Command hkd is the network-facing top-k telemetry daemon: it ingests
+// flow arrivals over the binary wire protocol (TCP stream or one frame
+// per UDP datagram), serves top-k/point queries and Prometheus metrics
+// over HTTP, and survives restarts through snapshot persistence.
+//
+// Usage:
+//
+//	hkd                                   # defaults: tcp+udp :4774, http :8474
+//	hkd -k 200 -mem 128 -shards 8        # sharded engine, 128 KB budget
+//	hkd -algo spacesaving                # any registry algorithm (no snapshots)
+//	hkd -epoch 10000000                  # windowed reports over the last ~10M items
+//	hkd -snapshot /var/lib/hkd.snap -snapshot-interval 30s
+//	hkd -listen-tcp 127.0.0.1:0 -addr-file /tmp/hkd.addrs   # ephemeral ports
+//
+// With -snapshot, state is restored from the file at startup (if it
+// exists), written there periodically, and written once more on graceful
+// shutdown (SIGINT/SIGTERM), so a restarted daemon resumes with the
+// counts it had. Snapshots cover the HeavyKeeper algorithm family;
+// registry engines and -epoch windows run in-memory only.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	heavykeeper "repro"
+	"repro/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listenTCP  = flag.String("listen-tcp", ":4774", "stream-ingest listen address ('' disables)")
+		listenUDP  = flag.String("listen-udp", ":4774", "datagram-ingest listen address ('' disables)")
+		listenHTTP = flag.String("listen-http", ":8474", "query/metrics API listen address ('' disables)")
+		algo       = flag.String("algo", heavykeeper.AlgorithmHeavyKeeper, "registered algorithm backing the daemon")
+		k          = flag.Int("k", 100, "report size")
+		memKB      = flag.Int("mem", 64, "memory budget in KB")
+		seed       = flag.Uint64("seed", 31337, "hash/decay seed (deterministic across restarts)")
+		shards     = flag.Int("shards", 0, "per-core engine shards (0 = single engine behind one mutex)")
+		epoch      = flag.Int("epoch", 0, "report over approximately the last N items instead of the whole stream (two-pane window; 0 = cumulative)")
+		snapshot   = flag.String("snapshot", "", "snapshot file: restored at start, written periodically and on shutdown")
+		snapEvery  = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence")
+		addrFile   = flag.String("addr-file", "", "write the bound listener addresses to this file (for ephemeral ports)")
+		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "hkd: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	sum, restored, err := buildSummarizer(*algo, *k, *memKB, *seed, *shards, *epoch, *snapshot, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkd:", err)
+		return 1
+	}
+
+	// /config is the contract hkbench -verify rebuilds its twin from, so it
+	// must describe the summarizer actually serving — which after a restore
+	// is the snapshot's construction config, not this invocation's flags.
+	// The construction config rides in an .info sidecar written next to
+	// the snapshot on fresh start; a restore reads it back, so a restart
+	// with different flags still reports (and serves) the original shape.
+	info := map[string]string{
+		"algo":      *algo,
+		"mem_bytes": strconv.Itoa(*memKB * 1024),
+		"seed":      strconv.FormatUint(*seed, 10),
+		"shards":    strconv.Itoa(*shards),
+		"epoch":     strconv.Itoa(*epoch),
+	}
+	if *snapshot != "" {
+		if restored {
+			saved, err := readInfoSidecar(*snapshot + ".info")
+			if err != nil {
+				logf("no usable config sidecar (%v); /config reports this invocation's flags", err)
+				// The structural shape at least is derivable from the
+				// restored summarizer itself.
+				if sh, ok := sum.(*heavykeeper.Sharded); ok {
+					info["shards"] = strconv.Itoa(sh.Shards())
+				} else {
+					info["shards"] = "0"
+				}
+			} else {
+				info = saved
+			}
+		} else if err := writeInfoSidecar(*snapshot+".info", info); err != nil {
+			fmt.Fprintln(os.Stderr, "hkd:", err)
+			return 1
+		}
+	}
+	info["restored"] = strconv.FormatBool(restored)
+	srv, err := server.New(server.Config{
+		Summarizer:       sum,
+		TCPAddr:          *listenTCP,
+		UDPAddr:          *listenUDP,
+		HTTPAddr:         *listenHTTP,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapEvery,
+		Info:             info,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkd:", err)
+		return 1
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "hkd:", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, srv); err != nil {
+			fmt.Fprintln(os.Stderr, "hkd:", err)
+			srv.Shutdown(context.Background())
+			return 1
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	logf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hkd: shutdown:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildSummarizer restores from the snapshot when one exists (restored
+// reports which), otherwise constructs the summarizer the flags describe.
+func buildSummarizer(algo string, k, memKB int, seed uint64, shards, epoch int, snapshot string, logf func(string, ...any)) (sum heavykeeper.Summarizer, restored bool, err error) {
+	if snapshot != "" && epoch != 0 {
+		return nil, false, fmt.Errorf("-snapshot and -epoch are mutually exclusive (windowed state expires within one window)")
+	}
+	if snapshot != "" {
+		sum, err := server.LoadSnapshot(snapshot)
+		if err != nil {
+			return nil, false, err
+		}
+		if sum != nil {
+			logf("restored state from %s (k=%d, %d bytes)", snapshot, sum.K(), sum.MemoryBytes())
+			return sum, true, nil
+		}
+	}
+	opts := []heavykeeper.Option{
+		heavykeeper.WithAlgorithm(algo),
+		heavykeeper.WithMemory(memKB * 1024),
+		heavykeeper.WithSeed(seed),
+	}
+	if epoch != 0 {
+		sum, err := heavykeeper.NewWindow(k, epoch, opts...)
+		return sum, false, err
+	}
+	if shards > 0 {
+		opts = append(opts, heavykeeper.WithShards(shards))
+	} else {
+		opts = append(opts, heavykeeper.WithConcurrency())
+	}
+	sum, err = heavykeeper.New(k, opts...)
+	return sum, false, err
+}
+
+// writeInfoSidecar records the construction config next to the snapshot
+// (atomically), so a restarted daemon's /config describes the restored
+// state rather than whatever flags the restart happened to use.
+func writeInfoSidecar(path string, info map[string]string) error {
+	body, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readInfoSidecar loads the construction config written by a previous run.
+func readInfoSidecar(path string) (map[string]string, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var info map[string]string
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return info, nil
+}
+
+// writeAddrFile publishes the bound addresses atomically (temp + rename)
+// so a polling reader never sees a partial file.
+func writeAddrFile(path string, srv *server.Server) error {
+	var body string
+	if a := srv.TCPAddr(); a != nil {
+		body += "tcp=" + a.String() + "\n"
+	}
+	if a := srv.UDPAddr(); a != nil {
+		body += "udp=" + a.String() + "\n"
+	}
+	if a := srv.HTTPAddr(); a != nil {
+		body += "http=" + a.String() + "\n"
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

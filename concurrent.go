@@ -53,6 +53,18 @@ func MustNewConcurrent(k int, opts ...Option) *Concurrent {
 	return c
 }
 
+// Synchronized returns a concurrency-safe view of s: a bare *TopK is
+// wrapped behind a mutex (the returned Concurrent shares its state);
+// every other frontend is already safe for concurrent use and is
+// returned unchanged. Servers use it to accept any Summarizer — a
+// ReadSummarizer-restored *TopK included — without a data race.
+func Synchronized(s Summarizer) Summarizer {
+	if t, ok := s.(*TopK); ok {
+		return &Concurrent{t: t}
+	}
+	return s
+}
+
 // Add records one occurrence of flowID.
 func (c *Concurrent) Add(flowID []byte) {
 	c.mu.Lock()
@@ -146,4 +158,14 @@ func (c *Concurrent) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.t.Stats()
+}
+
+// StoreIndexStats reports the top-k store's index occupancy and probe
+// lengths, exactly as TopK.StoreIndexStats does; all three frontends
+// expose the surface uniformly, so monitoring code type-asserts
+// StoreIndexReporter once instead of switching on the frontend type.
+func (c *Concurrent) StoreIndexStats() (StoreIndexStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.StoreIndexStats()
 }

@@ -25,6 +25,8 @@ var (
 	ErrInvalidShards = errors.New("heavykeeper: shard count must be >= 1")
 	// ErrInvalidExpansion is returned for a WithExpansion threshold of 0.
 	ErrInvalidExpansion = errors.New("heavykeeper: expansion threshold must be > 0")
+	// ErrInvalidWindow is returned for a NewWindow size below 2.
+	ErrInvalidWindow = errors.New("heavykeeper: window size must be >= 2")
 	// ErrOptionConflict is returned when mutually exclusive options are
 	// combined (WithWidth+WithMemory, WithMinHeap+WithMapStore,
 	// WithShards+WithConcurrency, or HeavyKeeper-specific options with a
@@ -40,4 +42,12 @@ var (
 	// ErrMergeUnsupported is returned by Merge when the backing algorithm has
 	// no merge operation (most registry engines other than HeavyKeeper).
 	ErrMergeUnsupported = errors.New("heavykeeper: algorithm does not support merge")
+	// ErrCorrupt is returned by ReadTopK/ReadSummarizer for any malformed,
+	// truncated or incompatible snapshot container. Decoding failures wrap
+	// it, so callers branch with errors.Is.
+	ErrCorrupt = errors.New("heavykeeper: corrupt snapshot")
+	// ErrSnapshotUnsupported is returned by WriteTo when the summarizer's
+	// backing algorithm has no snapshot format (registry engines other than
+	// the HeavyKeeper family).
+	ErrSnapshotUnsupported = errors.New("heavykeeper: algorithm does not support snapshots")
 )

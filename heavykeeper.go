@@ -372,8 +372,10 @@ func sizeWidth(k int, cfg config) int {
 	return width
 }
 
-// newTracker builds the HeavyKeeper tracker a parsed config describes.
-func newTracker(k int, cfg config) (*topk.Tracker, error) {
+// trackerOptions translates a parsed config into the internal tracker
+// options; newTracker and the windowed wrapper share it so one
+// translation rule covers both deployment shapes.
+func trackerOptions(k int, cfg config) topk.Options {
 	width := sizeWidth(k, cfg)
 	var v topk.Version
 	switch cfg.version {
@@ -390,7 +392,7 @@ func newTracker(k int, cfg config) (*topk.Tracker, error) {
 	} else if cfg.useMapStore {
 		store = topk.StoreSummaryRef
 	}
-	return topk.New(topk.Options{
+	return topk.Options{
 		K:       k,
 		Version: v,
 		Store:   store,
@@ -403,18 +405,30 @@ func newTracker(k int, cfg config) (*topk.Tracker, error) {
 			ExpandThreshold: cfg.expandThreshold,
 			MaxArrays:       cfg.maxArrays,
 		},
-	})
+	}
 }
 
-// newTopK builds a TopK from a parsed config: the devirtualized HeavyKeeper
-// tracker for the default algorithm, a registry engine otherwise.
-func newTopK(k int, cfg config) (*TopK, error) {
+// newTracker builds the HeavyKeeper tracker a parsed config describes.
+func newTracker(k int, cfg config) (*topk.Tracker, error) {
+	return topk.New(trackerOptions(k, cfg))
+}
+
+// applyVersionedAlgorithm folds a versioned HeavyKeeper algorithm name
+// into the config's insertion discipline; newTopK and NewWindow share it
+// so the name-to-discipline rule cannot drift between deployment shapes.
+func applyVersionedAlgorithm(cfg *config) {
 	switch cfg.algorithm {
 	case AlgorithmHeavyKeeperMinimum:
 		cfg.version = VersionMinimum
 	case AlgorithmHeavyKeeperBasic:
 		cfg.version = VersionBasic
 	}
+}
+
+// newTopK builds a TopK from a parsed config: the devirtualized HeavyKeeper
+// tracker for the default algorithm, a registry engine otherwise.
+func newTopK(k int, cfg config) (*TopK, error) {
+	applyVersionedAlgorithm(&cfg)
 	if isHeavyKeeperAlgorithm(cfg.algorithm) {
 		tr, err := newTracker(k, cfg)
 		if err != nil {

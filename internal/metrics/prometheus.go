@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromText accumulates metrics in the Prometheus text exposition format
+// (version 0.0.4): one HELP and TYPE comment pair per metric family,
+// then the sample lines. It is the rendering layer behind hkd's /metrics
+// endpoint — deliberately tiny, no client library, because the daemon
+// only exports counters and gauges it already holds.
+//
+// Usage:
+//
+//	var p PromText
+//	p.Counter("hkd_ingest_records_total", "Arrival records ingested.", float64(n))
+//	p.GaugeLabeled("hkd_topk_count", "Current count per top-k flow.",
+//	    map[string]string{"flow": id}, float64(c))
+//	p.WriteTo(w)
+//
+// Families render in the order first added; labels render sorted, so
+// output is deterministic and diffable in tests.
+type PromText struct {
+	families []*promFamily
+	index    map[string]*promFamily
+}
+
+type promFamily struct {
+	name, help, typ string
+	samples         []promSample
+}
+
+type promSample struct {
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+// Counter adds a sample to a counter family.
+func (p *PromText) Counter(name, help string, v float64) {
+	p.add(name, help, "counter", "", v)
+}
+
+// Gauge adds a sample to a gauge family.
+func (p *PromText) Gauge(name, help string, v float64) {
+	p.add(name, help, "gauge", "", v)
+}
+
+// GaugeLabeled adds a labeled sample to a gauge family.
+func (p *PromText) GaugeLabeled(name, help string, labels map[string]string, v float64) {
+	p.add(name, help, "gauge", renderLabels(labels), v)
+}
+
+// CounterLabeled adds a labeled sample to a counter family.
+func (p *PromText) CounterLabeled(name, help string, labels map[string]string, v float64) {
+	p.add(name, help, "counter", renderLabels(labels), v)
+}
+
+func (p *PromText) add(name, help, typ, labels string, v float64) {
+	fam := p.index[name]
+	if fam == nil {
+		fam = &promFamily{name: name, help: help, typ: typ}
+		if p.index == nil {
+			p.index = map[string]*promFamily{}
+		}
+		p.index[name] = fam
+		p.families = append(p.families, fam)
+	}
+	fam.samples = append(fam.samples, promSample{labels: labels, value: v})
+}
+
+// WriteTo renders the accumulated families.
+func (p *PromText) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, fam := range p.families {
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		for _, s := range fam.samples {
+			n, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, s.labels, formatPromValue(s.value))
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// renderLabels renders a label set as {k="v",...} with keys sorted and
+// values escaped per the exposition format (backslash, quote, newline).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatPromValue renders integers without an exponent (the common case
+// for counters) and everything else in Go's shortest float form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

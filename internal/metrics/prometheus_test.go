@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromTextRendering(t *testing.T) {
+	var p PromText
+	p.Counter("hkd_frames_total", "Frames decoded.", 42)
+	p.Gauge("hkd_topk_size", "Current report size.", 100)
+	p.GaugeLabeled("hkd_flow_count", "Per-flow count.",
+		map[string]string{"flow": "ab\"c\\d\ne", "rank": "1"}, 7)
+	p.Counter("hkd_frames_total", "Frames decoded.", 1) // same family, second sample
+
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+
+	want := []string{
+		"# HELP hkd_frames_total Frames decoded.\n# TYPE hkd_frames_total counter\nhkd_frames_total 42\nhkd_frames_total 1\n",
+		"# TYPE hkd_topk_size gauge\nhkd_topk_size 100\n",
+		`hkd_flow_count{flow="ab\"c\\d\ne",rank="1"} 7`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Count(out, "# HELP hkd_frames_total") != 1 {
+		t.Error("family header repeated for second sample")
+	}
+}
+
+func TestPromValueFormat(t *testing.T) {
+	if got := formatPromValue(1 << 40); got != "1099511627776" {
+		t.Errorf("large int: %q", got)
+	}
+	if got := formatPromValue(0.25); got != "0.25" {
+		t.Errorf("fraction: %q", got)
+	}
+}

@@ -10,6 +10,7 @@ package window
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 )
@@ -65,6 +66,41 @@ func (w *TopK) Add(key []byte) {
 	}
 }
 
+// AddN records one weight-n arrival (n packets folded into one item, or n
+// bytes when ranking by volume). It advances the window by a single item:
+// the two-pane construction counts arrivals, not weight, so a weighted
+// arrival ages the window exactly like a unit one.
+func (w *TopK) AddN(key []byte, n uint64) {
+	if n == 0 {
+		return
+	}
+	w.current.InsertN(key, n)
+	w.seq++
+	if w.seq >= uint64(w.pane) {
+		w.rotate()
+	}
+}
+
+// AddBatch records one item per key in stream order. Pane rotation must be
+// checked at every item, so the batch flows down the current pane's batched
+// sketch path a rotation-free run at a time — results are identical to a
+// loop over Add.
+func (w *TopK) AddBatch(keys [][]byte) {
+	for len(keys) > 0 {
+		room := uint64(w.pane) - w.seq
+		run := uint64(len(keys))
+		if run > room {
+			run = room
+		}
+		w.current.InsertBatch(keys[:run])
+		w.seq += run
+		keys = keys[run:]
+		if w.seq >= uint64(w.pane) {
+			w.rotate()
+		}
+	}
+}
+
 // rotate retires the previous pane and opens a fresh one. Pane sketches
 // reuse the same options (and hence seed); determinism is preserved and
 // panes never merge, so identical seeding is harmless.
@@ -115,6 +151,37 @@ func (w *TopK) Query(key []byte) uint64 {
 
 // Rotations returns the number of pane rotations, for tests and monitoring.
 func (w *TopK) Rotations() uint64 { return w.rotates }
+
+// K returns the configured report size.
+func (w *TopK) K() int { return w.k }
+
+// Stats sums the live panes' ingest event counters. Retired panes'
+// counters are discarded with their pane, so totals cover at most the
+// last W items — the same horizon the report does.
+func (w *TopK) Stats() core.Stats {
+	st := w.current.Sketch().Stats()
+	if w.prev != nil {
+		p := w.prev.Sketch().Stats()
+		st.Packets += p.Packets
+		st.Increments += p.Increments
+		st.EmptyTakes += p.EmptyTakes
+		st.DecayProbes += p.DecayProbes
+		st.Decays += p.Decays
+		st.Replacements += p.Replacements
+		st.Overflows += p.Overflows
+		st.Expansions += p.Expansions
+	}
+	return st
+}
+
+// MemoryBytes is the logical footprint of the live panes.
+func (w *TopK) MemoryBytes() int {
+	total := w.current.MemoryBytes()
+	if w.prev != nil {
+		total += w.prev.MemoryBytes()
+	}
+	return total
+}
 
 // WindowSize returns the nominal window coverage in items.
 func (w *TopK) WindowSize() int { return 2 * w.pane }

@@ -1,0 +1,259 @@
+package heavykeeper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/topk"
+)
+
+// Snapshot container format. Every frontend snapshot is a small framed
+// container around one or more tracker sections (internal/topk snapshot
+// format, which itself embeds the sketch's v3 frame):
+//
+//	u32  magic "HKS1"
+//	u8   kind: 1 = TopK, 2 = Concurrent, 3 = Sharded
+//	     kind 1, 2: one tracker section
+//	     kind 3:    u32 shard count | u64 shard seed | u32 k |
+//	                one tracker section per shard
+//
+// WriteTo on a frontend emits the container; ReadSummarizer rebuilds the
+// frontend it describes (ReadTopK insists on kind 1). Only tracker-backed
+// summarizers — the HeavyKeeper algorithm family — serialize; registry
+// engines return ErrSnapshotUnsupported. All decode failures match
+// ErrCorrupt via errors.Is and never panic.
+//
+// This is the restart-recovery surface the hkd daemon uses: snapshot
+// periodically and on shutdown, restore on start, and the daemon resumes
+// with the counts it had.
+const (
+	snapshotMagic = uint32('H')<<24 | uint32('K')<<16 | uint32('S')<<8 | '1'
+
+	snapKindTopK       = 1
+	snapKindConcurrent = 2
+	snapKindSharded    = 3
+
+	// maxSnapshotShards bounds the shard count a container may declare;
+	// real deployments run one shard per core.
+	maxSnapshotShards = 1 << 16
+)
+
+// SnapshotWriter is implemented by every summarizer with a snapshot
+// format: TopK, Concurrent and Sharded over the HeavyKeeper algorithm
+// family. WriteTo emits a container ReadSummarizer rebuilds; a
+// registry-engine summarizer implements the interface but returns
+// ErrSnapshotUnsupported at call time.
+type SnapshotWriter interface {
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// Compile-time checks: the three frontends expose the snapshot surface.
+var (
+	_ SnapshotWriter = (*TopK)(nil)
+	_ SnapshotWriter = (*Concurrent)(nil)
+	_ SnapshotWriter = (*Sharded)(nil)
+)
+
+// WriteTo serializes the TopK — sketch buckets, hash seeds, structural
+// configuration and current top-k candidates — so ReadTopK (or
+// ReadSummarizer) can rebuild it without out-of-band configuration.
+// Registry-engine TopKs return ErrSnapshotUnsupported: only the
+// HeavyKeeper tracker family has a defined snapshot format.
+func (t *TopK) WriteTo(w io.Writer) (int64, error) {
+	return writeContainer(w, snapKindTopK, t)
+}
+
+// WriteTo serializes the Concurrent under its lock; ingest may resume as
+// soon as it returns. See TopK.WriteTo for the format contract.
+func (c *Concurrent) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeContainer(w, snapKindConcurrent, c.t)
+}
+
+// WriteTo serializes the Sharded, taking shard locks one at a time — under
+// concurrent ingest the snapshot is per-shard consistent and slightly
+// time-smeared across shards, exactly like List. See TopK.WriteTo for the
+// format contract.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	head := []any{snapshotMagic, uint8(snapKindSharded),
+		uint32(len(s.shards)), s.shardSeed, uint32(s.k)}
+	for _, v := range head {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += int64(binary.Size(v))
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		tr, err := trackerOf(sh.t)
+		if err == nil {
+			var wn int64
+			wn, err = tr.WriteTo(w)
+			n += wn
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// writeContainer emits the magic, a kind byte and one tracker section.
+func writeContainer(w io.Writer, kind uint8, t *TopK) (int64, error) {
+	tr, err := trackerOf(t)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, v := range []any{snapshotMagic, kind} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += int64(binary.Size(v))
+	}
+	wn, err := tr.WriteTo(w)
+	return n + wn, err
+}
+
+// trackerOf returns t's HeavyKeeper tracker, or ErrSnapshotUnsupported
+// for a registry-engine TopK.
+func trackerOf(t *TopK) (*topk.Tracker, error) {
+	if t.t == nil {
+		return nil, fmt.Errorf("%w: algorithm %q", ErrSnapshotUnsupported, t.eng.Name())
+	}
+	return t.t, nil
+}
+
+// ReadTopK rebuilds a *TopK from a TopK.WriteTo container. A container
+// holding a different frontend kind is rejected (use ReadSummarizer for
+// kind-dispatched restore); any malformed input matches ErrCorrupt.
+func ReadTopK(r io.Reader) (*TopK, error) {
+	s, err := ReadSummarizer(r)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := s.(*TopK)
+	if !ok {
+		return nil, fmt.Errorf("%w: container holds a %T, not a *TopK", ErrCorrupt, s)
+	}
+	return t, nil
+}
+
+// ReadSummarizer rebuilds the summarizer a WriteTo container describes —
+// a *TopK, *Concurrent or *Sharded, fully operational with the writer's
+// sketch contents, top-k candidates and configuration (ingest event
+// counters restart at zero). Any malformed, truncated or oversized input
+// returns an error matching ErrCorrupt; decoding never panics.
+func ReadSummarizer(r io.Reader) (Summarizer, error) {
+	var magic uint32
+	var kind uint8
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad container magic %#x", ErrCorrupt, magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	switch kind {
+	case snapKindTopK:
+		t, err := readTopKSection(r)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	case snapKindConcurrent:
+		t, err := readTopKSection(r)
+		if err != nil {
+			return nil, err
+		}
+		return &Concurrent{t: t}, nil
+	case snapKindSharded:
+		return readShardedSections(r)
+	default:
+		return nil, fmt.Errorf("%w: unknown container kind %d", ErrCorrupt, kind)
+	}
+}
+
+// readTopKSection restores one tracker section as a *TopK.
+func readTopKSection(r io.Reader) (*TopK, error) {
+	tr, err := topk.ReadTracker(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	return &TopK{t: tr, cfg: configFromTrackerOptions(tr.Options()), k: tr.K()}, nil
+}
+
+// readShardedSections restores a sharded container.
+func readShardedSections(r io.Reader) (*Sharded, error) {
+	var shards, k uint32
+	var shardSeed uint64
+	for _, step := range []func() error{
+		func() error { return binary.Read(r, binary.LittleEndian, &shards) },
+		func() error { return binary.Read(r, binary.LittleEndian, &shardSeed) },
+		func() error { return binary.Read(r, binary.LittleEndian, &k) },
+	} {
+		if err := step(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+	}
+	if shards == 0 || shards > maxSnapshotShards || k == 0 {
+		return nil, fmt.Errorf("%w: implausible shard header (%d shards, k %d)", ErrCorrupt, shards, k)
+	}
+	s := &Sharded{
+		shards:    make([]shard, shards),
+		shardSeed: shardSeed,
+		k:         int(k),
+	}
+	for i := range s.shards {
+		t, err := readTopKSection(r)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if t.k != int(k) {
+			return nil, fmt.Errorf("%w: shard %d has k %d, container says %d", ErrCorrupt, i, t.k, k)
+		}
+		s.shards[i].t = t
+	}
+	return s, nil
+}
+
+// configFromTrackerOptions reconstructs the frontend-level config a
+// restored tracker implies, so Version, Algorithm and option-sensitive
+// behavior report correctly on a restored TopK.
+func configFromTrackerOptions(o topk.Options) config {
+	cfg := defaultConfig()
+	cfg.width = o.Sketch.W
+	cfg.depth = o.Sketch.D
+	if o.Sketch.B != 0 {
+		cfg.decayBase = o.Sketch.B
+	}
+	if o.Sketch.FingerprintBits != 0 {
+		cfg.fingerprintBits = o.Sketch.FingerprintBits
+	}
+	cfg.seed = o.Sketch.Seed
+	cfg.expandThreshold = o.Sketch.ExpandThreshold
+	cfg.maxArrays = o.Sketch.MaxArrays
+	switch o.Version {
+	case topk.Minimum:
+		cfg.version = VersionMinimum
+	case topk.Basic:
+		cfg.version = VersionBasic
+	default:
+		cfg.version = VersionParallel
+	}
+	cfg.versionSet = true
+	switch o.Store {
+	case topk.StoreHeap:
+		cfg.useHeap = true
+	case topk.StoreSummaryRef:
+		cfg.useMapStore = true
+	}
+	return cfg
+}

@@ -1,0 +1,210 @@
+package heavykeeper
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// patchU32 returns a copy of raw with a little-endian uint32 written at
+// offset.
+func patchU32(raw []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(out[off:], v)
+	return out
+}
+
+// ingestZipfish feeds a deterministic skewed keyset: flow i appears
+// roughly n/(i+1) times, so the top of the distribution is stable.
+func ingestZipfish(s Summarizer, flows, packets int) {
+	for p := 0; p < packets; p++ {
+		i := 0
+		for r := p; r%2 == 1 && i < flows-1; r /= 2 {
+			i++
+		}
+		s.Add(fmt.Appendf(nil, "flow-%05d", i%flows))
+	}
+}
+
+func summarizersEqual(t *testing.T, a, b Summarizer, probes [][]byte) {
+	t.Helper()
+	la, lb := a.List(), b.List()
+	if len(la) != len(lb) {
+		t.Fatalf("list lengths differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if !bytes.Equal(la[i].ID, lb[i].ID) || la[i].Count != lb[i].Count {
+			t.Fatalf("list[%d]: %q/%d vs %q/%d", i, la[i].ID, la[i].Count, lb[i].ID, lb[i].Count)
+		}
+	}
+	for _, p := range probes {
+		if qa, qb := a.Query(p), b.Query(p); qa != qb {
+			t.Fatalf("query %q: %d vs %d", p, qa, qb)
+		}
+	}
+}
+
+func persistProbes() [][]byte {
+	probes := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		probes = append(probes, fmt.Appendf(nil, "flow-%05d", i))
+	}
+	return probes
+}
+
+func TestSnapshotRoundTripFrontends(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"topk", nil},
+		{"topk-minimum", []Option{WithVersion(VersionMinimum)}},
+		{"topk-heap", []Option{WithMinHeap()}},
+		{"topk-mapstore", []Option{WithMapStore()}},
+		{"concurrent", []Option{WithConcurrency()}},
+		{"sharded", []Option{WithShards(4)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := MustNew(10, append([]Option{WithSeed(7), WithMemory(16 << 10)}, tc.opts...)...)
+			ingestZipfish(orig, 500, 20000)
+
+			w, ok := orig.(SnapshotWriter)
+			if !ok {
+				t.Fatalf("%T does not implement SnapshotWriter", orig)
+			}
+			var buf bytes.Buffer
+			if _, err := w.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			restored, err := ReadSummarizer(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadSummarizer: %v", err)
+			}
+			if fmt.Sprintf("%T", restored) != fmt.Sprintf("%T", orig) {
+				t.Fatalf("restored as %T, wrote a %T", restored, orig)
+			}
+			probes := persistProbes()
+			summarizersEqual(t, orig, restored, probes)
+
+			// The restored summarizer keeps ingesting identically: feed both
+			// sides the same continuation and they must stay equal.
+			ingestZipfish(orig, 500, 5000)
+			ingestZipfish(restored, 500, 5000)
+			summarizersEqual(t, orig, restored, probes)
+		})
+	}
+}
+
+func TestReadTopKKindStrict(t *testing.T) {
+	c := MustNew(5, WithConcurrency())
+	ingestZipfish(c, 50, 1000)
+	var buf bytes.Buffer
+	if _, err := c.(SnapshotWriter).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, err := ReadTopK(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadTopK on a Concurrent container: got %v, want ErrCorrupt", err)
+	}
+
+	tk := MustNew(5)
+	ingestZipfish(tk, 50, 1000)
+	buf.Reset()
+	if _, err := tk.(*TopK).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadTopK(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTopK: %v", err)
+	}
+	summarizersEqual(t, tk, got, persistProbes())
+}
+
+func TestSnapshotRestoredMetadata(t *testing.T) {
+	tk := MustNew(7, WithSeed(3), WithVersion(VersionMinimum)).(*TopK)
+	var buf bytes.Buffer
+	if _, err := tk.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadTopK(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTopK: %v", err)
+	}
+	if got.K() != 7 {
+		t.Errorf("restored K = %d, want 7", got.K())
+	}
+	if got.Version() != VersionMinimum {
+		t.Errorf("restored Version = %v, want minimum", got.Version())
+	}
+	if got.Algorithm() != AlgorithmHeavyKeeperMinimum {
+		t.Errorf("restored Algorithm = %q", got.Algorithm())
+	}
+}
+
+func TestSnapshotRestoredMergeable(t *testing.T) {
+	a := MustNew(10, WithSeed(11)).(*TopK)
+	b := MustNew(10, WithSeed(11)).(*TopK)
+	ingestZipfish(a, 200, 8000)
+	ingestZipfish(b, 300, 8000)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	ra, err := ReadTopK(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTopK: %v", err)
+	}
+	// A restored sketch is seed-compatible with its siblings: merging must
+	// succeed and match merging the original.
+	if err := ra.Merge(b); err != nil {
+		t.Fatalf("merge into restored: %v", err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge into original: %v", err)
+	}
+	summarizersEqual(t, a, ra, persistProbes())
+}
+
+func TestSnapshotUnsupportedEngines(t *testing.T) {
+	ss := MustNew(10, WithAlgorithm("spacesaving"))
+	var buf bytes.Buffer
+	if _, err := ss.(*TopK).WriteTo(&buf); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("spacesaving WriteTo: got %v, want ErrSnapshotUnsupported", err)
+	}
+}
+
+func TestSnapshotCorruptInputs(t *testing.T) {
+	tk := MustNew(10, WithSeed(1)).(*TopK)
+	ingestZipfish(tk, 100, 4000)
+	var buf bytes.Buffer
+	if _, err := tk.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	raw := buf.Bytes()
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{0, 0, 0, 0}, raw[4:]...)},
+		{"bad kind", append(append([]byte{}, raw[:4]...), append([]byte{99}, raw[5:]...)...)},
+		{"truncated header", raw[:6]},
+		{"truncated body", raw[:len(raw)/2]},
+		{"truncated mid-entry", raw[:len(raw)-3]},
+		// Structural-size fields live at fixed offsets behind the 5-byte
+		// container prefix and 4 section bytes: k at 9, d at 13, w at 17.
+		// Absurd declarations must come back as ErrCorrupt, never as a
+		// giant allocation or a makeslice panic.
+		{"huge k", patchU32(raw, 9, 1<<28)},
+		{"huge geometry", patchU32(patchU32(raw, 13, 3037000500), 17, 3037000500)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadSummarizer(bytes.NewReader(tc.data)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("got %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}

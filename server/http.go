@@ -1,0 +1,235 @@
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	heavykeeper "repro"
+	"repro/internal/metrics"
+)
+
+// The HTTP API. All responses are JSON except /metrics (Prometheus text
+// exposition format) and /healthz (plain "ok"). Flow identifiers are
+// opaque bytes, so they travel hex-encoded in the id fields.
+//
+//	GET /topk?n=K      top-n (default k) flows, descending estimate
+//	GET /query?id=HEX  point estimate for one flow (or ?key=STR raw)
+//	GET /stats         engine + server counters
+//	GET /indexstats    open-addressed store index stats (when surfaced)
+//	GET /config        construction parameters (Config.Info echo)
+//	GET /healthz       liveness
+//	GET /metrics       Prometheus text
+func (s *Server) apiHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /indexstats", s.handleIndexStats)
+	mux.HandleFunc("GET /config", s.handleConfig)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// flowJSON is one reported flow on the wire: the identifier hex-encoded.
+type flowJSON struct {
+	ID    string `json:"id"`
+	Count uint64 `json:"count"`
+}
+
+// topKResponse is the /topk document.
+type topKResponse struct {
+	K     int        `json:"k"`
+	Flows []flowJSON `json:"flows"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	sum := s.cfg.Summarizer
+	n := sum.K()
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	flows := sum.List()
+	if len(flows) > n {
+		flows = flows[:n]
+	}
+	resp := topKResponse{K: sum.K(), Flows: make([]flowJSON, len(flows))}
+	for i, f := range flows {
+		resp.Flows[i] = flowJSON{ID: hex.EncodeToString(f.ID), Count: f.Count}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var key []byte
+	switch {
+	case q.Get("id") != "":
+		b, err := hex.DecodeString(q.Get("id"))
+		if err != nil {
+			http.Error(w, "id must be hex", http.StatusBadRequest)
+			return
+		}
+		key = b
+	case q.Get("key") != "":
+		key = []byte(q.Get("key"))
+	default:
+		http.Error(w, "provide ?id=HEX or ?key=STRING", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, flowJSON{ID: hex.EncodeToString(key), Count: s.cfg.Summarizer.Query(key)})
+}
+
+// statsResponse is the /stats document: engine event counters plus the
+// server's own ingest counters.
+type statsResponse struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	K             int               `json:"k"`
+	MemoryBytes   int               `json:"memory_bytes"`
+	Engine        heavykeeper.Stats `json:"engine"`
+	Server        serverCounters    `json:"server"`
+	Window        *windowInfo       `json:"window,omitempty"`
+}
+
+type serverCounters struct {
+	TCPFrames       uint64 `json:"tcp_frames"`
+	UDPFrames       uint64 `json:"udp_frames"`
+	Records         uint64 `json:"records"`
+	TCPBytes        uint64 `json:"tcp_bytes"`
+	UDPBytes        uint64 `json:"udp_bytes"`
+	DecodeErrors    uint64 `json:"decode_errors"`
+	TransportErrors uint64 `json:"transport_errors"`
+	ConnsTotal      uint64 `json:"conns_total"`
+	ConnsActive     int64  `json:"conns_active"`
+	Snapshots       uint64 `json:"snapshots"`
+	SnapshotErrors  uint64 `json:"snapshot_errors"`
+}
+
+// windowInfo reports the epoch shape when the summarizer is a Window.
+type windowInfo struct {
+	WindowSize int    `json:"window_size"`
+	Rotations  uint64 `json:"rotations"`
+}
+
+func (s *Server) counterSnapshot() serverCounters {
+	return serverCounters{
+		TCPFrames:       s.ctr.tcpFrames.Load(),
+		UDPFrames:       s.ctr.udpFrames.Load(),
+		Records:         s.ctr.records.Load(),
+		TCPBytes:        s.ctr.tcpBytes.Load(),
+		UDPBytes:        s.ctr.udpBytes.Load(),
+		DecodeErrors:    s.ctr.decodeErrors.Load(),
+		TransportErrors: s.ctr.transportErrors.Load(),
+		ConnsTotal:      s.ctr.connsTotal.Load(),
+		ConnsActive:     s.ctr.connsActive.Load(),
+		Snapshots:       s.ctr.snapshots.Load(),
+		SnapshotErrors:  s.ctr.snapshotErrs.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	sum := s.cfg.Summarizer
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		K:             sum.K(),
+		MemoryBytes:   sum.MemoryBytes(),
+		Engine:        sum.Stats(),
+		Server:        s.counterSnapshot(),
+	}
+	if win, ok := sum.(*heavykeeper.Window); ok {
+		resp.Window = &windowInfo{WindowSize: win.WindowSize(), Rotations: win.Rotations()}
+	}
+	writeJSON(w, resp)
+}
+
+// indexStatsResponse is the /indexstats document. Available reports
+// whether the configured store surfaces an open-addressed index at all;
+// every frontend answers uniformly through StoreIndexReporter, so this
+// handler never switches on the concrete summarizer type.
+type indexStatsResponse struct {
+	Available bool                         `json:"available"`
+	Stats     *heavykeeper.StoreIndexStats `json:"stats,omitempty"`
+}
+
+func (s *Server) handleIndexStats(w http.ResponseWriter, _ *http.Request) {
+	resp := indexStatsResponse{}
+	if r, ok := s.cfg.Summarizer.(heavykeeper.StoreIndexReporter); ok {
+		if st, ok := r.StoreIndexStats(); ok {
+			resp.Available = true
+			resp.Stats = &st
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	info := map[string]string{}
+	for k, v := range s.cfg.Info {
+		info[k] = v
+	}
+	info["k"] = strconv.Itoa(s.cfg.Summarizer.K())
+	writeJSON(w, info)
+}
+
+// handleMetrics renders the Prometheus text exposition built on
+// internal/metrics.PromText: server ingest counters, engine event
+// counters and store index gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	sum := s.cfg.Summarizer
+	ctr := s.counterSnapshot()
+	var p metrics.PromText
+
+	p.Gauge("hkd_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
+	p.CounterLabeled("hkd_ingest_frames_total", "Wire frames ingested.",
+		map[string]string{"transport": "tcp"}, float64(ctr.TCPFrames))
+	p.CounterLabeled("hkd_ingest_frames_total", "Wire frames ingested.",
+		map[string]string{"transport": "udp"}, float64(ctr.UDPFrames))
+	p.CounterLabeled("hkd_ingest_bytes_total", "Wire bytes ingested.",
+		map[string]string{"transport": "tcp"}, float64(ctr.TCPBytes))
+	p.CounterLabeled("hkd_ingest_bytes_total", "Wire bytes ingested.",
+		map[string]string{"transport": "udp"}, float64(ctr.UDPBytes))
+	p.Counter("hkd_ingest_records_total", "Arrival records ingested.", float64(ctr.Records))
+	p.Counter("hkd_decode_errors_total", "Malformed frames or datagrams rejected.", float64(ctr.DecodeErrors))
+	p.Counter("hkd_transport_errors_total", "Ingest connections lost to resets, deadlines or force-close.", float64(ctr.TransportErrors))
+	p.Counter("hkd_connections_total", "Stream-ingest connections accepted.", float64(ctr.ConnsTotal))
+	p.Gauge("hkd_connections_active", "Stream-ingest connections open now.", float64(ctr.ConnsActive))
+	p.Counter("hkd_snapshots_total", "Snapshots written.", float64(ctr.Snapshots))
+	p.Counter("hkd_snapshot_errors_total", "Snapshot attempts that failed.", float64(ctr.SnapshotErrors))
+
+	st := sum.Stats()
+	p.Counter("hkd_engine_packets_total", "Arrivals the engine processed.", float64(st.Packets))
+	p.Counter("hkd_engine_increments_total", "Matching-fingerprint counter increments.", float64(st.Increments))
+	p.Counter("hkd_engine_decays_total", "Successful counter decays.", float64(st.Decays))
+	p.Counter("hkd_engine_replacements_total", "Bucket ownership replacements.", float64(st.Replacements))
+	p.Counter("hkd_engine_expansions_total", "Auto-expansion events.", float64(st.Expansions))
+	p.Gauge("hkd_summary_k", "Configured report size.", float64(sum.K()))
+	p.Gauge("hkd_summary_memory_bytes", "Logical memory footprint.", float64(sum.MemoryBytes()))
+
+	if r, ok := sum.(heavykeeper.StoreIndexReporter); ok {
+		if ix, ok := r.StoreIndexStats(); ok {
+			p.Gauge("hkd_store_index_slots", "Store index table size.", float64(ix.TableSize))
+			p.Gauge("hkd_store_index_occupied", "Store index live slots.", float64(ix.Occupied))
+			p.Gauge("hkd_store_index_max_probe", "Worst current probe displacement.", float64(ix.MaxProbe))
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(w)
+}

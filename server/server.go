@@ -1,0 +1,502 @@
+// Package server implements hkd, the network-facing top-k telemetry
+// daemon, as an embeddable component: TCP and UDP ingest listeners
+// speaking the wire package's framed binary protocol, an HTTP JSON query
+// API with a Prometheus-text /metrics endpoint, and periodic plus
+// on-shutdown snapshotting through the heavykeeper package's public
+// persistence surface.
+//
+// The ingest path is the paper's measurement-point deployment shape:
+// collectors batch flow arrivals into frames, the daemon decodes each
+// frame into the exact [][]byte shape Summarizer.AddBatch wants (keys
+// aliasing the connection's reusable frame buffer — the ingest loop
+// allocates only when a new flow is admitted), and queries are answered
+// from the live structure without stopping ingest. The Summarizer must
+// therefore be safe for concurrent use: a Concurrent, Sharded or Window
+// frontend, not a bare TopK.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	heavykeeper "repro"
+	"repro/wire"
+)
+
+// Config configures a Server. Empty listen addresses disable their
+// listener; at least one of TCP/UDP/HTTP must be set.
+type Config struct {
+	// Summarizer receives every decoded arrival. It must be safe for
+	// concurrent use (Concurrent, Sharded, Window). Required.
+	Summarizer heavykeeper.Summarizer
+	// TCPAddr is the stream-ingest listen address (e.g. ":4774" or
+	// "127.0.0.1:0" for an ephemeral port).
+	TCPAddr string
+	// UDPAddr is the datagram-ingest listen address (one frame per
+	// datagram).
+	UDPAddr string
+	// HTTPAddr is the query/metrics API listen address.
+	HTTPAddr string
+	// SnapshotPath, when set, enables persistence: the summarizer is
+	// snapshotted there every SnapshotInterval and on Shutdown. The
+	// summarizer must implement heavykeeper.SnapshotWriter.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence (default 1m;
+	// ignored without SnapshotPath).
+	SnapshotInterval time.Duration
+	// Info is echoed verbatim by the /config endpoint, so a client can
+	// rebuild a twin summarizer (the hkbench verifier does).
+	Info map[string]string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// counters is the server's monitoring block; all fields are atomics so
+// the ingest paths never take a lock to count.
+type counters struct {
+	tcpFrames       atomic.Uint64
+	udpFrames       atomic.Uint64
+	records         atomic.Uint64
+	tcpBytes        atomic.Uint64
+	udpBytes        atomic.Uint64
+	decodeErrors    atomic.Uint64
+	transportErrors atomic.Uint64
+	connsTotal      atomic.Uint64
+	connsActive     atomic.Int64
+	snapshots       atomic.Uint64
+	snapshotErrs    atomic.Uint64
+}
+
+// errProbe is the sentinel the snapshot-capability probe writer returns;
+// seeing it back from WriteTo proves the summarizer got past its own
+// capability checks and started writing.
+var errProbe = errors.New("server: snapshot capability probe")
+
+// probeWriter fails every write with errProbe.
+type probeWriter struct{}
+
+func (probeWriter) Write([]byte) (int, error) { return 0, errProbe }
+
+// drainGrace is how long established ingest connections get to finish
+// their in-flight frames at shutdown before their reads are deadlined.
+const drainGrace = time.Second
+
+// Server is one running hkd instance.
+type Server struct {
+	cfg     Config
+	logf    func(string, ...any)
+	started time.Time
+
+	tcpLn  net.Listener
+	udpLn  net.PacketConn
+	httpLn net.Listener
+	httpSv *http.Server
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg       sync.WaitGroup
+	stopSnap chan struct{}
+	ctr      counters
+}
+
+// New validates cfg and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Summarizer == nil {
+		return nil, errors.New("server: Config.Summarizer is required")
+	}
+	// The ingest loops and HTTP handlers touch the summarizer from
+	// separate goroutines; a bare TopK has no synchronization at all.
+	// Callers that mean it should wrap it (heavykeeper.Synchronized).
+	if _, bare := cfg.Summarizer.(*heavykeeper.TopK); bare {
+		return nil, errors.New("server: bare *TopK is not safe for concurrent serving; wrap it with heavykeeper.Synchronized")
+	}
+	if cfg.TCPAddr == "" && cfg.UDPAddr == "" && cfg.HTTPAddr == "" {
+		return nil, errors.New("server: no listen address configured")
+	}
+	if cfg.SnapshotPath != "" {
+		// Every frontend type has a WriteTo method, but registry engines
+		// reject it at call time — probe once now so a daemon that cannot
+		// actually persist fails at startup, not at the first snapshot.
+		// The probe writer fails on the first byte, so capability is
+		// learned in O(1): a capable summarizer surfaces errProbe, an
+		// incapable one its own error before writing anything.
+		w, ok := cfg.Summarizer.(heavykeeper.SnapshotWriter)
+		if !ok {
+			return nil, fmt.Errorf("server: summarizer %T cannot snapshot", cfg.Summarizer)
+		}
+		if _, err := w.WriteTo(probeWriter{}); err != nil && !errors.Is(err, errProbe) {
+			return nil, fmt.Errorf("server: summarizer cannot snapshot: %w", err)
+		}
+		if cfg.SnapshotInterval <= 0 {
+			cfg.SnapshotInterval = time.Minute
+		}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:      cfg,
+		logf:     logf,
+		conns:    map[net.Conn]struct{}{},
+		stopSnap: make(chan struct{}),
+	}, nil
+}
+
+// Start binds the configured listeners and launches the ingest, API and
+// snapshot loops. It returns once everything is listening; use the Addr
+// accessors to learn ephemeral ports.
+func (s *Server) Start() error {
+	s.started = time.Now()
+	if s.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			s.closeListeners()
+			return fmt.Errorf("server: tcp listen: %w", err)
+		}
+		s.tcpLn = ln
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	if s.cfg.UDPAddr != "" {
+		ln, err := net.ListenPacket("udp", s.cfg.UDPAddr)
+		if err != nil {
+			s.closeListeners()
+			return fmt.Errorf("server: udp listen: %w", err)
+		}
+		s.udpLn = ln
+		s.wg.Add(1)
+		go s.udpLoop()
+	}
+	if s.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			s.closeListeners()
+			return fmt.Errorf("server: http listen: %w", err)
+		}
+		s.httpLn = ln
+		s.httpSv = &http.Server{Handler: s.apiHandler()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.httpSv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				s.logf("http serve: %v", err)
+			}
+		}()
+	}
+	if s.cfg.SnapshotPath != "" {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	s.logf("hkd listening: tcp=%v udp=%v http=%v", s.TCPAddr(), s.UDPAddr(), s.HTTPAddr())
+	return nil
+}
+
+// TCPAddr returns the bound stream-ingest address (nil when disabled).
+func (s *Server) TCPAddr() net.Addr {
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// UDPAddr returns the bound datagram-ingest address (nil when disabled).
+func (s *Server) UDPAddr() net.Addr {
+	if s.udpLn == nil {
+		return nil
+	}
+	return s.udpLn.LocalAddr()
+}
+
+// HTTPAddr returns the bound API address (nil when disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// acceptLoop accepts stream-ingest connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.ctr.connsTotal.Add(1)
+		s.ctr.connsActive.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// track registers conn for shutdown; reports false when shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn drains one stream-ingest connection: a frame at a time
+// through the connection's own wire.Reader (whose buffers are reused, so
+// the steady-state loop is allocation-free) into the summarizer's batch
+// path. A protocol violation terminates the connection — framing on a
+// byte stream cannot resynchronize after corruption.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.ctr.connsActive.Add(-1)
+	defer s.untrack(conn)
+	defer conn.Close()
+	r := wire.NewReader(&countingReader{r: conn, n: &s.ctr.tcpBytes})
+	for {
+		batch, err := r.Next()
+		if err != nil {
+			if err != io.EOF {
+				// A peer speaking garbage and a peer (or our own shutdown)
+				// tearing the transport down are different conditions;
+				// keep the protocol-violation metric honest by counting
+				// them apart.
+				if isTransportError(err) {
+					s.ctr.transportErrors.Add(1)
+				} else {
+					s.ctr.decodeErrors.Add(1)
+				}
+				s.logf("tcp %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.ctr.tcpFrames.Add(1)
+		s.ingest(batch)
+	}
+}
+
+// isTransportError reports whether err is a connection-level failure
+// (reset, force-close, deadline, mid-frame EOF from a crashed peer)
+// rather than a protocol violation in bytes that actually arrived.
+func isTransportError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// countingReader feeds bytes drained from one connection into the
+// server-wide byte counter.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// udpLoop ingests one frame per datagram until the socket closes.
+// Datagrams are independent, so a malformed one is counted and dropped
+// without affecting its neighbors.
+func (s *Server) udpLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, wire.HeaderLen+wire.MaxPayload)
+	var batch wire.Batch
+	for {
+		n, _, err := s.udpLn.ReadFrom(buf)
+		if err != nil {
+			return // socket closed by Shutdown
+		}
+		if err := wire.DecodeDatagram(buf[:n], &batch); err != nil {
+			s.ctr.decodeErrors.Add(1)
+			continue
+		}
+		s.ctr.udpFrames.Add(1)
+		s.ctr.udpBytes.Add(uint64(n))
+		s.ingest(&batch)
+	}
+}
+
+// ingest feeds one decoded batch to the summarizer: the batched path for
+// unit weights, per-record AddN for weighted frames.
+func (s *Server) ingest(b *wire.Batch) {
+	if len(b.Weights) == 0 {
+		s.cfg.Summarizer.AddBatch(b.Keys)
+	} else {
+		for i, key := range b.Keys {
+			s.cfg.Summarizer.AddN(key, b.Weights[i])
+		}
+	}
+	s.ctr.records.Add(uint64(len(b.Keys)))
+}
+
+// snapshotLoop writes periodic snapshots until Shutdown.
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Snapshot(); err != nil {
+				s.logf("periodic snapshot: %v", err)
+			}
+		case <-s.stopSnap:
+			return
+		}
+	}
+}
+
+// Snapshot writes the summarizer to SnapshotPath atomically (temp file
+// in the same directory, then rename), so a crash mid-write never
+// clobbers the previous good snapshot.
+func (s *Server) Snapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return errors.New("server: no snapshot path configured")
+	}
+	w := s.cfg.Summarizer.(heavykeeper.SnapshotWriter) // checked in New
+	tmp, err := os.CreateTemp(filepath.Dir(s.cfg.SnapshotPath), ".hkd-snap-*")
+	if err != nil {
+		s.ctr.snapshotErrs.Add(1)
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := w.WriteTo(tmp); err != nil {
+		tmp.Close()
+		s.ctr.snapshotErrs.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		s.ctr.snapshotErrs.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		s.ctr.snapshotErrs.Add(1)
+		return err
+	}
+	s.ctr.snapshots.Add(1)
+	return nil
+}
+
+// LoadSnapshot restores a summarizer from a snapshot file written by
+// Snapshot (or any heavykeeper WriteTo container). A container holding a
+// bare *TopK is wrapped for concurrent use, so the result is always safe
+// to serve. A missing file is not an error: it returns (nil, nil) so a
+// daemon's first start falls through to fresh construction.
+func LoadSnapshot(path string) (heavykeeper.Summarizer, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sum, err := heavykeeper.ReadSummarizer(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: restoring %s: %w", path, err)
+	}
+	return heavykeeper.Synchronized(sum), nil
+}
+
+// Shutdown stops the server: listeners close immediately (no new
+// connections or datagrams), established ingest connections get a short
+// read-deadline grace (drainGrace, clipped to ctx's deadline) to finish
+// in-flight frames before being force-closed, the HTTP server shuts down
+// gracefully, and — when persistence is configured — a final snapshot is
+// written. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stopSnap)
+	s.closeListeners()
+
+	// An idle collector connection never drains "naturally" — it just
+	// blocks in a read between frame bursts. A short read deadline lets a
+	// conn that is mid-burst finish its current frames while an idle one
+	// errors out immediately, so routine restarts don't burn the whole
+	// grace period.
+	s.mu.Lock()
+	drainBy := time.Now().Add(drainGrace)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(drainBy) {
+		drainBy = dl
+	}
+	for conn := range s.conns {
+		conn.SetReadDeadline(drainBy)
+	}
+	s.mu.Unlock()
+
+	var httpErr error
+	if s.httpSv != nil {
+		httpErr = s.httpSv.Shutdown(ctx)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace expired: sever the stragglers and wait for their handlers.
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	var snapErr error
+	if s.cfg.SnapshotPath != "" {
+		snapErr = s.Snapshot()
+	}
+	if snapErr != nil {
+		return snapErr
+	}
+	return httpErr
+}
+
+// closeListeners closes whichever listeners are open.
+func (s *Server) closeListeners() {
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+	}
+	if s.udpLn != nil {
+		s.udpLn.Close()
+	}
+	if s.httpLn != nil {
+		s.httpLn.Close()
+	}
+}

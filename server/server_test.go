@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	heavykeeper "repro"
+	"repro/wire"
+)
+
+// testKeys builds a deterministic skewed keyset: flow i dominates flow
+// i+1, so the top of the report is stable across orderings.
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, 0, n)
+	for p := 0; p < n; p++ {
+		i := 0
+		for r := p; r%2 == 1 && i < 199; r /= 2 {
+			i++
+		}
+		keys = append(keys, fmt.Appendf(nil, "flow-%05d", i))
+	}
+	return keys
+}
+
+// startTestServer builds a Concurrent-backed server on ephemeral
+// loopback ports and returns it with a same-configuration twin for
+// equivalence checks.
+func startTestServer(t *testing.T, opts ...func(*Config)) (*Server, heavykeeper.Summarizer) {
+	t.Helper()
+	newSum := func() heavykeeper.Summarizer {
+		return heavykeeper.MustNew(20, heavykeeper.WithConcurrency(),
+			heavykeeper.WithSeed(42), heavykeeper.WithMemory(32<<10))
+	}
+	cfg := Config{
+		Summarizer: newSum(),
+		TCPAddr:    "127.0.0.1:0",
+		UDPAddr:    "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Info:       map[string]string{"algo": "heavykeeper"},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, newSum()
+}
+
+// sendTCP streams keys to addr as wire frames of the given batch size.
+func sendTCP(t *testing.T, addr net.Addr, keys [][]byte, batch int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial %v: %v", addr, err)
+	}
+	defer conn.Close()
+	var frame []byte
+	for lo := 0; lo < len(keys); lo += batch {
+		hi := min(lo+batch, len(keys))
+		frame, err = wire.AppendFrame(frame[:0], keys[lo:hi], nil)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+}
+
+// waitRecords polls /stats until the server has ingested want records.
+func waitRecords(t *testing.T, httpAddr net.Addr, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st struct {
+			Server struct {
+				Records uint64 `json:"records"`
+			} `json:"server"`
+		}
+		getJSON(t, httpAddr, "/stats", &st)
+		if st.Server.Records >= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never reached %d ingested records", want)
+}
+
+func getJSON(t *testing.T, addr net.Addr, path string, v any) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr.String() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decoding: %v", path, err)
+	}
+}
+
+type topKDoc struct {
+	K     int `json:"k"`
+	Flows []struct {
+		ID    string `json:"id"`
+		Count uint64 `json:"count"`
+	} `json:"flows"`
+}
+
+// assertMatchesTwin checks the server's /topk and /query answers against
+// a twin summarizer that ingested the same keys directly.
+func assertMatchesTwin(t *testing.T, httpAddr net.Addr, twin heavykeeper.Summarizer) {
+	t.Helper()
+	var doc topKDoc
+	getJSON(t, httpAddr, "/topk", &doc)
+	want := twin.List()
+	if len(doc.Flows) != len(want) {
+		t.Fatalf("/topk has %d flows, twin has %d", len(doc.Flows), len(want))
+	}
+	for i, f := range doc.Flows {
+		wantID := hex.EncodeToString(want[i].ID)
+		if f.ID != wantID || f.Count != want[i].Count {
+			t.Fatalf("/topk[%d] = %s/%d, twin %s/%d", i, f.ID, f.Count, wantID, want[i].Count)
+		}
+	}
+	for _, probe := range []string{"flow-00000", "flow-00003", "flow-00199", "never-seen"} {
+		var q struct {
+			Count uint64 `json:"count"`
+		}
+		getJSON(t, httpAddr, "/query?id="+hex.EncodeToString([]byte(probe)), &q)
+		if wantC := twin.Query([]byte(probe)); q.Count != wantC {
+			t.Fatalf("/query %s = %d, twin %d", probe, q.Count, wantC)
+		}
+	}
+}
+
+func TestEndToEndTCP(t *testing.T) {
+	srv, twin := startTestServer(t)
+	keys := testKeys(30000)
+	sendTCP(t, srv.TCPAddr(), keys, 256)
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+
+	for lo := 0; lo < len(keys); lo += 256 {
+		twin.AddBatch(keys[lo:min(lo+256, len(keys))])
+	}
+	assertMatchesTwin(t, srv.HTTPAddr(), twin)
+}
+
+func TestEndToEndUDP(t *testing.T) {
+	srv, twin := startTestServer(t)
+	keys := testKeys(12800)
+	conn, err := net.Dial("udp", srv.UDPAddr().String())
+	if err != nil {
+		t.Fatalf("dial udp: %v", err)
+	}
+	defer conn.Close()
+	var frame []byte
+	const batch = 64
+	for lo := 0; lo < len(keys); lo += batch {
+		hi := min(lo+batch, len(keys))
+		frame, err = wire.AppendFrame(frame[:0], keys[lo:hi], nil)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("udp write: %v", err)
+		}
+		// Loopback UDP can still overrun the receive buffer; a short
+		// breather every few frames keeps the test deterministic.
+		if (lo/batch)%8 == 7 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+
+	for lo := 0; lo < len(keys); lo += batch {
+		twin.AddBatch(keys[lo:min(lo+batch, len(keys))])
+	}
+	assertMatchesTwin(t, srv.HTTPAddr(), twin)
+}
+
+func TestEndToEndWeightedFrames(t *testing.T) {
+	srv, twin := startTestServer(t)
+	keys := [][]byte{[]byte("wa"), []byte("wb"), []byte("wc")}
+	weights := []uint64{100, 10, 1}
+	frame, err := wire.AppendFrame(nil, keys, weights)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	conn, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.Close()
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+
+	for i, k := range keys {
+		twin.AddN(k, weights[i])
+	}
+	assertMatchesTwin(t, srv.HTTPAddr(), twin)
+}
+
+func TestMalformedStreamCounted(t *testing.T) {
+	srv, _ := startTestServer(t)
+	conn, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.Write([]byte("definitely not a frame header"))
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var st struct {
+			Server struct {
+				DecodeErrors uint64 `json:"decode_errors"`
+			} `json:"server"`
+		}
+		getJSON(t, srv.HTTPAddr(), "/stats", &st)
+		if st.Server.DecodeErrors >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("decode error never counted")
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	srv, _ := startTestServer(t)
+	sendTCP(t, srv.TCPAddr(), testKeys(1000), 100)
+	waitRecords(t, srv.HTTPAddr(), 1000)
+
+	var ix struct {
+		Available bool `json:"available"`
+		Stats     *struct {
+			TableSize int `json:"table_size"`
+		} `json:"stats"`
+	}
+	getJSON(t, srv.HTTPAddr(), "/indexstats", &ix)
+	if !ix.Available || ix.Stats == nil || ix.Stats.TableSize == 0 {
+		t.Errorf("/indexstats not surfaced for Concurrent: %+v", ix)
+	}
+
+	var cfg map[string]string
+	getJSON(t, srv.HTTPAddr(), "/config", &cfg)
+	if cfg["algo"] != "heavykeeper" || cfg["k"] != "20" {
+		t.Errorf("/config = %v", cfg)
+	}
+
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE hkd_ingest_records_total counter",
+		"hkd_ingest_records_total 1000",
+		`hkd_ingest_frames_total{transport="tcp"} 10`,
+		"hkd_engine_packets_total 1000",
+		"# TYPE hkd_store_index_occupied gauge",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get("http://" + srv.HTTPAddr().String() + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func TestSnapshotRestartRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "hkd.snap")
+	srv, twin := startTestServer(t, func(c *Config) {
+		c.SnapshotPath = snap
+		c.SnapshotInterval = time.Hour // periodic loop stays quiet; shutdown writes
+	})
+	keys := testKeys(20000)
+	sendTCP(t, srv.TCPAddr(), keys, 256)
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	restored, err := LoadSnapshot(snap)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if restored == nil {
+		t.Fatal("snapshot file missing after shutdown")
+	}
+	srv2, err := New(Config{Summarizer: restored, TCPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New (restart): %v", err)
+	}
+	if err := srv2.Start(); err != nil {
+		t.Fatalf("Start (restart): %v", err)
+	}
+	defer srv2.Shutdown(context.Background())
+
+	for lo := 0; lo < len(keys); lo += 256 {
+		twin.AddBatch(keys[lo:min(lo+256, len(keys))])
+	}
+	// The restarted daemon answers with the pre-restart counts...
+	assertMatchesTwin(t, srv2.HTTPAddr(), twin)
+	// ...and keeps ingesting on top of them.
+	more := testKeys(5000)
+	sendTCP(t, srv2.TCPAddr(), more, 128)
+	waitRecords(t, srv2.HTTPAddr(), uint64(len(more)))
+	for lo := 0; lo < len(more); lo += 128 {
+		twin.AddBatch(more[lo:min(lo+128, len(more))])
+	}
+	assertMatchesTwin(t, srv2.HTTPAddr(), twin)
+}
+
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	sum, err := LoadSnapshot(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || sum != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", sum, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil summarizer accepted")
+	}
+	if _, err := New(Config{Summarizer: heavykeeper.MustNew(5, heavykeeper.WithConcurrency())}); err == nil {
+		t.Error("no listener accepted")
+	}
+	// A bare TopK has no synchronization; serving it would race.
+	if _, err := New(Config{Summarizer: heavykeeper.MustNew(5), TCPAddr: ":0"}); err == nil {
+		t.Error("bare *TopK accepted")
+	}
+	if _, err := New(Config{Summarizer: heavykeeper.Synchronized(heavykeeper.MustNew(5)), TCPAddr: "127.0.0.1:0"}); err != nil {
+		t.Errorf("Synchronized-wrapped TopK rejected: %v", err)
+	}
+	// A registry-engine summarizer cannot back a snapshotting server.
+	reg := heavykeeper.MustNew(5, heavykeeper.WithAlgorithm("spacesaving"))
+	if _, err := New(Config{Summarizer: reg, TCPAddr: ":0", SnapshotPath: "x"}); err == nil {
+		t.Error("snapshot path with snapshot-incapable summarizer accepted")
+	}
+}

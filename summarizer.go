@@ -74,6 +74,7 @@ var (
 	_ Summarizer = (*Sharded)(nil)
 
 	_ StoreIndexReporter = (*TopK)(nil)
+	_ StoreIndexReporter = (*Concurrent)(nil)
 	_ StoreIndexReporter = (*Sharded)(nil)
 )
 

@@ -1,0 +1,136 @@
+package heavykeeper
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindow(10, 1); !errors.Is(err, ErrInvalidWindow) {
+		t.Fatalf("window size 1: got %v, want ErrInvalidWindow", err)
+	}
+	if _, err := NewWindow(0, 100); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k 0: got %v, want ErrInvalidK", err)
+	}
+	if _, err := NewWindow(10, 100, WithAlgorithm("spacesaving")); !errors.Is(err, ErrOptionConflict) {
+		t.Fatalf("non-HK algorithm: got %v, want ErrOptionConflict", err)
+	}
+	if _, err := NewWindow(10, 100, WithShards(4)); !errors.Is(err, ErrOptionConflict) {
+		t.Fatalf("WithShards: got %v, want ErrOptionConflict", err)
+	}
+	if _, err := NewWindow(10, 100, WithConcurrency()); !errors.Is(err, ErrOptionConflict) {
+		t.Fatalf("WithConcurrency: got %v, want ErrOptionConflict", err)
+	}
+}
+
+func TestWindowForgetsOldTraffic(t *testing.T) {
+	w := MustNewWindow(5, 1000, WithSeed(9))
+	heavy := []byte("early-elephant")
+	for i := 0; i < 400; i++ {
+		w.Add(heavy)
+	}
+	if w.Query(heavy) == 0 {
+		t.Fatal("fresh elephant not visible")
+	}
+	// Push two full windows of other traffic past it; the early elephant
+	// must be gone from the report and the estimate.
+	for i := 0; i < 2000; i++ {
+		w.Add(fmt.Appendf(nil, "late-%04d", i%50))
+	}
+	if got := w.Query(heavy); got != 0 {
+		t.Fatalf("elephant older than the window still reports %d", got)
+	}
+	for _, f := range w.List() {
+		if bytes.Equal(f.ID, heavy) {
+			t.Fatal("expired elephant still listed")
+		}
+	}
+	if w.Rotations() < 2 {
+		t.Fatalf("expected >= 2 rotations, got %d", w.Rotations())
+	}
+}
+
+func TestWindowBatchMatchesSequential(t *testing.T) {
+	seq := MustNewWindow(10, 500, WithSeed(3))
+	bat := MustNewWindow(10, 500, WithSeed(3))
+	keys := make([][]byte, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		keys = append(keys, fmt.Appendf(nil, "flow-%03d", i%200))
+	}
+	for _, k := range keys {
+		seq.Add(k)
+	}
+	// Batches that straddle pane boundaries must rotate identically.
+	for lo := 0; lo < len(keys); lo += 171 {
+		hi := min(lo+171, len(keys))
+		bat.AddBatch(keys[lo:hi])
+	}
+	if seq.Rotations() != bat.Rotations() {
+		t.Fatalf("rotations differ: %d vs %d", seq.Rotations(), bat.Rotations())
+	}
+	ls, lb := seq.List(), bat.List()
+	if len(ls) != len(lb) {
+		t.Fatalf("report sizes differ: %d vs %d", len(ls), len(lb))
+	}
+	for i := range ls {
+		if !bytes.Equal(ls[i].ID, lb[i].ID) || ls[i].Count != lb[i].Count {
+			t.Fatalf("report[%d]: %q/%d vs %q/%d", i, ls[i].ID, ls[i].Count, lb[i].ID, lb[i].Count)
+		}
+	}
+}
+
+func TestWindowSummarizerSurface(t *testing.T) {
+	var s Summarizer = MustNewWindow(5, 100)
+	s.AddString("hello")
+	s.AddN([]byte("hello"), 3)
+	if got := s.Query([]byte("hello")); got != 4 {
+		t.Fatalf("Query = %d, want 4", got)
+	}
+	if s.K() != 5 {
+		t.Fatalf("K = %d", s.K())
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+	if s.Stats().Packets == 0 {
+		t.Fatal("Stats.Packets is zero after ingest")
+	}
+	n := 0
+	for range s.All() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("All yielded %d flows, want 1", n)
+	}
+	if err := s.Merge(MustNew(5)); !errors.Is(err, ErrMergeUnsupported) {
+		t.Fatalf("Merge: got %v, want ErrMergeUnsupported", err)
+	}
+}
+
+func TestWindowConcurrentUse(t *testing.T) {
+	w := MustNewWindow(10, 2048)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				w.Add(fmt.Appendf(nil, "g%d-%04d", g, i%64))
+				if i%128 == 0 {
+					w.List()
+					w.Query([]byte("g0-0000"))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Retired panes take their counters with them, so Stats covers at most
+	// the live panes' share of the 8000 adds — but never zero or more than
+	// one full window.
+	if p := w.Stats().Packets; p == 0 || p > 2048 {
+		t.Fatalf("Packets = %d, want within (0, 2048]", p)
+	}
+}

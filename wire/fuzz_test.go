@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary byte streams at the frame decoder. The
+// contract under attack: decoding never panics, every failure matches
+// ErrCorrupt (or is a clean io.EOF between frames), and every frame the
+// decoder does accept re-encodes to semantically identical records.
+func FuzzWireDecode(f *testing.F) {
+	seed, _ := AppendFrame(nil, [][]byte{[]byte("flow-a"), []byte("flow-b")}, nil)
+	f.Add(seed)
+	weighted, _ := AppendFrame(nil, [][]byte{[]byte("w")}, []uint64{1 << 33})
+	f.Add(weighted)
+	f.Add(append(seed, weighted...))
+	f.Add([]byte("HK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			b, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("decode error %v does not match ErrCorrupt", err)
+				}
+				break
+			}
+			if b.Weights != nil && len(b.Weights) != 0 && len(b.Weights) != len(b.Keys) {
+				t.Fatalf("decoded %d keys but %d weights", len(b.Keys), len(b.Weights))
+			}
+			// Round-trip: an accepted frame must re-encode and decode to
+			// the same records.
+			var ws []uint64
+			if len(b.Weights) > 0 {
+				ws = b.Weights
+			}
+			re, err := AppendFrame(nil, b.Keys, ws)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			var back Batch
+			if err := DecodeDatagram(re, &back); err != nil {
+				t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+			}
+			if len(back.Keys) != len(b.Keys) {
+				t.Fatalf("round trip changed record count: %d vs %d", len(back.Keys), len(b.Keys))
+			}
+			for i := range back.Keys {
+				if !bytes.Equal(back.Keys[i], b.Keys[i]) {
+					t.Fatalf("round trip changed key %d", i)
+				}
+				if ws != nil && back.Weights[i] != ws[i] {
+					t.Fatalf("round trip changed weight %d", i)
+				}
+			}
+		}
+
+		// The datagram entry point must hold the same no-panic, typed-error
+		// contract on the raw bytes.
+		var b Batch
+		if err := DecodeDatagram(data, &b); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeDatagram error %v does not match ErrCorrupt", err)
+		}
+	})
+}

@@ -1,0 +1,318 @@
+// Package wire defines the hkd ingest wire protocol: a compact,
+// length-prefixed, versioned binary framing for batched key/weight arrival
+// records, designed so a measurement point can push millions of flow
+// arrivals per second over a TCP stream (or one frame per UDP datagram)
+// into a Summarizer's AddBatch path.
+//
+// # Frame layout
+//
+// Every frame is an 8-byte header followed by a payload:
+//
+//	offset  size  field
+//	0       2     magic "HK" (0x48 0x4B)
+//	2       1     protocol version (currently 1)
+//	3       1     frame type
+//	4       4     payload length, uint32 little-endian (0 .. MaxPayload)
+//	8       n     payload
+//
+// Two frame types carry arrivals:
+//
+//	TypeBatch (1): count uint32, then count records of
+//	    keyLen uint16 | key bytes
+//	  — each record is one unit-weight arrival (one packet).
+//
+//	TypeWeightedBatch (2): count uint32, then count records of
+//	    keyLen uint16 | key bytes | weight uvarint
+//	  — each record is a weight-n arrival (n packets, or n bytes when
+//	  ranking flows by volume).
+//
+// All fixed-width integers are little-endian; weights are unsigned
+// varints (encoding/binary uvarint) so the common small weights cost one
+// byte. Keys are opaque byte strings up to MaxKeyLen bytes.
+//
+// # Zero-allocation decode
+//
+// DecodePayload parses a payload in place: the decoded Batch's Keys are
+// subslices of the payload buffer, exactly the [][]byte shape the
+// Summarizer.AddBatch scratch wants, so a steady-state reader allocates
+// nothing per frame once its record slices have grown to the high-water
+// mark. Reader wraps an io.Reader (a TCP connection) with a reusable
+// frame buffer and hands out one Batch per call.
+//
+// Every malformed input — bad magic, unknown version or type, oversized
+// declaration, truncated or overrunning records, trailing garbage —
+// returns an error matching ErrCorrupt (errors.Is); decoding never
+// panics. Frames are validated structurally before any record is
+// surfaced, so a consumer never ingests half a frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version this package encodes and decodes.
+const Version = 1
+
+// Frame types.
+const (
+	// TypeBatch carries unit-weight arrival records.
+	TypeBatch = 1
+	// TypeWeightedBatch carries weight-carrying arrival records.
+	TypeWeightedBatch = 2
+)
+
+// Wire limits. MaxPayload bounds the memory a peer can make a reader
+// commit before any record is validated; MaxKeyLen matches the uint16
+// record length field. Both are protocol constants: an encoder never
+// produces frames beyond them and a decoder rejects frames that declare
+// more.
+const (
+	// HeaderLen is the fixed frame header size in bytes.
+	HeaderLen = 8
+	// MaxPayload is the largest payload a frame may declare (4 MiB).
+	MaxPayload = 4 << 20
+	// MaxKeyLen is the largest key one record can carry.
+	MaxKeyLen = 1<<16 - 1
+)
+
+const (
+	magic0 = 'H'
+	magic1 = 'K'
+)
+
+// ErrCorrupt is the base error for every malformed-frame condition;
+// callers branch with errors.Is. The concrete wrapped errors below
+// describe the specific violation.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// Typed corruption causes, all matching ErrCorrupt via errors.Is.
+var (
+	ErrBadMagic    = fmt.Errorf("%w: bad magic", ErrCorrupt)
+	ErrBadVersion  = fmt.Errorf("%w: unsupported protocol version", ErrCorrupt)
+	ErrBadType     = fmt.Errorf("%w: unknown frame type", ErrCorrupt)
+	ErrOversize    = fmt.Errorf("%w: declared payload exceeds MaxPayload", ErrCorrupt)
+	ErrTruncated   = fmt.Errorf("%w: payload shorter than its records", ErrCorrupt)
+	ErrTrailing    = fmt.Errorf("%w: payload longer than its records", ErrCorrupt)
+	ErrKeyTooLong  = fmt.Errorf("%w: key exceeds MaxKeyLen", ErrCorrupt)
+	ErrBadWeight   = fmt.Errorf("%w: malformed weight varint", ErrCorrupt)
+	ErrCountsAhead = fmt.Errorf("%w: record count exceeds payload capacity", ErrCorrupt)
+)
+
+// Header is a parsed frame header.
+type Header struct {
+	Version byte
+	Type    byte
+	// Length is the payload length in bytes.
+	Length uint32
+}
+
+// ParseHeader validates the 8 fixed header bytes. It checks magic,
+// version, type and the payload bound, so a reader can reject a garbage
+// stream before committing any payload buffer.
+func ParseHeader(b [HeaderLen]byte) (Header, error) {
+	if b[0] != magic0 || b[1] != magic1 {
+		return Header{}, ErrBadMagic
+	}
+	h := Header{
+		Version: b[2],
+		Type:    b[3],
+		Length:  binary.LittleEndian.Uint32(b[4:]),
+	}
+	if h.Version != Version {
+		return Header{}, ErrBadVersion
+	}
+	if h.Type != TypeBatch && h.Type != TypeWeightedBatch {
+		return Header{}, ErrBadType
+	}
+	if h.Length > MaxPayload {
+		return Header{}, ErrOversize
+	}
+	return h, nil
+}
+
+// Batch is one decoded frame's arrival records. Keys alias the payload
+// buffer they were decoded from: they are valid until the next decode
+// into the same buffer and must not be retained (Summarizer ingest paths
+// copy on admission, so handing a Batch straight to AddBatch is safe).
+// Weights is nil for a unit-weight frame (TypeBatch) and parallel to
+// Keys for a weighted one.
+type Batch struct {
+	Keys    [][]byte
+	Weights []uint64
+}
+
+// Records returns the number of arrival records in the batch.
+func (b *Batch) Records() int { return len(b.Keys) }
+
+// reset clears the batch for reuse without releasing capacity.
+func (b *Batch) reset() {
+	b.Keys = b.Keys[:0]
+	b.Weights = b.Weights[:0]
+}
+
+// DecodePayload parses one frame payload of the given type into dst,
+// reusing dst's slices. The decoded keys alias payload. The payload must
+// be exactly the frame's declared length: short records return
+// ErrTruncated, leftover bytes return ErrTrailing.
+func DecodePayload(typ byte, payload []byte, dst *Batch) error {
+	dst.reset()
+	weighted := false
+	switch typ {
+	case TypeBatch:
+	case TypeWeightedBatch:
+		weighted = true
+	default:
+		return ErrBadType
+	}
+	if len(payload) < 4 {
+		return ErrTruncated
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	payload = payload[4:]
+	// Each record is at least 2 bytes of length prefix (+1 weight byte),
+	// so a count the remaining bytes cannot possibly back is rejected
+	// before any slice growth.
+	min := uint64(count) * 2
+	if weighted {
+		min = uint64(count) * 3
+	}
+	if min > uint64(len(payload)) {
+		return ErrCountsAhead
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(payload) < 2 {
+			return ErrTruncated
+		}
+		klen := int(binary.LittleEndian.Uint16(payload))
+		payload = payload[2:]
+		if klen > len(payload) {
+			return ErrTruncated
+		}
+		dst.Keys = append(dst.Keys, payload[:klen:klen])
+		payload = payload[klen:]
+		if weighted {
+			w, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return ErrBadWeight
+			}
+			payload = payload[n:]
+			dst.Weights = append(dst.Weights, w)
+		}
+	}
+	if len(payload) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// AppendFrame appends one encoded frame carrying keys (and, when weights
+// is non-nil, the parallel per-key weights) to dst and returns the
+// extended slice. It is the encoder counterpart of Reader/DecodePayload;
+// callers reuse dst across frames for an allocation-free send loop.
+// Frames that would violate the protocol bounds (key too long, payload
+// past MaxPayload) return an error and leave dst unchanged.
+func AppendFrame(dst []byte, keys [][]byte, weights []uint64) ([]byte, error) {
+	typ := byte(TypeBatch)
+	if weights != nil {
+		if len(weights) != len(keys) {
+			return dst, fmt.Errorf("wire: %d keys but %d weights", len(keys), len(weights))
+		}
+		typ = TypeWeightedBatch
+	}
+	payload := 4
+	for i, k := range keys {
+		if len(k) > MaxKeyLen {
+			return dst, ErrKeyTooLong
+		}
+		payload += 2 + len(k)
+		if weights != nil {
+			var tmp [binary.MaxVarintLen64]byte
+			payload += binary.PutUvarint(tmp[:], weights[i])
+		}
+	}
+	if payload > MaxPayload {
+		return dst, ErrOversize
+	}
+	base := len(dst)
+	dst = append(dst, magic0, magic1, Version, typ, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(dst[base+4:], uint32(payload))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for i, k := range keys {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+		if weights != nil {
+			dst = binary.AppendUvarint(dst, weights[i])
+		}
+	}
+	return dst, nil
+}
+
+// Reader decodes a stream of frames from an io.Reader (typically a TCP
+// connection). It owns one payload buffer and one Batch, both reused
+// across frames, so steady-state reading does not allocate. A Reader is
+// not safe for concurrent use.
+type Reader struct {
+	r     io.Reader
+	buf   []byte
+	hdr   [HeaderLen]byte // reused so the header read never escapes per call
+	batch Batch
+}
+
+// NewReader returns a Reader decoding frames from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Next reads and decodes the next frame, returning its batch. The batch
+// (keys included) is valid only until the following Next call. At clean
+// end of stream (between frames) it returns io.EOF; a stream ending
+// inside a frame returns an ErrCorrupt-matching error wrapping
+// io.ErrUnexpectedEOF; any other malformed input returns its typed
+// ErrCorrupt cause.
+func (r *Reader) Next() (*Batch, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
+	}
+	h, err := ParseHeader(r.hdr)
+	if err != nil {
+		return nil, err
+	}
+	if cap(r.buf) < int(h.Length) {
+		r.buf = make([]byte, h.Length)
+	}
+	r.buf = r.buf[:h.Length]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %w", ErrCorrupt, err)
+	}
+	if err := DecodePayload(h.Type, r.buf, &r.batch); err != nil {
+		return nil, err
+	}
+	return &r.batch, nil
+}
+
+// DecodeDatagram parses one datagram holding exactly one frame (header
+// plus payload, nothing else) into dst — the UDP shape of the protocol.
+func DecodeDatagram(dgram []byte, dst *Batch) error {
+	if len(dgram) < HeaderLen {
+		return ErrTruncated
+	}
+	var hdr [HeaderLen]byte
+	copy(hdr[:], dgram)
+	h, err := ParseHeader(hdr)
+	if err != nil {
+		return err
+	}
+	if len(dgram)-HeaderLen != int(h.Length) {
+		if len(dgram)-HeaderLen < int(h.Length) {
+			return ErrTruncated
+		}
+		return ErrTrailing
+	}
+	return DecodePayload(h.Type, dgram[HeaderLen:], dst)
+}

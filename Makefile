@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare fuzz-smoke throughput examples algo-smoke hkd-smoke
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,11 @@ bench-compare:
 		echo "== $(BASE) =="; grep ^Benchmark "$$tmp/old.txt"; \
 		echo "== working tree =="; grep ^Benchmark "$$tmp/new.txt"; \
 	fi
+
+# docs-lint checks that relative links in README.md and doc/*.md resolve and
+# that fenced ```go snippets are gofmt-formatted (CI runs this target).
+docs-lint:
+	$(GO) run ./cmd/doclint
 
 # fuzz-smoke gives the snapshot decoder, the open-addressed store index and
 # the ingest wire-frame decoder a short adversarial workout (CI runs this

@@ -1,0 +1,111 @@
+// Command doclint keeps the repository's markdown documentation honest.
+// It checks, for README.md and every file under doc/:
+//
+//   - that relative markdown links resolve to files that exist in the
+//     repository (external http/https/mailto links and pure #anchors are
+//     skipped), so code moves cannot silently strand the docs; and
+//   - that fenced ```go code blocks are gofmt-formatted. Snippets that are
+//     deliberate fragments (not parseable as a file, declaration list or
+//     statement list) are skipped — the check gates style, not
+//     compilability, which `make examples` covers for the runnable paths.
+//
+// Exit status is non-zero if any check fails; CI runs this via
+// `make docs-lint`.
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are not used in this repository's docs.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	files := []string{filepath.Join(root, "README.md")}
+	docGlob, _ := filepath.Glob(filepath.Join(root, "doc", "*.md"))
+	sort.Strings(docGlob)
+	files = append(files, docGlob...)
+
+	fails := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			fails++
+			continue
+		}
+		fails += checkLinks(root, f, string(data))
+		fails += checkGoFences(f, string(data))
+	}
+	if fails > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", fails)
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: %d file(s) clean\n", len(files))
+}
+
+// checkLinks verifies every relative link target in file exists on disk,
+// resolved against the file's own directory (the way a markdown renderer
+// resolves it).
+func checkLinks(root, file, text string) int {
+	fails := 0
+	for _, line := range strings.Split(text, "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" { // pure in-page anchor
+				continue
+			}
+			p := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(p); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken link %q (resolved %s)\n", file, m[1], p)
+				fails++
+			}
+		}
+	}
+	return fails
+}
+
+// checkGoFences gofmt-checks every ```go fenced block that parses. The
+// fence content is compared after trimming trailing whitespace so a
+// missing final newline inside a fence is not an error.
+func checkGoFences(file, text string) int {
+	fails := 0
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		if j == len(lines) {
+			fmt.Fprintf(os.Stderr, "%s:%d: unterminated ```go fence\n", file, i+1)
+			return fails + 1
+		}
+		src := strings.Join(lines[start:j], "\n")
+		formatted, err := format.Source([]byte(src))
+		if err == nil && strings.TrimRight(string(formatted), "\n") != strings.TrimRight(src, "\n") {
+			fmt.Fprintf(os.Stderr, "%s:%d: go snippet is not gofmt-formatted\n", file, start+1)
+			fails++
+		}
+		i = j
+	}
+	return fails
+}

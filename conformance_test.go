@@ -29,6 +29,10 @@ type conformanceProps struct {
 	neverUnder bool
 	// merges: Merge folds two instances; false expects ErrMergeUnsupported.
 	merges bool
+	// batch: the engine implements BatchEngine (a chunked staged batch
+	// path); false means a plain Engine whose AddBatch falls back to the
+	// per-key loop. Either way batch ingest must equal sequential ingest.
+	batch bool
 	// minRecall is the required recall of the true top-k in List, at the
 	// suite's 32 KB budget on its 50k-packet zipfian stream.
 	minRecall float64
@@ -38,12 +42,12 @@ type conformanceProps struct {
 // A new registry algorithm must be added here (the suite fails if the
 // registry and this table drift apart).
 var conformanceAlgos = map[string]conformanceProps{
-	heavykeeper.AlgorithmHeavyKeeper:        {neverOver: true, merges: true, minRecall: 0.85},
-	heavykeeper.AlgorithmHeavyKeeperMinimum: {neverOver: true, merges: true, minRecall: 0.85},
-	heavykeeper.AlgorithmHeavyKeeperBasic:   {neverOver: true, merges: true, minRecall: 0.85},
-	heavykeeper.AlgorithmSpaceSaving:        {neverUnder: true, minRecall: 0.75},
-	heavykeeper.AlgorithmCSS:                {neverUnder: true, minRecall: 0.75},
-	heavykeeper.AlgorithmHeavyGuardian:      {neverOver: true, minRecall: 0.75},
+	heavykeeper.AlgorithmHeavyKeeper:        {neverOver: true, merges: true, batch: true, minRecall: 0.85},
+	heavykeeper.AlgorithmHeavyKeeperMinimum: {neverOver: true, merges: true, batch: true, minRecall: 0.85},
+	heavykeeper.AlgorithmHeavyKeeperBasic:   {neverOver: true, merges: true, batch: true, minRecall: 0.85},
+	heavykeeper.AlgorithmSpaceSaving:        {neverUnder: true, batch: true, minRecall: 0.75},
+	heavykeeper.AlgorithmCSS:                {neverUnder: true, batch: true, minRecall: 0.75},
+	heavykeeper.AlgorithmHeavyGuardian:      {neverOver: true, batch: true, minRecall: 0.75},
 	heavykeeper.AlgorithmFrequent:           {neverOver: true, minRecall: 0.75},
 	heavykeeper.AlgorithmLossyCounting:      {neverUnder: true, minRecall: 0.75},
 }
@@ -104,6 +108,79 @@ func TestConformance(t *testing.T) {
 				checkMerge(t, build, k, algo, props, stream, trueTop)
 			})
 		}
+	}
+}
+
+// TestEngineBatchConformance pins the engine-level batch contract beneath
+// the frontends: each algorithm's declared BatchEngine support matches what
+// BuildEngine returns, and for batch engines InsertBatchHashed — self-hashing
+// (nil hashes) and with caller-precomputed hashes — is bit-identical to a
+// loop over Insert: same Top report, same estimates, same event counters
+// (the counters also pin one-hash accounting: a batch that hashed twice or
+// probed differently would shift them).
+func TestEngineBatchConformance(t *testing.T) {
+	const k = 20
+	stream, exact := skewedConformance(50_000, 2_000, 9)
+	cfg := heavykeeper.EngineConfig{K: k, MemoryBytes: 32 << 10, Seed: 42}
+
+	for algo, props := range conformanceAlgos {
+		t.Run(algo, func(t *testing.T) {
+			mk := func() heavykeeper.Engine {
+				e, err := heavykeeper.BuildEngine(algo, cfg)
+				if err != nil {
+					t.Fatalf("BuildEngine(%q): %v", algo, err)
+				}
+				return e
+			}
+			seq := mk()
+			_, isBatch := seq.(heavykeeper.BatchEngine)
+			if isBatch != props.batch {
+				t.Fatalf("BatchEngine support = %v, conformance table says %v", isBatch, props.batch)
+			}
+			if !isBatch {
+				return
+			}
+			self := mk().(heavykeeper.BatchEngine)
+			pre := mk().(heavykeeper.BatchEngine)
+
+			hashes := make([]uint64, len(stream))
+			for i, key := range stream {
+				hashes[i] = pre.KeyHash(key)
+			}
+			for _, key := range stream {
+				seq.Insert(key)
+			}
+			for off := 0; off < len(stream); {
+				n := 1 + (off*7)%613 // ragged batch sizes, some > any internal chunk
+				if off+n > len(stream) {
+					n = len(stream) - off
+				}
+				self.InsertBatchHashed(stream[off:off+n], nil)
+				off += n
+			}
+			pre.InsertBatchHashed(stream, hashes)
+
+			for name, got := range map[string]heavykeeper.Engine{"self-hashing": self, "prehashed": pre} {
+				if gs, ss := got.Stats(), seq.Stats(); gs != ss {
+					t.Errorf("%s: stats diverge from sequential:\nbatch      %+v\nsequential %+v", name, gs, ss)
+				}
+				gt, st := got.Top(k), seq.Top(k)
+				if len(gt) != len(st) {
+					t.Fatalf("%s: Top lengths diverge: %d vs %d", name, len(gt), len(st))
+				}
+				for i := range gt {
+					if !bytes.Equal(gt[i].ID, st[i].ID) || gt[i].Count != st[i].Count {
+						t.Fatalf("%s: Top[%d] = %q/%d, sequential %q/%d",
+							name, i, gt[i].ID, gt[i].Count, st[i].ID, st[i].Count)
+					}
+				}
+				for f := range exact {
+					if a, b := seq.Query([]byte(f)), got.Query([]byte(f)); a != b {
+						t.Fatalf("%s: Query(%q) = %d, sequential %d", name, f, b, a)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -185,6 +185,15 @@ func (e *ssEngine) Top(k int) []Flow {
 	return toFlows(e.s.Top(k), func(en spacesaving.Entry) (string, uint64) { return en.Key, en.Count })
 }
 
+// InsertBatchHashed routes batches to Space-Saving's grouped-probe batch
+// path (hash chunk, prefetch home slots, apply in stream order).
+func (e *ssEngine) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	e.packets += uint64(len(keys))
+	e.s.InsertBatchHashed(keys, hashes)
+}
+
+var _ BatchEngine = (*ssEngine)(nil)
+
 // --- Compact Space-Saving ---
 
 type cssEngine struct {
@@ -210,6 +219,15 @@ func (e *cssEngine) Top(k int) []Flow {
 	return toFlows(e.c.Top(k), func(en css.Entry) (string, uint64) { return en.Key, en.Count })
 }
 
+// InsertBatchHashed routes batches to CSS's grouped-probe batch path
+// (stage fingerprints per chunk, prefetch home slots, apply in stream order).
+func (e *cssEngine) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	e.packets += uint64(len(keys))
+	e.c.InsertBatchHashed(keys, hashes)
+}
+
+var _ BatchEngine = (*cssEngine)(nil)
+
 // --- HeavyGuardian ---
 
 type hgEngine struct {
@@ -234,6 +252,15 @@ func (e *hgEngine) MergeFrom(Engine) error                  { return mergeUnsupp
 func (e *hgEngine) Top(k int) []Flow {
 	return toFlows(e.g.Top(k), func(en heavyguardian.Entry) (string, uint64) { return en.Key, en.Count })
 }
+
+// InsertBatchHashed routes batches to HeavyGuardian's grouped-probe batch
+// path (stage bucket indexes per chunk, apply in stream order).
+func (e *hgEngine) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	e.packets += uint64(len(keys))
+	e.g.InsertBatchHashed(keys, hashes)
+}
+
+var _ BatchEngine = (*hgEngine)(nil)
 
 // --- Frequent (Misra–Gries) ---
 

@@ -50,7 +50,9 @@ func (s *Sketch) HashBatch(keys [][]byte) []uint64 {
 // sequential loop over InsertParallel; both receive the key's hash so store
 // probes need not re-derive it. Only hashing is done ahead of time, and
 // hashing depends on no mutable state, so the batch is bit-for-bit
-// equivalent to the sequential path (including the decay RNG stream). A nil
+// equivalent to the sequential path (including the decay RNG stream, which
+// is consumed lazily in probe order either way; pre-generating it per chunk
+// was measured slower — see doc/performance.md). A nil
 // gate means no Optimization II gating (every matching counter may
 // increment), which is the basic discipline.
 func (s *Sketch) InsertParallelBatch(keys [][]byte, hashes []uint64, gate func(i int, h uint64) (inHeap bool, nmin uint32), report func(i int, h uint64, est uint32)) {

@@ -124,6 +124,26 @@ func TestInsertParallelBatchPrehashed(t *testing.T) {
 	requireEqualState(t, self, pre, stream)
 }
 
+// TestAddBatchMatchesSequentialPow2 is the batch-equivalence contract over
+// the table-free power-of-two decay path: the RNG stream must line up draw
+// for draw there too, since the decay cutoff (and therefore which probes
+// consume a word) comes from the closed form instead of the table.
+func TestAddBatchMatchesSequentialPow2(t *testing.T) {
+	cfg := Config{W: 64, Seed: 17, B: 2}
+	seq := MustNew(cfg)
+	bat := MustNew(cfg)
+	stream := batchStream(20_000, 500, 271)
+
+	for _, k := range stream {
+		seq.InsertBasic(k)
+	}
+	bat.AddBatch(stream)
+	if seq.Stats().Decays == 0 {
+		t.Fatal("stream produced no decays; the pow2 RNG path went unexercised")
+	}
+	requireEqualState(t, seq, bat, stream)
+}
+
 // TestBatchExpansionMidChunk forces §III-F auto-expansion while a batch is
 // in flight: arrays appended mid-chunk must be hashed on demand and the
 // result must still match the sequential path.

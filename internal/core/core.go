@@ -361,13 +361,24 @@ func (s *Sketch) Fingerprint(key []byte) uint32 {
 }
 
 // shouldDecay performs one exponential-decay coin flip for counter value c.
+// The zero-probability region — the paper's "regard the probability as 0"
+// acceleration — is a single compare against the table's cutoff, with no
+// table load and no RNG draw; live counters compare an RNG word against the
+// fixed-point threshold (table-free for power-of-two bases).
+//
+// The draw is deliberately lazy, one rng.Next() per live probe: a
+// refill-ahead buffer of pre-generated words was built and measured here
+// and came out ~30% slower on the contested-insert microbenchmark — the
+// xorshift chain is six register ops the out-of-order core hides under the
+// slab cell loads, while a buffer adds L1 traffic, a cursor store-load
+// dependency and a bounds check per draw (see doc/performance.md, negative
+// results).
 func (s *Sketch) shouldDecay(c uint32) bool {
 	s.stats.DecayProbes++
-	th := s.decay.threshold(c)
-	if th == 0 {
+	if c == 0 || c >= s.decay.cut {
 		return false
 	}
-	return s.rng.Next() < th
+	return s.rng.Next() < s.decay.thresholdLive(c)
 }
 
 // InsertBasic records one packet of flow key using the basic discipline
@@ -407,28 +418,68 @@ func (s *Sketch) InsertParallel(key []byte, inHeap bool, nmin uint32) uint32 {
 // InsertParallelHashed is InsertParallel for a caller that precomputed
 // KeyHash. Semantics, statistics and RNG consumption are identical to
 // InsertParallel(key, inHeap, nmin). The common shape — a modern sketch at
-// the default d = 2 — derives both cell positions into a stack buffer with
-// the locate arithmetic inlined, skipping the s.pos scratch round-trip the
-// general locate path pays; the positions and fingerprint are the same
-// values locateHash would produce, so results are bit-identical.
+// the default d = 2 — derives both cell positions in registers with the
+// locate arithmetic inlined, skipping the s.pos scratch round-trip the
+// general locate path pays, and enters the two-cell update body directly;
+// the positions and fingerprint are the same values locateHash would
+// produce, so results are bit-identical.
 func (s *Sketch) InsertParallelHashed(key []byte, h uint64, inHeap bool, nmin uint32) uint32 {
 	if s.legacy == nil && s.d == 2 {
-		var buf [2]int
 		h1 := hash.Mix(s.h1Seed, h)
 		h2 := hash.Mix(s.h2Seed, h) | 1
-		buf[0] = int(hash.Reduce(h1, s.w))
-		buf[1] = s.cfg.W + int(hash.Reduce(h1+h2, s.w))
+		p0 := int(hash.Reduce(h1, s.w))
+		p1 := s.cfg.W + int(hash.Reduce(h1+h2, s.w))
 		fp := uint32(hash.Mix(s.fpSeed, h)) & s.fpMask
 		if fp == 0 {
 			fp = 1
 		}
-		return s.insertParallelAt(buf[:], fp, inHeap, nmin)
+		return s.insertParallel2At(p0, p1, fp, inHeap, nmin)
 	}
 	pos, fp := s.locateFor(key, h)
 	return s.insertParallelAt(pos, fp, inHeap, nmin)
 }
 
+// decayContested runs the contested-arm case for the foreign live cell at
+// flat position p: one exponential-decay coin flip (§III-B
+// count-with-exponential-decay), the decrement, and the takeover when the
+// counter reaches zero. It returns this arm's estimate contribution: 1 on a
+// takeover, 0 otherwise. The zero-probability region is a single compare
+// against the compiled cutoff — no table load, no RNG draw — so a resident
+// elephant's bucket costs one branch here; live counters draw exactly one
+// RNG word (batch.go's bit-for-bit contract pins the stream, so the draw
+// cannot be hoisted or batched; a refill-ahead buffer of pre-generated words
+// was also measured ~30% slower than the lazy draw — the xorshift chain is
+// six register ops the out-of-order core hides under the slab loads, while
+// a buffer adds L1 traffic, a cursor store-load dependency and a bounds
+// check per draw; see doc/performance.md, negative results).
+func (s *Sketch) decayContested(p int, cell uint64, fp uint32) uint32 {
+	c := cellC(cell)
+	s.stats.DecayProbes++
+	if c < s.decay.cut && s.rng.Next() < s.decay.thresholdLive(c) {
+		cell--
+		s.stats.Decays++
+		if cellC(cell) == 0 {
+			cell = packCell(fp, 1)
+			s.stats.Replacements++
+			s.slab[p] = cell
+			return 1
+		}
+		s.slab[p] = cell
+	}
+	return 0
+}
+
+// insertParallelAt is the Parallel-discipline cell update: the three-way case
+// analysis (empty-take / fingerprint-hit / decay-probe) per mapped cell. The
+// common shape — the default d = 2 — takes insertParallel2At, which hoists
+// both slab loads ahead of the case analysis; d != 2 (expanded sketches)
+// walks the general loop. Semantics, statistics and RNG consumption are
+// identical between the two shapes and to the single fused switch they
+// replace; TestInsertParallelAtMatchesReference pins that.
 func (s *Sketch) insertParallelAt(pos []int, fp uint32, inHeap bool, nmin uint32) uint32 {
+	if len(pos) == 2 {
+		return s.insertParallel2At(pos[0], pos[1], fp, inHeap, nmin)
+	}
 	s.stats.Packets++
 	var est uint32
 	blocked := true
@@ -464,20 +515,100 @@ func (s *Sketch) insertParallelAt(pos []int, fp uint32, inHeap bool, nmin uint32
 			if c < s.cfg.LargeC {
 				blocked = false
 			}
-			if s.shouldDecay(c) {
-				cell--
-				s.stats.Decays++
-				if cellC(cell) == 0 {
-					cell = packCell(fp, 1)
-					s.stats.Replacements++
-					if est < 1 {
-						est = 1
-					}
-				}
-				s.slab[p] = cell
+			if r := s.decayContested(p, cell, fp); est < r {
+				est = r
 			}
 		}
 	}
+	s.noteBlocked(blocked)
+	return est
+}
+
+// insertParallel2At is insertParallelAt for the default two-array shape. The
+// two flat positions live in disjoint slab rows (locateHash offsets each
+// array by W), so the loads are independent and neither case body's store
+// can alias the other cell; issuing both loads before any case analysis lets
+// them overlap their cache latency instead of serializing behind the first
+// cell's branches. The per-cell bodies are the same case analysis as the
+// general loop, in the same order, so statistics and the decay RNG stream
+// are consumed identically.
+func (s *Sketch) insertParallel2At(p0, p1 int, fp uint32, inHeap bool, nmin uint32) uint32 {
+	s.stats.Packets++
+	cell0 := s.slab[p0]
+	cell1 := s.slab[p1]
+	var est uint32
+	blocked := true
+
+	c := cellC(cell0)
+	switch {
+	case c == 0:
+		s.slab[p0] = packCell(fp, 1)
+		s.stats.EmptyTakes++
+		blocked = false
+		est = 1
+	case cellFP(cell0) == fp:
+		blocked = false
+		if inHeap || c <= nmin {
+			if c < s.maxC {
+				c++
+				s.slab[p0] = cell0 + 1
+			}
+			s.stats.Increments++
+			est = c
+		}
+	default:
+		blocked = c >= s.cfg.LargeC
+		s.stats.DecayProbes++
+		if c < s.decay.cut && s.rng.Next() < s.decay.thresholdLive(c) {
+			cell0--
+			s.stats.Decays++
+			if cellC(cell0) == 0 {
+				cell0 = packCell(fp, 1)
+				s.stats.Replacements++
+				est = 1
+			}
+			s.slab[p0] = cell0
+		}
+	}
+
+	c = cellC(cell1)
+	switch {
+	case c == 0:
+		s.slab[p1] = packCell(fp, 1)
+		s.stats.EmptyTakes++
+		blocked = false
+		if est < 1 {
+			est = 1
+		}
+	case cellFP(cell1) == fp:
+		blocked = false
+		if inHeap || c <= nmin {
+			if c < s.maxC {
+				c++
+				s.slab[p1] = cell1 + 1
+			}
+			s.stats.Increments++
+			if est < c {
+				est = c
+			}
+		}
+	default:
+		blocked = blocked && c >= s.cfg.LargeC
+		s.stats.DecayProbes++
+		if c < s.decay.cut && s.rng.Next() < s.decay.thresholdLive(c) {
+			cell1--
+			s.stats.Decays++
+			if cellC(cell1) == 0 {
+				cell1 = packCell(fp, 1)
+				s.stats.Replacements++
+				if est < 1 {
+					est = 1
+				}
+			}
+			s.slab[p1] = cell1
+		}
+	}
+
 	s.noteBlocked(blocked)
 	return est
 }

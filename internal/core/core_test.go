@@ -468,6 +468,20 @@ func BenchmarkInsertParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertParallelHit isolates the fingerprint-hit path: one resident
+// flow incremented repeatedly, the steady state of a zipfian stream's
+// elephants. BenchmarkInsertParallel above is its contested complement
+// (uniform keys over a small slab, decay-probe dominated).
+func BenchmarkInsertParallelHit(b *testing.B) {
+	s := MustNew(Config{W: 4096, Seed: 1})
+	k := []byte("elephant-flow")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.InsertParallel(k, true, 10)
+	}
+}
+
 func BenchmarkInsertMinimum(b *testing.B) {
 	s := MustNew(Config{W: 4096, Seed: 1})
 	keys := makeKeys(1 << 16)

@@ -53,8 +53,18 @@ func SigmoidDecay(scale float64) DecayFunc {
 // word is below threshold[C]. Entries beyond the table are exactly zero,
 // implementing the paper's "when the value is large enough, regard the
 // probability as 0" acceleration (§III-B property 2).
+//
+// Two hot-path shortcuts are precompiled alongside the table. cut is the
+// first counter value whose decay probability is exactly zero, so the
+// zero-probability region — the common case for resident elephants — is a
+// single register compare instead of a bounds-checked table load. pow2 marks
+// bases that are an exact power of two, b = 2^j: for those, b^-C scaled to
+// fixed point is exactly 1 << (64 - j·C), so the threshold is computed in
+// registers and the table is never materialized at all (table-free decay).
 type decayTable struct {
 	thresholds []uint64
+	cut        uint32 // first C with zero threshold; decay possible iff 1 <= C < cut
+	pow2       uint32 // j when the base is exactly 2^j, else 0
 }
 
 // maxDecayTable bounds the table. For b = 1.08, b^-C falls below 2^-64
@@ -77,7 +87,26 @@ func buildDecayTable(f DecayFunc) decayTable {
 		}
 		t.thresholds = append(t.thresholds, th)
 	}
+	t.cut = uint32(len(t.thresholds)) + 1
 	return t
+}
+
+// exactPow2 reports the integer j >= 1 with b == 2^j exactly, or 0 when b is
+// not an exact power of two. Frexp decomposes b = frac·2^exp with
+// frac ∈ [0.5, 1); an exact power of two has frac == 0.5 exactly.
+func exactPow2(b float64) uint32 {
+	frac, exp := math.Frexp(b)
+	if frac != 0.5 || exp < 2 || exp > 65 {
+		return 0
+	}
+	return uint32(exp - 1)
+}
+
+// pow2Table returns the table-free decay table for base 2^j: no thresholds
+// slice, thresholds computed on demand from the closed form. b^-C falls to
+// exactly zero in 64-bit fixed point once j·C > 64.
+func pow2Table(j uint32) decayTable {
+	return decayTable{cut: 64/j + 1, pow2: j}
 }
 
 // expTables caches compiled tables for the default exponential decay, keyed
@@ -89,7 +118,10 @@ var expTables sync.Map // float64 (base) -> decayTable
 
 // tableFor returns the compiled decay table for cfg, reusing the shared
 // per-base cache when the decay function is the default exponential. It also
-// fills cfg.Decay for the default case so Config() round-trips.
+// fills cfg.Decay for the default case so Config() round-trips. Exact
+// power-of-two bases compile to the table-free closed form; for those the
+// thresholds are exact (ExpDecay's math.Exp can be off by an ulp, which
+// probToThreshold would round into a slightly different fixed-point word).
 func tableFor(cfg *Config) decayTable {
 	if cfg.Decay != nil {
 		return buildDecayTable(cfg.Decay)
@@ -98,7 +130,13 @@ func tableFor(cfg *Config) decayTable {
 	if t, ok := expTables.Load(cfg.B); ok {
 		return t.(decayTable)
 	}
-	t, _ := expTables.LoadOrStore(cfg.B, buildDecayTable(cfg.Decay))
+	var built decayTable
+	if j := exactPow2(cfg.B); j != 0 {
+		built = pow2Table(j)
+	} else {
+		built = buildDecayTable(cfg.Decay)
+	}
+	t, _ := expTables.LoadOrStore(cfg.B, built)
 	return t.(decayTable)
 }
 
@@ -118,9 +156,19 @@ func probToThreshold(p float64) uint64 {
 
 // threshold returns the comparison threshold for counter value c (c >= 1).
 func (t decayTable) threshold(c uint32) uint64 {
-	i := int(c) - 1
-	if i < 0 || i >= len(t.thresholds) {
+	if c == 0 || c >= t.cut {
 		return 0
 	}
-	return t.thresholds[i]
+	return t.thresholdLive(c)
+}
+
+// thresholdLive is threshold for a counter already known to be live
+// (1 <= c < t.cut), skipping the zero-region checks: the table-free closed
+// form for power-of-two bases, one table load otherwise. The hot path tests
+// against cut first and calls this only on the live side.
+func (t *decayTable) thresholdLive(c uint32) uint64 {
+	if j := t.pow2; j != 0 {
+		return 1 << (64 - j*c)
+	}
+	return t.thresholds[c-1]
 }

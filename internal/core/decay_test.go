@@ -139,6 +139,110 @@ func TestEmpiricalDecayRate(t *testing.T) {
 	}
 }
 
+func TestExactPow2(t *testing.T) {
+	for b, want := range map[float64]uint32{
+		2: 1, 4: 2, 8: 3, 1024: 10, math.Ldexp(1, 64): 64,
+		1.08: 0, 1.5: 0, 3: 0, 6: 0, math.Sqrt2: 0, math.Ldexp(1, 65): 0,
+	} {
+		if got := exactPow2(b); got != want {
+			t.Errorf("exactPow2(%v) = %d want %d", b, got, want)
+		}
+	}
+}
+
+// TestPow2TableMatchesClosedForm pins the table-free thresholds to the exact
+// fixed-point value of 2^-jC: probToThreshold over math.Ldexp(1, -jC), which
+// involves no transcendental functions and is therefore exact. This is the
+// equivalence the hot path's `1 << (64 - j*c)` shortcut relies on.
+func TestPow2TableMatchesClosedForm(t *testing.T) {
+	for _, j := range []uint32{1, 2, 3, 7, 10, 64} {
+		tbl := pow2Table(j)
+		if tbl.cut != 64/j+1 {
+			t.Errorf("j=%d: cut = %d want %d", j, tbl.cut, 64/j+1)
+		}
+		for c := uint32(1); c < tbl.cut+16; c++ {
+			want := probToThreshold(math.Ldexp(1, -int(j*c)))
+			if got := tbl.threshold(c); got != want {
+				t.Errorf("j=%d: threshold(%d) = %#x want %#x", j, c, got, want)
+			}
+		}
+	}
+}
+
+// TestThresholdCutConsistency: for every kind of table — built from a decay
+// function or compiled to the power-of-two closed form — threshold(c) is zero
+// exactly outside 1 <= c < cut, and thresholdLive agrees with threshold on
+// the live range. The hot path tests against cut and then calls thresholdLive
+// directly, so this is what keeps the shortcut honest.
+func TestThresholdCutConsistency(t *testing.T) {
+	tables := map[string]decayTable{
+		"exp-1.08": buildDecayTable(ExpDecay(1.08)),
+		"exp-4":    buildDecayTable(ExpDecay(4)),
+		"poly":     buildDecayTable(PolyDecay(1.08)),
+		"sigmoid":  buildDecayTable(SigmoidDecay(8)),
+		"pow2-1":   pow2Table(1),
+		"pow2-64":  pow2Table(64),
+	}
+	for name, tbl := range tables {
+		if tbl.cut < 2 {
+			t.Errorf("%s: cut = %d, even C=1 could not decay", name, tbl.cut)
+		}
+		for c := uint32(1); c < tbl.cut; c++ {
+			th := tbl.threshold(c)
+			if th == 0 {
+				t.Errorf("%s: threshold(%d) = 0 inside live range (cut %d)", name, c, tbl.cut)
+			}
+			if live := tbl.thresholdLive(c); live != th {
+				t.Errorf("%s: thresholdLive(%d) = %#x but threshold = %#x", name, c, live, th)
+			}
+		}
+		for _, c := range []uint32{0, tbl.cut, tbl.cut + 1, tbl.cut + 1000} {
+			if th := tbl.threshold(c); th != 0 {
+				t.Errorf("%s: threshold(%d) = %#x want 0 (cut %d)", name, c, th, tbl.cut)
+			}
+		}
+	}
+}
+
+// TestTableForSelectsPow2 verifies config plumbing: an exact power-of-two
+// base compiles to the table-free form, anything else to the materialized
+// table, and a custom decay function is never misrouted to the closed form.
+func TestTableForSelectsPow2(t *testing.T) {
+	if s := MustNew(Config{W: 4, Seed: 1, B: 2}); s.decay.pow2 != 1 || s.decay.thresholds != nil {
+		t.Errorf("B=2: pow2 = %d, %d thresholds; want table-free", s.decay.pow2, len(s.decay.thresholds))
+	}
+	if s := MustNew(Config{W: 4, Seed: 1}); s.decay.pow2 != 0 || len(s.decay.thresholds) == 0 {
+		t.Errorf("default base: pow2 = %d, %d thresholds; want materialized table", s.decay.pow2, len(s.decay.thresholds))
+	}
+	if s := MustNew(Config{W: 4, Seed: 1, B: 2, Decay: ExpDecay(2)}); s.decay.pow2 != 0 {
+		t.Error("explicit Decay func must compile through buildDecayTable, not the closed form")
+	}
+}
+
+// TestEmpiricalDecayRatePow2 is TestEmpiricalDecayRate for the table-free
+// path: observed decay frequency through the sketch plumbing must match 2^-C.
+func TestEmpiricalDecayRatePow2(t *testing.T) {
+	s := MustNew(Config{W: 4, Seed: 123, B: 2})
+	for _, c := range []uint32{1, 2, 5} {
+		want := math.Ldexp(1, -int(c))
+		hits := 0
+		const trials = 200000
+		for i := 0; i < trials; i++ {
+			if s.shouldDecay(c) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical pow2 decay rate for C=%d: %v want %v", c, got, want)
+		}
+	}
+	// Past the cutoff the flip is free and always false.
+	if s.shouldDecay(65) || s.shouldDecay(0) {
+		t.Error("out-of-range counters must never decay")
+	}
+}
+
 // TestDecayFunctionsAllFindTopFlows is the §III-B claim that any reasonable
 // decreasing decay function performs similarly: with each provided function
 // the sketch must still rank a clear elephant above the mice.

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/streamsummary"
 	"repro/internal/xrand"
@@ -46,6 +47,10 @@ type CSS struct {
 	sumSeed uint64                 // the summary's index seed, for fingerprint hashes
 	fpBits  uint
 	keyOfFP map[uint32]string // fingerprint -> representative full key
+	// fpScratch/fhScratch back InsertBatch's per-chunk staging (fingerprint
+	// and fingerprint-index hash per key) so batching allocates nothing.
+	fpScratch []uint32
+	fhScratch []uint64
 }
 
 // New returns a CSS instance monitoring at most m fingerprints, with
@@ -127,24 +132,82 @@ func (c *CSS) Insert(key []byte) { c.InsertHashed(key, c.KeyHash(key)) }
 // being incremented) allocates nothing.
 func (c *CSS) InsertHashed(key []byte, h uint64) {
 	fp := c.fpOf(h)
-	fh := c.fpHash(fp)
+	c.insertFP(key, fp, c.fpHash(fp), 1)
+}
+
+// insertFP is the shared post-fingerprint insert body: Space-Saving
+// semantics over fingerprint fp with its summary-index hash fh and weight n.
+// Both the sequential entry points and the batch path end here, so the
+// admission rule lives in one place and batch ≡ sequential holds by
+// construction.
+func (c *CSS) insertFP(key []byte, fp uint32, fh uint64, n uint64) {
 	var buf [4]byte
 	fk := fpKeyBytes(&buf, fp)
-	if _, ok := c.sum.IncrHashed(fk, fh, 1); ok {
+	if _, ok := c.sum.IncrHashed(fk, fh, n); ok {
 		return
 	}
 	// Admission: remember a representative full ID for the fingerprint. The
 	// map writes happen only here, so the hot path stays allocation-free.
 	c.keyOfFP[fp] = string(key)
 	if !c.sum.Full() {
-		c.sum.InsertHashed(fk, fh, 1, 0)
+		c.sum.InsertHashed(fk, fh, n, 0)
 		return
 	}
 	evicted, minC, _ := c.sum.EvictMin()
 	if efp := fpOfKey(evicted); efp != fp {
 		delete(c.keyOfFP, efp)
 	}
-	c.sum.InsertHashed(fk, fh, minC+1, minC)
+	c.sum.InsertHashed(fk, fh, minC+n, minC)
+}
+
+// InsertBatch records one packet per key, equivalently to calling Insert on
+// each key in order but batch-shaped: see InsertBatchHashed.
+func (c *CSS) InsertBatch(keys [][]byte) { c.InsertBatchHashed(keys, nil) }
+
+// InsertBatchHashed is InsertBatch for a caller that already computed
+// KeyHash for every key (hashes[i] must correspond to keys[i]; nil means
+// hash here, exactly once per key). Each chunk runs a grouped two-pass
+// probe: pass 1 derives every key's fingerprint and fingerprint-index hash
+// in one tight loop — the only pass over key hashes — and touches each home
+// summary slot (Prefetch); pass 2 applies the shared insertFP body in
+// stream order, so results are bit-identical to a sequential Insert loop.
+func (c *CSS) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	for off := 0; off < len(keys); off += core.BatchChunk {
+		end := off + core.BatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		fps, fhs := c.stageChunk(chunk, hashes, off)
+		c.sum.Prefetch(fhs)
+		for ci, key := range chunk {
+			c.insertFP(key, fps[ci], fhs[ci], 1)
+		}
+	}
+}
+
+// stageChunk fills the reusable per-chunk scratch with each key's
+// fingerprint and fingerprint-index hash, hashing key bytes only when the
+// caller did not supply hashes.
+func (c *CSS) stageChunk(chunk [][]byte, hashes []uint64, off int) ([]uint32, []uint64) {
+	if cap(c.fpScratch) < len(chunk) {
+		c.fpScratch = make([]uint32, len(chunk))
+		c.fhScratch = make([]uint64, len(chunk))
+	}
+	fps := c.fpScratch[:len(chunk)]
+	fhs := c.fhScratch[:len(chunk)]
+	for i, key := range chunk {
+		var h uint64
+		if hashes != nil {
+			h = hashes[off+i]
+		} else {
+			h = hash.Sum64(c.keySeed, key)
+		}
+		fp := c.fpOf(h)
+		fps[i] = fp
+		fhs[i] = c.fpHash(fp)
+	}
+	return fps, fhs
 }
 
 // InsertN records a weight-n arrival of flow key: the fingerprint's count
@@ -158,22 +221,7 @@ func (c *CSS) InsertNHashed(key []byte, h uint64, n uint64) {
 		return
 	}
 	fp := c.fpOf(h)
-	fh := c.fpHash(fp)
-	var buf [4]byte
-	fk := fpKeyBytes(&buf, fp)
-	if _, ok := c.sum.IncrHashed(fk, fh, n); ok {
-		return
-	}
-	c.keyOfFP[fp] = string(key)
-	if !c.sum.Full() {
-		c.sum.InsertHashed(fk, fh, n, 0)
-		return
-	}
-	evicted, minC, _ := c.sum.EvictMin()
-	if efp := fpOfKey(evicted); efp != fp {
-		delete(c.keyOfFP, efp)
-	}
-	c.sum.InsertHashed(fk, fh, minC+n, minC)
+	c.insertFP(key, fp, c.fpHash(fp), n)
 }
 
 // Estimate returns the recorded count for key's fingerprint (0 if absent).

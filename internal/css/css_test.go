@@ -2,6 +2,7 @@ package css
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/streamtest"
@@ -108,5 +109,47 @@ func BenchmarkInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}
+
+// TestInsertBatchMatchesSequential: the staged batch path (fingerprint +
+// summary-hash per chunk, prefetched) must be bit-identical to a loop over
+// Insert, with and without caller-precomputed key hashes.
+func TestInsertBatchMatchesSequential(t *testing.T) {
+	const m = 64
+	seq := MustNew(m, 16, 5)
+	bat := MustNew(m, 16, 5)
+	pre := MustNew(m, 16, 5)
+	st := streamtest.Zipf(20_000, 800, 1.2, 11)
+
+	hashes := make([]uint64, len(st.Packets))
+	for i, k := range st.Packets {
+		hashes[i] = pre.KeyHash(k)
+	}
+	for _, k := range st.Packets {
+		seq.Insert(k)
+	}
+	for off := 0; off < len(st.Packets); {
+		n := 1 + (off*7)%600
+		if off+n > len(st.Packets) {
+			n = len(st.Packets) - off
+		}
+		bat.InsertBatch(st.Packets[off : off+n])
+		off += n
+	}
+	pre.InsertBatchHashed(st.Packets, hashes)
+
+	for name, got := range map[string]*CSS{"self-hashing": bat, "prehashed": pre} {
+		if got.Len() != seq.Len() {
+			t.Fatalf("%s: Len = %d, sequential %d", name, got.Len(), seq.Len())
+		}
+		if !reflect.DeepEqual(got.Top(m), seq.Top(m)) {
+			t.Fatalf("%s: Top diverges from sequential", name)
+		}
+		for f := range st.Exact {
+			if a, b := seq.Estimate([]byte(f)), got.Estimate([]byte(f)); a != b {
+				t.Fatalf("%s: Estimate(%q) = %d, sequential %d", name, f, b, a)
+			}
+		}
 	}
 }

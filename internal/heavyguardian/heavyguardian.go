@@ -88,6 +88,10 @@ type Guardian struct {
 	lightSalt  uint64 // Mix salt deriving the light slot from KeyHash
 	rng        *xrand.Xorshift64Star
 	decay      []uint64 // fixed-point decay thresholds, index C-1
+	// hashScratch/bktScratch back InsertBatch's per-chunk staging (key hash
+	// and bucket index per key) so batching allocates nothing.
+	hashScratch []uint64
+	bktScratch  []uint32
 }
 
 // CellBytes is the logical size of one heavy cell (key id 8B + count 4B).
@@ -174,7 +178,14 @@ func (g *Guardian) Insert(key []byte) { g.InsertHashed(key, g.KeyHash(key)) }
 // are traversed (the resident-cell comparison is a string equality on the
 // guarded id, needed for correctness either way).
 func (g *Guardian) InsertHashed(key []byte, h uint64) {
-	b := g.bucketOf(h)
+	g.insertBucket(key, h, g.bucketOf(h))
+}
+
+// insertBucket is the shared per-packet body once the owning bucket is
+// known; the batch path precomputes bucket indexes per chunk and lands here
+// with the exact same per-key sequence as the sequential path (including the
+// decay RNG stream), so batch ≡ sequential holds by construction.
+func (g *Guardian) insertBucket(key []byte, h uint64, b *gbucket) {
 	weakest := -1
 	var weakestC uint32
 	for i := range b.heavy {
@@ -208,6 +219,56 @@ func (g *Guardian) InsertHashed(key []byte, h uint64) {
 			b.light[slot]++
 		}
 	}
+}
+
+// InsertBatch records one packet per key, equivalently to calling Insert on
+// each key in order but batch-shaped: see InsertBatchHashed.
+func (g *Guardian) InsertBatch(keys [][]byte) { g.InsertBatchHashed(keys, nil) }
+
+// InsertBatchHashed is InsertBatch for a caller that already computed
+// KeyHash for every key (hashes[i] must correspond to keys[i]; nil means
+// hash here, exactly once per key). Each chunk runs a grouped two-pass
+// probe: pass 1 derives every key's bucket index in one tight loop and
+// touches the bucket's first heavy cell — independent loads the hardware
+// overlaps, warming the cell lines — and pass 2 applies the shared
+// insertBucket body in stream order, bit-identical to a sequential loop.
+func (g *Guardian) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	for off := 0; off < len(keys); off += core.BatchChunk {
+		end := off + core.BatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		hs, bis := g.stageChunk(chunk, hashes, off)
+		for ci, key := range chunk {
+			g.insertBucket(key, hs[ci], &g.buckets[bis[ci]])
+		}
+	}
+}
+
+// stageChunk fills the reusable per-chunk scratch with each key's hash and
+// bucket index, touching each bucket's heavy slice as it goes.
+func (g *Guardian) stageChunk(chunk [][]byte, hashes []uint64, off int) ([]uint64, []uint32) {
+	if cap(g.hashScratch) < len(chunk) {
+		g.hashScratch = make([]uint64, len(chunk))
+		g.bktScratch = make([]uint32, len(chunk))
+	}
+	hs := g.hashScratch[:len(chunk)]
+	bis := g.bktScratch[:len(chunk)]
+	nb := uint64(len(g.buckets))
+	for i, key := range chunk {
+		var kh uint64
+		if hashes != nil {
+			kh = hashes[off+i]
+		} else {
+			kh = hash.Sum64(g.keySeed, key)
+		}
+		hs[i] = kh
+		bi := uint32(hash.Reduce(hash.Mix(g.bucketSalt, kh), nb))
+		bis[i] = bi
+		_ = g.buckets[bi].heavy[0].count // touch: warm the heavy cells' line
+	}
+	return hs, bis
 }
 
 // InsertN records a weight-n arrival of flow key. A guarded flow's cell

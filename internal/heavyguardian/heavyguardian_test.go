@@ -2,6 +2,7 @@ package heavyguardian
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/streamtest"
@@ -104,5 +105,45 @@ func BenchmarkInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Insert(st.Packets[i&(len(st.Packets)-1)])
+	}
+}
+
+// TestInsertBatchMatchesSequential: the staged batch path (key hash + bucket
+// index per chunk, bucket head touched ahead) must be bit-identical to a
+// loop over Insert — including the decay RNG stream, which both sides consume
+// in stream order — with and without caller-precomputed hashes.
+func TestInsertBatchMatchesSequential(t *testing.T) {
+	cfg := Config{Buckets: 64, Seed: 5}
+	seq := MustNew(cfg)
+	bat := MustNew(cfg)
+	pre := MustNew(cfg)
+	st := streamtest.Zipf(20_000, 800, 1.2, 11)
+
+	hashes := make([]uint64, len(st.Packets))
+	for i, k := range st.Packets {
+		hashes[i] = pre.KeyHash(k)
+	}
+	for _, k := range st.Packets {
+		seq.Insert(k)
+	}
+	for off := 0; off < len(st.Packets); {
+		n := 1 + (off*7)%600
+		if off+n > len(st.Packets) {
+			n = len(st.Packets) - off
+		}
+		bat.InsertBatch(st.Packets[off : off+n])
+		off += n
+	}
+	pre.InsertBatchHashed(st.Packets, hashes)
+
+	for name, got := range map[string]*Guardian{"self-hashing": bat, "prehashed": pre} {
+		if !reflect.DeepEqual(got.Top(64), seq.Top(64)) {
+			t.Fatalf("%s: Top diverges from sequential", name)
+		}
+		for f := range st.Exact {
+			if a, b := seq.Estimate([]byte(f)), got.Estimate([]byte(f)); a != b {
+				t.Fatalf("%s: Estimate(%q) = %d, sequential %d", name, f, b, a)
+			}
+		}
 	}
 }

@@ -19,12 +19,16 @@ package spacesaving
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/streamsummary"
 )
 
 // SpaceSaving monitors the m most frequent flows.
 type SpaceSaving struct {
 	sum *streamsummary.Summary
+	// hashScratch backs InsertBatch's per-chunk key hashes so steady-state
+	// batch ingestion allocates nothing.
+	hashScratch []uint64
 }
 
 // New returns a Space-Saving instance monitoring at most m flows.
@@ -93,6 +97,50 @@ func (s *SpaceSaving) InsertNHashed(key []byte, h uint64, n uint64) {
 	}
 	_, minC, _ := s.sum.EvictMin()
 	s.sum.InsertHashed(key, h, minC+n, minC)
+}
+
+// InsertBatch records one packet per key, equivalently to calling Insert on
+// each key in order but with the work batch-shaped: see InsertBatchHashed.
+func (s *SpaceSaving) InsertBatch(keys [][]byte) { s.InsertBatchHashed(keys, nil) }
+
+// InsertBatchHashed is InsertBatch for a caller that already computed
+// KeyHash for every key (hashes[i] must correspond to keys[i]; nil means
+// hash here, exactly once per key). Each chunk is a grouped two-pass probe:
+// pass 1 hashes the chunk in one tight loop (when needed) and touches every
+// key's home Stream-Summary index slot (Prefetch) — independent loads the
+// hardware overlaps — and pass 2 applies the per-key admit-all rule in
+// stream order through the same InsertNHashed body the sequential path
+// uses, so results are bit-identical to a sequential Insert loop.
+func (s *SpaceSaving) InsertBatchHashed(keys [][]byte, hashes []uint64) {
+	for off := 0; off < len(keys); off += core.BatchChunk {
+		end := off + core.BatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		hs := hashes
+		if hs != nil {
+			hs = hashes[off:end]
+		} else {
+			hs = s.hashChunk(chunk)
+		}
+		s.sum.Prefetch(hs)
+		for ci, key := range chunk {
+			s.InsertNHashed(key, hs[ci], 1)
+		}
+	}
+}
+
+// hashChunk hashes every key of one chunk once into the reusable scratch.
+func (s *SpaceSaving) hashChunk(chunk [][]byte) []uint64 {
+	if cap(s.hashScratch) < len(chunk) {
+		s.hashScratch = make([]uint64, len(chunk))
+	}
+	hs := s.hashScratch[:len(chunk)]
+	for i, key := range chunk {
+		hs[i] = s.sum.Hash(key)
+	}
+	return hs
 }
 
 // Estimate returns the recorded count for key (0 if unmonitored). Recorded

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDecode -fuzztime=10s
 	$(GO) test ./internal/streamsummary -run=NONE -fuzz=FuzzStoreEquivalence -fuzztime=10s
 	$(GO) test ./wire -run=NONE -fuzz=FuzzWireDecode -fuzztime=10s
+	$(GO) test . -run=NONE -fuzz=FuzzSnapshotRead -fuzztime=10s
 
 throughput:
 	$(GO) run ./cmd/hkbench -throughput
@@ -119,6 +120,14 @@ hkd-smoke:
 	start_hkd -snapshot "$$tmp/hkd.snap"; \
 	"$$tmp/hkbench" -connect "$$tcp" -verify "$$http" -scale 0.002 -batch 256; \
 	stop_hkd; \
+	echo "== hkd-smoke: SIGHUP writes a snapshot generation without restart"; \
+	start_hkd -snapshot "$$tmp/hkd.snap"; \
+	gens=$$(ls "$$tmp"/hkd.snap.g* | wc -l); \
+	kill -HUP $$pid; \
+	i=0; while [ "$$(ls "$$tmp"/hkd.snap.g* | wc -l)" -le "$$gens" ]; do \
+		i=$$((i+1)); [ $$i -le 100 ] || { echo "SIGHUP never produced a snapshot"; exit 1; }; \
+		sleep 0.1; done; \
+	stop_hkd; \
 	echo "== hkd-smoke: restart from snapshot + verify restored state"; \
 	start_hkd -snapshot "$$tmp/hkd.snap"; \
 	"$$tmp/hkbench" -verify "$$http" -scale 0.002 -batch 256; \
@@ -128,6 +137,15 @@ hkd-smoke:
 	"$$tmp/hkbench" -connect-udp "$$udp" -verify "$$http" -scale 0.001 -batch 64; \
 	stop_hkd; \
 	echo "hkd-smoke ok"
+
+# chaos-smoke runs the deterministic fault-injection suite under the race
+# detector (CI runs this target): the hkd lifecycle across 24 seeds of
+# injected connection resets, torn frames, corrupted bytes, delayed accepts
+# and failed snapshot writes — asserting no panics, no goroutine leaks,
+# consistent counters, and restore from the newest intact generation.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 ./server -run 'TestChaosSeeds|TestDegraded|TestSnapshotGenerations'
 
 # algo-smoke runs the hkbench throughput comparison once per registered
 # algorithm at a tiny scale: every engine must construct and ingest under

@@ -66,6 +66,9 @@ func run() int {
 		verify     = flag.String("verify", "", "client mode: after sending (or alone), verify this hkd HTTP API against a local twin")
 		rate       = flag.Int("rate", 0, "client mode: cap on frames per second (0 = unlimited)")
 		repeat     = flag.Int("repeat", 1, "client mode: times to replay the trace (scale total keys sent)")
+		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "client mode: per-dial timeout")
+		ioTO       = flag.Duration("io-timeout", 10*time.Second, "client mode: per-frame write deadline (0 disables)")
+		maxRetries = flag.Int("max-retries", 3, "client mode: reconnect attempts after a failed send (0 disables resend)")
 	)
 	flag.Parse()
 
@@ -109,7 +112,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hkbench: -connect and -connect-udp are mutually exclusive")
 			return 1
 		}
-		if err := runClient(*connect, *connectUDP, *verify, *rate, *repeat, *batch, *scale, *seed, *jsonOut); err != nil {
+		if err := runClient(*connect, *connectUDP, *verify, *rate, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -12,16 +12,24 @@
 //	hkd -snapshot /var/lib/hkd.snap -snapshot-interval 30s
 //	hkd -listen-tcp 127.0.0.1:0 -addr-file /tmp/hkd.addrs   # ephemeral ports
 //
-// With -snapshot, state is restored from the file at startup (if it
-// exists), written there periodically, and written once more on graceful
+// With -snapshot, state is restored at startup from the newest intact
+// snapshot generation rooted at the path, written periodically, on
+// SIGHUP (checkpoint without restart), and once more on graceful
 // shutdown (SIGINT/SIGTERM), so a restarted daemon resumes with the
-// counts it had. Snapshots cover the HeavyKeeper algorithm family;
-// registry engines and -epoch windows run in-memory only.
+// counts it had even after a crash mid-write. Snapshots cover the
+// HeavyKeeper algorithm family; registry engines and -epoch windows run
+// in-memory only.
+//
+// Under sustained overload the daemon degrades gracefully instead of
+// falling over: -max-conns, -idle-timeout and -max-inflight bound
+// admission, and past the queue (or -mem-highwater) watermark it sheds
+// load by weighted batch sampling. See doc/operations.md.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,9 +58,15 @@ func run() int {
 		seed       = flag.Uint64("seed", 31337, "hash/decay seed (deterministic across restarts)")
 		shards     = flag.Int("shards", 0, "per-core engine shards (0 = single engine behind one mutex)")
 		epoch      = flag.Int("epoch", 0, "report over approximately the last N items instead of the whole stream (two-pane window; 0 = cumulative)")
-		snapshot   = flag.String("snapshot", "", "snapshot file: restored at start, written periodically and on shutdown")
+		snapshot   = flag.String("snapshot", "", "snapshot base path: restored at start (newest intact generation), written periodically, on SIGHUP and on shutdown")
 		snapEvery  = flag.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence")
+		snapKeep   = flag.Int("snapshot-keep", 3, "snapshot generations to retain")
 		addrFile   = flag.String("addr-file", "", "write the bound listener addresses to this file (for ephemeral ports)")
+		drainGrace = flag.Duration("drain-grace", time.Second, "how long established connections get to finish in-flight frames at shutdown (0..10m)")
+		maxConns   = flag.Int("max-conns", 256, "stream-ingest connection cap (-1 = unlimited)")
+		idleAfter  = flag.Duration("idle-timeout", 0, "evict stream connections idle for this long (0 disables)")
+		maxInfl    = flag.Int("max-inflight", 0, "concurrent summarizer batch calls (0 = 2 per core)")
+		memHigh    = flag.Int("mem-highwater", 0, "heap megabytes that trigger degraded load shedding (0 disables)")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
@@ -102,17 +116,31 @@ func run() int {
 		}
 	}
 	info["restored"] = strconv.FormatBool(restored)
+	if *memHigh < 0 {
+		fmt.Fprintln(os.Stderr, "hkd: -mem-highwater must not be negative")
+		return 1
+	}
 	srv, err := server.New(server.Config{
 		Summarizer:       sum,
 		TCPAddr:          *listenTCP,
 		UDPAddr:          *listenUDP,
 		HTTPAddr:         *listenHTTP,
+		MaxConns:         *maxConns,
+		IdleTimeout:      *idleAfter,
+		MaxInflight:      *maxInfl,
+		DrainGrace:       *drainGrace,
+		MemHighWater:     uint64(*memHigh) << 20,
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapEvery,
+		SnapshotKeep:     *snapKeep,
 		Info:             info,
 		Logf:             logf,
 	})
 	if err != nil {
+		if errors.Is(err, server.ErrInvalidDrainGrace) {
+			fmt.Fprintln(os.Stderr, "hkd: -drain-grace:", err)
+			return 2
+		}
 		fmt.Fprintln(os.Stderr, "hkd:", err)
 		return 1
 	}
@@ -127,6 +155,25 @@ func run() int {
 			return 1
 		}
 	}
+
+	// SIGHUP = "snapshot now": operators checkpoint before risky moments
+	// (deploys, migrations) without bouncing the daemon.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if *snapshot == "" {
+				logf("SIGHUP ignored: no -snapshot path configured")
+				continue
+			}
+			if err := srv.Snapshot(); err != nil {
+				logf("SIGHUP snapshot: %v", err)
+			} else {
+				logf("SIGHUP snapshot written")
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

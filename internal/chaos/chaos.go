@@ -1,0 +1,223 @@
+// Package chaos is a deterministic fault-injection harness for the hkd
+// resilience tests. It wraps the seams a daemon actually fails at —
+// network connections, disk writers, accept loops — with seed-driven
+// fault decisions, so a chaos run is exactly reproducible: the same seed
+// produces the same sequence of resets, partial frames, stalls and
+// failed writes every time, and a failing seed is a one-line repro.
+//
+// Nothing in this package touches global randomness or wall-clock
+// entropy; every decision flows from an explicit Rand.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ErrInjected is the base error for every injected fault, so tests can
+// tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Rand is the seed-driven decision source behind every wrapper. It is a
+// thin deterministic PRNG (SplitMix64) with the few sampling helpers the
+// fault plans need. Not safe for concurrent use: give each goroutine its
+// own Rand (Split derives one).
+type Rand struct {
+	s xrand.SplitMix64
+}
+
+// NewRand returns a Rand seeded with seed; any seed is valid.
+func NewRand(seed uint64) *Rand {
+	return &Rand{s: *xrand.NewSplitMix64(seed)}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.s.Next() }
+
+// Intn returns a value in [0, n); n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("chaos: Intn bound must be positive")
+	}
+	return int(r.s.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.s.Next()>>11) / (1 << 53)
+}
+
+// Bool reports true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Split derives an independent child generator, so per-connection or
+// per-goroutine decision streams don't perturb each other's sequences.
+func (r *Rand) Split() *Rand { return NewRand(r.s.Next()) }
+
+// ConnPlan configures the fault mix a wrapped connection injects on its
+// write path. Probabilities are per Write call; zero values disable a
+// fault, so the zero ConnPlan is a transparent wrapper.
+type ConnPlan struct {
+	// StallProb is the chance of sleeping up to MaxStall before a write
+	// (a stalled or congested peer).
+	StallProb float64
+	// MaxStall bounds an injected stall (default 2ms when StallProb > 0).
+	MaxStall time.Duration
+	// PartialProb is the chance of writing only a prefix of the buffer
+	// and then severing the connection — a torn frame on the wire.
+	PartialProb float64
+	// ResetProb is the chance of severing the connection instead of
+	// writing at all — a peer crash between frames.
+	ResetProb float64
+	// GarbageProb is the chance of flipping bytes in the buffer before
+	// writing it — a corrupting middlebox or a buggy peer.
+	GarbageProb float64
+}
+
+// Conn wraps a net.Conn with seed-driven write-path faults per its plan.
+// Read passes through untouched. After an injected severance every
+// subsequent operation fails with ErrInjected.
+type Conn struct {
+	net.Conn
+	rng  *Rand
+	plan ConnPlan
+	dead bool
+}
+
+// WrapConn returns c with plan's faults injected from rng.
+func WrapConn(c net.Conn, rng *Rand, plan ConnPlan) *Conn {
+	if plan.MaxStall <= 0 {
+		plan.MaxStall = 2 * time.Millisecond
+	}
+	return &Conn{Conn: c, rng: rng, plan: plan}
+}
+
+// Write applies the fault plan, then forwards whatever survives to the
+// underlying connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, fmt.Errorf("%w: connection severed", ErrInjected)
+	}
+	if c.rng.Bool(c.plan.StallProb) {
+		time.Sleep(time.Duration(c.rng.Intn(int(c.plan.MaxStall))))
+	}
+	if c.rng.Bool(c.plan.ResetProb) {
+		c.sever()
+		return 0, fmt.Errorf("%w: reset before write", ErrInjected)
+	}
+	if len(p) > 1 && c.rng.Bool(c.plan.PartialProb) {
+		n, _ := c.Conn.Write(p[:1+c.rng.Intn(len(p)-1)])
+		c.sever()
+		return n, fmt.Errorf("%w: partial frame then reset", ErrInjected)
+	}
+	if c.plan.GarbageProb > 0 && c.rng.Bool(c.plan.GarbageProb) {
+		mut := append([]byte(nil), p...)
+		for i := 0; i < 1+c.rng.Intn(3); i++ {
+			mut[c.rng.Intn(len(mut))] ^= byte(1 + c.rng.Intn(255))
+		}
+		return c.Conn.Write(mut)
+	}
+	return c.Conn.Write(p)
+}
+
+// sever closes the underlying connection and poisons the wrapper.
+func (c *Conn) sever() {
+	c.dead = true
+	c.Conn.Close()
+}
+
+// Severed reports whether an injected fault has torn the connection down.
+func (c *Conn) Severed() bool { return c.dead }
+
+// Writer injects disk-write faults: it forwards to W until FailAfter
+// bytes have been written, then fails — with a short write first when
+// Short is set (a torn file tail), or cleanly at the boundary otherwise.
+// A FailAfter below zero never fails. The zero Writer fails immediately,
+// which is the "disk full from the first byte" case.
+type Writer struct {
+	W io.Writer
+	// FailAfter is the byte budget before the injected failure.
+	FailAfter int64
+	// Short makes the failing write a short write of half the remaining
+	// budget instead of an immediate error.
+	Short   bool
+	written int64
+}
+
+// Write forwards to W within the byte budget and fails past it.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.FailAfter < 0 {
+		return w.W.Write(p)
+	}
+	remaining := w.FailAfter - w.written
+	if remaining >= int64(len(p)) {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	if w.Short && remaining > 0 {
+		n, err := w.W.Write(p[:remaining])
+		w.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: short disk write after %d bytes", ErrInjected, w.written)
+	}
+	w.written = w.FailAfter
+	return 0, fmt.Errorf("%w: disk write failed at %d bytes", ErrInjected, w.FailAfter)
+}
+
+// Listener wraps a net.Listener with seed-driven accept delays (a
+// saturated accept queue). Accepted connections are returned untouched;
+// wrap them with WrapConn for connection-level faults.
+type Listener struct {
+	net.Listener
+	rng *Rand
+	// DelayProb is the chance an Accept sleeps before returning.
+	DelayProb float64
+	// MaxDelay bounds an injected accept delay.
+	MaxDelay time.Duration
+}
+
+// WrapListener returns ln with accept delays injected from rng.
+func WrapListener(ln net.Listener, rng *Rand, delayProb float64, maxDelay time.Duration) *Listener {
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	return &Listener{Listener: ln, rng: rng, DelayProb: delayProb, MaxDelay: maxDelay}
+}
+
+// Accept delays per the plan, then accepts from the wrapped listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	if l.rng.Bool(l.DelayProb) {
+		time.Sleep(time.Duration(l.rng.Intn(int(l.MaxDelay))))
+	}
+	return l.Listener.Accept()
+}
+
+// LeakCheck polls until the process goroutine count settles back to at
+// most baseline+slack, returning an error with a full stack dump when it
+// does not within the deadline. Chaos runs call it after shutdown: a
+// fault mix must never strand an ingest or snapshot goroutine.
+func LeakCheck(baseline, slack int, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("goroutine leak: %d live, baseline %d (+%d slack)\n%s",
+				n, baseline, slack, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

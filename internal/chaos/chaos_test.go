@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRandDeterminism: two Rands with the same seed emit identical
+// decision streams; Split children are independent of the parent's
+// subsequent draws.
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+	c1 := NewRand(7).Split()
+	c2 := NewRand(7).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split children diverge at draw %d", i)
+		}
+	}
+}
+
+func TestRandBounds(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+	always, never := 0, 0
+	for i := 0; i < 1000; i++ {
+		if r.Bool(1.0) {
+			always++
+		}
+		if r.Bool(0.0) {
+			never++
+		}
+	}
+	if always != 1000 || never != 0 {
+		t.Fatalf("Bool(1)=%d/1000, Bool(0)=%d/1000", always, never)
+	}
+}
+
+// TestWriterBudget: the faulty writer forwards exactly FailAfter bytes,
+// fails past the budget with ErrInjected, and honors the short-write and
+// never-fail modes.
+func TestWriterBudget(t *testing.T) {
+	var sink bytes.Buffer
+	w := &Writer{W: &sink, FailAfter: 10}
+	if n, err := w.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("within budget: (%d, %v)", n, err)
+	}
+	if _, err := w.Write(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("past budget: %v", err)
+	}
+	if sink.Len() != 8 {
+		t.Fatalf("clean failure leaked %d bytes past the first write", sink.Len()-8)
+	}
+
+	sink.Reset()
+	sw := &Writer{W: &sink, FailAfter: 10, Short: true}
+	if _, err := sw.Write(make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: %v", err)
+	}
+	if sink.Len() == 0 || sink.Len() >= 64 {
+		t.Fatalf("short write wrote %d bytes, want a strict prefix", sink.Len())
+	}
+
+	sink.Reset()
+	ok := &Writer{W: &sink, FailAfter: -1}
+	if _, err := ok.Write(make([]byte, 1<<16)); err != nil {
+		t.Fatalf("never-fail writer: %v", err)
+	}
+
+	zero := &Writer{W: io.Discard}
+	if _, err := zero.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("zero writer should fail immediately: %v", err)
+	}
+}
+
+// pipeConn returns a connected pair backed by net.Pipe with a reader
+// goroutine draining one side into a buffer.
+func drainingPipe(t *testing.T) (client net.Conn, received *bytes.Buffer, done chan struct{}) {
+	t.Helper()
+	c, s := net.Pipe()
+	received = &bytes.Buffer{}
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4096)
+		for {
+			n, err := s.Read(buf)
+			received.Write(buf[:n])
+			if err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() { c.Close(); s.Close(); <-done })
+	return c, received, done
+}
+
+// TestConnFaultsDeterministic: the same seed produces the same fault
+// sequence; a severed connection stays severed with ErrInjected.
+func TestConnFaultsDeterministic(t *testing.T) {
+	run := func(seed uint64) (outcomes []string, delivered int) {
+		client, received, done := drainingPipe(t)
+		conn := WrapConn(client, NewRand(seed), ConnPlan{
+			ResetProb:   0.2,
+			PartialProb: 0.2,
+			GarbageProb: 0.2,
+		})
+		payload := bytes.Repeat([]byte("frame"), 10)
+		for i := 0; i < 50; i++ {
+			_, err := conn.Write(payload)
+			switch {
+			case err == nil:
+				outcomes = append(outcomes, "ok")
+			case errors.Is(err, ErrInjected):
+				outcomes = append(outcomes, "fault")
+			default:
+				outcomes = append(outcomes, "other:"+err.Error())
+			}
+			if conn.Severed() {
+				break
+			}
+		}
+		client.Close()
+		<-done
+		return outcomes, received.Len()
+	}
+	o1, d1 := run(99)
+	o2, d2 := run(99)
+	if len(o1) != len(o2) || d1 != d2 {
+		t.Fatalf("same seed diverged: %d/%d outcomes, %d/%d bytes", len(o1), len(o2), d1, d2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d: %q vs %q", i, o1[i], o2[i])
+		}
+	}
+	// After severance every write fails with ErrInjected.
+	client, _, _ := drainingPipe(t)
+	conn := WrapConn(client, NewRand(1), ConnPlan{ResetProb: 1})
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-severance write: %v", err)
+	}
+}
+
+// TestListenerDelays: a wrapped listener still accepts every connection;
+// delays only reorder time, not outcomes.
+func TestListenerDelays(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := WrapListener(raw, NewRand(5), 0.5, time.Millisecond)
+	defer ln.Close()
+	const conns = 8
+	go func() {
+		for i := 0; i < conns; i++ {
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err == nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		c.Close()
+	}
+}
+
+func TestLeakCheck(t *testing.T) {
+	base := countGoroutines()
+	if err := LeakCheck(base, 2, time.Second); err != nil {
+		t.Fatalf("clean state reported as leak: %v", err)
+	}
+	stop := make(chan struct{})
+	for i := 0; i < 5; i++ {
+		go func() { <-stop }()
+	}
+	if err := LeakCheck(base, 2, 50*time.Millisecond); err == nil {
+		t.Fatal("5 stranded goroutines not detected")
+	}
+	close(stop)
+	if err := LeakCheck(base, 2, time.Second); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// countGoroutines samples the goroutine count after a short settle so
+// freshly-exited goroutines don't inflate the baseline.
+func countGoroutines() int {
+	time.Sleep(10 * time.Millisecond)
+	return runtime.NumGoroutine()
+}

@@ -1,8 +1,10 @@
 package heavykeeper
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/topk"
@@ -256,4 +258,191 @@ func configFromTrackerOptions(o topk.Options) config {
 		cfg.useMapStore = true
 	}
 	return cfg
+}
+
+// Checksummed snapshot envelope. WriteTo containers are byte-exact but
+// carry no integrity protection: a torn write (crash mid-rename on a
+// filesystem without atomic rename, a short disk write, a truncated
+// copy) can leave a prefix that still decodes far enough to restore a
+// silently wrong summarizer. WriteSnapshot wraps the container in a
+// CRC-checksummed framed envelope so ReadSnapshot detects any
+// truncation or corruption before a single container byte is trusted:
+//
+//	u8[4]  magic "HKC1"
+//	frames, each:
+//	    u32  chunk length (1 .. maxSnapshotChunk)
+//	    n    chunk bytes (container payload)
+//	    u32  CRC-32C (Castagnoli) of the chunk bytes
+//	terminator:
+//	    u32  0
+//	    u32  CRC-32C of the whole payload stream
+//
+// All integers are little-endian. The whole-stream checksum in the
+// terminator catches frame splicing and reordering that per-frame
+// checksums alone would miss; bytes after the terminator are rejected.
+// ReadSnapshot also accepts a bare legacy container (no envelope), so
+// snapshots written before the envelope existed keep restoring.
+const (
+	// snapshotChunkSize is the chunk granularity WriteSnapshot emits; a
+	// torn tail costs at most one chunk of re-checksummed reads to detect.
+	snapshotChunkSize = 256 << 10
+	// maxSnapshotChunk bounds the chunk length a frame may declare, so a
+	// corrupt length field can never force a giant allocation.
+	maxSnapshotChunk = 4 << 20
+)
+
+// crcTable is the Castagnoli polynomial table shared by the snapshot
+// envelope writer and reader (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// envelopeMagic identifies a checksummed snapshot envelope.
+var envelopeMagic = [4]byte{'H', 'K', 'C', '1'}
+
+// WriteSnapshot serializes s through its WriteTo container inside a
+// CRC-checksummed framed envelope (format above) and returns the bytes
+// written. It is the crash-safe counterpart of calling WriteTo directly:
+// ReadSnapshot refuses any truncated or corrupted result instead of
+// restoring from a plausible-looking prefix. Summarizers without a
+// snapshot format return ErrSnapshotUnsupported, as WriteTo does.
+func WriteSnapshot(w io.Writer, s SnapshotWriter) (int64, error) {
+	cw := &chunkedWriter{w: w, crc: crc32.Checksum(nil, crcTable)}
+	n, err := w.Write(envelopeMagic[:])
+	cw.written += int64(n)
+	if err != nil {
+		return cw.written, err
+	}
+	if _, err := s.WriteTo(cw); err != nil {
+		return cw.written, err
+	}
+	if err := cw.finish(); err != nil {
+		return cw.written, err
+	}
+	return cw.written, nil
+}
+
+// chunkedWriter buffers container bytes into fixed-size checksummed
+// frames and tracks the whole-stream CRC for the terminator.
+type chunkedWriter struct {
+	w       io.Writer
+	buf     []byte
+	crc     uint32 // running CRC-32C over every payload byte
+	written int64
+}
+
+func (cw *chunkedWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		room := snapshotChunkSize - len(cw.buf)
+		if room == 0 {
+			if err := cw.flush(); err != nil {
+				return total - len(p), err
+			}
+			room = snapshotChunkSize
+		}
+		take := min(room, len(p))
+		cw.buf = append(cw.buf, p[:take]...)
+		p = p[take:]
+	}
+	return total, nil
+}
+
+// flush emits the buffered bytes as one checksummed frame.
+func (cw *chunkedWriter) flush() error {
+	if len(cw.buf) == 0 {
+		return nil
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(cw.buf)))
+	for _, b := range [][]byte{hdr[:], cw.buf} {
+		n, err := cw.w.Write(b)
+		cw.written += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	sum := crc32.Checksum(cw.buf, crcTable)
+	binary.LittleEndian.PutUint32(hdr[:], sum)
+	n, err := cw.w.Write(hdr[:])
+	cw.written += int64(n)
+	if err != nil {
+		return err
+	}
+	cw.crc = crc32.Update(cw.crc, crcTable, cw.buf)
+	cw.buf = cw.buf[:0]
+	return nil
+}
+
+// finish flushes the tail chunk and writes the terminator frame.
+func (cw *chunkedWriter) finish() error {
+	if err := cw.flush(); err != nil {
+		return err
+	}
+	var term [8]byte
+	binary.LittleEndian.PutUint32(term[4:], cw.crc)
+	n, err := cw.w.Write(term[:])
+	cw.written += int64(n)
+	return err
+}
+
+// ReadSnapshot restores a summarizer from a WriteSnapshot envelope. Every
+// frame checksum, the whole-stream checksum, the terminator and the
+// absence of trailing bytes are verified before the container is decoded,
+// so a torn or corrupted snapshot is rejected (ErrCorrupt) rather than
+// partially restored. A stream that does not start with the envelope
+// magic is decoded as a bare legacy WriteTo container.
+func ReadSnapshot(r io.Reader) (Summarizer, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading envelope magic: %w", ErrCorrupt, err)
+	}
+	if head != envelopeMagic {
+		// Legacy bare container: re-prepend the sniffed bytes.
+		return ReadSummarizer(io.MultiReader(bytes.NewReader(head[:]), r))
+	}
+	var payload bytes.Buffer
+	crc := crc32.Checksum(nil, crcTable)
+	var word [4]byte
+	for {
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading frame length: %w", ErrCorrupt, err)
+		}
+		length := binary.LittleEndian.Uint32(word[:])
+		if length == 0 {
+			// Terminator: whole-stream CRC, then clean EOF.
+			if _, err := io.ReadFull(r, word[:]); err != nil {
+				return nil, fmt.Errorf("%w: reading stream checksum: %w", ErrCorrupt, err)
+			}
+			if got := binary.LittleEndian.Uint32(word[:]); got != crc {
+				return nil, fmt.Errorf("%w: stream checksum mismatch (%#x != %#x)", ErrCorrupt, got, crc)
+			}
+			if n, _ := r.Read(word[:1]); n != 0 {
+				return nil, fmt.Errorf("%w: trailing bytes after terminator", ErrCorrupt)
+			}
+			break
+		}
+		if length > maxSnapshotChunk {
+			return nil, fmt.Errorf("%w: frame declares %d bytes (max %d)", ErrCorrupt, length, maxSnapshotChunk)
+		}
+		chunkStart := payload.Len()
+		if _, err := io.CopyN(&payload, r, int64(length)); err != nil {
+			return nil, fmt.Errorf("%w: reading frame payload: %w", ErrCorrupt, err)
+		}
+		chunk := payload.Bytes()[chunkStart:]
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading frame checksum: %w", ErrCorrupt, err)
+		}
+		if got := binary.LittleEndian.Uint32(word[:]); got != crc32.Checksum(chunk, crcTable) {
+			return nil, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+		}
+		crc = crc32.Update(crc, crcTable, chunk)
+	}
+	body := bytes.NewReader(payload.Bytes())
+	sum, err := ReadSummarizer(body)
+	if err != nil {
+		return nil, err
+	}
+	if body.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after container end", ErrCorrupt, body.Len())
+	}
+	return sum, nil
 }

@@ -1,0 +1,73 @@
+package heavykeeper
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSnapshotCorpus builds the seed corpus for FuzzSnapshotRead: one
+// valid checksummed envelope per frontend kind, a legacy bare container,
+// and structured corruptions of each (truncations, bit flips, bad magic)
+// so the fuzzer starts at the interesting boundaries instead of having
+// to rediscover the format.
+func fuzzSnapshotCorpus(f *testing.F) {
+	add := func(b []byte) { f.Add(b) }
+	for _, opts := range [][]Option{
+		nil,
+		{WithConcurrency()},
+		{WithShards(2)},
+		{WithMinHeap()},
+	} {
+		s := MustNew(5, append([]Option{WithSeed(1), WithMemory(4 << 10)}, opts...)...)
+		ingestZipfish(s, 50, 2000)
+		var buf bytes.Buffer
+		if _, err := WriteSnapshot(&buf, s.(SnapshotWriter)); err != nil {
+			f.Fatalf("WriteSnapshot: %v", err)
+		}
+		raw := buf.Bytes()
+		add(raw)
+		add(raw[:len(raw)/2])
+		add(raw[:len(raw)-4])
+		flipped := append([]byte(nil), raw...)
+		flipped[len(flipped)/3] ^= 0x10
+		add(flipped)
+
+		buf.Reset()
+		if _, err := s.(SnapshotWriter).WriteTo(&buf); err != nil {
+			f.Fatalf("WriteTo: %v", err)
+		}
+		add(buf.Bytes()) // legacy bare container
+	}
+	add([]byte("HKC1"))
+	add([]byte("HKC1\x00\x00\x00\x00\x00\x00\x00\x00"))
+	add([]byte("HKC1\xff\xff\xff\xff"))
+	add(nil)
+}
+
+// FuzzSnapshotRead holds the checksummed-envelope decoder to its
+// contract: never panic, reject every malformed input as ErrCorrupt (or
+// ErrSnapshotUnsupported is impossible on read), and restore accepted
+// inputs into a summarizer that can re-snapshot itself.
+func FuzzSnapshotRead(f *testing.F) {
+	fuzzSnapshotCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sum, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt failure: %v", err)
+			}
+			return
+		}
+		// Accepted input: the restored summarizer must be serviceable and
+		// re-serializable through the checksummed envelope.
+		sum.Add([]byte("fuzz-probe"))
+		var buf bytes.Buffer
+		if _, err := WriteSnapshot(&buf, sum.(SnapshotWriter)); err != nil {
+			t.Fatalf("re-snapshot of accepted input: %v", err)
+		}
+		if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-read of re-snapshot: %v", err)
+		}
+	})
+}

@@ -208,3 +208,153 @@ func TestSnapshotCorruptInputs(t *testing.T) {
 		})
 	}
 }
+
+// snapshotFrameBoundaries parses a WriteSnapshot envelope and returns
+// every frame boundary offset: after the magic, after each frame, and
+// the end of the terminator.
+func snapshotFrameBoundaries(t *testing.T, raw []byte) []int {
+	t.Helper()
+	if len(raw) < 4 || string(raw[:4]) != "HKC1" {
+		t.Fatalf("not a checksummed envelope (%d bytes)", len(raw))
+	}
+	bounds := []int{4}
+	off := 4
+	for {
+		if off+4 > len(raw) {
+			t.Fatalf("envelope ends mid frame header at %d", off)
+		}
+		length := int(binary.LittleEndian.Uint32(raw[off:]))
+		if length == 0 {
+			off += 8 // terminator: zero length + stream checksum
+			bounds = append(bounds, off)
+			break
+		}
+		off += 4 + length + 4
+		bounds = append(bounds, off)
+	}
+	if off != len(raw) {
+		t.Fatalf("envelope has %d bytes after terminator", len(raw)-off)
+	}
+	return bounds
+}
+
+// checksummedFrontends is the frontend-kind matrix the corruption
+// fallback tests sweep: every container kind and store variant that can
+// appear inside an envelope.
+func checksummedFrontends() []struct {
+	name string
+	opts []Option
+} {
+	return []struct {
+		name string
+		opts []Option
+	}{
+		{"topk", nil},
+		{"topk-minimum", []Option{WithVersion(VersionMinimum)}},
+		{"topk-heap", []Option{WithMinHeap()}},
+		{"topk-mapstore", []Option{WithMapStore()}},
+		{"concurrent", []Option{WithConcurrency()}},
+		{"sharded", []Option{WithShards(3)}},
+	}
+}
+
+func TestChecksummedSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range checksummedFrontends() {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := MustNew(10, append([]Option{WithSeed(7), WithMemory(16 << 10)}, tc.opts...)...)
+			ingestZipfish(orig, 500, 20000)
+			var buf bytes.Buffer
+			if _, err := WriteSnapshot(&buf, orig.(SnapshotWriter)); err != nil {
+				t.Fatalf("WriteSnapshot: %v", err)
+			}
+			restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadSnapshot: %v", err)
+			}
+			if fmt.Sprintf("%T", restored) != fmt.Sprintf("%T", orig) {
+				t.Fatalf("restored as %T, wrote a %T", restored, orig)
+			}
+			summarizersEqual(t, orig, restored, persistProbes())
+		})
+	}
+}
+
+// TestChecksummedSnapshotCorruptionMatrix is the torn-write sweep: for
+// every frontend kind, the envelope is truncated at every frame boundary
+// (and one byte either side of each) — every prefix must be rejected as
+// ErrCorrupt, never restored and never a panic.
+func TestChecksummedSnapshotCorruptionMatrix(t *testing.T) {
+	for _, tc := range checksummedFrontends() {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := MustNew(8, append([]Option{WithSeed(3), WithMemory(8 << 10)}, tc.opts...)...)
+			ingestZipfish(orig, 200, 8000)
+			var buf bytes.Buffer
+			if _, err := WriteSnapshot(&buf, orig.(SnapshotWriter)); err != nil {
+				t.Fatalf("WriteSnapshot: %v", err)
+			}
+			raw := buf.Bytes()
+			cuts := map[int]bool{0: true, 1: true, 3: true}
+			for _, b := range snapshotFrameBoundaries(t, raw) {
+				for _, cut := range []int{b - 1, b, b + 1} {
+					if cut >= 0 && cut < len(raw) {
+						cuts[cut] = true
+					}
+				}
+			}
+			for cut := range cuts {
+				if _, err := ReadSnapshot(bytes.NewReader(raw[:cut])); !errors.Is(err, ErrCorrupt) {
+					t.Errorf("truncated at %d/%d: got %v, want ErrCorrupt", cut, len(raw), err)
+				}
+			}
+		})
+	}
+}
+
+// TestChecksummedSnapshotBitFlips corrupts one byte at a spread of
+// offsets; the envelope checksum must catch every flip.
+func TestChecksummedSnapshotBitFlips(t *testing.T) {
+	orig := MustNew(8, WithSeed(9), WithMemory(8<<10))
+	ingestZipfish(orig, 200, 8000)
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, orig.(SnapshotWriter)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	raw := buf.Bytes()
+	for off := 0; off < len(raw); off += 37 {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at %d/%d restored successfully", off, len(raw))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("bit flip at %d: got %v, want ErrCorrupt", off, err)
+		}
+	}
+	// Trailing garbage after a valid terminator is also corruption.
+	if _, err := ReadSnapshot(bytes.NewReader(append(append([]byte(nil), raw...), 0xFF))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadSnapshotLegacyContainer: a bare WriteTo container (the
+// pre-envelope on-disk format) still restores through ReadSnapshot.
+func TestReadSnapshotLegacyContainer(t *testing.T) {
+	orig := MustNew(10, WithSeed(5), WithConcurrency())
+	ingestZipfish(orig, 300, 10000)
+	var buf bytes.Buffer
+	if _, err := orig.(SnapshotWriter).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot (legacy): %v", err)
+	}
+	summarizersEqual(t, orig, restored, persistProbes())
+}
+
+func TestWriteSnapshotUnsupportedEngine(t *testing.T) {
+	ss := MustNew(10, WithAlgorithm("spacesaving"))
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, ss.(SnapshotWriter)); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("got %v, want ErrSnapshotUnsupported", err)
+	}
+}

@@ -30,6 +30,12 @@ func (s *Server) apiHandler() http.Handler {
 	mux.HandleFunc("GET /indexstats", s.handleIndexStats)
 	mux.HandleFunc("GET /config", s.handleConfig)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Still 200 while degraded — the daemon is alive and answering,
+		// just shedding — but the body tells probes (and humans) so.
+		if s.degraded.Load() {
+			w.Write([]byte("degraded\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -118,6 +124,17 @@ type serverCounters struct {
 	TransportErrors uint64 `json:"transport_errors"`
 	ConnsTotal      uint64 `json:"conns_total"`
 	ConnsActive     int64  `json:"conns_active"`
+	ConnsRejected   uint64 `json:"conns_rejected"`
+	IdleEvictions   uint64 `json:"idle_evictions"`
+	UDPOversized    uint64 `json:"udp_oversized"`
+	UDPTruncated    uint64 `json:"udp_truncated"`
+	QueueDepth      int64  `json:"queue_depth"`
+	Inflight        int64  `json:"inflight"`
+	Degraded        bool   `json:"degraded"`
+	DegradedEntries uint64 `json:"degraded_entries"`
+	DegradedExits   uint64 `json:"degraded_exits"`
+	ShedBatches     uint64 `json:"shed_batches"`
+	ShedRecords     uint64 `json:"shed_records"`
 	Snapshots       uint64 `json:"snapshots"`
 	SnapshotErrors  uint64 `json:"snapshot_errors"`
 }
@@ -139,6 +156,17 @@ func (s *Server) counterSnapshot() serverCounters {
 		TransportErrors: s.ctr.transportErrors.Load(),
 		ConnsTotal:      s.ctr.connsTotal.Load(),
 		ConnsActive:     s.ctr.connsActive.Load(),
+		ConnsRejected:   s.ctr.connsRejected.Load(),
+		IdleEvictions:   s.ctr.idleEvictions.Load(),
+		UDPOversized:    s.ctr.udpOversized.Load(),
+		UDPTruncated:    s.ctr.udpTruncated.Load(),
+		QueueDepth:      s.waiting.Load(),
+		Inflight:        s.inflight.Load(),
+		Degraded:        s.degraded.Load(),
+		DegradedEntries: s.ctr.degradedEntries.Load(),
+		DegradedExits:   s.ctr.degradedExits.Load(),
+		ShedBatches:     s.ctr.shedBatches.Load(),
+		ShedRecords:     s.ctr.shedRecords.Load(),
 		Snapshots:       s.ctr.snapshots.Load(),
 		SnapshotErrors:  s.ctr.snapshotErrs.Load(),
 	}
@@ -208,8 +236,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("hkd_ingest_records_total", "Arrival records ingested.", float64(ctr.Records))
 	p.Counter("hkd_decode_errors_total", "Malformed frames or datagrams rejected.", float64(ctr.DecodeErrors))
 	p.Counter("hkd_transport_errors_total", "Ingest connections lost to resets, deadlines or force-close.", float64(ctr.TransportErrors))
+	p.CounterLabeled("hkd_udp_dropped_total", "Datagrams dropped before decode.",
+		map[string]string{"reason": "oversized"}, float64(ctr.UDPOversized))
+	p.CounterLabeled("hkd_udp_dropped_total", "Datagrams dropped before decode.",
+		map[string]string{"reason": "truncated"}, float64(ctr.UDPTruncated))
 	p.Counter("hkd_connections_total", "Stream-ingest connections accepted.", float64(ctr.ConnsTotal))
 	p.Gauge("hkd_connections_active", "Stream-ingest connections open now.", float64(ctr.ConnsActive))
+	p.Counter("hkd_connections_rejected_total", "Connections refused at the MaxConns admission cap.", float64(ctr.ConnsRejected))
+	p.Counter("hkd_idle_evictions_total", "Stream connections evicted for idling past IdleTimeout.", float64(ctr.IdleEvictions))
+	p.Gauge("hkd_ingest_queue_depth", "Batches queued behind the inflight bound right now.", float64(ctr.QueueDepth))
+	p.Gauge("hkd_ingest_inflight", "Summarizer batch calls executing right now.", float64(ctr.Inflight))
+	degraded := 0.0
+	if ctr.Degraded {
+		degraded = 1
+	}
+	p.Gauge("hkd_degraded", "1 while the server is shedding load, else 0.", degraded)
+	p.Counter("hkd_degraded_entries_total", "Transitions into degraded mode.", float64(ctr.DegradedEntries))
+	p.Counter("hkd_degraded_exits_total", "Recoveries out of degraded mode.", float64(ctr.DegradedExits))
+	p.Counter("hkd_shed_batches_total", "Batches dropped by degraded-mode sampling.", float64(ctr.ShedBatches))
+	p.Counter("hkd_shed_records_total", "Records inside shed batches.", float64(ctr.ShedRecords))
 	p.Counter("hkd_snapshots_total", "Snapshots written.", float64(ctr.Snapshots))
 	p.Counter("hkd_snapshot_errors_total", "Snapshot attempts that failed.", float64(ctr.SnapshotErrors))
 

@@ -13,6 +13,33 @@
 // from the live structure without stopping ingest. The Summarizer must
 // therefore be safe for concurrent use: a Concurrent, Sharded or Window
 // frontend, not a bare TopK.
+//
+// # Overload resilience
+//
+// The server survives hostile load the way the sketch survives hostile
+// traffic: by degrading gracefully instead of falling over.
+//
+//   - Admission control: MaxConns caps open stream connections (excess
+//     accepts are counted and closed), IdleTimeout evicts silent peers,
+//     and MaxInflight bounds concurrently-executing summarizer batch
+//     calls — everything past the bound queues, and the queue depth is
+//     the overload signal.
+//
+//   - Graceful degradation: when the ingest queue stays past its high
+//     watermark (or the heap passes MemHighWater), the server enters
+//     degraded mode and sheds load by probabilistic batch sampling —
+//     keep 1 of every ShedKeepOneIn batches and compensate by scaling
+//     the kept records' weights, so counts stay unbiased in expectation
+//     while sketch-side work drops. This is the same contract as the
+//     paper's count-with-exponential-decay: bounded resources, graceful
+//     accuracy loss under pressure. Recovery has hysteresis: the queue
+//     must stay at the low watermark for RecoveryWindow before the
+//     server re-enters exact mode.
+//
+//   - Crash safety: snapshots are CRC-checksummed (heavykeeper
+//     WriteSnapshot) generation files — keep-last-N, fsync'd, renamed
+//     into place, directory-synced — and restore walks generations
+//     newest to oldest past corrupt or torn files.
 package server
 
 import (
@@ -22,8 +49,7 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
-	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +59,8 @@ import (
 )
 
 // Config configures a Server. Empty listen addresses disable their
-// listener; at least one of TCP/UDP/HTTP must be set.
+// listener; at least one of TCP/UDP/HTTP must be set. The zero value of
+// every limit field selects a production-safe default; see each field.
 type Config struct {
 	// Summarizer receives every decoded arrival. It must be safe for
 	// concurrent use (Concurrent, Sharded, Window). Required.
@@ -46,19 +73,77 @@ type Config struct {
 	UDPAddr string
 	// HTTPAddr is the query/metrics API listen address.
 	HTTPAddr string
+
+	// MaxConns caps concurrently-open stream-ingest connections; accepts
+	// past the cap are counted (hkd_connections_rejected_total) and
+	// closed. 0 selects the default (256); negative means unlimited.
+	MaxConns int
+	// IdleTimeout evicts a stream connection that delivers no complete
+	// frame for this long, so stalled or silent peers cannot pin
+	// connection slots. 0 disables idle eviction.
+	IdleTimeout time.Duration
+	// MaxInflight bounds summarizer batch calls executing at once;
+	// arrivals past the bound queue, and the queue depth drives the
+	// overload detector. 0 selects the default (2×GOMAXPROCS, min 4).
+	MaxInflight int
+	// DrainGrace is how long established ingest connections get to
+	// finish in-flight frames at shutdown before their reads are
+	// deadlined. 0 selects the default (1s); values outside [0, 10m]
+	// are rejected with ErrInvalidDrainGrace.
+	DrainGrace time.Duration
+
+	// OverloadHighWater is the queued-batch depth that trips degraded
+	// mode. 0 selects the default (4×MaxInflight, min 8).
+	OverloadHighWater int
+	// OverloadLowWater is the queue depth treated as recovered; the
+	// queue must stay at or below it for RecoveryWindow before degraded
+	// mode exits. 0 selects the default (OverloadHighWater/4, min 1).
+	OverloadLowWater int
+	// MemHighWater is a heap-bytes watermark (runtime HeapAlloc) that
+	// also trips degraded mode. 0 disables the memory signal.
+	MemHighWater uint64
+	// ShedKeepOneIn is the sampling divisor while degraded: 1 of every
+	// ShedKeepOneIn batches is kept and its records' weights are scaled
+	// by ShedKeepOneIn to compensate, so estimates stay unbiased. 0
+	// selects the default (4); 1 disables shedding (degraded mode then
+	// only signals, never drops).
+	ShedKeepOneIn int
+	// RecoveryWindow is the sustained-calm hysteresis before degraded
+	// mode exits. 0 selects the default (2s).
+	RecoveryWindow time.Duration
+
 	// SnapshotPath, when set, enables persistence: the summarizer is
-	// snapshotted there every SnapshotInterval and on Shutdown. The
+	// snapshotted every SnapshotInterval and on Shutdown into
+	// CRC-checksummed generation files next to this base path. The
 	// summarizer must implement heavykeeper.SnapshotWriter.
 	SnapshotPath string
 	// SnapshotInterval is the periodic snapshot cadence (default 1m;
 	// ignored without SnapshotPath).
 	SnapshotInterval time.Duration
+	// SnapshotKeep is how many snapshot generations to retain (default
+	// 3). Older generations are pruned after each successful write.
+	SnapshotKeep int
+
 	// Info is echoed verbatim by the /config endpoint, so a client can
 	// rebuild a twin summarizer (the hkbench verifier does).
 	Info map[string]string
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
+
+// Typed configuration errors; callers branch with errors.Is.
+var (
+	// ErrInvalidDrainGrace is returned by New for a DrainGrace outside
+	// [0, 10m] — a negative grace is meaningless and an hours-long one
+	// turns every restart into an outage.
+	ErrInvalidDrainGrace = errors.New("server: drain grace must be between 0 and 10m")
+	// ErrInvalidLimit is returned by New for a nonsensical admission or
+	// shedding limit (negative MaxInflight, watermarks out of order, ...).
+	ErrInvalidLimit = errors.New("server: invalid limit")
+)
+
+// maxDrainGrace bounds the configurable shutdown drain grace.
+const maxDrainGrace = 10 * time.Minute
 
 // counters is the server's monitoring block; all fields are atomics so
 // the ingest paths never take a lock to count.
@@ -72,6 +157,14 @@ type counters struct {
 	transportErrors atomic.Uint64
 	connsTotal      atomic.Uint64
 	connsActive     atomic.Int64
+	connsRejected   atomic.Uint64
+	idleEvictions   atomic.Uint64
+	udpOversized    atomic.Uint64
+	udpTruncated    atomic.Uint64
+	shedBatches     atomic.Uint64
+	shedRecords     atomic.Uint64
+	degradedEntries atomic.Uint64
+	degradedExits   atomic.Uint64
 	snapshots       atomic.Uint64
 	snapshotErrs    atomic.Uint64
 }
@@ -85,10 +178,6 @@ var errProbe = errors.New("server: snapshot capability probe")
 type probeWriter struct{}
 
 func (probeWriter) Write([]byte) (int, error) { return 0, errProbe }
-
-// drainGrace is how long established ingest connections get to finish
-// their in-flight frames at shutdown before their reads are deadlined.
-const drainGrace = time.Second
 
 // Server is one running hkd instance.
 type Server struct {
@@ -105,9 +194,39 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// Ingest backpressure: sem bounds concurrently-executing summarizer
+	// calls; waiting counts arrivals blocked behind it (the queue depth
+	// the overload detector watches).
+	sem      chan struct{}
+	waiting  atomic.Int64
+	inflight atomic.Int64
+
+	// Degradation state machine. degraded flips on synchronously when
+	// the queue crosses the high watermark (or the monitor sees the
+	// memory watermark crossed) and off in the monitor after the queue
+	// has stayed at the low watermark for RecoveryWindow. lastOver is
+	// the last instant overload was observed (unix nanos).
+	degraded atomic.Bool
+	lastOver atomic.Int64
+	shedTick atomic.Uint64
+
+	// Shutdown drain coordination: draining tells serveConn to stop
+	// extending idle deadlines; drainBy (unix nanos) is the deadline it
+	// re-asserts if it raced a SetReadDeadline against Shutdown.
+	draining atomic.Bool
+	drainBy  atomic.Int64
+
 	wg       sync.WaitGroup
 	stopSnap chan struct{}
+	stopMon  chan struct{}
 	ctr      counters
+
+	snap *genStore
+
+	// Test seams (package-internal): pollEvery paces the overload
+	// monitor; tcpListen lets the chaos harness wrap the accept loop.
+	pollEvery time.Duration
+	tcpListen func(addr string) (net.Listener, error)
 }
 
 // New validates cfg and returns an unstarted server.
@@ -124,6 +243,50 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TCPAddr == "" && cfg.UDPAddr == "" && cfg.HTTPAddr == "" {
 		return nil, errors.New("server: no listen address configured")
 	}
+	switch {
+	case cfg.DrainGrace == 0:
+		cfg.DrainGrace = time.Second
+	case cfg.DrainGrace < 0 || cfg.DrainGrace > maxDrainGrace:
+		return nil, fmt.Errorf("%w: %v", ErrInvalidDrainGrace, cfg.DrainGrace)
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 256
+	}
+	switch {
+	case cfg.MaxInflight == 0:
+		cfg.MaxInflight = max(4, 2*runtime.GOMAXPROCS(0))
+	case cfg.MaxInflight < 0:
+		return nil, fmt.Errorf("%w: MaxInflight %d", ErrInvalidLimit, cfg.MaxInflight)
+	}
+	switch {
+	case cfg.OverloadHighWater == 0:
+		cfg.OverloadHighWater = max(8, 4*cfg.MaxInflight)
+	case cfg.OverloadHighWater < 0:
+		return nil, fmt.Errorf("%w: OverloadHighWater %d", ErrInvalidLimit, cfg.OverloadHighWater)
+	}
+	switch {
+	case cfg.OverloadLowWater == 0:
+		cfg.OverloadLowWater = max(1, cfg.OverloadHighWater/4)
+	case cfg.OverloadLowWater < 0:
+		return nil, fmt.Errorf("%w: OverloadLowWater %d", ErrInvalidLimit, cfg.OverloadLowWater)
+	}
+	if cfg.OverloadLowWater >= cfg.OverloadHighWater {
+		return nil, fmt.Errorf("%w: OverloadLowWater %d must be below OverloadHighWater %d",
+			ErrInvalidLimit, cfg.OverloadLowWater, cfg.OverloadHighWater)
+	}
+	switch {
+	case cfg.ShedKeepOneIn == 0:
+		cfg.ShedKeepOneIn = 4
+	case cfg.ShedKeepOneIn < 0:
+		return nil, fmt.Errorf("%w: ShedKeepOneIn %d", ErrInvalidLimit, cfg.ShedKeepOneIn)
+	}
+	if cfg.RecoveryWindow == 0 {
+		cfg.RecoveryWindow = 2 * time.Second
+	}
+	if cfg.IdleTimeout < 0 {
+		return nil, fmt.Errorf("%w: IdleTimeout %v", ErrInvalidLimit, cfg.IdleTimeout)
+	}
+	var snap *genStore
 	if cfg.SnapshotPath != "" {
 		// Every frontend type has a WriteTo method, but registry engines
 		// reject it at call time — probe once now so a daemon that cannot
@@ -141,26 +304,41 @@ func New(cfg Config) (*Server, error) {
 		if cfg.SnapshotInterval <= 0 {
 			cfg.SnapshotInterval = time.Minute
 		}
+		if cfg.SnapshotKeep == 0 {
+			cfg.SnapshotKeep = 3
+		}
+		if cfg.SnapshotKeep < 0 {
+			return nil, fmt.Errorf("%w: SnapshotKeep %d", ErrInvalidLimit, cfg.SnapshotKeep)
+		}
+		var err error
+		if snap, err = newGenStore(cfg.SnapshotPath, cfg.SnapshotKeep); err != nil {
+			return nil, fmt.Errorf("server: snapshot store: %w", err)
+		}
 	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		cfg:      cfg,
-		logf:     logf,
-		conns:    map[net.Conn]struct{}{},
-		stopSnap: make(chan struct{}),
+		cfg:       cfg,
+		logf:      logf,
+		conns:     map[net.Conn]struct{}{},
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		stopSnap:  make(chan struct{}),
+		stopMon:   make(chan struct{}),
+		snap:      snap,
+		pollEvery: 25 * time.Millisecond,
+		tcpListen: func(addr string) (net.Listener, error) { return net.Listen("tcp", addr) },
 	}, nil
 }
 
-// Start binds the configured listeners and launches the ingest, API and
-// snapshot loops. It returns once everything is listening; use the Addr
-// accessors to learn ephemeral ports.
+// Start binds the configured listeners and launches the ingest, API,
+// overload-monitor and snapshot loops. It returns once everything is
+// listening; use the Addr accessors to learn ephemeral ports.
 func (s *Server) Start() error {
 	s.started = time.Now()
 	if s.cfg.TCPAddr != "" {
-		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		ln, err := s.tcpListen(s.cfg.TCPAddr)
 		if err != nil {
 			s.closeListeners()
 			return fmt.Errorf("server: tcp listen: %w", err)
@@ -199,6 +377,8 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.snapshotLoop()
 	}
+	s.wg.Add(1)
+	go s.monitorLoop()
 	s.logf("hkd listening: tcp=%v udp=%v http=%v", s.TCPAddr(), s.UDPAddr(), s.HTTPAddr())
 	return nil
 }
@@ -227,13 +407,22 @@ func (s *Server) HTTPAddr() net.Addr {
 	return s.httpLn.Addr()
 }
 
-// acceptLoop accepts stream-ingest connections until the listener closes.
+// Degraded reports whether the server is currently shedding load.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// acceptLoop accepts stream-ingest connections until the listener
+// closes, enforcing the MaxConns admission cap.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.tcpLn.Accept()
 		if err != nil {
 			return // listener closed by Shutdown
+		}
+		if s.cfg.MaxConns > 0 && s.ctr.connsActive.Load() >= int64(s.cfg.MaxConns) {
+			s.ctr.connsRejected.Add(1)
+			conn.Close()
+			continue
 		}
 		if !s.track(conn) {
 			conn.Close()
@@ -267,7 +456,9 @@ func (s *Server) untrack(conn net.Conn) {
 // through the connection's own wire.Reader (whose buffers are reused, so
 // the steady-state loop is allocation-free) into the summarizer's batch
 // path. A protocol violation terminates the connection — framing on a
-// byte stream cannot resynchronize after corruption.
+// byte stream cannot resynchronize after corruption. With IdleTimeout
+// configured, a peer that delivers no complete frame within the window
+// is evicted, so slow or silent clients cannot pin connection slots.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.ctr.connsActive.Add(-1)
@@ -275,19 +466,33 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := wire.NewReader(&countingReader{r: conn, n: &s.ctr.tcpBytes})
 	for {
+		if idle := s.cfg.IdleTimeout; idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+			if s.draining.Load() {
+				// Raced Shutdown's drain deadline: re-assert it, so the
+				// drain grace always wins over the (longer) idle window.
+				conn.SetReadDeadline(time.Unix(0, s.drainBy.Load()))
+			}
+		}
 		batch, err := r.Next()
 		if err != nil {
 			if err != io.EOF {
-				// A peer speaking garbage and a peer (or our own shutdown)
-				// tearing the transport down are different conditions;
-				// keep the protocol-violation metric honest by counting
-				// them apart.
-				if isTransportError(err) {
+				// A peer speaking garbage, a peer (or our own shutdown)
+				// tearing the transport down, and an idle peer timing out
+				// are different conditions; count them apart so the
+				// protocol-violation metric stays honest.
+				var ne net.Error
+				switch {
+				case errors.As(err, &ne) && ne.Timeout() && !s.draining.Load():
+					s.ctr.idleEvictions.Add(1)
+					s.logf("tcp %v: idle for %v, evicting", conn.RemoteAddr(), s.cfg.IdleTimeout)
+				case isTransportError(err):
 					s.ctr.transportErrors.Add(1)
-				} else {
+					s.logf("tcp %v: %v", conn.RemoteAddr(), err)
+				default:
 					s.ctr.decodeErrors.Add(1)
+					s.logf("tcp %v: %v", conn.RemoteAddr(), err)
 				}
-				s.logf("tcp %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
@@ -321,18 +526,33 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // udpLoop ingests one frame per datagram until the socket closes.
 // Datagrams are independent, so a malformed one is counted and dropped
-// without affecting its neighbors.
+// without affecting its neighbors. The read buffer is sized one byte
+// past the wire protocol's frame bound, so a datagram too large to be a
+// valid frame is detected (the kernel would otherwise truncate it
+// silently into a plausible-looking decode error) and counted apart
+// from decode corruption, as are torn (truncated) datagrams.
 func (s *Server) udpLoop() {
 	defer s.wg.Done()
-	buf := make([]byte, wire.HeaderLen+wire.MaxPayload)
+	buf := make([]byte, wire.MaxFrameLen+1)
 	var batch wire.Batch
 	for {
 		n, _, err := s.udpLn.ReadFrom(buf)
 		if err != nil {
 			return // socket closed by Shutdown
 		}
+		if n > wire.MaxFrameLen {
+			s.ctr.udpOversized.Add(1)
+			continue
+		}
 		if err := wire.DecodeDatagram(buf[:n], &batch); err != nil {
-			s.ctr.decodeErrors.Add(1)
+			switch {
+			case errors.Is(err, wire.ErrOversize):
+				s.ctr.udpOversized.Add(1)
+			case errors.Is(err, wire.ErrTruncated):
+				s.ctr.udpTruncated.Add(1)
+			default:
+				s.ctr.decodeErrors.Add(1)
+			}
 			continue
 		}
 		s.ctr.udpFrames.Add(1)
@@ -341,17 +561,134 @@ func (s *Server) udpLoop() {
 	}
 }
 
-// ingest feeds one decoded batch to the summarizer: the batched path for
-// unit weights, per-record AddN for weighted frames.
+// ingest feeds one decoded batch to the summarizer through the bounded
+// inflight semaphore: the batched path for unit weights, per-record AddN
+// for weighted frames. While degraded, batches are sampled — 1 of every
+// ShedKeepOneIn is kept with its weights scaled by ShedKeepOneIn, the
+// rest are counted and dropped before any summarizer work. Shedding is
+// strictly batch-granular: the per-packet hot path under AddBatch is
+// never touched.
 func (s *Server) ingest(b *wire.Batch) {
-	if len(b.Weights) == 0 {
+	scale := uint64(1)
+	if s.degraded.Load() && s.cfg.ShedKeepOneIn > 1 {
+		if !s.keepBatch() {
+			s.ctr.shedBatches.Add(1)
+			s.ctr.shedRecords.Add(uint64(len(b.Keys)))
+			return
+		}
+		scale = uint64(s.cfg.ShedKeepOneIn)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// Contended: we are the queue. Crossing the high watermark here
+		// (rather than waiting for the monitor tick) makes overload entry
+		// immediate and deterministic.
+		if w := s.waiting.Add(1); w >= int64(s.cfg.OverloadHighWater) {
+			s.lastOver.Store(time.Now().UnixNano())
+			s.enterDegraded(w)
+		}
+		s.sem <- struct{}{}
+		s.waiting.Add(-1)
+	}
+	s.inflight.Add(1)
+	switch {
+	case scale > 1:
+		if len(b.Weights) == 0 {
+			for _, key := range b.Keys {
+				s.cfg.Summarizer.AddN(key, scale)
+			}
+		} else {
+			for i, key := range b.Keys {
+				s.cfg.Summarizer.AddN(key, b.Weights[i]*scale)
+			}
+		}
+	case len(b.Weights) == 0:
 		s.cfg.Summarizer.AddBatch(b.Keys)
-	} else {
+	default:
 		for i, key := range b.Keys {
 			s.cfg.Summarizer.AddN(key, b.Weights[i])
 		}
 	}
+	s.inflight.Add(-1)
+	<-s.sem
 	s.ctr.records.Add(uint64(len(b.Keys)))
+}
+
+// keepBatch is the degraded-mode sampling decision: a lock-free
+// pseudo-random draw (SplitMix64 finalizer over a global tick) keeping 1
+// of every ShedKeepOneIn batches. Deterministic for a given arrival
+// order, unbiased across interleavings.
+func (s *Server) keepBatch() bool {
+	tick := s.shedTick.Add(1)
+	return mix64(tick^shedSeed)%uint64(s.cfg.ShedKeepOneIn) == 0
+}
+
+// shedSeed decorrelates the shedding draw from the tick sequence.
+const shedSeed = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: a cheap, high-quality 64-bit mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// enterDegraded flips the server into degraded mode once per episode.
+func (s *Server) enterDegraded(queue int64) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.ctr.degradedEntries.Add(1)
+		s.logf("overload: entering degraded mode (queue %d >= %d); shedding %d of every %d batches",
+			queue, s.cfg.OverloadHighWater, s.cfg.ShedKeepOneIn-1, s.cfg.ShedKeepOneIn)
+	}
+}
+
+// exitDegraded returns the server to exact mode once per episode.
+func (s *Server) exitDegraded() {
+	if s.degraded.CompareAndSwap(true, false) {
+		s.ctr.degradedExits.Add(1)
+		s.logf("overload: recovered, exiting degraded mode")
+	}
+}
+
+// monitorLoop is the overload state machine's clock: it watches the
+// ingest queue depth (and, when configured, the heap watermark), refreshes
+// the last-overloaded instant while pressure persists, and exits degraded
+// mode after the queue has stayed at the low watermark for RecoveryWindow.
+func (s *Server) monitorLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.pollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopMon:
+			return
+		case <-t.C:
+			now := time.Now()
+			w := s.waiting.Load()
+			over := w >= int64(s.cfg.OverloadHighWater)
+			if !over && s.cfg.MemHighWater > 0 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc >= s.cfg.MemHighWater {
+					over = true
+					s.logf("overload: heap %d bytes >= watermark %d", ms.HeapAlloc, s.cfg.MemHighWater)
+				}
+			}
+			switch {
+			case over:
+				s.lastOver.Store(now.UnixNano())
+				s.enterDegraded(w)
+			case s.degraded.Load():
+				if w > int64(s.cfg.OverloadLowWater) {
+					// Still above the recovery watermark: not calm yet.
+					s.lastOver.Store(now.UnixNano())
+				} else if now.Sub(time.Unix(0, s.lastOver.Load())) >= s.cfg.RecoveryWindow {
+					s.exitDegraded()
+				}
+			}
+		}
+	}
 }
 
 // snapshotLoop writes periodic snapshots until Shutdown.
@@ -371,30 +708,17 @@ func (s *Server) snapshotLoop() {
 	}
 }
 
-// Snapshot writes the summarizer to SnapshotPath atomically (temp file
-// in the same directory, then rename), so a crash mid-write never
-// clobbers the previous good snapshot.
+// Snapshot writes the summarizer as a new CRC-checksummed snapshot
+// generation (temp file, fsync, rename, directory fsync) and prunes
+// generations past SnapshotKeep. A failed write never disturbs existing
+// generations, so the newest intact generation always survives. Safe to
+// call concurrently and from signal handlers (SIGHUP in hkd).
 func (s *Server) Snapshot() error {
-	if s.cfg.SnapshotPath == "" {
+	if s.snap == nil {
 		return errors.New("server: no snapshot path configured")
 	}
 	w := s.cfg.Summarizer.(heavykeeper.SnapshotWriter) // checked in New
-	tmp, err := os.CreateTemp(filepath.Dir(s.cfg.SnapshotPath), ".hkd-snap-*")
-	if err != nil {
-		s.ctr.snapshotErrs.Add(1)
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if _, err := w.WriteTo(tmp); err != nil {
-		tmp.Close()
-		s.ctr.snapshotErrs.Add(1)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		s.ctr.snapshotErrs.Add(1)
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+	if err := s.snap.write(w); err != nil {
 		s.ctr.snapshotErrs.Add(1)
 		return err
 	}
@@ -402,33 +726,12 @@ func (s *Server) Snapshot() error {
 	return nil
 }
 
-// LoadSnapshot restores a summarizer from a snapshot file written by
-// Snapshot (or any heavykeeper WriteTo container). A container holding a
-// bare *TopK is wrapped for concurrent use, so the result is always safe
-// to serve. A missing file is not an error: it returns (nil, nil) so a
-// daemon's first start falls through to fresh construction.
-func LoadSnapshot(path string) (heavykeeper.Summarizer, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sum, err := heavykeeper.ReadSummarizer(f)
-	if err != nil {
-		return nil, fmt.Errorf("server: restoring %s: %w", path, err)
-	}
-	return heavykeeper.Synchronized(sum), nil
-}
-
 // Shutdown stops the server: listeners close immediately (no new
 // connections or datagrams), established ingest connections get a short
-// read-deadline grace (drainGrace, clipped to ctx's deadline) to finish
-// in-flight frames before being force-closed, the HTTP server shuts down
-// gracefully, and — when persistence is configured — a final snapshot is
-// written. Safe to call once.
+// read-deadline grace (Config.DrainGrace, clipped to ctx's deadline) to
+// finish in-flight frames before being force-closed, the HTTP server
+// shuts down gracefully, and — when persistence is configured — a final
+// snapshot generation is written. Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -439,6 +742,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	close(s.stopSnap)
+	close(s.stopMon)
 	s.closeListeners()
 
 	// An idle collector connection never drains "naturally" — it just
@@ -446,11 +750,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// conn that is mid-burst finish its current frames while an idle one
 	// errors out immediately, so routine restarts don't burn the whole
 	// grace period.
-	s.mu.Lock()
-	drainBy := time.Now().Add(drainGrace)
+	drainBy := time.Now().Add(s.cfg.DrainGrace)
 	if dl, ok := ctx.Deadline(); ok && dl.Before(drainBy) {
 		drainBy = dl
 	}
+	s.drainBy.Store(drainBy.UnixNano())
+	s.draining.Store(true)
+	s.mu.Lock()
 	for conn := range s.conns {
 		conn.SetReadDeadline(drainBy)
 	}
@@ -479,7 +785,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	var snapErr error
-	if s.cfg.SnapshotPath != "" {
+	if s.snap != nil {
 		snapErr = s.Snapshot()
 	}
 	if snapErr != nil {

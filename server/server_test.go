@@ -5,11 +5,15 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -369,5 +373,405 @@ func TestConfigValidation(t *testing.T) {
 	reg := heavykeeper.MustNew(5, heavykeeper.WithAlgorithm("spacesaving"))
 	if _, err := New(Config{Summarizer: reg, TCPAddr: ":0", SnapshotPath: "x"}); err == nil {
 		t.Error("snapshot path with snapshot-incapable summarizer accepted")
+	}
+}
+
+// getBody fetches a path and returns status and body.
+func getBody(t *testing.T, addr net.Addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr.String() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// statsDoc mirrors the /stats server-counter block the resilience tests
+// care about.
+type statsDoc struct {
+	Server struct {
+		Records         uint64 `json:"records"`
+		ConnsActive     int64  `json:"conns_active"`
+		ConnsRejected   uint64 `json:"conns_rejected"`
+		IdleEvictions   uint64 `json:"idle_evictions"`
+		UDPOversized    uint64 `json:"udp_oversized"`
+		UDPTruncated    uint64 `json:"udp_truncated"`
+		Degraded        bool   `json:"degraded"`
+		DegradedEntries uint64 `json:"degraded_entries"`
+		DegradedExits   uint64 `json:"degraded_exits"`
+		ShedBatches     uint64 `json:"shed_batches"`
+		ShedRecords     uint64 `json:"shed_records"`
+	} `json:"server"`
+}
+
+// waitStats polls /stats until pred accepts the document.
+func waitStats(t *testing.T, addr net.Addr, what string, pred func(statsDoc) bool) statsDoc {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var st statsDoc
+	for time.Now().Before(deadline) {
+		getJSON(t, addr, "/stats", &st)
+		if pred(st) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last stats: %+v", what, st.Server)
+	return st
+}
+
+func TestDrainGraceValidation(t *testing.T) {
+	sum := func() heavykeeper.Summarizer {
+		return heavykeeper.MustNew(5, heavykeeper.WithConcurrency())
+	}
+	for _, grace := range []time.Duration{-time.Second, 11 * time.Minute} {
+		_, err := New(Config{Summarizer: sum(), TCPAddr: ":0", DrainGrace: grace})
+		if !errors.Is(err, ErrInvalidDrainGrace) {
+			t.Errorf("DrainGrace %v: got %v, want ErrInvalidDrainGrace", grace, err)
+		}
+	}
+	for _, bad := range []Config{
+		{MaxInflight: -1},
+		{OverloadHighWater: -3},
+		{OverloadLowWater: 9, OverloadHighWater: 4},
+		{ShedKeepOneIn: -2},
+		{IdleTimeout: -time.Second},
+	} {
+		bad.Summarizer = sum()
+		bad.TCPAddr = ":0"
+		if _, err := New(bad); !errors.Is(err, ErrInvalidLimit) {
+			t.Errorf("config %+v: got %v, want ErrInvalidLimit", bad, err)
+		}
+	}
+	if _, err := New(Config{Summarizer: sum(), TCPAddr: "127.0.0.1:0", DrainGrace: 5 * time.Second}); err != nil {
+		t.Errorf("valid DrainGrace rejected: %v", err)
+	}
+}
+
+// TestMaxConnsRejection: the admission cap closes connections past
+// MaxConns and counts them, and slots free up when a peer leaves.
+func TestMaxConnsRejection(t *testing.T) {
+	srv, _ := startTestServer(t, func(c *Config) { c.MaxConns = 2 })
+	c1, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	defer c1.Close()
+	c2, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer c2.Close()
+	waitStats(t, srv.HTTPAddr(), "2 active conns", func(st statsDoc) bool {
+		return st.Server.ConnsActive == 2
+	})
+
+	c3, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatalf("dial 3: %v", err)
+	}
+	defer c3.Close()
+	// The server must close the over-cap connection without serving it.
+	c3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c3.Read(make([]byte, 1)); err == nil {
+		t.Fatal("over-cap connection was served")
+	}
+	waitStats(t, srv.HTTPAddr(), "a rejected conn", func(st statsDoc) bool {
+		return st.Server.ConnsRejected >= 1
+	})
+
+	// Freeing the slots re-admits new peers: a fresh connection ingests.
+	c1.Close()
+	c2.Close()
+	waitStats(t, srv.HTTPAddr(), "free slots", func(st statsDoc) bool {
+		return st.Server.ConnsActive == 0
+	})
+	sendTCP(t, srv.TCPAddr(), testKeys(64), 64)
+	waitRecords(t, srv.HTTPAddr(), 64)
+}
+
+// TestIdleEviction: a silent peer is evicted after IdleTimeout and
+// counted apart from decode and transport errors; an active peer's
+// deadline keeps sliding.
+func TestIdleEviction(t *testing.T) {
+	srv, _ := startTestServer(t, func(c *Config) { c.IdleTimeout = 300 * time.Millisecond })
+	idle, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer idle.Close()
+
+	// An active connection outlives many idle windows: each delivered
+	// frame slides its deadline.
+	activeDone := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", srv.TCPAddr().String())
+		if err != nil {
+			activeDone <- err
+			return
+		}
+		defer conn.Close()
+		frame, _ := wire.AppendFrame(nil, [][]byte{[]byte("alive")}, nil)
+		for i := 0; i < 10; i++ {
+			if _, err := conn.Write(frame); err != nil {
+				activeDone <- fmt.Errorf("write %d: %w", i, err)
+				return
+			}
+			time.Sleep(50 * time.Millisecond) // well under the idle window
+		}
+		activeDone <- nil
+	}()
+
+	st := waitStats(t, srv.HTTPAddr(), "idle eviction", func(st statsDoc) bool {
+		return st.Server.IdleEvictions >= 1
+	})
+	if st.Server.IdleEvictions != 1 {
+		t.Errorf("evictions = %d, want exactly the idle conn", st.Server.IdleEvictions)
+	}
+	// The evicted side observes the close.
+	idle.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := idle.Read(make([]byte, 1)); err == nil {
+		t.Error("idle conn still open after eviction")
+	}
+	if err := <-activeDone; err != nil {
+		t.Fatalf("active conn: %v", err)
+	}
+	waitRecords(t, srv.HTTPAddr(), 10)
+}
+
+// TestUDPDropAccounting: datagrams whose header declares an impossible
+// payload and datagrams shorter than their declared records are counted
+// apart from generic decode corruption, and neither disturbs ingest.
+func TestUDPDropAccounting(t *testing.T) {
+	srv, _ := startTestServer(t)
+	conn, err := net.Dial("udp", srv.UDPAddr().String())
+	if err != nil {
+		t.Fatalf("dial udp: %v", err)
+	}
+	defer conn.Close()
+
+	// Header declaring a payload past MaxPayload: oversized.
+	over := []byte{'H', 'K', 1, 1, 0xff, 0xff, 0xff, 0xff}
+	if _, err := conn.Write(over); err != nil {
+		t.Fatalf("oversized write: %v", err)
+	}
+	// Valid header, payload cut short: truncated.
+	valid, err := wire.AppendFrame(nil, [][]byte{[]byte("whole-frame-key")}, nil)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	if _, err := conn.Write(valid[:len(valid)-4]); err != nil {
+		t.Fatalf("truncated write: %v", err)
+	}
+	// A healthy frame still lands.
+	if _, err := conn.Write(valid); err != nil {
+		t.Fatalf("valid write: %v", err)
+	}
+
+	st := waitStats(t, srv.HTTPAddr(), "udp drop counters", func(st statsDoc) bool {
+		return st.Server.UDPOversized >= 1 && st.Server.UDPTruncated >= 1 && st.Server.Records >= 1
+	})
+	if st.Server.UDPOversized != 1 || st.Server.UDPTruncated != 1 {
+		t.Errorf("drops = %d oversized / %d truncated, want 1/1", st.Server.UDPOversized, st.Server.UDPTruncated)
+	}
+
+	_, body := getBody(t, srv.HTTPAddr(), "/metrics")
+	for _, want := range []string{
+		`hkd_udp_dropped_total{reason="oversized"} 1`,
+		`hkd_udp_dropped_total{reason="truncated"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// slowSummarizer delays every mutation, so a test can pile up the ingest
+// queue on demand.
+type slowSummarizer struct {
+	heavykeeper.Summarizer
+	delay time.Duration
+}
+
+func (s *slowSummarizer) AddBatch(keys [][]byte) {
+	time.Sleep(s.delay)
+	s.Summarizer.AddBatch(keys)
+}
+
+func (s *slowSummarizer) AddN(key []byte, n uint64) {
+	time.Sleep(s.delay)
+	s.Summarizer.AddN(key, n)
+}
+
+// TestDegradedEntryAndRecovery drives the server into overload with a
+// deliberately slow summarizer and many concurrent senders, watches it
+// enter degraded mode (healthz flips, shedding starts, entry counted),
+// then stops the load and watches hysteresis bring it back to exact
+// mode.
+func TestDegradedEntryAndRecovery(t *testing.T) {
+	srv, _ := startTestServer(t, func(c *Config) {
+		c.Summarizer = &slowSummarizer{Summarizer: c.Summarizer, delay: 2 * time.Millisecond}
+		c.MaxInflight = 1
+		c.OverloadHighWater = 3
+		c.OverloadLowWater = 1
+		c.ShedKeepOneIn = 2
+		c.RecoveryWindow = 100 * time.Millisecond
+	})
+
+	// Senders flood until torn down. The teardown is an RST (SetLinger 0),
+	// discarding the many megabytes of frames the kernel buffered during
+	// the flood — the test is about the overload episode, not about
+	// patiently draining its backlog at the slow summarizer's pace.
+	var senders sync.WaitGroup
+	var mu sync.Mutex
+	var conns []*net.TCPConn
+	stopSenders := func() {
+		mu.Lock()
+		for _, c := range conns {
+			c.SetLinger(0)
+			c.Close()
+		}
+		conns = nil
+		mu.Unlock()
+		// Sever the server side too: each handler stops at its next frame
+		// read instead of grinding through kernel-buffered backlog first.
+		srv.mu.Lock()
+		for c := range srv.conns {
+			c.Close()
+		}
+		srv.mu.Unlock()
+		senders.Wait()
+	}
+	defer stopSenders()
+	for i := 0; i < 8; i++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			conn, err := net.Dial("tcp", srv.TCPAddr().String())
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn.(*net.TCPConn))
+			mu.Unlock()
+			frame, _ := wire.AppendFrame(nil, testKeys(20), nil)
+			for {
+				if _, err := conn.Write(frame); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	waitStats(t, srv.HTTPAddr(), "degraded entry", func(st statsDoc) bool {
+		return st.Server.DegradedEntries >= 1
+	})
+	if _, body := getBody(t, srv.HTTPAddr(), "/healthz"); body != "degraded\n" {
+		t.Errorf("/healthz while degraded = %q", body)
+	}
+	if _, body := getBody(t, srv.HTTPAddr(), "/metrics"); !strings.Contains(body, "hkd_degraded 1") {
+		t.Errorf("/metrics while degraded missing hkd_degraded 1")
+	}
+	// Give the shedder a few batches to sample while still overloaded.
+	waitStats(t, srv.HTTPAddr(), "shed batches", func(st statsDoc) bool {
+		return st.Server.ShedBatches >= 1
+	})
+
+	stopSenders()
+	st := waitStats(t, srv.HTTPAddr(), "recovery", func(st statsDoc) bool {
+		return !st.Server.Degraded && st.Server.DegradedExits >= 1
+	})
+	if st.Server.ShedRecords == 0 {
+		t.Error("shed batches counted but no shed records")
+	}
+	if _, body := getBody(t, srv.HTTPAddr(), "/healthz"); body != "ok\n" {
+		t.Errorf("/healthz after recovery = %q", body)
+	}
+	// Post-recovery ingest is exact again: a fresh batch must land whole.
+	before := st.Server.Records
+	sendTCP(t, srv.TCPAddr(), testKeys(128), 128)
+	waitStats(t, srv.HTTPAddr(), "post-recovery ingest", func(st statsDoc) bool {
+		return st.Server.Records >= before+128
+	})
+}
+
+// TestSnapshotGenerations: Snapshot writes retained, pruned generation
+// files; LoadSnapshot restores the newest and walks past a corrupt
+// newest generation to the next intact one.
+func TestSnapshotGenerations(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "hkd.snap")
+	srv, _ := startTestServer(t, func(c *Config) {
+		c.SnapshotPath = snap
+		c.SnapshotInterval = time.Hour
+		c.SnapshotKeep = 2
+	})
+
+	sendTCP(t, srv.TCPAddr(), testKeys(1000), 100)
+	waitRecords(t, srv.HTTPAddr(), 1000)
+	stateA := srv.cfg.Summarizer.List()
+	for i := 0; i < 3; i++ {
+		if err := srv.Snapshot(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	sendTCP(t, srv.TCPAddr(), testKeys(5000), 100)
+	waitRecords(t, srv.HTTPAddr(), 6000)
+	stateB := srv.cfg.Summarizer.List()
+	if err := srv.Snapshot(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+
+	gens, err := (&genStore{base: snap}).generations()
+	if err != nil {
+		t.Fatalf("generations: %v", err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("retention kept %d generations, want 2", len(gens))
+	}
+	if gens[0].seq <= gens[1].seq {
+		t.Fatalf("generations not newest-first: %+v", gens)
+	}
+
+	assertRestores := func(want []heavykeeper.Flow) {
+		t.Helper()
+		restored, err := LoadSnapshot(snap)
+		if err != nil {
+			t.Fatalf("LoadSnapshot: %v", err)
+		}
+		got := restored.List()
+		if len(got) != len(want) {
+			t.Fatalf("restored %d flows, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].ID, want[i].ID) || got[i].Count != want[i].Count {
+				t.Fatalf("restored[%d] = %s/%d, want %s/%d",
+					i, got[i].ID, got[i].Count, want[i].ID, want[i].Count)
+			}
+		}
+	}
+	// Newest generation intact: restore sees stateB.
+	assertRestores(stateB)
+
+	// Tear the newest generation mid-file: restore walks to the previous
+	// one, which holds stateA.
+	raw, err := os.ReadFile(gens[0].path)
+	if err != nil {
+		t.Fatalf("read newest gen: %v", err)
+	}
+	if err := os.WriteFile(gens[0].path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatalf("truncate newest gen: %v", err)
+	}
+	assertRestores(stateA)
+
+	// Every generation corrupt and no legacy file: restore must fail
+	// loudly rather than start empty.
+	if err := os.WriteFile(gens[1].path, raw[:8], 0o644); err != nil {
+		t.Fatalf("truncate older gen: %v", err)
+	}
+	if _, err := LoadSnapshot(snap); err == nil {
+		t.Fatal("all-corrupt snapshot state restored silently")
 	}
 }

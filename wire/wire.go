@@ -76,6 +76,10 @@ const (
 	MaxPayload = 4 << 20
 	// MaxKeyLen is the largest key one record can carry.
 	MaxKeyLen = 1<<16 - 1
+	// MaxFrameLen is the largest complete frame — header plus a maximal
+	// payload. Datagram receivers size their read buffers from it: a
+	// datagram longer than MaxFrameLen cannot be a valid frame.
+	MaxFrameLen = HeaderLen + MaxPayload
 )
 
 const (

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 # Sharded) and the sketch core under them; the full tree under -race takes
 # tens of minutes (internal/vswitch alone runs >2 min without it).
 race:
-	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./server ./wire
+	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./internal/cluster ./internal/collector ./server ./wire
 
 bench:
 	$(GO) test -run - -bench Ingest -benchtime 1s .
@@ -146,6 +146,55 @@ hkd-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -count=1 ./server -run 'TestChaosSeeds|TestDegraded|TestSnapshotGenerations'
+
+# cluster-smoke boots the fault-tolerant cluster tier end to end (CI runs
+# this target): three hkd members with snapshot stores, one hkagg
+# aggregator collecting over GET /snapshot, ring-replicated ingest
+# (MaxReplica=2) via hkbench -cluster, and the global /topk verified
+# flow-for-flow against the trace's exact truth counts at full coverage.
+# Then one member is SIGTERMed and the same truth is re-verified with
+# -coverage degraded: the single-node-loss guarantee (no true top flow
+# drops, counts stay exact) plus observable degradation (coverage < 1).
+cluster-smoke:
+	@set -e; tmp=$$(mktemp -d); pids=""; \
+	trap 'kill $$pids 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hkd" ./cmd/hkd; \
+	$(GO) build -o "$$tmp/hkagg" ./cmd/hkagg; \
+	$(GO) build -o "$$tmp/hkbench" ./cmd/hkbench; \
+	start_node() { \
+		rm -f "$$tmp/addrs$$1"; \
+		"$$tmp/hkd" -listen-tcp 127.0.0.1:0 -listen-udp 127.0.0.1:0 \
+			-listen-http 127.0.0.1:0 -addr-file "$$tmp/addrs$$1" \
+			-snapshot "$$tmp/node$$1.hks" -quiet & \
+		echo $$! > "$$tmp/pid$$1"; pids="$$pids $$!"; \
+	}; \
+	wait_file() { \
+		j=0; while [ ! -f "$$1" ]; do \
+			j=$$((j+1)); [ $$j -le 100 ] || { echo "$$1 never appeared"; exit 1; }; \
+			sleep 0.1; done; \
+	}; \
+	start_node 1; start_node 2; start_node 3; \
+	spec=""; members=""; \
+	for i in 1 2 3; do \
+		wait_file "$$tmp/addrs$$i"; \
+		tcp=$$(grep '^tcp=' "$$tmp/addrs$$i" | cut -d= -f2-); \
+		http=$$(grep '^http=' "$$tmp/addrs$$i" | cut -d= -f2-); \
+		spec="$$spec,$$tcp/$$http"; members="$$members,$$http"; \
+	done; \
+	spec=$${spec#,}; members=$${members#,}; \
+	"$$tmp/hkagg" -nodes "$$members" -listen-http 127.0.0.1:0 \
+		-addr-file "$$tmp/aggaddr" -interval 200ms -quiet & \
+	pids="$$pids $$!"; \
+	wait_file "$$tmp/aggaddr"; \
+	agg=$$(grep '^http=' "$$tmp/aggaddr" | cut -d= -f2-); \
+	echo "== cluster-smoke: replicated ingest (MaxReplica=2) + verify at full coverage"; \
+	"$$tmp/hkbench" -cluster "$$spec" -replicas 2 -verify "$$agg" \
+		-coverage full -scale 0.002 -batch 256; \
+	echo "== cluster-smoke: kill one member, re-verify degraded"; \
+	kill -TERM "$$(cat "$$tmp/pid1")"; wait "$$(cat "$$tmp/pid1")" || true; \
+	"$$tmp/hkbench" -cluster "$$spec" -replicas 2 -verify "$$agg" \
+		-coverage degraded -verify-only -scale 0.002 -batch 256; \
+	echo "cluster-smoke ok"
 
 # algo-smoke runs the hkbench throughput comparison once per registered
 # algorithm at a tiny scale: every engine must construct and ingest under

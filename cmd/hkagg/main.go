@@ -1,0 +1,143 @@
+// Command hkagg is the cluster aggregator: it maintains a member list of
+// hkd nodes, pulls their sketch state over the CRC-authenticated GET
+// /snapshot endpoint on a per-node collection loop (timeout, exponential
+// backoff with jitter, three-state health machine), and serves the global
+// top-k with failure-aware annotations — a coverage fraction and per-node
+// staleness — so callers can tell a complete answer from a degraded one.
+//
+// Usage:
+//
+//	hkagg -nodes 10.0.0.1:8474,10.0.0.2:8474,10.0.0.3:8474
+//	hkagg -nodes ... -policy max            # ring-replicated ingest (default)
+//	hkagg -nodes ... -policy sum            # partitioned ingest, sketch fold
+//	hkagg -nodes ... -live=false            # fold on-disk generations only
+//	hkagg -listen-http 127.0.0.1:0 -addr-file /tmp/hkagg.addr
+//
+// Policy must match the ingest topology: with hkbench -cluster (every
+// flow replicated to its ring replica set) each member holds a full count
+// for the flows it owns, so -policy max reconstructs exact global counts
+// and tolerates any single node's death; with disjoint per-node traffic,
+// -policy sum folds the raw same-seed sketches instead. See
+// doc/cluster.md for the topology and the staleness/coverage contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collector"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		nodesFlag  = flag.String("nodes", "", "comma-separated hkd members (host:port or http://host:port); required")
+		listenHTTP = flag.String("listen-http", ":8574", "global query/metrics API listen address")
+		policy     = flag.String("policy", "max", "fold policy: max (replicated ingest) or sum (partitioned ingest)")
+		interval   = flag.Duration("interval", cluster.DefaultInterval, "per-node collection cadence while healthy")
+		timeout    = flag.Duration("timeout", cluster.DefaultTimeout, "one snapshot fetch end to end")
+		live       = flag.Bool("live", true, "request on-demand snapshots (?live=1) instead of newest on-disk generations")
+		seed       = flag.Uint64("seed", 31337, "backoff jitter seed")
+		addrFile   = flag.String("addr-file", "", "write the bound HTTP address to this file (for ephemeral ports)")
+		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "hkagg: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *nodesFlag == "" {
+		fmt.Fprintln(os.Stderr, "hkagg: -nodes is required")
+		return 2
+	}
+	var nodes []string
+	for _, n := range strings.Split(*nodesFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	var pol collector.Policy
+	switch *policy {
+	case "max":
+		pol = collector.Max
+	case "sum":
+		pol = collector.Sum
+	default:
+		fmt.Fprintf(os.Stderr, "hkagg: -policy must be max or sum, got %q\n", *policy)
+		return 2
+	}
+
+	agg, err := cluster.New(cluster.Config{
+		Nodes:    nodes,
+		Policy:   pol,
+		Interval: *interval,
+		Timeout:  *timeout,
+		Live:     *live,
+		Seed:     *seed,
+		Logf:     logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkagg:", err)
+		return 1
+	}
+	agg.Start()
+	defer agg.Stop()
+
+	ln, err := net.Listen("tcp", *listenHTTP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkagg:", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "hkagg:", err)
+			return 1
+		}
+	}
+	httpSrv := &http.Server{Handler: agg.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logf("serving global top-k on %s for %d members", ln.Addr(), len(nodes))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "hkagg:", err)
+		return 1
+	}
+	logf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hkagg: shutdown:", err)
+		return 1
+	}
+	return 0
+}
+
+// writeAddrFile publishes the bound address atomically (temp + rename) so
+// a polling reader never sees a partial file.
+func writeAddrFile(path string, addr net.Addr) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte("http="+addr.String()+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

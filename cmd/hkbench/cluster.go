@@ -1,0 +1,299 @@
+// hkbench cluster mode: ring-replicated fan-out ingest across several hkd
+// nodes, plus truth-based verification of the hkagg global answer. Every
+// key in the trace is routed through the same consistent-hash ring the
+// deployment documents (internal/cluster.Ring) to MaxReplica nodes, so
+// each replica of a flow observes all of that flow's packets — the
+// topology under which the aggregator's Max fold is exact and any single
+// node death leaves every flow covered by a surviving replica.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/xrand"
+	"repro/wire"
+)
+
+// clusterNode is one -cluster entry: the TCP ingest address, optionally
+// followed by "/httpAddr" for drain-waiting against the node's /stats.
+type clusterNode struct {
+	name string // full entry, the ring identity
+	tcp  string
+	http string
+}
+
+// clusterReport is the -json document of one cluster-mode run.
+type clusterReport struct {
+	Nodes          int     `json:"nodes"`
+	Replicas       int     `json:"replicas"`
+	Packets        int     `json:"packets"`
+	SentRecords    int     `json:"sent_records"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Coverage       float64 `json:"coverage,omitempty"`
+	Verified       *bool   `json:"verified,omitempty"`
+}
+
+// parseClusterNodes splits the -cluster flag.
+func parseClusterNodes(spec string) ([]clusterNode, error) {
+	var nodes []clusterNode
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		n := clusterNode{name: entry, tcp: entry}
+		if i := strings.IndexByte(entry, '/'); i >= 0 {
+			n.tcp, n.http = entry[:i], entry[i+1:]
+		}
+		if n.tcp == "" {
+			return nil, fmt.Errorf("hkbench: -cluster entry %q has no TCP address", entry)
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("hkbench: -cluster lists no nodes")
+	}
+	return nodes, nil
+}
+
+// runCluster replicates the trace across the ring and optionally verifies
+// the aggregator's global /topk against exact truth counts computed from
+// the trace itself. coverageWant gates verification on the aggregator's
+// coverage annotation: "full" waits for coverage == 1, "degraded" for
+// coverage < 1 (the kill-one-node smoke), "any" verifies immediately.
+// verifyOnly skips the ingest and drain phases but still routes the trace
+// to recompute the same truth counts — the re-check after a node kill,
+// when the cluster already holds exactly one copy of the trace.
+func runCluster(spec, verifyAddr, coverageWant string, replicas, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut, verifyOnly bool) error {
+	if batch < 1 || repeat < 1 {
+		return fmt.Errorf("hkbench: -batch and -repeat must be >= 1")
+	}
+	switch coverageWant {
+	case "full", "degraded", "any":
+	default:
+		return fmt.Errorf("hkbench: -coverage must be full, degraded or any, got %q", coverageWant)
+	}
+	nodes, err := parseClusterNodes(spec)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.name
+	}
+	ring, err := cluster.NewRing(cluster.RingConfig{MaxReplica: replicas, Seed: seed}, names)
+	if err != nil {
+		return err
+	}
+
+	tr, err := gen.Generate(gen.Synthetic(1.0, seed).Scale(scale))
+	if err != nil {
+		return err
+	}
+	// Route once: per-node key lists plus the exact whole-trace truth.
+	truth := map[string]uint64{}
+	perNode := make([][][]byte, len(nodes))
+	var locs [8]int
+	tr.ForEach(func(key []byte) {
+		truth[string(key)] += uint64(repeat)
+		for _, n := range ring.Locations(locs[:0], key) {
+			perNode[n] = append(perNode[n], key)
+		}
+	})
+
+	report := clusterReport{Nodes: len(nodes), Replicas: ring.Replicas(), Packets: tr.Len() * repeat}
+	if !verifyOnly {
+		dialer := net.Dialer{Timeout: dialTimeout}
+		start := time.Now()
+		for i, n := range nodes {
+			sender := &resilientSender{
+				report:     &clientReport{},
+				ioTimeout:  ioTimeout,
+				maxRetries: maxRetries,
+				jitter:     xrand.NewSplitMix64(seed ^ uint64(i+1)),
+			}
+			tcp := n.tcp
+			sender.dial = func() (net.Conn, error) { return dialer.Dial("tcp", tcp) }
+			if err := sendReplicated(sender, perNode[i], repeat, batch); err != nil {
+				return fmt.Errorf("hkbench: node %s: %w", n.name, err)
+			}
+			report.SentRecords += len(perNode[i]) * repeat
+		}
+		report.ElapsedSeconds = time.Since(start).Seconds()
+
+		// Drain: wait until every node that exposes an HTTP API has
+		// ingested its share, so the aggregator's next collection sees
+		// complete state.
+		for i, n := range nodes {
+			if n.http == "" {
+				continue
+			}
+			if err := waitForRecords("http://"+n.http, uint64(len(perNode[i])*repeat)); err != nil {
+				return fmt.Errorf("hkbench: node %s: %w", n.name, err)
+			}
+		}
+	}
+
+	if verifyAddr != "" {
+		base := verifyAddr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		ok, coverage, err := verifyAgainstAggregator(base, coverageWant, truth)
+		if err != nil {
+			return err
+		}
+		report.Coverage = coverage
+		report.Verified = &ok
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		if !verifyOnly {
+			fmt.Printf("replicated %d packets x%d replicas across %d nodes in %.2fs\n",
+				report.Packets, report.Replicas, report.Nodes, report.ElapsedSeconds)
+		}
+		if report.Verified != nil {
+			fmt.Printf("aggregator coverage %.2f\n", report.Coverage)
+		}
+	}
+	if report.Verified != nil && !*report.Verified {
+		return fmt.Errorf("hkbench: aggregator global top-k does not match the trace truth")
+	}
+	if report.Verified != nil && !jsonOut {
+		fmt.Println("aggregator /topk matches the trace truth")
+	}
+	return nil
+}
+
+// sendReplicated streams one node's routed keys, repeat times, in frames
+// of batch records, through a reconnecting sender.
+func sendReplicated(sender *resilientSender, keys [][]byte, repeat, batch int) error {
+	defer sender.close()
+	var frame []byte
+	var err error
+	for r := 0; r < repeat; r++ {
+		for lo := 0; lo < len(keys); lo += batch {
+			hi := min(lo+batch, len(keys))
+			frame, err = wire.AppendFrame(frame[:0], keys[lo:hi], nil)
+			if err != nil {
+				return err
+			}
+			if err := sender.send(frame, hi-lo); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyAgainstAggregator polls the aggregator's /topk until its coverage
+// annotation satisfies want, then checks the global answer against the
+// exact truth: every true top flow (with a safety margin above the k
+// boundary) must be reported, no reported count may exceed its truth
+// (HeavyKeeper never over-estimates absent fingerprint collisions), and
+// elephants must come within 10%.
+func verifyAgainstAggregator(base, want string, truth map[string]uint64) (bool, float64, error) {
+	type topDoc struct {
+		Coverage float64 `json:"coverage"`
+		Flows    []struct {
+			ID    string `json:"id"`
+			Count uint64 `json:"count"`
+		} `json:"flows"`
+	}
+	var doc topDoc
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		err := getJSON(base+"/topk", &doc)
+		if err == nil {
+			switch want {
+			case "full":
+				if doc.Coverage == 1 && len(doc.Flows) > 0 {
+					goto settled
+				}
+			case "degraded":
+				if doc.Coverage < 1 && len(doc.Flows) > 0 {
+					goto settled
+				}
+			default:
+				goto settled
+			}
+		}
+		if time.Now().After(deadline) {
+			return false, doc.Coverage, fmt.Errorf("hkbench: aggregator never reached coverage=%s (last %.2f, err %v)", want, doc.Coverage, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+settled:
+
+	got := map[string]uint64{}
+	for _, f := range doc.Flows {
+		id, err := hex.DecodeString(f.ID)
+		if err != nil {
+			return false, doc.Coverage, fmt.Errorf("hkbench: aggregator flow id %q: %w", f.ID, err)
+		}
+		got[string(id)] = f.Count
+	}
+
+	// True flows by descending count; assert the clear top above the k
+	// boundary (a 4/3 count margin keeps the check insensitive to ties
+	// and sketch noise at the tail).
+	type fc struct {
+		key   string
+		count uint64
+	}
+	exact := make([]fc, 0, len(truth))
+	for k, c := range truth {
+		exact = append(exact, fc{k, c})
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].count != exact[j].count {
+			return exact[i].count > exact[j].count
+		}
+		return exact[i].key < exact[j].key
+	})
+	k := len(doc.Flows)
+	if k == 0 {
+		fmt.Fprintln(os.Stderr, "hkbench: aggregator reports no flows")
+		return false, doc.Coverage, nil
+	}
+	var boundary uint64
+	if k < len(exact) {
+		boundary = exact[k].count
+	}
+	ok := true
+	for rank, f := range exact {
+		if rank >= k || f.count < boundary+(boundary+2)/3 {
+			break
+		}
+		rep, present := got[f.key]
+		if !present {
+			fmt.Fprintf(os.Stderr, "hkbench: true top flow %q (rank %d, count %d) missing from global top-k\n", f.key, rank+1, f.count)
+			ok = false
+			continue
+		}
+		if rep > f.count {
+			fmt.Fprintf(os.Stderr, "hkbench: flow %q over-estimated: %d > true %d\n", f.key, rep, f.count)
+			ok = false
+		}
+		if float64(rep) < 0.9*float64(f.count) {
+			fmt.Fprintf(os.Stderr, "hkbench: flow %q under-estimated: %d < 90%% of true %d\n", f.key, rep, f.count)
+			ok = false
+		}
+	}
+	return ok, doc.Coverage, nil
+}

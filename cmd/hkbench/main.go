@@ -22,6 +22,15 @@
 //	hkbench -connect HOST:4774 -verify HOST:8474          # send, then check /topk
 //	hkbench -verify HOST:8474 -scale 0.02                 # verify only (restart check)
 //	hkbench -connect HOST:4774 -repeat 16 -json           # >= 10M keys, JSON report
+//
+// Cluster mode replicates the trace across several hkd nodes through a
+// consistent-hash ring and verifies the hkagg global answer against the
+// trace's exact truth counts:
+//
+//	hkbench -cluster H1:4774/H1:8474,H2:4774/H2:8474,H3:4774/H3:8474 \
+//	        -replicas 2 -verify AGG:8574 -coverage full
+//	hkbench -cluster ...same spec... -verify AGG:8574 \
+//	        -coverage degraded -verify-only             # after killing a node
 package main
 
 import (
@@ -69,6 +78,10 @@ func run() int {
 		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "client mode: per-dial timeout")
 		ioTO       = flag.Duration("io-timeout", 10*time.Second, "client mode: per-frame write deadline (0 disables)")
 		maxRetries = flag.Int("max-retries", 3, "client mode: reconnect attempts after a failed send (0 disables resend)")
+		clusterTo  = flag.String("cluster", "", "cluster mode: comma-separated hkd nodes (TCPADDR or TCPADDR/HTTPADDR), ring-replicated fan-out ingest")
+		replicas   = flag.Int("replicas", 2, "cluster mode: ring replicas per flow (MaxReplica)")
+		coverage   = flag.String("coverage", "any", "cluster mode: coverage the aggregator must report before -verify (full, degraded, any)")
+		verifyOnly = flag.Bool("verify-only", false, "cluster mode: skip ingest, only verify the aggregator against the trace truth (post-kill re-check)")
 	)
 	flag.Parse()
 
@@ -103,6 +116,18 @@ func run() int {
 	if *listAlgos {
 		for _, name := range heavykeeper.Algorithms() {
 			fmt.Println(name)
+		}
+		return 0
+	}
+
+	if *clusterTo != "" {
+		if *connect != "" || *connectUDP != "" {
+			fmt.Fprintln(os.Stderr, "hkbench: -cluster and -connect/-connect-udp are mutually exclusive")
+			return 1
+		}
+		if err := runCluster(*clusterTo, *verify, *coverage, *replicas, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut, *verifyOnly); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 		return 0
 	}

@@ -1,6 +1,7 @@
 // Package chaos is a deterministic fault-injection harness for the hkd
 // resilience tests. It wraps the seams a daemon actually fails at —
-// network connections, disk writers, accept loops — with seed-driven
+// network connections, disk writers, accept loops, HTTP transports —
+// with seed-driven
 // fault decisions, so a chaos run is exactly reproducible: the same seed
 // produces the same sequence of resets, partial frames, stalls and
 // failed writes every time, and a failing seed is a one-line repro.
@@ -14,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/xrand"
@@ -200,6 +203,142 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 	return l.Listener.Accept()
 }
+
+// TransportPlan configures the fault mix a wrapped HTTP transport
+// injects per round trip. Probabilities are per request; zero values
+// disable a fault, so the zero TransportPlan is a transparent wrapper.
+type TransportPlan struct {
+	// ErrorProb is the chance a request fails outright without reaching
+	// the network — a refused connection or a mid-dial peer crash.
+	ErrorProb float64
+	// StallProb is the chance the round trip sleeps up to MaxStall
+	// before being attempted — a wedged peer or a congested path. The
+	// stall respects the request context, so a client deadline still
+	// fires on time.
+	StallProb float64
+	// MaxStall bounds an injected stall (default 2ms when StallProb > 0).
+	MaxStall time.Duration
+	// TruncateProb is the chance the response body is cut after a short
+	// prefix: half the time with a clean early EOF (a torn payload the
+	// caller must catch by checksum), half with an explicit ErrInjected
+	// read error (a connection dropped mid-body).
+	TruncateProb float64
+	// MaxKeep bounds the body prefix that survives a truncation
+	// (default 4096 bytes when TruncateProb > 0).
+	MaxKeep int
+}
+
+// Transport wraps an http.RoundTripper with seed-driven request faults
+// per its plan. Unlike Conn it is safe for concurrent use — HTTP clients
+// share transports across goroutines — with the rng and plan guarded by
+// a mutex; decisions are sampled under the lock, network I/O happens
+// outside it. SetPlan swaps the fault mix mid-run, which is how a chaos
+// script turns faults on for one phase and off for the next.
+type Transport struct {
+	base http.RoundTripper
+
+	mu       sync.Mutex
+	rng      *Rand
+	plan     TransportPlan
+	injected uint64
+}
+
+// WrapTransport returns base with plan's faults injected from rng. A nil
+// base uses http.DefaultTransport.
+func WrapTransport(base http.RoundTripper, rng *Rand, plan TransportPlan) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, rng: rng, plan: normalizeTransportPlan(plan)}
+}
+
+func normalizeTransportPlan(plan TransportPlan) TransportPlan {
+	if plan.MaxStall <= 0 {
+		plan.MaxStall = 2 * time.Millisecond
+	}
+	if plan.MaxKeep <= 0 {
+		plan.MaxKeep = 4096
+	}
+	return plan
+}
+
+// SetPlan replaces the fault mix for subsequent round trips.
+func (t *Transport) SetPlan(plan TransportPlan) {
+	t.mu.Lock()
+	t.plan = normalizeTransportPlan(plan)
+	t.mu.Unlock()
+}
+
+// Injected reports how many round trips have had a fault injected.
+func (t *Transport) Injected() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+// RoundTrip samples the fault plan, then forwards to the wrapped
+// transport with whatever faults apply.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	plan := t.plan
+	fail := t.rng.Bool(plan.ErrorProb)
+	stall := time.Duration(0)
+	if t.rng.Bool(plan.StallProb) {
+		stall = time.Duration(1 + t.rng.Intn(int(plan.MaxStall)))
+	}
+	truncateAt, truncateClean := 0, false
+	if t.rng.Bool(plan.TruncateProb) {
+		truncateAt = 1 + t.rng.Intn(plan.MaxKeep)
+		truncateClean = t.rng.Bool(0.5)
+	}
+	if fail || stall > 0 || truncateAt > 0 {
+		t.injected++
+	}
+	t.mu.Unlock()
+
+	if stall > 0 {
+		select {
+		case <-time.After(stall):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if fail {
+		return nil, fmt.Errorf("%w: request refused", ErrInjected)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || truncateAt == 0 || resp.Body == nil {
+		return resp, err
+	}
+	resp.Body = &truncatedBody{rc: resp.Body, remaining: truncateAt, clean: truncateClean}
+	return resp, nil
+}
+
+// truncatedBody cuts a response body after remaining bytes: with a clean
+// EOF (the caller sees a short but well-formed read sequence and must
+// catch the damage by checksum) or an explicit injected error.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+	clean     bool
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		if b.clean {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("%w: body severed mid-stream", ErrInjected)
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
 
 // LeakCheck polls until the process goroutine count settles back to at
 // most baseline+slack, returning an error with a full stack dump when it

@@ -2,9 +2,12 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
@@ -212,4 +215,116 @@ func TestLeakCheck(t *testing.T) {
 func countGoroutines() int {
 	time.Sleep(10 * time.Millisecond)
 	return runtime.NumGoroutine()
+}
+
+// TestTransportFaults drives every Transport fault class against a real
+// HTTP server: outright request errors, context-respecting stalls, and
+// both truncation flavors (clean early EOF vs injected read error). With
+// the zero plan the wrapper must be transparent.
+func TestTransportFaults(t *testing.T) {
+	payload := bytes.Repeat([]byte("snapshot-bytes."), 1<<10) // ~15 KiB
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	fetch := func(tr *Transport, ctx context.Context) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+
+	t.Run("transparent", func(t *testing.T) {
+		tr := WrapTransport(nil, NewRand(1), TransportPlan{})
+		for i := 0; i < 10; i++ {
+			body, err := fetch(tr, context.Background())
+			if err != nil || !bytes.Equal(body, payload) {
+				t.Fatalf("zero plan not transparent: %d bytes, err %v", len(body), err)
+			}
+		}
+		if tr.Injected() != 0 {
+			t.Fatalf("zero plan injected %d faults", tr.Injected())
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		tr := WrapTransport(nil, NewRand(2), TransportPlan{ErrorProb: 1})
+		if _, err := fetch(tr, context.Background()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v want ErrInjected", err)
+		}
+		if tr.Injected() != 1 {
+			t.Fatalf("injected = %d want 1", tr.Injected())
+		}
+	})
+
+	t.Run("stall respects context", func(t *testing.T) {
+		tr := WrapTransport(nil, NewRand(3), TransportPlan{StallProb: 1, MaxStall: time.Minute})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := fetch(tr, ctx)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("stalled fetch err = %v want deadline exceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatalf("stall ignored the context (%v elapsed)", time.Since(start))
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		tr := WrapTransport(nil, NewRand(4), TransportPlan{TruncateProb: 1, MaxKeep: 64})
+		sawClean, sawError := false, false
+		for i := 0; i < 64 && !(sawClean && sawError); i++ {
+			body, err := fetch(tr, context.Background())
+			switch {
+			case err == nil:
+				sawClean = true
+				if len(body) == 0 || len(body) > 64 {
+					t.Fatalf("clean truncation kept %d bytes, want 1..64", len(body))
+				}
+			case errors.Is(err, ErrInjected):
+				sawError = true
+			default:
+				t.Fatalf("unexpected truncation error: %v", err)
+			}
+		}
+		if !sawClean || !sawError {
+			t.Fatalf("truncation flavors: clean=%v error=%v, want both", sawClean, sawError)
+		}
+	})
+
+	t.Run("SetPlan swaps mid-run", func(t *testing.T) {
+		tr := WrapTransport(nil, NewRand(5), TransportPlan{ErrorProb: 1})
+		if _, err := fetch(tr, context.Background()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("pre-swap err = %v want ErrInjected", err)
+		}
+		tr.SetPlan(TransportPlan{})
+		if body, err := fetch(tr, context.Background()); err != nil || !bytes.Equal(body, payload) {
+			t.Fatalf("post-swap fetch: %d bytes, err %v", len(body), err)
+		}
+	})
+
+	// Determinism: same seed, same plan, same fault sequence.
+	outcomes := func(seed uint64) []bool {
+		tr := WrapTransport(nil, NewRand(seed), TransportPlan{ErrorProb: 0.5})
+		var seq []bool
+		for i := 0; i < 32; i++ {
+			_, err := fetch(tr, context.Background())
+			seq = append(seq, err != nil)
+		}
+		return seq
+	}
+	a, b := outcomes(99), outcomes(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at request %d", i)
+		}
+	}
 }

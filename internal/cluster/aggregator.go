@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	heavykeeper "repro"
+	"repro/internal/collector"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// HealthState is the aggregator's judgment of one hkd node, a three-state
+// machine with hysteresis so one dropped fetch doesn't flap the global
+// answer in and out of "degraded":
+//
+//	healthy --SuspectAfter consecutive failures--> suspect
+//	suspect --DownAfter total consecutive failures--> down
+//	suspect --RecoverAfter consecutive successes--> healthy
+//	down    --one success--> suspect (must still earn healthy)
+//
+// Entering suspect already backs collection off; only down excludes the
+// node from the coverage fraction. The asymmetry (one failure is enough
+// to suspect, several successes to trust again) mirrors the hkd server's
+// degraded-mode exit hysteresis.
+type HealthState int32
+
+const (
+	Healthy HealthState = iota
+	Suspect
+	Down
+)
+
+// String returns the lowercase state name used in JSON and metrics.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(h))
+	}
+}
+
+// Aggregator defaults. The health thresholds are deliberately quick to
+// suspect and slow to trust: Suspect after the first failure, Down after
+// three in a row, Healthy again only after two consecutive successes.
+const (
+	DefaultInterval     = 2 * time.Second
+	DefaultTimeout      = 5 * time.Second
+	DefaultBackoffBase  = 100 * time.Millisecond
+	DefaultBackoffMax   = 5 * time.Second
+	DefaultSuspectAfter = 1
+	DefaultDownAfter    = 3
+	DefaultRecoverAfter = 2
+)
+
+// Config parameterizes an Aggregator.
+type Config struct {
+	// Nodes is the hkd member list: HTTP base URLs ("http://host:port")
+	// or bare "host:port" addresses. Required, at least one.
+	Nodes []string
+	// Policy selects the fold. Max treats the nodes as replicas — every
+	// packet of a flow reached each node that owns it, so per-node counts
+	// are duplicates and the global count is the per-flow maximum; this is
+	// the ring-replicated deployment and is exact under single-node loss.
+	// Sum treats the nodes as partitions (disjoint traffic) and folds the
+	// raw same-seed sketches bucket by bucket via Merge, recovering flows
+	// spread too thin for any single node's report.
+	Policy collector.Policy
+	// Interval is the per-node collection cadence while healthy (default
+	// 2s). Failures back off exponentially from BackoffBase to BackoffMax
+	// with ±50% jitter instead.
+	Interval time.Duration
+	// Timeout bounds one snapshot fetch end to end, connect through body
+	// (default 5s) — a stalled node must not wedge its collection loop.
+	Timeout time.Duration
+	// BackoffBase/BackoffMax shape the failure backoff (defaults 100ms/5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// SuspectAfter/DownAfter/RecoverAfter are the health-machine
+	// thresholds, in consecutive failures (respectively successes); zero
+	// selects the defaults 1/3/2.
+	SuspectAfter int
+	DownAfter    int
+	RecoverAfter int
+	// Live requests ?live=1 snapshots (serialized on demand) instead of
+	// the node's newest on-disk generation. Fresh answers for a live
+	// cluster; leave false to observe exactly what would survive a crash.
+	Live bool
+	// Seed parameterizes the backoff jitter (deterministic in tests).
+	Seed uint64
+	// Client performs the fetches; nil builds one from Timeout. Tests
+	// inject fault-wrapped transports here.
+	Client *http.Client
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// node is the aggregator's per-member record: identity, health machine
+// and the last-good snapshot it answers from while the member is away.
+type node struct {
+	name string // as configured, the stable identity in stats and metrics
+	url  string // resolved base URL
+
+	mu          sync.Mutex
+	state       HealthState
+	consecFails int
+	consecOKs   int
+	lastGood    []byte    // newest verified snapshot envelope
+	lastFetch   time.Time // when lastGood was fetched
+	lastSeq     string    // X-Snapshot-Seq of lastGood, "" for live serves
+	collects    uint64    // successful fetches
+	failures    uint64    // failed fetches
+	transitions uint64    // health-state changes
+}
+
+// Aggregator maintains the member list, collects snapshots on a per-node
+// loop, and folds the last-good set into the global top-k on demand. It
+// is the collector of the paper's footnote-2 deployment, hardened for
+// partial failure: a dead member costs staleness and coverage, never an
+// error, and the HTTP tier (Handler) annotates every answer with both so
+// callers can tell a degraded global answer from a complete one.
+type Aggregator struct {
+	cfg     Config
+	nodes   []*node
+	logf    func(string, ...any)
+	started time.Time
+
+	stop chan struct{}
+	done sync.WaitGroup
+
+	// foldMu serializes folds; folds decode O(sketch) bytes, so concurrent
+	// /topk storms should share one result rather than decode in parallel.
+	foldMu sync.Mutex
+}
+
+// New validates cfg and returns an Aggregator. Start launches collection.
+func New(cfg Config) (*Aggregator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: aggregator needs at least one node")
+	}
+	if cfg.Policy != collector.Sum && cfg.Policy != collector.Max {
+		return nil, fmt.Errorf("cluster: unknown fold policy %d", int(cfg.Policy))
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.DownAfter == 0 {
+		cfg.DownAfter = DefaultDownAfter
+	}
+	if cfg.RecoverAfter == 0 {
+		cfg.RecoverAfter = DefaultRecoverAfter
+	}
+	if cfg.Interval < 0 || cfg.Timeout < 0 || cfg.BackoffBase < 0 || cfg.BackoffMax < cfg.BackoffBase {
+		return nil, fmt.Errorf("cluster: invalid timing (interval %v, timeout %v, backoff %v..%v)",
+			cfg.Interval, cfg.Timeout, cfg.BackoffBase, cfg.BackoffMax)
+	}
+	if cfg.SuspectAfter < 1 || cfg.DownAfter < cfg.SuspectAfter || cfg.RecoverAfter < 1 {
+		return nil, fmt.Errorf("cluster: invalid health thresholds (suspect %d, down %d, recover %d)",
+			cfg.SuspectAfter, cfg.DownAfter, cfg.RecoverAfter)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.Timeout}
+	}
+	a := &Aggregator{
+		cfg:     cfg,
+		logf:    cfg.Logf,
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	if a.logf == nil {
+		a.logf = func(string, ...any) {}
+	}
+	seen := map[string]struct{}{}
+	for _, raw := range cfg.Nodes {
+		if raw == "" {
+			return nil, errors.New("cluster: empty node address")
+		}
+		if _, dup := seen[raw]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node %q", raw)
+		}
+		seen[raw] = struct{}{}
+		url := raw
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		a.nodes = append(a.nodes, &node{name: raw, url: strings.TrimRight(url, "/")})
+	}
+	return a, nil
+}
+
+// Start launches one collection loop per node. Each loop makes its first
+// fetch immediately, so a freshly started aggregator converges after one
+// round trip per healthy node.
+func (a *Aggregator) Start() {
+	for i, n := range a.nodes {
+		a.done.Add(1)
+		go a.collectLoop(n, xrand.NewSplitMix64(a.cfg.Seed+uint64(i)))
+	}
+}
+
+// Stop terminates the collection loops and waits for them to exit. The
+// last-good state remains queryable after Stop.
+func (a *Aggregator) Stop() {
+	close(a.stop)
+	a.done.Wait()
+}
+
+// collectLoop drives one node: fetch, apply the health machine, sleep
+// Interval while healthy or an exponentially backed-off, jittered delay
+// while failing, until Stop.
+func (a *Aggregator) collectLoop(n *node, rng *xrand.SplitMix64) {
+	defer a.done.Done()
+	for {
+		err := a.collectOnce(n)
+		delay := a.nextDelay(n, rng, err)
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// nextDelay picks the sleep before n's next fetch: the steady cadence
+// after a success, exponential backoff with ±50% jitter after a failure
+// (so a dead node isn't hammered, and restarts aren't greeted by every
+// aggregator loop at once).
+func (a *Aggregator) nextDelay(n *node, rng *xrand.SplitMix64, lastErr error) time.Duration {
+	if lastErr == nil {
+		return a.cfg.Interval
+	}
+	n.mu.Lock()
+	fails := n.consecFails
+	n.mu.Unlock()
+	d := a.cfg.BackoffBase
+	for i := 1; i < fails && d < a.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > a.cfg.BackoffMax {
+		d = a.cfg.BackoffMax
+	}
+	// Jitter to d/2 + [0, d): expected d, never zero.
+	return d/2 + time.Duration(rng.Next()%uint64(d))
+}
+
+// CollectNow fetches from every node once, concurrently, and returns when
+// all fetches have settled — the deterministic collection step tests and
+// the smoke harness use instead of waiting out the cadence. It runs the
+// same fetch+health path as the background loops.
+func (a *Aggregator) CollectNow() {
+	var wg sync.WaitGroup
+	for _, n := range a.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			a.collectOnce(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// collectOnce fetches one snapshot from n, verifies the CRC envelope end
+// to end before trusting a byte, and feeds the outcome to the health
+// machine. The fetched bytes replace n's last-good snapshot only after
+// verification — a torn serve can never overwrite good state.
+func (a *Aggregator) collectOnce(n *node) error {
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
+	defer cancel()
+	url := n.url + "/snapshot"
+	if a.cfg.Live {
+		url += "?live=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return a.recordFailure(n, err)
+	}
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return a.recordFailure(n, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return a.recordFailure(n, fmt.Errorf("GET /snapshot: %s", resp.Status))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return a.recordFailure(n, err)
+	}
+	if err := heavykeeper.VerifySnapshot(bytes.NewReader(body)); err != nil {
+		return a.recordFailure(n, fmt.Errorf("snapshot failed verification: %w", err))
+	}
+	a.recordSuccess(n, body, resp.Header.Get("X-Snapshot-Seq"))
+	return nil
+}
+
+// recordFailure advances the health machine on a failed fetch.
+func (a *Aggregator) recordFailure(n *node, err error) error {
+	n.mu.Lock()
+	n.failures++
+	n.consecFails++
+	n.consecOKs = 0
+	prev := n.state
+	switch {
+	case n.consecFails >= a.cfg.DownAfter:
+		n.state = Down
+	case n.consecFails >= a.cfg.SuspectAfter:
+		if n.state == Healthy {
+			n.state = Suspect
+		}
+	}
+	changed := n.state != prev
+	if changed {
+		n.transitions++
+	}
+	state := n.state
+	n.mu.Unlock()
+	if changed {
+		a.logf("cluster: node %s: %s -> %s (%v)", n.name, prev, state, err)
+	}
+	return err
+}
+
+// recordSuccess stores the verified snapshot and advances the health
+// machine on a successful fetch. Down demotes only to Suspect — a node
+// must string RecoverAfter successes together before it counts toward
+// coverage again (hysteresis against a flapping member).
+func (a *Aggregator) recordSuccess(n *node, body []byte, seq string) {
+	n.mu.Lock()
+	n.collects++
+	n.consecFails = 0
+	n.consecOKs++
+	n.lastGood = body
+	n.lastFetch = time.Now()
+	n.lastSeq = seq
+	prev := n.state
+	switch n.state {
+	case Down:
+		n.state = Suspect
+		n.consecOKs = 1
+	case Suspect:
+		if n.consecOKs >= a.cfg.RecoverAfter {
+			n.state = Healthy
+		}
+	}
+	changed := n.state != prev
+	if changed {
+		n.transitions++
+	}
+	state := n.state
+	n.mu.Unlock()
+	if changed {
+		a.logf("cluster: node %s: %s -> %s", n.name, prev, state)
+	}
+}
+
+// NodeStatus is one member's externally visible condition.
+type NodeStatus struct {
+	Name             string  `json:"name"`
+	State            string  `json:"state"`
+	StalenessSeconds float64 `json:"staleness_seconds"` // age of last-good data; -1 before any
+	SnapshotSeq      string  `json:"snapshot_seq,omitempty"`
+	Collects         uint64  `json:"collects"`
+	Failures         uint64  `json:"failures"`
+	Transitions      uint64  `json:"transitions"`
+	HasData          bool    `json:"has_data"`
+}
+
+// Status reports every member's condition plus the coverage fraction:
+// the share of members currently in the Healthy state. Coverage < 1
+// means the global answer leans on last-good (stale) data for at least
+// one vantage point.
+func (a *Aggregator) Status() (nodes []NodeStatus, coverage float64) {
+	healthy := 0
+	now := time.Now()
+	for _, n := range a.nodes {
+		n.mu.Lock()
+		st := NodeStatus{
+			Name:             n.name,
+			State:            n.state.String(),
+			StalenessSeconds: -1,
+			SnapshotSeq:      n.lastSeq,
+			Collects:         n.collects,
+			Failures:         n.failures,
+			Transitions:      n.transitions,
+			HasData:          n.lastGood != nil,
+		}
+		if !n.lastFetch.IsZero() {
+			st.StalenessSeconds = now.Sub(n.lastFetch).Seconds()
+		}
+		if n.state == Healthy {
+			healthy++
+		}
+		n.mu.Unlock()
+		nodes = append(nodes, st)
+	}
+	return nodes, float64(healthy) / float64(len(a.nodes))
+}
+
+// GlobalTopK folds every member's last-good snapshot into the global
+// top-k. Members without any data yet contribute nothing (and are visible
+// as HasData=false in Status); a fold over zero snapshots returns an
+// empty report, not an error — the degraded-answer contract is that the
+// caller learns about gaps from coverage and staleness, never from a
+// refusal to answer.
+func (a *Aggregator) GlobalTopK() ([]heavykeeper.Flow, error) {
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+	// Snapshot the byte slices under each node lock; decode outside.
+	var bodies [][]byte
+	for _, n := range a.nodes {
+		n.mu.Lock()
+		if n.lastGood != nil {
+			bodies = append(bodies, n.lastGood)
+		}
+		n.mu.Unlock()
+	}
+	if len(bodies) == 0 {
+		return nil, nil
+	}
+	sums := make([]heavykeeper.Summarizer, 0, len(bodies))
+	for _, b := range bodies {
+		s, err := heavykeeper.ReadSnapshot(bytes.NewReader(b))
+		if err != nil {
+			// Can't happen for bytes that passed VerifySnapshot + a CRC
+			// over the container; surface it rather than silently drop.
+			return nil, fmt.Errorf("cluster: decoding stored snapshot: %w", err)
+		}
+		sums = append(sums, s)
+	}
+	switch a.cfg.Policy {
+	case collector.Max:
+		return foldMax(sums)
+	default:
+		return foldSum(sums)
+	}
+}
+
+// foldMax folds replica summaries: every packet of a flow reached each
+// replica that owns it, so candidate counts are duplicates and the
+// per-flow maximum reconstructs the true count. Exact whenever at least
+// one replica per flow survives, which is precisely the ring's guarantee
+// under single-node loss.
+func foldMax(sums []heavykeeper.Summarizer) ([]heavykeeper.Flow, error) {
+	k := 0
+	reports := make([][]metrics.Entry, 0, len(sums))
+	for _, s := range sums {
+		if s.K() > k {
+			k = s.K()
+		}
+		var rep []metrics.Entry
+		for _, f := range s.List() {
+			rep = append(rep, metrics.Entry{Key: string(f.ID), Count: f.Count})
+		}
+		reports = append(reports, rep)
+	}
+	merged, err := collector.MergeReports(k, collector.Max, reports...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]heavykeeper.Flow, len(merged))
+	for i, e := range merged {
+		out[i] = heavykeeper.Flow{ID: []byte(e.Key), Count: e.Count}
+	}
+	return out, nil
+}
+
+// foldSum folds partition sketches bucket by bucket via the public Merge
+// path. The first decoded summarizer is a throwaway copy, so mutating it
+// as the accumulator is safe.
+func foldSum(sums []heavykeeper.Summarizer) ([]heavykeeper.Flow, error) {
+	acc := sums[0]
+	for _, s := range sums[1:] {
+		if err := acc.Merge(s); err != nil {
+			return nil, fmt.Errorf("cluster: folding snapshots: %w", err)
+		}
+	}
+	return acc.List(), nil
+}

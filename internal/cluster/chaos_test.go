@@ -1,0 +1,394 @@
+package cluster
+
+// Multi-node chaos: the aggregator's acceptance test. Each seeded run
+// boots a 3-node hkd cluster with MaxReplica=2 ring-replicated ingest,
+// collects through a fault-injecting HTTP transport (request errors,
+// stalls past the fetch timeout, truncated snapshot bodies), kills one
+// node mid-epoch, keeps ingesting into the survivors, then restarts the
+// victim from its shutdown snapshot and waits for it to rejoin. The
+// invariants under test are the tentpole's core claims:
+//
+//   - killing any one node never drops a true top-k flow from the global
+//     answer, and with the Max fold the surviving replica keeps every
+//     count exact — even for traffic ingested while the victim is down;
+//   - degradation is observable (coverage < 1, victim down, staleness
+//     measured) but never an error or an empty answer;
+//   - a restarted node restores from its snapshot, rejoins through the
+//     recovery hysteresis, and coverage returns to 1;
+//   - per-node counters stay consistent through the whole lifecycle;
+//   - nothing leaks (TestMain runs chaos.LeakCheck over the package).
+//
+// Every decision flows from the sub-test seed, so a failing seed is a
+// one-line repro: go test -run 'TestClusterChaos/seed-7' ./internal/cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/collector"
+	"repro/server"
+)
+
+const chaosSeeds = 16
+
+// startNodeAt boots an hkd member pinned to explicit addresses with a
+// snapshot path, restoring prior state when any exists. Pinned restarts
+// race the kernel's ephemeral-port reuse, so binding retries briefly.
+func startNodeAt(t *testing.T, tcpAddr, httpAddr, snapPath string) *server.Server {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 40; attempt++ {
+		sum, err := server.LoadSnapshot(snapPath)
+		if err != nil {
+			t.Fatalf("LoadSnapshot(%s): %v", snapPath, err)
+		}
+		if sum == nil {
+			sum = newNodeSummarizer()
+		}
+		srv, err := server.New(server.Config{
+			Summarizer:   sum,
+			TCPAddr:      tcpAddr,
+			HTTPAddr:     httpAddr,
+			SnapshotPath: snapPath,
+		})
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		if lastErr = srv.Start(); lastErr == nil {
+			t.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			})
+			return srv
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("could not bind %s/%s: %v", tcpAddr, httpAddr, lastErr)
+	return nil
+}
+
+// collectUntil drives CollectNow rounds until cond holds, failing the
+// test when it never does within the deadline. Chaos collection is
+// probabilistic per round but must always converge.
+func collectUntil(t *testing.T, a *Aggregator, what string, within time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for rounds := 0; ; rounds++ {
+		a.CollectNow()
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			st, coverage := a.Status()
+			t.Fatalf("never converged: %s (%d rounds, coverage %.2f, nodes %+v)", what, rounds, coverage, st)
+		}
+	}
+}
+
+// assertGlobalExact folds the global top-k and checks every true flow is
+// present with its exact count — the Max-fold guarantee whenever at
+// least one replica per flow holds the flow's full history.
+func assertGlobalExact(t *testing.T, a *Aggregator, truth map[string]uint64, phase string) {
+	t.Helper()
+	flows, err := a.GlobalTopK()
+	if err != nil {
+		t.Fatalf("%s: GlobalTopK: %v", phase, err)
+	}
+	got := map[string]uint64{}
+	for _, f := range flows {
+		got[string(f.ID)] = f.Count
+	}
+	for flow, want := range truth {
+		if got[flow] != want {
+			t.Errorf("%s: flow %s global count %d, truth %d", phase, flow, got[flow], want)
+		}
+	}
+}
+
+// globalMatches reports whether the fold currently equals truth, for use
+// as a convergence condition before the hard assertion.
+func globalMatches(a *Aggregator, truth map[string]uint64) bool {
+	flows, err := a.GlobalTopK()
+	if err != nil {
+		return false
+	}
+	got := map[string]uint64{}
+	for _, f := range flows {
+		got[string(f.ID)] = f.Count
+	}
+	for flow, want := range truth {
+		if got[flow] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos suite skipped in -short mode")
+	}
+	for seed := uint64(0); seed < chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			chaosRun(t, seed)
+		})
+	}
+}
+
+func chaosRun(t *testing.T, seed uint64) {
+	dir := t.TempDir()
+	snapPath := func(i int) string { return filepath.Join(dir, fmt.Sprintf("node%d.hks", i)) }
+	nodes := make([]*server.Server, 3)
+	for i := range nodes {
+		nodes[i] = startNodeAt(t, "127.0.0.1:0", "127.0.0.1:0", snapPath(i))
+	}
+	urls := nodeURLs(nodes)
+	ring, err := NewRing(RingConfig{MaxReplica: 2, Seed: seed}, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: replicated ingest of a skewed flow set, counts varied by
+	// seed so distinct seeds exercise distinct sketch states.
+	wave1 := testFlows(8, 120+int(seed%5)*17)
+	truth := replicatedIngest(t, ring, nodes, wave1)
+
+	// Collection runs through a seed-driven fault plan: outright request
+	// errors, stalls that can outlive the fetch timeout, and snapshot
+	// bodies truncated mid-stream (which the CRC envelope must catch).
+	rng := chaos.NewRand(seed)
+	tr := chaos.WrapTransport(nil, rng, chaos.TransportPlan{
+		ErrorProb:    0.10 + float64(seed%3)*0.05,
+		StallProb:    0.20,
+		MaxStall:     400 * time.Millisecond,
+		TruncateProb: 0.15 + float64(seed%2)*0.10,
+		MaxKeep:      2048,
+	})
+	a, err := New(Config{
+		Nodes:        urls,
+		Policy:       collector.Max,
+		Live:         true,
+		Timeout:      250 * time.Millisecond,
+		SuspectAfter: 1,
+		DownAfter:    3,
+		RecoverAfter: 2,
+		Seed:         seed,
+		Client:       &http.Client{Transport: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Through the fault mix, every member must eventually hand over one
+	// verified snapshot, and the fold must be exact.
+	collectUntil(t, a, "all members collected through faults", 30*time.Second, func() bool {
+		st, _ := a.Status()
+		for _, n := range st {
+			if !n.HasData {
+				return false
+			}
+		}
+		return globalMatches(a, truth)
+	})
+	assertGlobalExact(t, a, truth, "epoch 1 (faulty collection)")
+
+	// Kill one node mid-epoch — which one is the seed's choice, so the
+	// suite covers "killing ANY one node" across its 16 runs. Shutdown
+	// persists a final snapshot generation for the later restart.
+	victim := int(seed % 3)
+	victimTCP := nodes[victim].TCPAddr().String()
+	victimHTTP := nodes[victim].HTTPAddr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err = nodes[victim].Shutdown(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("victim shutdown: %v", err)
+	}
+
+	// Epoch 2: survivors keep ingesting their replicated shares while the
+	// victim is dead. Every flow keeps at least one replica that has seen
+	// its full history, so the Max fold must stay exact for the combined
+	// epochs even though the victim's last-good snapshot is now stale.
+	wave2 := testFlows(8, 60+int(seed%7)*11)
+	var buf [8]int
+	perNode := make([][][]byte, len(nodes))
+	for flow, count := range wave2 {
+		truth[flow] += uint64(count)
+		for i := 0; i < count; i++ {
+			for _, n := range ring.Locations(buf[:0], []byte(flow)) {
+				if n != victim {
+					perNode[n] = append(perNode[n], []byte(flow))
+				}
+			}
+		}
+	}
+	before := make([]uint64, len(nodes))
+	for i, srv := range nodes {
+		if i == victim || len(perNode[i]) == 0 {
+			continue
+		}
+		before[i] = serverRecords(t, srv)
+		sendKeys(t, srv.TCPAddr(), perNode[i])
+	}
+	for i, srv := range nodes {
+		if i == victim || len(perNode[i]) == 0 {
+			continue
+		}
+		waitIngested(t, srv, before[i]+uint64(len(perNode[i])))
+	}
+
+	collectUntil(t, a, "survivors re-collected and victim detected down", 30*time.Second, func() bool {
+		st, coverage := a.Status()
+		return st[victim].State == Down.String() && coverage < 1 && globalMatches(a, truth)
+	})
+	st, coverage := a.Status()
+	if coverage >= 1 {
+		t.Errorf("coverage = %.2f with a dead member", coverage)
+	}
+	if !st[victim].HasData || st[victim].StalenessSeconds < 0 {
+		t.Errorf("victim's last-good snapshot not retained: %+v", st[victim])
+	}
+	assertGlobalExact(t, a, truth, "epoch 2 (one node dead)")
+
+	// Restart the victim pinned to its old addresses; it restores the
+	// shutdown snapshot and must rejoin through the recovery hysteresis
+	// (down -> suspect -> healthy) until coverage returns to 1. Faults
+	// stay off for this phase so rejoin latency is the machine's, not the
+	// fault plan's.
+	tr.SetPlan(chaos.TransportPlan{})
+	nodes[victim] = startNodeAt(t, victimTCP, victimHTTP, snapPath(victim))
+	collectUntil(t, a, "restarted victim rejoined", 30*time.Second, func() bool {
+		_, coverage := a.Status()
+		return coverage == 1
+	})
+
+	// The rejoined member serves its restored (pre-kill) state; the
+	// surviving replicas still hold the full history, so the global
+	// answer stays exact across the whole kill/restart cycle.
+	assertGlobalExact(t, a, truth, "epoch 3 (victim rejoined)")
+
+	// Counter consistency across the lifecycle: the victim walked
+	// healthy->suspect->down->suspect->healthy (at least 4 transitions,
+	// at least DownAfter consecutive failures recorded), every member
+	// collected at least once, and staleness is measured everywhere.
+	st, coverage = a.Status()
+	if coverage != 1 {
+		t.Errorf("final coverage = %.2f", coverage)
+	}
+	if st[victim].Transitions < 4 {
+		t.Errorf("victim transitions = %d, want >= 4 for a full down/up cycle", st[victim].Transitions)
+	}
+	if st[victim].Failures < 3 {
+		t.Errorf("victim failures = %d, want >= DownAfter", st[victim].Failures)
+	}
+	for i, n := range st {
+		if n.Collects < 1 {
+			t.Errorf("node %d collects = %d", i, n.Collects)
+		}
+		if n.State != Healthy.String() {
+			t.Errorf("node %d final state = %s", i, n.State)
+		}
+		if !n.HasData || n.StalenessSeconds < 0 {
+			t.Errorf("node %d missing data or staleness: %+v", i, n)
+		}
+	}
+}
+
+// serverRecords reads one node's ingested-record counter.
+func serverRecords(t *testing.T, srv *server.Server) uint64 {
+	t.Helper()
+	var st struct {
+		Server struct {
+			Records uint64 `json:"records"`
+		} `json:"server"`
+	}
+	getTestJSON(t, "http://"+srv.HTTPAddr().String()+"/stats", &st)
+	return st.Server.Records
+}
+
+// TestClusterChaosLifecycleLoops runs the background collection loops
+// (not CollectNow) against a faulty transport through a kill/restart,
+// covering the loops' backoff path and clean Stop under load.
+func TestClusterChaosLifecycleLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos lifecycle skipped in -short mode")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "node.hks")
+	node := startNodeAt(t, "127.0.0.1:0", "127.0.0.1:0", snap)
+	sendKeys(t, node.TCPAddr(), [][]byte{[]byte("alpha"), []byte("alpha"), []byte("beta")})
+	waitIngested(t, node, 3)
+
+	tr := chaos.WrapTransport(nil, chaos.NewRand(1234), chaos.TransportPlan{
+		ErrorProb:    0.2,
+		TruncateProb: 0.2,
+	})
+	a, err := New(Config{
+		Nodes:       []string{node.HTTPAddr().String()},
+		Policy:      collector.Max,
+		Live:        true,
+		Interval:    10 * time.Millisecond,
+		Timeout:     250 * time.Millisecond,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+		Seed:        1234,
+		Client:      &http.Client{Transport: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	defer a.Stop()
+
+	waitStatus := func(what string, cond func(NodeStatus, float64) bool) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			st, coverage := a.Status()
+			if cond(st[0], coverage) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("loops never reached: %s (node %+v)", what, st[0])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitStatus("data collected through faults", func(n NodeStatus, _ float64) bool {
+		return n.HasData && n.Collects >= 2
+	})
+
+	tcp, httpAddr := node.TCPAddr().String(), node.HTTPAddr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	node.Shutdown(ctx)
+	cancel()
+	waitStatus("victim marked down via backoff loop", func(n NodeStatus, coverage float64) bool {
+		return n.State == Down.String() && coverage < 1
+	})
+
+	startNodeAt(t, tcp, httpAddr, snap)
+	waitStatus("victim rejoined via loop", func(n NodeStatus, coverage float64) bool {
+		return coverage == 1
+	})
+
+	flows, err := a.GlobalTopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]uint64{}
+	for _, f := range flows {
+		got[string(f.ID)] = f.Count
+	}
+	if got["alpha"] != 2 || got["beta"] != 1 {
+		t.Errorf("restored global answer = %v", got)
+	}
+}

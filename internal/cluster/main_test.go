@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestMain holds the whole package — aggregator lifecycles, the chaos
+// suite's kill/restart cycles, every httptest member — to the no-leak
+// acceptance bar: any collection loop, fetch, or server goroutine left
+// running after the full run fails it, even when no individual test
+// checked.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	// Idle keep-alive connections from the tests' HTTP clients park a
+	// goroutine each; they are the client's, not the aggregator's.
+	http.DefaultClient.CloseIdleConnections()
+	if err := chaos.LeakCheck(baseline, 4, 5*time.Second); err != nil && code == 0 {
+		fmt.Fprintf(os.Stderr, "goroutine leak after test run: %v\n", err)
+		code = 1
+	}
+	os.Exit(code)
+}

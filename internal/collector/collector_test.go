@@ -1,9 +1,11 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
+	heavykeeper "repro"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/topk"
@@ -11,17 +13,17 @@ import (
 )
 
 func TestMergeReportsValidation(t *testing.T) {
-	if _, err := MergeReports(0, Sum); err == nil {
-		t.Error("k=0 accepted")
+	if _, err := MergeReports(0, Sum); !errors.Is(err, ErrInvalidK) {
+		t.Errorf("k=0: err = %v want ErrInvalidK", err)
 	}
-	if _, err := MergeReports(5, Policy(9)); err == nil {
-		t.Error("bad policy accepted")
+	if _, err := MergeReports(5, Policy(9)); !errors.Is(err, ErrInvalidPolicy) {
+		t.Errorf("bad policy: err = %v want ErrInvalidPolicy", err)
 	}
-	if _, err := New(0, Sum); err == nil {
-		t.Error("New k=0 accepted")
+	if _, err := New(0, Sum); !errors.Is(err, ErrInvalidK) {
+		t.Errorf("New k=0: err = %v want ErrInvalidK", err)
 	}
-	if _, err := New(5, Policy(9)); err == nil {
-		t.Error("New bad policy accepted")
+	if _, err := New(5, Policy(9)); !errors.Is(err, ErrInvalidPolicy) {
+		t.Errorf("New bad policy: err = %v want ErrInvalidPolicy", err)
 	}
 }
 
@@ -58,13 +60,13 @@ func TestCollectorEpochs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Report("sw1", []metrics.Entry{{Key: "a", Count: 5}})
-	c.Report("sw2", []metrics.Entry{{Key: "a", Count: 7}, {Key: "b", Count: 3}})
-	c.Report("sw1", []metrics.Entry{{Key: "a", Count: 6}}) // resend replaces
+	mustReport(t, c, "sw1", []metrics.Entry{{Key: "a", Count: 5}})
+	mustReport(t, c, "sw2", []metrics.Entry{{Key: "a", Count: 7}, {Key: "b", Count: 3}})
+	mustReport(t, c, "sw1", []metrics.Entry{{Key: "a", Count: 6}}) // resend replaces
 	if c.Agents() != 2 {
 		t.Fatalf("Agents = %d want 2", c.Agents())
 	}
-	top, err := c.Close()
+	top, err := c.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +75,124 @@ func TestCollectorEpochs(t *testing.T) {
 	}
 	if c.Epoch() != 1 || c.Agents() != 0 {
 		t.Errorf("epoch state not advanced: epoch=%d agents=%d", c.Epoch(), c.Agents())
+	}
+}
+
+func mustReport(t *testing.T, c *Collector, agent string, rep []metrics.Entry) {
+	t.Helper()
+	if err := c.Report(agent, rep); err != nil {
+		t.Fatalf("Report(%q): %v", agent, err)
+	}
+}
+
+// TestCollectorEpochAlignment exercises the two-pane staging: an agent that
+// rotates ahead of the collector lands in the staged pane and surfaces in
+// the next epoch; agents further askew are rejected with ErrEpochSkew.
+func TestCollectorEpochAlignment(t *testing.T) {
+	c, _ := New(3, Sum)
+	mustReport(t, c, "sw1", []metrics.Entry{{Key: "a", Count: 5}})
+	// sw2 already rotated into epoch 1: staged, not part of epoch 0.
+	if err := c.ReportAt("sw2", 1, []metrics.Entry{{Key: "b", Count: 9}}); err != nil {
+		t.Fatalf("epoch+1 report rejected: %v", err)
+	}
+	if err := c.ReportAt("sw3", 2, nil); !errors.Is(err, ErrEpochSkew) {
+		t.Errorf("epoch+2: err = %v want ErrEpochSkew", err)
+	}
+	top, err := c.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Key != "a" {
+		t.Errorf("epoch 0 report %v want only flow a", top)
+	}
+	// The staged pane became active: sw2's report belongs to epoch 1.
+	if c.Agents() != 1 {
+		t.Fatalf("staged report not promoted: Agents = %d", c.Agents())
+	}
+	// A stale report for the finished epoch 0 is now behind the collector.
+	if err := c.ReportAt("sw4", 0, nil); !errors.Is(err, ErrEpochSkew) {
+		t.Errorf("stale epoch: err = %v want ErrEpochSkew", err)
+	}
+	top, err = c.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Key != "b" || top[0].Count != 9 {
+		t.Errorf("epoch 1 report %v want flow b=9", top)
+	}
+}
+
+func TestCollectorEmptyReports(t *testing.T) {
+	c, _ := New(3, Sum)
+	mustReport(t, c, "sw1", nil)
+	mustReport(t, c, "sw2", []metrics.Entry{})
+	if c.Agents() != 2 {
+		t.Fatalf("empty reports not recorded: Agents = %d", c.Agents())
+	}
+	top, err := c.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 0 {
+		t.Errorf("empty epoch produced %v", top)
+	}
+	// An epoch with no reports at all is also fine.
+	if top, err = c.Rotate(); err != nil || len(top) != 0 {
+		t.Errorf("reportless epoch: top=%v err=%v", top, err)
+	}
+}
+
+func TestCollectorDuplicateFlowInReport(t *testing.T) {
+	c, _ := New(3, Sum)
+	err := c.Report("sw1", []metrics.Entry{{Key: "a", Count: 1}, {Key: "a", Count: 2}})
+	if !errors.Is(err, heavykeeper.ErrMergeMismatch) {
+		t.Errorf("duplicate flow: err = %v want ErrMergeMismatch", err)
+	}
+	// The malformed report must not have been recorded.
+	if c.Agents() != 0 {
+		t.Errorf("malformed report recorded: Agents = %d", c.Agents())
+	}
+}
+
+func TestCollectorCloseIsTerminal(t *testing.T) {
+	c, _ := New(2, Sum)
+	mustReport(t, c, "sw1", []metrics.Entry{{Key: "a", Count: 4}})
+	top, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Count != 4 {
+		t.Errorf("final epoch %v", top)
+	}
+	if _, err := c.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("second Close: err = %v want ErrClosed", err)
+	}
+	if _, err := c.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Rotate after Close: err = %v want ErrClosed", err)
+	}
+	if err := c.Report("sw1", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Report after Close: err = %v want ErrClosed", err)
+	}
+}
+
+func TestMergeReportsMaxTies(t *testing.T) {
+	// Equal combined counts break by ascending key, regardless of report
+	// arrival order, so the global report is deterministic.
+	a := []metrics.Entry{{Key: "zz", Count: 10}, {Key: "mm", Count: 10}}
+	b := []metrics.Entry{{Key: "aa", Count: 10}, {Key: "zz", Count: 7}}
+	for _, order := range [][][]metrics.Entry{{a, b}, {b, a}} {
+		got, err := MergeReports(2, Max, order...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got[0].Key != "aa" || got[1].Key != "mm" {
+			t.Errorf("tie-break order %v", got)
+		}
+		for _, e := range got {
+			if e.Count != 10 {
+				t.Errorf("Max tie entry %v want count 10", e)
+			}
+		}
 	}
 }
 

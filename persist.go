@@ -384,6 +384,64 @@ func (cw *chunkedWriter) finish() error {
 	return err
 }
 
+// VerifySnapshot checks a WriteSnapshot envelope end to end — magic, every
+// frame checksum, the whole-stream checksum, the terminator and the absence
+// of trailing bytes — without decoding the container or holding more than
+// one chunk in memory. It is the integrity gate a server runs before
+// streaming a stored snapshot to a remote reader (the cluster aggregator's
+// GET /snapshot path): a torn or corrupted generation fails here, in
+// constant memory, instead of being shipped and rejected at the far end.
+// A legacy bare container (no envelope) fails verification; callers that
+// still accept those fall back to a full ReadSnapshot. All failures match
+// ErrCorrupt.
+func VerifySnapshot(r io.Reader) error {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return fmt.Errorf("%w: reading envelope magic: %w", ErrCorrupt, err)
+	}
+	if head != envelopeMagic {
+		return fmt.Errorf("%w: not a checksummed snapshot envelope", ErrCorrupt)
+	}
+	crc := crc32.Checksum(nil, crcTable)
+	var word [4]byte
+	var chunk []byte
+	for {
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return fmt.Errorf("%w: reading frame length: %w", ErrCorrupt, err)
+		}
+		length := binary.LittleEndian.Uint32(word[:])
+		if length == 0 {
+			if _, err := io.ReadFull(r, word[:]); err != nil {
+				return fmt.Errorf("%w: reading stream checksum: %w", ErrCorrupt, err)
+			}
+			if got := binary.LittleEndian.Uint32(word[:]); got != crc {
+				return fmt.Errorf("%w: stream checksum mismatch (%#x != %#x)", ErrCorrupt, got, crc)
+			}
+			if n, _ := r.Read(word[:1]); n != 0 {
+				return fmt.Errorf("%w: trailing bytes after terminator", ErrCorrupt)
+			}
+			return nil
+		}
+		if length > maxSnapshotChunk {
+			return fmt.Errorf("%w: frame declares %d bytes (max %d)", ErrCorrupt, length, maxSnapshotChunk)
+		}
+		if cap(chunk) < int(length) {
+			chunk = make([]byte, length)
+		}
+		chunk = chunk[:length]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return fmt.Errorf("%w: reading frame payload: %w", ErrCorrupt, err)
+		}
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return fmt.Errorf("%w: reading frame checksum: %w", ErrCorrupt, err)
+		}
+		if got := binary.LittleEndian.Uint32(word[:]); got != crc32.Checksum(chunk, crcTable) {
+			return fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+		}
+		crc = crc32.Update(crc, crcTable, chunk)
+	}
+}
+
 // ReadSnapshot restores a summarizer from a WriteSnapshot envelope. Every
 // frame checksum, the whole-stream checksum, the terminator and the
 // absence of trailing bytes are verified before the container is decoded,

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -20,7 +24,8 @@ import (
 //	GET /stats         engine + server counters
 //	GET /indexstats    open-addressed store index stats (when surfaced)
 //	GET /config        construction parameters (Config.Info echo)
-//	GET /healthz       liveness
+//	GET /snapshot      checksummed HKC1 snapshot stream (aggregator pull)
+//	GET /healthz       liveness; 503 + Retry-After while degraded
 //	GET /metrics       Prometheus text
 func (s *Server) apiHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -29,10 +34,19 @@ func (s *Server) apiHandler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /indexstats", s.handleIndexStats)
 	mux.HandleFunc("GET /config", s.handleConfig)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		// Still 200 while degraded — the daemon is alive and answering,
-		// just shedding — but the body tells probes (and humans) so.
+		// While degraded the daemon is alive and answering but shedding:
+		// 503 plus Retry-After gives load balancers and the cluster
+		// aggregator's health machine standard semantics, and the body
+		// still tells humans which state they hit.
 		if s.degraded.Load() {
+			retry := int64(s.cfg.RecoveryWindow / time.Second)
+			if retry < 1 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte("degraded\n"))
 			return
 		}
@@ -103,6 +117,68 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, flowJSON{ID: hex.EncodeToString(key), Count: s.cfg.Summarizer.Query(key)})
 }
 
+// handleSnapshot streams the daemon's sketch state as a CRC-checksummed
+// HKC1 snapshot envelope — the cluster aggregator's collection surface.
+// By default it serves the newest on-disk generation whose checksum
+// verifies end to end (integrity-gated with heavykeeper.VerifySnapshot
+// before a single byte is shipped, and immutable once renamed into place,
+// so serving never holds engine locks for the duration of a network
+// write). With ?live=1, or when no intact generation exists (persistence
+// disabled, or nothing written yet), it serializes the summarizer now
+// into memory and serves that instead. The reader re-verifies the CRC
+// chain on its side; together the two checks authenticate the transfer
+// end to end.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	live := r.URL.Query().Get("live") != ""
+	if s.snap != nil && !live {
+		if gen, err := s.snap.newestIntact(); err == nil {
+			f, err := os.Open(gen.path)
+			if err == nil {
+				defer f.Close()
+				if fi, err := f.Stat(); err == nil {
+					w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+				}
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("X-Snapshot-Source", "generation")
+				w.Header().Set("X-Snapshot-Seq", strconv.FormatUint(gen.seq, 10))
+				if _, err := io.Copy(w, f); err != nil {
+					// Client gone or disk fault mid-stream; the truncated
+					// body fails the reader's CRC check.
+					s.ctr.snapshotServeEr.Add(1)
+					return
+				}
+				s.ctr.snapshotServes.Add(1)
+				return
+			}
+		}
+		// No intact generation: fall through to a live serialization.
+	}
+	sw, ok := s.cfg.Summarizer.(heavykeeper.SnapshotWriter)
+	if !ok {
+		s.ctr.snapshotServeEr.Add(1)
+		http.Error(w, "summarizer has no snapshot format", http.StatusNotImplemented)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := heavykeeper.WriteSnapshot(&buf, sw); err != nil {
+		s.ctr.snapshotServeEr.Add(1)
+		if errors.Is(err, heavykeeper.ErrSnapshotUnsupported) {
+			http.Error(w, "summarizer has no snapshot format", http.StatusNotImplemented)
+			return
+		}
+		http.Error(w, "snapshot serialization failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-Source", "live")
+	if _, err := buf.WriteTo(w); err != nil {
+		s.ctr.snapshotServeEr.Add(1)
+		return
+	}
+	s.ctr.snapshotServes.Add(1)
+}
+
 // statsResponse is the /stats document: engine event counters plus the
 // server's own ingest counters.
 type statsResponse struct {
@@ -137,6 +213,8 @@ type serverCounters struct {
 	ShedRecords     uint64 `json:"shed_records"`
 	Snapshots       uint64 `json:"snapshots"`
 	SnapshotErrors  uint64 `json:"snapshot_errors"`
+	SnapshotServes  uint64 `json:"snapshot_serves"`
+	SnapshotServeEr uint64 `json:"snapshot_serve_errors"`
 }
 
 // windowInfo reports the epoch shape when the summarizer is a Window.
@@ -169,6 +247,8 @@ func (s *Server) counterSnapshot() serverCounters {
 		ShedRecords:     s.ctr.shedRecords.Load(),
 		Snapshots:       s.ctr.snapshots.Load(),
 		SnapshotErrors:  s.ctr.snapshotErrs.Load(),
+		SnapshotServes:  s.ctr.snapshotServes.Load(),
+		SnapshotServeEr: s.ctr.snapshotServeEr.Load(),
 	}
 }
 
@@ -257,6 +337,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("hkd_shed_records_total", "Records inside shed batches.", float64(ctr.ShedRecords))
 	p.Counter("hkd_snapshots_total", "Snapshots written.", float64(ctr.Snapshots))
 	p.Counter("hkd_snapshot_errors_total", "Snapshot attempts that failed.", float64(ctr.SnapshotErrors))
+	p.Counter("hkd_snapshot_serves_total", "GET /snapshot responses streamed successfully.", float64(ctr.SnapshotServes))
+	p.Counter("hkd_snapshot_serve_errors_total", "GET /snapshot requests that failed.", float64(ctr.SnapshotServeEr))
 
 	st := sum.Stats()
 	p.Counter("hkd_engine_packets_total", "Arrivals the engine processed.", float64(st.Packets))

@@ -1,0 +1,29 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestMain promotes the chaos suite's goroutine-leak discipline to every
+// server test: whatever the package leaves running after the full run —
+// an accept loop that outlived Shutdown, a poller without a stop channel —
+// fails the run even when no individual test checked.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	// Idle keep-alive connections from the tests' http.Get calls park a
+	// goroutine each; they are the client's, not the server's.
+	http.DefaultClient.CloseIdleConnections()
+	if err := chaos.LeakCheck(baseline, 4, 5*time.Second); err != nil && code == 0 {
+		fmt.Fprintf(os.Stderr, "goroutine leak after test run: %v\n", err)
+		code = 1
+	}
+	os.Exit(code)
+}

@@ -167,6 +167,8 @@ type counters struct {
 	degradedExits   atomic.Uint64
 	snapshots       atomic.Uint64
 	snapshotErrs    atomic.Uint64
+	snapshotServes  atomic.Uint64
+	snapshotServeEr atomic.Uint64
 }
 
 // errProbe is the sentinel the snapshot-capability probe writer returns;

@@ -668,8 +668,22 @@ func TestDegradedEntryAndRecovery(t *testing.T) {
 	waitStats(t, srv.HTTPAddr(), "degraded entry", func(st statsDoc) bool {
 		return st.Server.DegradedEntries >= 1
 	})
-	if _, body := getBody(t, srv.HTTPAddr(), "/healthz"); body != "degraded\n" {
-		t.Errorf("/healthz while degraded = %q", body)
+	// Degraded health is standard HTTP semantics: 503 with Retry-After,
+	// body unchanged so humans still see which state they hit.
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	healthBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while degraded = %d want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("/healthz while degraded missing Retry-After")
+	}
+	if string(healthBody) != "degraded\n" {
+		t.Errorf("/healthz while degraded = %q", healthBody)
 	}
 	if _, body := getBody(t, srv.HTTPAddr(), "/metrics"); !strings.Contains(body, "hkd_degraded 1") {
 		t.Errorf("/metrics while degraded missing hkd_degraded 1")
@@ -686,8 +700,8 @@ func TestDegradedEntryAndRecovery(t *testing.T) {
 	if st.Server.ShedRecords == 0 {
 		t.Error("shed batches counted but no shed records")
 	}
-	if _, body := getBody(t, srv.HTTPAddr(), "/healthz"); body != "ok\n" {
-		t.Errorf("/healthz after recovery = %q", body)
+	if code, body := getBody(t, srv.HTTPAddr(), "/healthz"); body != "ok\n" || code != http.StatusOK {
+		t.Errorf("/healthz after recovery = %d %q", code, body)
 	}
 	// Post-recovery ingest is exact again: a fresh batch must land whole.
 	before := st.Server.Records

@@ -123,6 +123,41 @@ func (g *genStore) write(sw heavykeeper.SnapshotWriter) error {
 	return nil
 }
 
+// newestIntact returns the newest generation whose checksummed envelope
+// verifies end to end, for serving to remote readers (GET /snapshot).
+// Generations are immutable once renamed into place, so no lock is held:
+// a concurrent write only adds newer files, and a concurrent prune of a
+// file we already opened leaves our descriptor readable. Returns
+// os.ErrNotExist when no generation exists at all, and the newest
+// verification failure when files exist but none are intact.
+func (g *genStore) newestIntact() (generation, error) {
+	gens, err := g.generations()
+	if err != nil {
+		return generation{}, err
+	}
+	var firstErr error
+	for _, gen := range gens {
+		err := func() error {
+			f, err := os.Open(gen.path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return heavykeeper.VerifySnapshot(f)
+		}()
+		if err == nil {
+			return gen, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", gen.path, err)
+		}
+	}
+	if firstErr == nil {
+		firstErr = os.ErrNotExist
+	}
+	return generation{}, firstErr
+}
+
 // prune removes generations past the retention count, oldest first.
 // Best-effort: a failed remove leaves an extra file, never loses data.
 func (g *genStore) prune() {

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	heavykeeper "repro"
+)
+
+// getSnapshot fetches /snapshot and returns the response for header and
+// body inspection.
+func getSnapshot(t *testing.T, srv *Server, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/snapshot" + query)
+	if err != nil {
+		t.Fatalf("GET /snapshot%s: %v", query, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET /snapshot%s body: %v", query, err)
+	}
+	return resp, body
+}
+
+// TestSnapshotEndpointLive: without persistence configured, /snapshot
+// serializes the summarizer on demand; the stream must verify as a
+// checksummed envelope and restore to the server's exact state.
+func TestSnapshotEndpointLive(t *testing.T) {
+	srv, _ := startTestServer(t)
+	keys := testKeys(512)
+	sendTCP(t, srv.TCPAddr(), keys, 64)
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+
+	resp, body := getSnapshot(t, srv, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot = %d: %s", resp.StatusCode, body)
+	}
+	if src := resp.Header.Get("X-Snapshot-Source"); src != "live" {
+		t.Errorf("X-Snapshot-Source = %q want live", src)
+	}
+	if err := heavykeeper.VerifySnapshot(bytes.NewReader(body)); err != nil {
+		t.Fatalf("served stream fails verification: %v", err)
+	}
+	restored, err := heavykeeper.ReadSnapshot(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	var topDoc topKDoc
+	getJSON(t, srv.HTTPAddr(), "/topk", &topDoc)
+	if len(topDoc.Flows) == 0 {
+		t.Fatal("server reports no flows")
+	}
+	for _, f := range topDoc.Flows {
+		key := mustHex(t, f.ID)
+		if got := restored.Query(key); got != f.Count {
+			t.Errorf("restored count for %q = %d, server says %d", key, got, f.Count)
+		}
+	}
+
+	// The serve counter is observable.
+	var full struct {
+		Server struct {
+			SnapshotServes uint64 `json:"snapshot_serves"`
+		} `json:"server"`
+	}
+	getJSON(t, srv.HTTPAddr(), "/stats", &full)
+	if full.Server.SnapshotServes == 0 {
+		t.Error("snapshot_serves counter not incremented")
+	}
+}
+
+// TestSnapshotEndpointGeneration: with persistence configured, /snapshot
+// streams the newest intact on-disk generation (integrity-gated), and
+// ?live=1 bypasses the disk for a fresh serialization.
+func TestSnapshotEndpointGeneration(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startTestServer(t, func(c *Config) {
+		c.SnapshotPath = filepath.Join(dir, "snap")
+	})
+	keys := testKeys(256)
+	sendTCP(t, srv.TCPAddr(), keys, 64)
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+	if err := srv.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	resp, body := getSnapshot(t, srv, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot = %d: %s", resp.StatusCode, body)
+	}
+	if src := resp.Header.Get("X-Snapshot-Source"); src != "generation" {
+		t.Errorf("X-Snapshot-Source = %q want generation", src)
+	}
+	if seq := resp.Header.Get("X-Snapshot-Seq"); seq == "" {
+		t.Error("missing X-Snapshot-Seq for a generation serve")
+	}
+	if err := heavykeeper.VerifySnapshot(bytes.NewReader(body)); err != nil {
+		t.Fatalf("served generation fails verification: %v", err)
+	}
+	if _, err := heavykeeper.ReadSnapshot(bytes.NewReader(body)); err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	// More ingest after the write: the stored generation is now stale,
+	// ?live=1 must reflect the newer counts.
+	more := testKeys(256)
+	sendTCP(t, srv.TCPAddr(), more, 64)
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)+len(more)))
+	respLive, bodyLive := getSnapshot(t, srv, "?live=1")
+	if src := respLive.Header.Get("X-Snapshot-Source"); src != "live" {
+		t.Errorf("live X-Snapshot-Source = %q", src)
+	}
+	live, err := heavykeeper.ReadSnapshot(bytes.NewReader(bodyLive))
+	if err != nil {
+		t.Fatalf("ReadSnapshot(live): %v", err)
+	}
+	stored, err := heavykeeper.ReadSnapshot(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []byte("flow-00000")
+	if live.Query(probe) <= stored.Query(probe) {
+		t.Errorf("live snapshot (%d) not fresher than stored (%d)",
+			live.Query(probe), stored.Query(probe))
+	}
+}
+
+// TestSnapshotEndpointTornGeneration: a corrupted newest generation must
+// never be shipped — the handler verifies before serving and falls back
+// to the newest intact one.
+func TestSnapshotEndpointTornGeneration(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startTestServer(t, func(c *Config) {
+		c.SnapshotPath = filepath.Join(dir, "snap")
+		c.SnapshotKeep = 4
+	})
+	keys := testKeys(256)
+	sendTCP(t, srv.TCPAddr(), keys, 64)
+	waitRecords(t, srv.HTTPAddr(), uint64(len(keys)))
+	if err := srv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := srv.snap.newestIntact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a newer, torn generation by hand: truncated mid-envelope.
+	srv.snap.wrap = func(w io.Writer) io.Writer { return &truncateWriter{w: w, keep: 100} }
+	if err := srv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv.snap.wrap = nil
+
+	resp, body := getSnapshot(t, srv, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot = %d", resp.StatusCode)
+	}
+	if seq := resp.Header.Get("X-Snapshot-Seq"); seq != strconv.FormatUint(intact.seq, 10) {
+		t.Errorf("served generation seq %q, want the intact %d (torn newer one skipped)", seq, intact.seq)
+	}
+	if err := heavykeeper.VerifySnapshot(bytes.NewReader(body)); err != nil {
+		t.Fatalf("served bytes fail verification: %v", err)
+	}
+}
+
+// truncateWriter passes through the first keep bytes and silently drops
+// the rest — a torn write that still renames into place.
+type truncateWriter struct {
+	w       io.Writer
+	keep    int
+	written int
+}
+
+func (tw *truncateWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if tw.written < tw.keep {
+		take := min(tw.keep-tw.written, n)
+		if _, err := tw.w.Write(p[:take]); err != nil {
+			return 0, err
+		}
+	}
+	tw.written += n
+	return n, nil
+}
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("hex %q: %v", s, err)
+	}
+	return b
+}

@@ -5,9 +5,9 @@ import (
 	"iter"
 	"reflect"
 	"runtime"
+	"sort"
 	"sync"
 
-	"repro/internal/collector"
 	"repro/internal/hash"
 	"repro/internal/metrics"
 	"repro/internal/xrand"
@@ -208,20 +208,26 @@ func (s *Sharded) Query(flowID []byte) uint64 {
 // are taken one at a time; under concurrent ingest the result is a slightly
 // time-smeared snapshot, like Concurrent.List taken during writes.
 func (s *Sharded) List() []Flow {
-	reports := make([][]metrics.Entry, len(s.shards))
+	var all []metrics.Entry
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		reports[i] = sh.t.topEntries()
+		all = append(all, sh.t.topEntries()...)
 		sh.mu.Unlock()
 	}
-	merged, err := collector.MergeReports(s.k, collector.Sum, reports...)
-	if err != nil {
-		// k and policy are validated at construction; unreachable.
-		panic(fmt.Sprintf("heavykeeper: sharded merge: %v", err))
+	// Shards are disjoint, so no candidate appears twice: sort the union
+	// (count descending, key ascending for determinism) and keep k.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > s.k {
+		all = all[:s.k]
 	}
-	out := make([]Flow, len(merged))
-	for i, e := range merged {
+	out := make([]Flow, len(all))
+	for i, e := range all {
 		out[i] = Flow{ID: []byte(e.Key), Count: e.Count}
 	}
 	return out

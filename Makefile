@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke cluster-smoke
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke cluster-smoke sdk-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 # Sharded) and the sketch core under them; the full tree under -race takes
 # tens of minutes (internal/vswitch alone runs >2 min without it).
 race:
-	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./internal/cluster ./internal/collector ./server ./wire
+	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./internal/cluster ./internal/collector ./server ./wire ./client
 
 bench:
 	$(GO) test -run - -bench Ingest -benchtime 1s .
@@ -195,6 +195,48 @@ cluster-smoke:
 	"$$tmp/hkbench" -cluster "$$spec" -replicas 2 -verify "$$agg" \
 		-coverage degraded -verify-only -scale 0.002 -batch 256; \
 	echo "cluster-smoke ok"
+
+# sdk-smoke boots the secure multi-tenant serving path end to end (CI runs
+# this target): the in-process SDK conformance suite under the race
+# detector (TLS auth, tenant isolation, per-tenant audit counters), then
+# the real binaries — hkcert generates a self-signed certificate, hkd
+# starts with TLS and two tenant tokens, each tenant streams a distinct
+# trace through the SDK (hkbench dogfoods it) and is verified
+# flow-for-flow against its own twin (any cross-tenant leak would corrupt
+# the counts), and a wrong token must be rejected.
+sdk-smoke:
+	$(GO) test -race -count=1 ./client -run 'TestTLSAuthEndToEnd|TestTenantIsolation'
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hkd" ./cmd/hkd; \
+	$(GO) build -o "$$tmp/hkbench" ./cmd/hkbench; \
+	$(GO) build -o "$$tmp/hkcert" ./cmd/hkcert; \
+	"$$tmp/hkcert" -cert "$$tmp/cert.pem" -key "$$tmp/key.pem" > /dev/null; \
+	printf 'token-a tenant-a\ntoken-b tenant-b\n' > "$$tmp/tokens.txt"; \
+	"$$tmp/hkd" -listen-tcp 127.0.0.1:0 -listen-udp '' -listen-http 127.0.0.1:0 \
+		-addr-file "$$tmp/addrs" -tls-cert "$$tmp/cert.pem" -tls-key "$$tmp/key.pem" \
+		-token-file "$$tmp/tokens.txt" -admin-token sdk-smoke-admin -quiet & pid=$$!; \
+	i=0; while [ ! -f "$$tmp/addrs" ]; do \
+		i=$$((i+1)); [ $$i -le 100 ] || { echo "hkd never published addresses"; exit 1; }; \
+		sleep 0.1; done; \
+	tcp=$$(grep '^tcp=' "$$tmp/addrs" | cut -d= -f2-); \
+	http=$$(grep '^http=' "$$tmp/addrs" | cut -d= -f2-); \
+	echo "== sdk-smoke: tenant-a ingest + verify over TLS"; \
+	"$$tmp/hkbench" -connect "$$tcp" -verify "$$http" -token token-a \
+		-ca "$$tmp/cert.pem" -seed 101 -scale 0.002 -batch 256; \
+	echo "== sdk-smoke: tenant-b ingest + verify over TLS (distinct trace)"; \
+	"$$tmp/hkbench" -connect "$$tcp" -verify "$$http" -token token-b \
+		-ca "$$tmp/cert.pem" -seed 202 -scale 0.002 -batch 256; \
+	echo "== sdk-smoke: re-verify tenant-a after tenant-b (isolation)"; \
+	"$$tmp/hkbench" -verify "$$http" -token token-a \
+		-ca "$$tmp/cert.pem" -seed 101 -scale 0.002 -batch 256; \
+	echo "== sdk-smoke: wrong token must be rejected"; \
+	if "$$tmp/hkbench" -verify "$$http" -token wrong -ca "$$tmp/cert.pem" \
+		-seed 101 -scale 0.002 2> "$$tmp/err"; then \
+		echo "wrong token was accepted"; exit 1; fi; \
+	grep -q "unknown or revoked token" "$$tmp/err" || { \
+		echo "rejection lacked the typed auth error:"; cat "$$tmp/err"; exit 1; }; \
+	echo "sdk-smoke ok"
 
 # algo-smoke runs the hkbench throughput comparison once per registered
 # algorithm at a tiny scale: every engine must construct and ingest under

@@ -1,0 +1,419 @@
+package client
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+	"repro/wire"
+)
+
+// Ingest streams arrival batches to an hkd daemon over the binary wire
+// protocol, surviving connection death: a failed send closes the
+// connection, re-dials with exponential backoff plus jitter (so a fleet
+// of restarted collectors doesn't stampede the daemon), replays the
+// frame that failed, and accounts for the replay — resends are
+// frame-granular and the daemon ingests frames whole, so a replayed
+// unacknowledged frame at worst double-counts; the IngestStats counters
+// are what let a reader bound that skew.
+//
+// With a token configured, every (re)established connection opens with
+// a wire hello handshake binding it to the token's tenant before any
+// batch is sent. With a tenant configured, batch frames carry the v2
+// tenant id.
+//
+// Add/AddN buffer into an internal batch flushed at BatchSize;
+// SendBatch/SendWeighted frame and send immediately. An Ingest is safe
+// for concurrent use.
+type Ingest struct {
+	network string
+	addr    string
+	token   string
+	tenant  []byte
+
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	maxRetries  int
+	batchSize   int
+	tlsConf     *tls.Config
+
+	mu       sync.Mutex
+	conn     net.Conn
+	jitter   *xrand.SplitMix64
+	frame    []byte   // reusable frame encode buffer
+	pending  [][]byte // buffered keys (copied) awaiting Flush
+	pendingW []uint64 // parallel weights; nil while all pending are unit
+	stats    IngestStats
+	closed   bool
+}
+
+// IngestStats is the sender-side accounting of one Ingest.
+type IngestStats struct {
+	// Frames/Records/Bytes count successful sends.
+	Frames  int
+	Records int
+	Bytes   int64
+	// Reconnects counts successful re-dials after a send failure;
+	// ResentFrames/ResentRecords count the frames replayed through them.
+	Reconnects    int
+	ResentFrames  int
+	ResentRecords int
+}
+
+// IngestOption configures Dial.
+type IngestOption func(*ingestOptions) error
+
+type ingestOptions struct {
+	token       string
+	tenant      string
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	maxRetries  int
+	batchSize   int
+	seed        uint64
+	seedSet     bool
+	tlsConf     *tls.Config
+	caFile      string
+}
+
+// IngestWithToken authenticates the stream: every (re)connect opens
+// with a hello frame carrying the token.
+func IngestWithToken(token string) IngestOption {
+	return func(o *ingestOptions) error {
+		if token == "" || len(token) > wire.MaxTokenLen {
+			return fmt.Errorf("client: ingest token must be 1..%d bytes", wire.MaxTokenLen)
+		}
+		o.token = token
+		return nil
+	}
+}
+
+// IngestWithTenant stamps every batch frame with the tenant id (wire
+// v2). With a token, the id must match the token's scope — the daemon
+// closes the connection otherwise.
+func IngestWithTenant(name string) IngestOption {
+	return func(o *ingestOptions) error {
+		if len(name) > wire.MaxTenantLen {
+			return fmt.Errorf("client: tenant id exceeds %d bytes", wire.MaxTenantLen)
+		}
+		o.tenant = name
+		return nil
+	}
+}
+
+// IngestWithDialTimeout bounds each dial (default 5s).
+func IngestWithDialTimeout(d time.Duration) IngestOption {
+	return func(o *ingestOptions) error { o.dialTimeout = d; return nil }
+}
+
+// IngestWithIOTimeout bounds each frame write (default 5s; negative
+// disables).
+func IngestWithIOTimeout(d time.Duration) IngestOption {
+	return func(o *ingestOptions) error { o.ioTimeout = d; return nil }
+}
+
+// IngestWithMaxRetries caps reconnect attempts per failed send (default
+// 5; 0 disables reconnection).
+func IngestWithMaxRetries(n int) IngestOption {
+	return func(o *ingestOptions) error {
+		if n < 0 {
+			return errors.New("client: max retries must not be negative")
+		}
+		o.maxRetries = n
+		return nil
+	}
+}
+
+// IngestWithBatchSize sets how many buffered arrivals Add collects
+// before flushing a frame (default 256).
+func IngestWithBatchSize(n int) IngestOption {
+	return func(o *ingestOptions) error {
+		if n < 1 {
+			return errors.New("client: batch size must be >= 1")
+		}
+		o.batchSize = n
+		return nil
+	}
+}
+
+// IngestWithSeed fixes the backoff-jitter seed (deterministic tests and
+// benchmarks).
+func IngestWithSeed(seed uint64) IngestOption {
+	return func(o *ingestOptions) error { o.seed = seed; o.seedSet = true; return nil }
+}
+
+// IngestWithTLSConfig dials the ingest listener over TLS.
+func IngestWithTLSConfig(cfg *tls.Config) IngestOption {
+	return func(o *ingestOptions) error { o.tlsConf = cfg; return nil }
+}
+
+// IngestWithCACertFile trusts the PEM certificate(s) in path for the
+// ingest listener's TLS handshake.
+func IngestWithCACertFile(path string) IngestOption {
+	return func(o *ingestOptions) error { o.caFile = path; return nil }
+}
+
+// Dial returns an Ingest for the daemon's ingest listener. network is
+// "tcp" (framed stream, reconnect + hello auth) or "udp" (one frame per
+// datagram, fire-and-forget; no TLS, no hello, so it cannot speak to an
+// authenticated daemon). The first connection is established lazily on
+// the first send, so Dial itself does not block on the network.
+func Dial(network, addr string, opts ...IngestOption) (*Ingest, error) {
+	o := ingestOptions{
+		dialTimeout: 5 * time.Second,
+		ioTimeout:   5 * time.Second,
+		maxRetries:  5,
+		batchSize:   256,
+	}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	switch network {
+	case "tcp":
+	case "udp":
+		if o.token != "" {
+			return nil, errors.New("client: UDP ingest cannot authenticate (no handshake); use tcp")
+		}
+		if o.tlsConf != nil || o.caFile != "" {
+			return nil, errors.New("client: UDP ingest cannot use TLS; use tcp")
+		}
+	default:
+		return nil, fmt.Errorf("client: unsupported ingest network %q", network)
+	}
+	tlsConf := o.tlsConf
+	if o.caFile != "" {
+		var err error
+		if tlsConf, err = loadCACert(o.caFile, o.tlsConf); err != nil {
+			return nil, err
+		}
+	}
+	if !o.seedSet {
+		o.seed = uint64(time.Now().UnixNano())
+	}
+	return &Ingest{
+		network:     network,
+		addr:        addr,
+		token:       o.token,
+		tenant:      []byte(o.tenant),
+		dialTimeout: o.dialTimeout,
+		ioTimeout:   o.ioTimeout,
+		maxRetries:  o.maxRetries,
+		batchSize:   o.batchSize,
+		tlsConf:     tlsConf,
+		jitter:      xrand.NewSplitMix64(o.seed ^ 0x696e67657374), // decorrelate from caller seeds
+	}, nil
+}
+
+// Add buffers one unit arrival, flushing a frame when the batch fills.
+// The key is copied, so the caller may reuse its buffer.
+func (in *Ingest) Add(key []byte) error { return in.AddN(key, 1) }
+
+// AddString is Add for string identifiers.
+func (in *Ingest) AddString(key string) error { return in.AddN([]byte(key), 1) }
+
+// AddN buffers one weight-n arrival, flushing a frame when the batch
+// fills. n = 0 is dropped (a weightless arrival means nothing).
+func (in *Ingest) AddN(key []byte, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return errors.New("client: ingest is closed")
+	}
+	in.pending = append(in.pending, append([]byte(nil), key...))
+	if in.pendingW != nil {
+		in.pendingW = append(in.pendingW, n)
+	} else if n != 1 {
+		// First non-unit weight: backfill units for what's buffered.
+		in.pendingW = make([]uint64, len(in.pending))
+		for i := range in.pendingW {
+			in.pendingW[i] = 1
+		}
+		in.pendingW[len(in.pendingW)-1] = n
+	}
+	if len(in.pending) >= in.batchSize {
+		return in.flushLocked()
+	}
+	return nil
+}
+
+// Flush frames and sends whatever Add has buffered.
+func (in *Ingest) Flush() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return errors.New("client: ingest is closed")
+	}
+	return in.flushLocked()
+}
+
+func (in *Ingest) flushLocked() error {
+	if len(in.pending) == 0 {
+		return nil
+	}
+	err := in.sendLocked(in.pending, in.pendingW)
+	in.pending = in.pending[:0]
+	in.pendingW = nil
+	return err
+}
+
+// SendBatch frames keys (unit weights) and sends immediately, bypassing
+// the Add buffer. The keys are not retained past the call.
+func (in *Ingest) SendBatch(keys [][]byte) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return errors.New("client: ingest is closed")
+	}
+	if err := in.flushLocked(); err != nil {
+		return err
+	}
+	return in.sendLocked(keys, nil)
+}
+
+// SendWeighted frames keys with parallel weights and sends immediately.
+func (in *Ingest) SendWeighted(keys [][]byte, weights []uint64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return errors.New("client: ingest is closed")
+	}
+	if err := in.flushLocked(); err != nil {
+		return err
+	}
+	return in.sendLocked(keys, weights)
+}
+
+// sendLocked encodes one frame into the reusable buffer and writes it
+// through the resilient path.
+func (in *Ingest) sendLocked(keys [][]byte, weights []uint64) error {
+	var err error
+	if len(in.tenant) > 0 {
+		in.frame, err = wire.AppendFrameTenant(in.frame[:0], in.tenant, keys, weights)
+	} else {
+		in.frame, err = wire.AppendFrame(in.frame[:0], keys, weights)
+	}
+	if err != nil {
+		return err
+	}
+	if err := in.writeFrameLocked(in.frame, len(keys)); err != nil {
+		return err
+	}
+	in.stats.Frames++
+	in.stats.Records += len(keys)
+	in.stats.Bytes += int64(len(in.frame))
+	return nil
+}
+
+// writeFrameLocked writes one frame, reconnecting and replaying it on
+// failure. records is the frame's record count, for resend accounting.
+func (in *Ingest) writeFrameLocked(frame []byte, records int) error {
+	if in.conn == nil {
+		if err := in.connectLocked(); err != nil {
+			return fmt.Errorf("client: dial %s %s: %w", in.network, in.addr, err)
+		}
+	}
+	if in.writeOnceLocked(frame) == nil {
+		return nil
+	}
+	for attempt := 0; attempt < in.maxRetries; attempt++ {
+		time.Sleep(in.backoff(attempt))
+		if err := in.connectLocked(); err != nil {
+			continue
+		}
+		in.stats.Reconnects++
+		if err := in.writeOnceLocked(frame); err == nil {
+			in.stats.ResentFrames++
+			in.stats.ResentRecords += records
+			return nil
+		}
+	}
+	return fmt.Errorf("client: send to %s failed after %d reconnect attempts", in.addr, in.maxRetries)
+}
+
+// connectLocked dials (TLS when configured) and performs the hello
+// handshake when a token is set.
+func (in *Ingest) connectLocked() error {
+	d := net.Dialer{Timeout: in.dialTimeout}
+	var conn net.Conn
+	var err error
+	if in.tlsConf != nil {
+		conn, err = tls.DialWithDialer(&d, in.network, in.addr, in.tlsConf)
+	} else {
+		conn, err = d.Dial(in.network, in.addr)
+	}
+	if err != nil {
+		return err
+	}
+	in.conn = conn
+	if in.token != "" {
+		hello, err := wire.AppendHello(nil, []byte(in.token))
+		if err != nil {
+			conn.Close()
+			in.conn = nil
+			return err
+		}
+		if err := in.writeOnceLocked(hello); err != nil {
+			return fmt.Errorf("client: hello handshake: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeOnceLocked writes frame on the current connection under the IO
+// deadline, closing the connection on failure.
+func (in *Ingest) writeOnceLocked(frame []byte) error {
+	if in.ioTimeout > 0 {
+		in.conn.SetWriteDeadline(time.Now().Add(in.ioTimeout))
+	}
+	if _, err := in.conn.Write(frame); err != nil {
+		in.conn.Close()
+		in.conn = nil
+		return err
+	}
+	return nil
+}
+
+// backoff returns the sleep before reconnect attempt n (0-based):
+// 50ms·2ⁿ capped at 2s, jittered ±50%.
+func (in *Ingest) backoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << attempt
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	half := uint64(d / 2)
+	return time.Duration(half + in.jitter.Next()%(2*half))
+}
+
+// Stats returns a copy of the sender-side counters.
+func (in *Ingest) Stats() IngestStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Close flushes buffered arrivals and closes the connection. The flush
+// error, if any, is returned — arrivals buffered but never delivered
+// would otherwise vanish silently.
+func (in *Ingest) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return nil
+	}
+	err := in.flushLocked()
+	in.closed = true
+	if in.conn != nil {
+		in.conn.Close()
+		in.conn = nil
+	}
+	return err
+}

@@ -52,6 +52,8 @@ func run() int {
 		live       = flag.Bool("live", true, "request on-demand snapshots (?live=1) instead of newest on-disk generations")
 		seed       = flag.Uint64("seed", 31337, "backoff jitter seed")
 		addrFile   = flag.String("addr-file", "", "write the bound HTTP address to this file (for ephemeral ports)")
+		token      = flag.String("token", "", "bearer token for snapshot fetches from auth-protected hkd members")
+		caCert     = flag.String("ca", "", "PEM CA certificate file to trust for TLS hkd members")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
@@ -83,13 +85,15 @@ func run() int {
 	}
 
 	agg, err := cluster.New(cluster.Config{
-		Nodes:    nodes,
-		Policy:   pol,
-		Interval: *interval,
-		Timeout:  *timeout,
-		Live:     *live,
-		Seed:     *seed,
-		Logf:     logf,
+		Nodes:      nodes,
+		Policy:     pol,
+		Interval:   *interval,
+		Timeout:    *timeout,
+		Live:       *live,
+		Seed:       *seed,
+		Token:      *token,
+		CACertFile: *caCert,
+		Logf:       logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hkagg:", err)

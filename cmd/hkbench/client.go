@@ -1,26 +1,23 @@
 // hkbench client mode: a load generator and verifier for the hkd daemon.
-// It replays a generated trace over the binary wire protocol (TCP stream
-// or UDP datagrams), measures achieved ingest throughput, and optionally
-// verifies the daemon's /topk report against a twin summarizer built
-// from the daemon's own /config and fed the same trace directly — the
-// wire path and the in-process path must agree flow for flow.
+// It replays a generated trace through the SDK's resilient ingest client
+// (TCP stream or UDP datagrams), measures achieved ingest throughput, and
+// optionally verifies the daemon's /topk report against a twin summarizer
+// built from the daemon's own /config and fed the same trace directly —
+// the wire path and the in-process path must agree flow for flow.
 package main
 
 import (
-	"encoding/hex"
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"strconv"
-	"strings"
 	"time"
 
 	heavykeeper "repro"
+	"repro/client"
 	"repro/internal/gen"
-	"repro/internal/xrand"
-	"repro/wire"
 )
 
 // clientReport is the -json document of one client-mode run.
@@ -49,11 +46,56 @@ type clientReport struct {
 	Verified      *bool `json:"verified,omitempty"`
 }
 
+// clientAuth bundles the credential flags shared by client and cluster
+// mode: a tenant-scoped bearer token, an explicit tenant id for open
+// daemons, and a CA file for TLS-terminated listeners.
+type clientAuth struct {
+	token  string
+	tenant string
+	caFile string
+}
+
+// ingestOpts translates the auth bundle plus the resilience flags into
+// SDK dial options.
+func (a clientAuth) ingestOpts(seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int) []client.IngestOption {
+	opts := []client.IngestOption{
+		client.IngestWithSeed(seed ^ 0x726574727973), // decorrelate from the trace seed
+		client.IngestWithDialTimeout(dialTimeout),
+		client.IngestWithIOTimeout(ioTimeout),
+		client.IngestWithMaxRetries(maxRetries),
+	}
+	if a.token != "" {
+		opts = append(opts, client.IngestWithToken(a.token))
+	}
+	if a.tenant != "" {
+		opts = append(opts, client.IngestWithTenant(a.tenant))
+	}
+	if a.caFile != "" {
+		opts = append(opts, client.IngestWithCACertFile(a.caFile))
+	}
+	return opts
+}
+
+// queryClient builds the SDK HTTP client for the daemon's API.
+func (a clientAuth) queryClient(addr string) (*client.Client, error) {
+	var opts []client.Option
+	if a.token != "" {
+		opts = append(opts, client.WithToken(a.token))
+	}
+	if a.tenant != "" {
+		opts = append(opts, client.WithTenant(a.tenant))
+	}
+	if a.caFile != "" {
+		opts = append(opts, client.WithCACertFile(a.caFile))
+	}
+	return client.New(addr, opts...)
+}
+
 // runClient sends the trace to connect (TCP) or connectUDP, then — when
 // verifyAddr names the daemon's HTTP API — checks the daemon's report
 // against a local twin. With an empty connect address it verifies only,
 // which is how a restarted daemon's restored state is checked.
-func runClient(connect, connectUDP, verifyAddr string, rate, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut bool) error {
+func runClient(connect, connectUDP, verifyAddr string, auth clientAuth, rate, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut bool) error {
 	if batch < 1 || repeat < 1 {
 		return fmt.Errorf("hkbench: -batch and -repeat must be >= 1")
 	}
@@ -68,39 +110,51 @@ func runClient(connect, connectUDP, verifyAddr string, rate, repeat, batch int, 
 	tr.ForEach(func(key []byte) { keys = append(keys, key) })
 
 	report := clientReport{Transport: "none", Batch: batch, Repeat: repeat}
-	dialer := net.Dialer{Timeout: dialTimeout}
-	sender := &resilientSender{
-		report:     &report,
-		ioTimeout:  ioTimeout,
-		maxRetries: maxRetries,
-		jitter:     xrand.NewSplitMix64(seed ^ 0x726574727973), // decorrelate from the trace seed
-	}
+	ingestOpts := auth.ingestOpts(seed, dialTimeout, ioTimeout, maxRetries)
 	start := time.Now()
 	switch {
 	case connect != "":
 		report.Transport = "tcp"
-		sender.dial = func() (net.Conn, error) { return dialer.Dial("tcp", connect) }
-		err = sendTrace(&report, keys, rate, repeat, batch, sender, false)
+		in, err := client.Dial("tcp", connect, ingestOpts...)
+		if err != nil {
+			return fmt.Errorf("hkbench: %w", err)
+		}
+		err = sendTrace(&report, keys, rate, repeat, batch, in, false)
+		if cerr := in.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
 	case connectUDP != "":
 		report.Transport = "udp"
-		sender.dial = func() (net.Conn, error) { return dialer.Dial("udp", connectUDP) }
-		err = sendTrace(&report, keys, rate, repeat, batch, sender, true)
-	}
-	if err != nil {
-		return err
+		in, err := client.Dial("udp", connectUDP, ingestOpts...)
+		if err != nil {
+			return fmt.Errorf("hkbench: %w", err)
+		}
+		err = sendTrace(&report, keys, rate, repeat, batch, in, true)
+		if cerr := in.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
 	}
 
 	if verifyAddr != "" {
-		base := verifyAddr
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
+		api, err := auth.queryClient(verifyAddr)
+		if err != nil {
+			return fmt.Errorf("hkbench: %w", err)
 		}
 		if report.Transport != "none" {
 			// The sender can outrun the daemon; wait until every record is
 			// ingested and report the daemon-side drain rate alongside the
 			// send rate.
-			if err := waitForRecords(base, uint64(report.Packets)); err != nil {
-				return err
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			err := api.WaitForRecords(ctx, uint64(report.Packets))
+			cancel()
+			if err != nil {
+				return fmt.Errorf("hkbench: %w", err)
 			}
 			report.DrainSeconds = time.Since(start).Seconds()
 			if report.DrainSeconds > 0 {
@@ -115,7 +169,7 @@ func runClient(connect, connectUDP, verifyAddr string, rate, repeat, batch int, 
 			fmt.Fprintf(os.Stderr, "hkbench: skipping strict verify: %d frames (%d records) were resent after reconnects\n",
 				report.ResentFrames, report.ResentRecords)
 		} else {
-			ok, err := verifyAgainstDaemon(base, keys, repeat, batch)
+			ok, err := verifyAgainstDaemon(api, keys, repeat, batch)
 			if err != nil {
 				return err
 			}
@@ -153,113 +207,29 @@ func runClient(connect, connectUDP, verifyAddr string, rate, repeat, batch int, 
 	return nil
 }
 
-// resilientSender owns the client's connection and survives its death:
-// a failed send closes the connection, re-dials with exponential backoff
-// plus jitter (so a fleet of restarted clients doesn't stampede the
-// daemon), replays the frame that failed, and accounts for the replay.
-type resilientSender struct {
-	report     *clientReport
-	dial       func() (net.Conn, error)
-	ioTimeout  time.Duration
-	maxRetries int
-	jitter     *xrand.SplitMix64
-	conn       net.Conn
-}
-
-// backoff returns the sleep before reconnect attempt n (0-based):
-// 50ms·2ⁿ capped at 2s, jittered ±50%.
-func (s *resilientSender) backoff(attempt int) time.Duration {
-	d := 50 * time.Millisecond << attempt
-	if d > 2*time.Second {
-		d = 2 * time.Second
-	}
-	half := uint64(d / 2)
-	return time.Duration(half + s.jitter.Next()%(2*half))
-}
-
-// send writes one frame, reconnecting and replaying it on failure.
-// records is the frame's record count, used only for resend accounting.
-func (s *resilientSender) send(frame []byte, records int) error {
-	var err error
-	if s.conn == nil {
-		if s.conn, err = s.dial(); err != nil {
-			return fmt.Errorf("hkbench: dial: %w", err)
-		}
-	}
-	if s.writeOnce(frame) == nil {
-		return nil
-	}
-	for attempt := 0; attempt < s.maxRetries; attempt++ {
-		time.Sleep(s.backoff(attempt))
-		conn, err := s.dial()
-		if err != nil {
-			continue
-		}
-		s.conn = conn
-		s.report.Reconnects++
-		if err := s.writeOnce(frame); err == nil {
-			s.report.ResentFrames++
-			s.report.ResentRecords += records
-			return nil
-		}
-	}
-	return fmt.Errorf("hkbench: send failed after %d reconnect attempts", s.maxRetries)
-}
-
-// writeOnce writes the frame on the current connection under the IO
-// deadline, closing the connection on failure.
-func (s *resilientSender) writeOnce(frame []byte) error {
-	if s.ioTimeout > 0 {
-		s.conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
-	}
-	if _, err := s.conn.Write(frame); err != nil {
-		s.conn.Close()
-		s.conn = nil
-		return err
-	}
-	return nil
-}
-
-func (s *resilientSender) close() {
-	if s.conn != nil {
-		s.conn.Close()
-		s.conn = nil
-	}
-}
-
 // sendTrace streams the trace repeat times in frames of batch keys
-// through the resilient sender. rate > 0 caps the frame rate. UDP sends
-// self-throttle lightly even unlimited, so loopback smoke runs don't
-// overrun the receive buffer.
-func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, sender *resilientSender, udp bool) error {
-	defer sender.close()
+// through the SDK's resilient sender. rate > 0 caps the frame rate. UDP
+// sends self-throttle lightly even unlimited, so loopback smoke runs
+// don't overrun the receive buffer.
+func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, in *client.Ingest, udp bool) error {
 	var tick *time.Ticker
 	if rate > 0 {
 		tick = time.NewTicker(time.Second / time.Duration(rate))
 		defer tick.Stop()
 	}
-	var frame []byte
-	var err error
 	start := time.Now()
+	frames := 0
 	for r := 0; r < repeat; r++ {
 		for lo := 0; lo < len(keys); lo += batch {
-			hi := lo + batch
-			if hi > len(keys) {
-				hi = len(keys)
-			}
-			frame, err = wire.AppendFrame(frame[:0], keys[lo:hi], nil)
-			if err != nil {
-				return err
-			}
+			hi := min(lo+batch, len(keys))
 			if tick != nil {
 				<-tick.C
 			}
-			if err := sender.send(frame, hi-lo); err != nil {
+			if err := in.SendBatch(keys[lo:hi]); err != nil {
 				return err
 			}
-			report.Frames++
-			report.Bytes += int64(len(frame))
-			if udp && report.Frames%8 == 0 {
+			frames++
+			if udp && frames%8 == 0 {
 				time.Sleep(200 * time.Microsecond)
 			}
 		}
@@ -269,6 +239,12 @@ func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, sen
 	if report.ElapsedSeconds > 0 {
 		report.Mpps = float64(report.Packets) / report.ElapsedSeconds / 1e6
 	}
+	st := in.Stats()
+	report.Frames = st.Frames
+	report.Bytes = st.Bytes
+	report.Reconnects = st.Reconnects
+	report.ResentFrames = st.ResentFrames
+	report.ResentRecords = st.ResentRecords
 	return nil
 }
 
@@ -277,9 +253,11 @@ func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, sen
 // /topk report flow for flow. The caller has already waited for the
 // stream to drain. Over UDP, delivery on loopback is expected to be
 // complete; any datagram loss shows up here as a count mismatch.
-func verifyAgainstDaemon(base string, keys [][]byte, repeat, batch int) (bool, error) {
-	var info map[string]string
-	if err := getJSON(base+"/config", &info); err != nil {
+func verifyAgainstDaemon(api *client.Client, keys [][]byte, repeat, batch int) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	info, err := api.Config(ctx)
+	if err != nil {
 		return false, fmt.Errorf("hkbench: fetching daemon config: %w", err)
 	}
 	twin, err := twinFromConfig(info)
@@ -288,33 +266,24 @@ func verifyAgainstDaemon(base string, keys [][]byte, repeat, batch int) (bool, e
 	}
 	for r := 0; r < repeat; r++ {
 		for lo := 0; lo < len(keys); lo += batch {
-			hi := lo + batch
-			if hi > len(keys) {
-				hi = len(keys)
-			}
+			hi := min(lo+batch, len(keys))
 			twin.AddBatch(keys[lo:hi])
 		}
 	}
 
-	var doc struct {
-		Flows []struct {
-			ID    string `json:"id"`
-			Count uint64 `json:"count"`
-		} `json:"flows"`
-	}
-	if err := getJSON(base+"/topk", &doc); err != nil {
+	flows, err := api.TopK(ctx, 0)
+	if err != nil {
 		return false, fmt.Errorf("hkbench: fetching daemon topk: %w", err)
 	}
 	want := twin.List()
-	if len(doc.Flows) != len(want) {
-		fmt.Printf("verify: daemon reports %d flows, twin %d\n", len(doc.Flows), len(want))
+	if len(flows) != len(want) {
+		fmt.Printf("verify: daemon reports %d flows, twin %d\n", len(flows), len(want))
 		return false, nil
 	}
-	for i, f := range doc.Flows {
-		wantID := hex.EncodeToString(want[i].ID)
-		if f.ID != wantID || f.Count != want[i].Count {
-			fmt.Printf("verify: rank %d: daemon %s/%d, twin %s/%d\n",
-				i+1, f.ID, f.Count, wantID, want[i].Count)
+	for i, f := range flows {
+		if !bytes.Equal(f.ID, want[i].ID) || f.Count != want[i].Count {
+			fmt.Printf("verify: rank %d: daemon %q/%d, twin %q/%d\n",
+				i+1, f.ID, f.Count, want[i].ID, want[i].Count)
 			return false, nil
 		}
 	}
@@ -351,36 +320,4 @@ func twinFromConfig(info map[string]string) (heavykeeper.Summarizer, error) {
 		opts = append(opts, heavykeeper.WithShards(shards))
 	}
 	return heavykeeper.New(k, opts...)
-}
-
-// waitForRecords polls the daemon's /stats until it has ingested want
-// records (or 60s pass).
-func waitForRecords(base string, want uint64) error {
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		var st struct {
-			Server struct {
-				Records uint64 `json:"records"`
-			} `json:"server"`
-		}
-		if err := getJSON(base+"/stats", &st); err == nil && st.Server.Records >= want {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("hkbench: daemon never reported %d ingested records", want)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
-
-func getJSON(url string, v any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -8,19 +8,17 @@
 package main
 
 import (
-	"encoding/hex"
+	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/client"
 	"repro/internal/cluster"
 	"repro/internal/gen"
-	"repro/internal/xrand"
-	"repro/wire"
 )
 
 // clusterNode is one -cluster entry: the TCP ingest address, optionally
@@ -73,7 +71,7 @@ func parseClusterNodes(spec string) ([]clusterNode, error) {
 // verifyOnly skips the ingest and drain phases but still routes the trace
 // to recompute the same truth counts — the re-check after a node kill,
 // when the cluster already holds exactly one copy of the trace.
-func runCluster(spec, verifyAddr, coverageWant string, replicas, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut, verifyOnly bool) error {
+func runCluster(spec, verifyAddr, coverageWant string, auth clientAuth, replicas, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut, verifyOnly bool) error {
 	if batch < 1 || repeat < 1 {
 		return fmt.Errorf("hkbench: -batch and -repeat must be >= 1")
 	}
@@ -112,18 +110,18 @@ func runCluster(spec, verifyAddr, coverageWant string, replicas, repeat, batch i
 
 	report := clusterReport{Nodes: len(nodes), Replicas: ring.Replicas(), Packets: tr.Len() * repeat}
 	if !verifyOnly {
-		dialer := net.Dialer{Timeout: dialTimeout}
 		start := time.Now()
 		for i, n := range nodes {
-			sender := &resilientSender{
-				report:     &clientReport{},
-				ioTimeout:  ioTimeout,
-				maxRetries: maxRetries,
-				jitter:     xrand.NewSplitMix64(seed ^ uint64(i+1)),
+			in, err := client.Dial("tcp", n.tcp,
+				auth.ingestOpts(seed^uint64(i+1), dialTimeout, ioTimeout, maxRetries)...)
+			if err != nil {
+				return fmt.Errorf("hkbench: node %s: %w", n.name, err)
 			}
-			tcp := n.tcp
-			sender.dial = func() (net.Conn, error) { return dialer.Dial("tcp", tcp) }
-			if err := sendReplicated(sender, perNode[i], repeat, batch); err != nil {
+			err = sendReplicated(in, perNode[i], repeat, batch)
+			if cerr := in.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
 				return fmt.Errorf("hkbench: node %s: %w", n.name, err)
 			}
 			report.SentRecords += len(perNode[i]) * repeat
@@ -137,18 +135,25 @@ func runCluster(spec, verifyAddr, coverageWant string, replicas, repeat, batch i
 			if n.http == "" {
 				continue
 			}
-			if err := waitForRecords("http://"+n.http, uint64(len(perNode[i])*repeat)); err != nil {
+			api, err := auth.queryClient(n.http)
+			if err != nil {
+				return fmt.Errorf("hkbench: node %s: %w", n.name, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			err = api.WaitForRecords(ctx, uint64(len(perNode[i])*repeat))
+			cancel()
+			if err != nil {
 				return fmt.Errorf("hkbench: node %s: %w", n.name, err)
 			}
 		}
 	}
 
 	if verifyAddr != "" {
-		base := verifyAddr
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
+		api, err := auth.queryClient(verifyAddr)
+		if err != nil {
+			return fmt.Errorf("hkbench: %w", err)
 		}
-		ok, coverage, err := verifyAgainstAggregator(base, coverageWant, truth)
+		ok, coverage, err := verifyAgainstAggregator(api, coverageWant, truth)
 		if err != nil {
 			return err
 		}
@@ -181,19 +186,12 @@ func runCluster(spec, verifyAddr, coverageWant string, replicas, repeat, batch i
 }
 
 // sendReplicated streams one node's routed keys, repeat times, in frames
-// of batch records, through a reconnecting sender.
-func sendReplicated(sender *resilientSender, keys [][]byte, repeat, batch int) error {
-	defer sender.close()
-	var frame []byte
-	var err error
+// of batch records, through the SDK's reconnecting sender.
+func sendReplicated(in *client.Ingest, keys [][]byte, repeat, batch int) error {
 	for r := 0; r < repeat; r++ {
 		for lo := 0; lo < len(keys); lo += batch {
 			hi := min(lo+batch, len(keys))
-			frame, err = wire.AppendFrame(frame[:0], keys[lo:hi], nil)
-			if err != nil {
-				return err
-			}
-			if err := sender.send(frame, hi-lo); err != nil {
+			if err := in.SendBatch(keys[lo:hi]); err != nil {
 				return err
 			}
 		}
@@ -207,19 +205,15 @@ func sendReplicated(sender *resilientSender, keys [][]byte, repeat, batch int) e
 // boundary) must be reported, no reported count may exceed its truth
 // (HeavyKeeper never over-estimates absent fingerprint collisions), and
 // elephants must come within 10%.
-func verifyAgainstAggregator(base, want string, truth map[string]uint64) (bool, float64, error) {
-	type topDoc struct {
-		Coverage float64 `json:"coverage"`
-		Flows    []struct {
-			ID    string `json:"id"`
-			Count uint64 `json:"count"`
-		} `json:"flows"`
-	}
-	var doc topDoc
+func verifyAgainstAggregator(api *client.Client, want string, truth map[string]uint64) (bool, float64, error) {
+	var doc *client.GlobalTopK
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		err := getJSON(base+"/topk", &doc)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		d, err := api.GlobalTopK(ctx, 0)
+		cancel()
 		if err == nil {
+			doc = d
 			switch want {
 			case "full":
 				if doc.Coverage == 1 && len(doc.Flows) > 0 {
@@ -234,7 +228,11 @@ func verifyAgainstAggregator(base, want string, truth map[string]uint64) (bool, 
 			}
 		}
 		if time.Now().After(deadline) {
-			return false, doc.Coverage, fmt.Errorf("hkbench: aggregator never reached coverage=%s (last %.2f, err %v)", want, doc.Coverage, err)
+			coverage := 0.0
+			if doc != nil {
+				coverage = doc.Coverage
+			}
+			return false, coverage, fmt.Errorf("hkbench: aggregator never reached coverage=%s (last %.2f, err %v)", want, coverage, err)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -242,11 +240,7 @@ settled:
 
 	got := map[string]uint64{}
 	for _, f := range doc.Flows {
-		id, err := hex.DecodeString(f.ID)
-		if err != nil {
-			return false, doc.Coverage, fmt.Errorf("hkbench: aggregator flow id %q: %w", f.ID, err)
-		}
-		got[string(id)] = f.Count
+		got[string(f.ID)] = f.Count
 	}
 
 	// True flows by descending count; assert the clear top above the k

@@ -78,6 +78,9 @@ func run() int {
 		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "client mode: per-dial timeout")
 		ioTO       = flag.Duration("io-timeout", 10*time.Second, "client mode: per-frame write deadline (0 disables)")
 		maxRetries = flag.Int("max-retries", 3, "client mode: reconnect attempts after a failed send (0 disables resend)")
+		token      = flag.String("token", "", "client/cluster mode: tenant-scoped bearer token for authenticated daemons (hello on ingest, Bearer on queries)")
+		tenant     = flag.String("tenant", "", "client/cluster mode: tenant id stamped on ingest frames and query requests (open daemons; with -token it must match the token's scope)")
+		caCert     = flag.String("ca", "", "client/cluster mode: PEM CA certificate file to trust for TLS daemons")
 		clusterTo  = flag.String("cluster", "", "cluster mode: comma-separated hkd nodes (TCPADDR or TCPADDR/HTTPADDR), ring-replicated fan-out ingest")
 		replicas   = flag.Int("replicas", 2, "cluster mode: ring replicas per flow (MaxReplica)")
 		coverage   = flag.String("coverage", "any", "cluster mode: coverage the aggregator must report before -verify (full, degraded, any)")
@@ -120,12 +123,14 @@ func run() int {
 		return 0
 	}
 
+	auth := clientAuth{token: *token, tenant: *tenant, caFile: *caCert}
+
 	if *clusterTo != "" {
 		if *connect != "" || *connectUDP != "" {
 			fmt.Fprintln(os.Stderr, "hkbench: -cluster and -connect/-connect-udp are mutually exclusive")
 			return 1
 		}
-		if err := runCluster(*clusterTo, *verify, *coverage, *replicas, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut, *verifyOnly); err != nil {
+		if err := runCluster(*clusterTo, *verify, *coverage, auth, *replicas, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut, *verifyOnly); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -137,7 +142,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hkbench: -connect and -connect-udp are mutually exclusive")
 			return 1
 		}
-		if err := runClient(*connect, *connectUDP, *verify, *rate, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut); err != nil {
+		if err := runClient(*connect, *connectUDP, *verify, auth, *rate, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

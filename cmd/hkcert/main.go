@@ -1,0 +1,113 @@
+// Command hkcert generates a self-signed TLS certificate for hkd's
+// -tls-cert/-tls-key flags and the SDK's CA-file options — the
+// batteries-included deployment shape for lab and smoke-test clusters
+// where a real CA is overkill. Clients trust the certificate file itself
+// (hkbench -ca, hkagg -ca, client.WithCACertFile), so no system trust
+// store changes are needed.
+//
+// Usage:
+//
+//	hkcert -cert cert.pem -key key.pem
+//	hkcert -hosts 127.0.0.1,localhost,10.0.0.7 -days 90
+//
+// Production deployments should use certificates from a real CA instead.
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		certOut = flag.String("cert", "cert.pem", "certificate output path (PEM)")
+		keyOut  = flag.String("key", "key.pem", "private key output path (PEM, mode 0600)")
+		hosts   = flag.String("hosts", "127.0.0.1,localhost", "comma-separated SANs: IP addresses and DNS names the certificate is valid for")
+		days    = flag.Int("days", 365, "validity period in days")
+		cn      = flag.String("cn", "hkd", "certificate common name")
+	)
+	flag.Parse()
+
+	if *days < 1 {
+		fmt.Fprintln(os.Stderr, "hkcert: -days must be >= 1")
+		return 2
+	}
+	tmpl := x509.Certificate{
+		Subject:   pkix.Name{CommonName: *cn},
+		NotBefore: time.Now().Add(-time.Hour), // tolerate clock skew on fresh hosts
+		NotAfter:  time.Now().Add(time.Duration(*days) * 24 * time.Hour),
+		KeyUsage:  x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage: []x509.ExtKeyUsage{
+			x509.ExtKeyUsageServerAuth,
+		},
+		// IsCA lets clients pin the certificate file itself as a root.
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	for _, h := range strings.Split(*hosts, ",") {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	if len(tmpl.IPAddresses) == 0 && len(tmpl.DNSNames) == 0 {
+		fmt.Fprintln(os.Stderr, "hkcert: -hosts lists no usable IPs or DNS names")
+		return 2
+	}
+
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkcert:", err)
+		return 1
+	}
+	tmpl.SerialNumber = serial
+
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkcert:", err)
+		return 1
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkcert:", err)
+		return 1
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkcert:", err)
+		return 1
+	}
+
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	if err := os.WriteFile(*certOut, certPEM, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hkcert:", err)
+		return 1
+	}
+	if err := os.WriteFile(*keyOut, keyPEM, 0o600); err != nil {
+		fmt.Fprintln(os.Stderr, "hkcert:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s and %s (CN=%s, %d days, hosts %s)\n", *certOut, *keyOut, *cn, *days, *hosts)
+	return 0
+}

@@ -11,6 +11,8 @@
 //	hkd -epoch 10000000                  # windowed reports over the last ~10M items
 //	hkd -snapshot /var/lib/hkd.snap -snapshot-interval 30s
 //	hkd -listen-tcp 127.0.0.1:0 -addr-file /tmp/hkd.addrs   # ephemeral ports
+//	hkd -tls-cert cert.pem -tls-key key.pem \
+//	    -token-file tokens.txt -admin-token S3CRET           # multi-tenant TLS
 //
 // With -snapshot, state is restored at startup from the newest intact
 // snapshot generation rooted at the path, written periodically, on
@@ -36,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +70,12 @@ func run() int {
 		idleAfter  = flag.Duration("idle-timeout", 0, "evict stream connections idle for this long (0 disables)")
 		maxInfl    = flag.Int("max-inflight", 0, "concurrent summarizer batch calls (0 = 2 per core)")
 		memHigh    = flag.Int("mem-highwater", 0, "heap megabytes that trigger degraded load shedding (0 disables)")
+		tlsCert    = flag.String("tls-cert", "", "PEM certificate file; with -tls-key, serves TCP ingest and the HTTP API over TLS")
+		tlsKey     = flag.String("tls-key", "", "PEM private key file for -tls-cert")
+		tokenFile  = flag.String("token-file", "", "tenant token file ('token tenant' per line, # comments); enables auth and is re-read on SIGHUP")
+		adminToken = flag.String("admin-token", "", "bearer token granting cross-tenant queries and POST /config (enables auth)")
+		maxTenants = flag.Int("max-tenants", 0, "dynamically admitted tenant cap (0 = server default)")
+		tenantMem  = flag.Int("tenant-mem", 0, "total KB budget across dynamically admitted tenants, LRU-evicted past it (0 = unlimited)")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
@@ -120,21 +129,36 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hkd: -mem-highwater must not be negative")
 		return 1
 	}
+	tokens := map[string]string{}
+	if *tokenFile != "" {
+		if tokens, err = loadTokenFile(*tokenFile); err != nil {
+			fmt.Fprintln(os.Stderr, "hkd:", err)
+			return 1
+		}
+		logf("loaded %d tenant token(s) from %s", len(tokens), *tokenFile)
+	}
 	srv, err := server.New(server.Config{
-		Summarizer:       sum,
-		TCPAddr:          *listenTCP,
-		UDPAddr:          *listenUDP,
-		HTTPAddr:         *listenHTTP,
-		MaxConns:         *maxConns,
-		IdleTimeout:      *idleAfter,
-		MaxInflight:      *maxInfl,
-		DrainGrace:       *drainGrace,
-		MemHighWater:     uint64(*memHigh) << 20,
-		SnapshotPath:     *snapshot,
-		SnapshotInterval: *snapEvery,
-		SnapshotKeep:     *snapKeep,
-		Info:             info,
-		Logf:             logf,
+		Summarizer:         sum,
+		NewSummarizer:      tenantFactory(*algo, *memKB, *seed, *shards, *epoch),
+		MaxTenants:         *maxTenants,
+		TenantMemoryBudget: *tenantMem * 1024,
+		Tokens:             tokens,
+		AdminToken:         *adminToken,
+		TLSCertFile:        *tlsCert,
+		TLSKeyFile:         *tlsKey,
+		TCPAddr:            *listenTCP,
+		UDPAddr:            *listenUDP,
+		HTTPAddr:           *listenHTTP,
+		MaxConns:           *maxConns,
+		IdleTimeout:        *idleAfter,
+		MaxInflight:        *maxInfl,
+		DrainGrace:         *drainGrace,
+		MemHighWater:       uint64(*memHigh) << 20,
+		SnapshotPath:       *snapshot,
+		SnapshotInterval:   *snapEvery,
+		SnapshotKeep:       *snapKeep,
+		Info:               info,
+		Logf:               logf,
 	})
 	if err != nil {
 		if errors.Is(err, server.ErrInvalidDrainGrace) {
@@ -156,15 +180,26 @@ func run() int {
 		}
 	}
 
-	// SIGHUP = "snapshot now": operators checkpoint before risky moments
-	// (deploys, migrations) without bouncing the daemon.
+	// SIGHUP = "checkpoint and reload": operators snapshot before risky
+	// moments (deploys, migrations) and rotate tenant tokens, both
+	// without bouncing the daemon.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
+			if *tokenFile != "" {
+				if tokens, err := loadTokenFile(*tokenFile); err != nil {
+					logf("SIGHUP token reload: %v (keeping previous tokens)", err)
+				} else {
+					srv.SetTokens(tokens)
+					logf("SIGHUP reloaded %d tenant token(s)", len(tokens))
+				}
+			}
 			if *snapshot == "" {
-				logf("SIGHUP ignored: no -snapshot path configured")
+				if *tokenFile == "" {
+					logf("SIGHUP ignored: no -snapshot path or -token-file configured")
+				}
 				continue
 			}
 			if err := srv.Snapshot(); err != nil {
@@ -220,6 +255,54 @@ func buildSummarizer(algo string, k, memKB int, seed uint64, shards, epoch int, 
 	}
 	sum, err = heavykeeper.New(k, opts...)
 	return sum, false, err
+}
+
+// tenantFactory builds the per-tenant summarizer constructor: every
+// dynamically admitted tenant gets the same engine shape as the default
+// (algorithm, memory budget, seed, sharding, windowing), differing only
+// in k, which hot reconfiguration may grow per tenant.
+func tenantFactory(algo string, memKB int, seed uint64, shards, epoch int) func(k int) (heavykeeper.Summarizer, error) {
+	return func(k int) (heavykeeper.Summarizer, error) {
+		opts := []heavykeeper.Option{
+			heavykeeper.WithAlgorithm(algo),
+			heavykeeper.WithMemory(memKB * 1024),
+			heavykeeper.WithSeed(seed),
+		}
+		if epoch != 0 {
+			return heavykeeper.NewWindow(k, epoch, opts...)
+		}
+		if shards > 0 {
+			opts = append(opts, heavykeeper.WithShards(shards))
+		} else {
+			opts = append(opts, heavykeeper.WithConcurrency())
+		}
+		return heavykeeper.New(k, opts...)
+	}
+}
+
+// loadTokenFile parses a tenant token file: one "token tenant" pair per
+// line (any whitespace between), blank lines and #-comments ignored.
+func loadTokenFile(path string) (map[string]string, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tokens := map[string]string{}
+	for i, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'token tenant', got %q", path, i+1, line)
+		}
+		if _, dup := tokens[fields[0]]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate token", path, i+1)
+		}
+		tokens[fields[0]] = fields[1]
+	}
+	return tokens, nil
 }
 
 // writeInfoSidecar records the construction config next to the snapshot

@@ -5,13 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	heavykeeper "repro"
+	"repro/client"
 	"repro/internal/collector"
 	"repro/internal/metrics"
 	"repro/internal/xrand"
@@ -101,8 +101,15 @@ type Config struct {
 	// Seed parameterizes the backoff jitter (deterministic in tests).
 	Seed uint64
 	// Client performs the fetches; nil builds one from Timeout. Tests
-	// inject fault-wrapped transports here.
+	// inject fault-wrapped transports here. It is handed to the SDK
+	// query client wholesale, so custom round-trippers see every fetch.
 	Client *http.Client
+	// Token authenticates snapshot fetches against token-protected hkd
+	// members (sent as a bearer token by the SDK client).
+	Token string
+	// CACertFile trusts the PEM certificate(s) in this file for members
+	// serving their API over TLS.
+	CACertFile string
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -112,6 +119,7 @@ type Config struct {
 type node struct {
 	name string // as configured, the stable identity in stats and metrics
 	url  string // resolved base URL
+	api  *client.Client
 
 	mu          sync.Mutex
 	state       HealthState
@@ -207,7 +215,18 @@ func New(cfg Config) (*Aggregator, error) {
 		if !strings.Contains(url, "://") {
 			url = "http://" + url
 		}
-		a.nodes = append(a.nodes, &node{name: raw, url: strings.TrimRight(url, "/")})
+		opts := []client.Option{client.WithHTTPClient(cfg.Client)}
+		if cfg.Token != "" {
+			opts = append(opts, client.WithToken(cfg.Token))
+		}
+		if cfg.CACertFile != "" {
+			opts = append(opts, client.WithCACertFile(cfg.CACertFile))
+		}
+		api, err := client.New(url, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", raw, err)
+		}
+		a.nodes = append(a.nodes, &node{name: raw, url: strings.TrimRight(url, "/"), api: api})
 	}
 	return a, nil
 }
@@ -290,31 +309,14 @@ func (a *Aggregator) CollectNow() {
 func (a *Aggregator) collectOnce(n *node) error {
 	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
 	defer cancel()
-	url := n.url + "/snapshot"
-	if a.cfg.Live {
-		url += "?live=1"
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return a.recordFailure(n, err)
-	}
-	resp, err := a.cfg.Client.Do(req)
-	if err != nil {
-		return a.recordFailure(n, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
-		return a.recordFailure(n, fmt.Errorf("GET /snapshot: %s", resp.Status))
-	}
-	body, err := io.ReadAll(resp.Body)
+	body, seq, err := n.api.Snapshot(ctx, a.cfg.Live)
 	if err != nil {
 		return a.recordFailure(n, err)
 	}
 	if err := heavykeeper.VerifySnapshot(bytes.NewReader(body)); err != nil {
 		return a.recordFailure(n, fmt.Errorf("snapshot failed verification: %w", err))
 	}
-	a.recordSuccess(n, body, resp.Header.Get("X-Snapshot-Seq"))
+	a.recordSuccess(n, body, seq)
 	return nil
 }
 

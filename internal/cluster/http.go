@@ -20,7 +20,7 @@ import (
 //
 //	GET /topk?n=K  global top-n flows + coverage + per-node status
 //	GET /stats     aggregator counters, health machine states, staleness
-//	GET /healthz   200 "ok" at full coverage; 503 + Retry-After otherwise
+//	GET /healthz   JSON liveness; 200 at full coverage, 503 + Retry-After otherwise
 //	GET /metrics   Prometheus text (hkagg_* series)
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -77,8 +77,14 @@ func (a *Aggregator) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// StatsSchemaVersion is the schema_version stamped into the /stats and
+// /healthz JSON documents, matching hkd's versioning convention so SDK
+// decoding can evolve against either tier.
+const StatsSchemaVersion = 2
+
 // statsResponse is the aggregator's /stats document.
 type statsResponse struct {
+	SchemaVersion int          `json:"schema_version"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Policy        string       `json:"policy"`
 	Coverage      float64      `json:"coverage"`
@@ -100,6 +106,7 @@ func (a *Aggregator) statsSnapshot() statsResponse {
 		policy = "max"
 	}
 	return statsResponse{
+		SchemaVersion: StatsSchemaVersion,
 		UptimeSeconds: time.Since(a.started).Seconds(),
 		Policy:        policy,
 		Coverage:      coverage,
@@ -113,6 +120,13 @@ func (a *Aggregator) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, a.statsSnapshot())
 }
 
+// healthzResponse is the /healthz JSON document, schema-versioned like
+// hkd's so the SDK decodes either tier.
+type healthzResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        string `json:"status"`
+}
+
 // handleHealthz reports cluster-level health: 200 only at full coverage.
 // Retry-After is the collection interval — one more cadence is the
 // soonest the picture can improve.
@@ -124,11 +138,12 @@ func (a *Aggregator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			retry = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		w.Write([]byte("degraded\n"))
+		json.NewEncoder(w).Encode(healthzResponse{SchemaVersion: StatsSchemaVersion, Status: "degraded"})
 		return
 	}
-	w.Write([]byte("ok\n"))
+	writeJSON(w, healthzResponse{SchemaVersion: StatsSchemaVersion, Status: "ok"})
 }
 
 func (a *Aggregator) handleMetrics(w http.ResponseWriter, _ *http.Request) {

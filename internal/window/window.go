@@ -101,6 +101,13 @@ func (w *TopK) AddBatch(keys [][]byte) {
 	}
 }
 
+// Rotate forces a pane rotation now, regardless of how many items the
+// current pane holds: the previous pane's counts are discarded and the
+// current pane becomes the previous one. Operators use this to start a
+// fresh epoch on demand (hkd hot reconfig) without waiting for the
+// arrival-driven boundary.
+func (w *TopK) Rotate() { w.rotate() }
+
 // rotate retires the previous pane and opens a fresh one. Pane sketches
 // reuse the same options (and hence seed); determinism is preserved and
 // panes never merge, so identical seeding is harmless.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -9,24 +10,40 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	heavykeeper "repro"
 	"repro/internal/metrics"
 )
 
+// StatsSchemaVersion is the schema_version stamped into the /stats and
+// /healthz JSON documents (and mirrored by the aggregator), so SDK
+// decoding can evolve without breaking against older daemons.
+const StatsSchemaVersion = 2
+
 // The HTTP API. All responses are JSON except /metrics (Prometheus text
 // exposition format) and /healthz (plain "ok"). Flow identifiers are
 // opaque bytes, so they travel hex-encoded in the id fields.
 //
-//	GET /topk?n=K      top-n (default k) flows, descending estimate
-//	GET /query?id=HEX  point estimate for one flow (or ?key=STR raw)
-//	GET /stats         engine + server counters
-//	GET /indexstats    open-addressed store index stats (when surfaced)
-//	GET /config        construction parameters (Config.Info echo)
-//	GET /snapshot      checksummed HKC1 snapshot stream (aggregator pull)
-//	GET /healthz       liveness; 503 + Retry-After while degraded
-//	GET /metrics       Prometheus text
+//	GET  /topk?n=K      top-n (default k) flows, descending estimate
+//	GET  /query?id=HEX  point estimate for one flow (or ?key=STR raw)
+//	GET  /stats         engine + server counters (schema-versioned)
+//	GET  /indexstats    open-addressed store index stats (when surfaced)
+//	GET  /config        construction parameters (Config.Info echo)
+//	POST /config        hot reconfig (grow k, rotate epoch, tokens, tenants)
+//	GET  /snapshot      checksummed HKC1 snapshot stream (aggregator pull)
+//	GET  /healthz       liveness JSON; 503 + Retry-After while degraded
+//	GET  /metrics       Prometheus text
+//
+// Tenancy and auth: query endpoints accept ?tenant=NAME. On an
+// authenticated server every request (except /healthz and /metrics,
+// which stay open for probes and scrapes) needs Authorization: Bearer
+// with a tenant-scoped token — the token alone selects the tenant, and
+// a ?tenant naming anyone else is a 403. The admin token may query any
+// tenant and is the only principal allowed to POST /config. Errors are
+// JSON documents {"error": ..., "code": ...}; the client SDK maps the
+// code field onto its typed error families.
 func (s *Server) apiHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
@@ -34,26 +51,127 @@ func (s *Server) apiHandler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /indexstats", s.handleIndexStats)
 	mux.HandleFunc("GET /config", s.handleConfig)
+	mux.HandleFunc("POST /config", s.handleReconfig)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		// While degraded the daemon is alive and answering but shedding:
-		// 503 plus Retry-After gives load balancers and the cluster
-		// aggregator's health machine standard semantics, and the body
-		// still tells humans which state they hit.
-		if s.degraded.Load() {
-			retry := int64(s.cfg.RecoveryWindow / time.Second)
-			if retry < 1 {
-				retry = 1
-			}
-			w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("degraded\n"))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.withAuth(mux)
+}
+
+// healthzResponse is the /healthz document.
+type healthzResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// While degraded the daemon is alive and answering but shedding:
+	// 503 plus Retry-After gives load balancers and the cluster
+	// aggregator's health machine standard semantics, and the body
+	// still tells humans (and the SDK) which state they hit.
+	if s.degraded.Load() {
+		retry := int64(s.cfg.RecoveryWindow / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(healthzResponse{SchemaVersion: StatsSchemaVersion, Status: "degraded"})
+		return
+	}
+	writeJSON(w, healthzResponse{SchemaVersion: StatsSchemaVersion, Status: "ok"})
+}
+
+// apiError is the JSON error document; Code is machine-readable and
+// stable (the SDK switches on it), Error is for humans.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: msg, Code: code})
+}
+
+// authInfo is what the auth middleware established about a request.
+type authInfo struct {
+	tenant string // tenant the bearer token is scoped to ("" for admin)
+	admin  bool
+}
+
+type authCtxKey struct{}
+
+// withAuth enforces bearer-token auth on every endpoint except /healthz
+// and /metrics (liveness probes and scrapers run unauthenticated by
+// convention; neither exposes per-flow data beyond what an operator
+// dashboard needs). On an open server it is a pass-through.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.authRequired || r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
 			return
 		}
-		w.Write([]byte("ok\n"))
+		tok, ok := bearerToken(r)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="hkd"`)
+			writeError(w, http.StatusUnauthorized, "unauthorized", "missing bearer token")
+			return
+		}
+		info := authInfo{}
+		switch name, known := s.tokens.lookup([]byte(tok)); {
+		case s.cfg.AdminToken != "" && tok == s.cfg.AdminToken:
+			info.admin = true
+		case known:
+			info.tenant = name
+		default:
+			s.ctr.authFailures.Add(1)
+			writeError(w, http.StatusUnauthorized, "unauthorized", "unknown or revoked token")
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), authCtxKey{}, info)))
 	})
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+}
+
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", false
+	}
+	return h[len(prefix):], true
+}
+
+// requestTenant resolves which tenant a query request addresses,
+// combining the ?tenant parameter with what auth established. It writes
+// the error response itself and reports ok=false when the request must
+// not proceed.
+func (s *Server) requestTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	name := r.URL.Query().Get("tenant")
+	if info, authed := r.Context().Value(authCtxKey{}).(authInfo); authed && !info.admin {
+		if name != "" && name != info.tenant {
+			writeError(w, http.StatusForbidden, "forbidden", "token is not scoped to tenant "+strconv.Quote(name))
+			return nil, false
+		}
+		// Resolve (admitting if needed) rather than get: a tenant whose
+		// token is valid may query before its first frame arrives.
+		t, err := s.reg.resolve([]byte(info.tenant))
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+			return nil, false
+		}
+		return t, true
+	}
+	// Admin or open server: ?tenant selects, default otherwise. Querying
+	// a tenant that was never admitted is a 404, not an admission.
+	t, ok := s.reg.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown tenant "+strconv.Quote(name))
+		return nil, false
+	}
+	return t, true
 }
 
 // flowJSON is one reported flow on the wire: the identifier hex-encoded.
@@ -76,12 +194,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	sum := s.cfg.Summarizer
+	t, ok := s.requestTenant(w, r)
+	if !ok {
+		return
+	}
+	t.touch()
+	sum := t.summarizer()
 	n := sum.K()
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", "n must be a positive integer")
 			return
 		}
 		n = v
@@ -98,23 +221,28 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.requestTenant(w, r)
+	if !ok {
+		return
+	}
+	t.touch()
 	q := r.URL.Query()
 	var key []byte
 	switch {
 	case q.Get("id") != "":
 		b, err := hex.DecodeString(q.Get("id"))
 		if err != nil {
-			http.Error(w, "id must be hex", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", "id must be hex")
 			return
 		}
 		key = b
 	case q.Get("key") != "":
 		key = []byte(q.Get("key"))
 	default:
-		http.Error(w, "provide ?id=HEX or ?key=STRING", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "provide ?id=HEX or ?key=STRING")
 		return
 	}
-	writeJSON(w, flowJSON{ID: hex.EncodeToString(key), Count: s.cfg.Summarizer.Query(key)})
+	writeJSON(w, flowJSON{ID: hex.EncodeToString(key), Count: t.summarizer().Query(key)})
 }
 
 // handleSnapshot streams the daemon's sketch state as a CRC-checksummed
@@ -129,7 +257,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // chain on its side; together the two checks authenticate the transfer
 // end to end.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.requestTenant(w, r)
+	if !ok {
+		return
+	}
+	t.touch()
 	live := r.URL.Query().Get("live") != ""
+	// On-disk generations hold only the default tenant's state; any other
+	// tenant is always serialized live.
+	if t != s.reg.def {
+		live = true
+	}
 	if s.snap != nil && !live {
 		if gen, err := s.snap.newestIntact(); err == nil {
 			f, err := os.Open(gen.path)
@@ -153,20 +291,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		// No intact generation: fall through to a live serialization.
 	}
-	sw, ok := s.cfg.Summarizer.(heavykeeper.SnapshotWriter)
+	sw, ok := t.summarizer().(heavykeeper.SnapshotWriter)
 	if !ok {
 		s.ctr.snapshotServeEr.Add(1)
-		http.Error(w, "summarizer has no snapshot format", http.StatusNotImplemented)
+		writeError(w, http.StatusNotImplemented, "not_implemented", "summarizer has no snapshot format")
 		return
 	}
 	var buf bytes.Buffer
 	if _, err := heavykeeper.WriteSnapshot(&buf, sw); err != nil {
 		s.ctr.snapshotServeEr.Add(1)
 		if errors.Is(err, heavykeeper.ErrSnapshotUnsupported) {
-			http.Error(w, "summarizer has no snapshot format", http.StatusNotImplemented)
+			writeError(w, http.StatusNotImplemented, "not_implemented", "summarizer has no snapshot format")
 			return
 		}
-		http.Error(w, "snapshot serialization failed", http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "internal", "snapshot serialization failed")
 		return
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
@@ -179,15 +317,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.ctr.snapshotServes.Add(1)
 }
 
-// statsResponse is the /stats document: engine event counters plus the
-// server's own ingest counters.
+// statsResponse is the /stats document: engine event counters for the
+// addressed tenant plus the server's own (global) ingest counters. The
+// per-tenant roster appears only for the admin or an open server — a
+// tenant-scoped token must not learn who else is being served.
 type statsResponse struct {
+	SchemaVersion int               `json:"schema_version"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
+	Tenant        string            `json:"tenant"`
 	K             int               `json:"k"`
 	MemoryBytes   int               `json:"memory_bytes"`
 	Engine        heavykeeper.Stats `json:"engine"`
 	Server        serverCounters    `json:"server"`
 	Window        *windowInfo       `json:"window,omitempty"`
+	Tenants       []tenantStats     `json:"tenants,omitempty"`
+}
+
+// tenantStats is one tenant's audit line in /stats.
+type tenantStats struct {
+	Name        string `json:"name"`
+	K           int    `json:"k"`
+	MemoryBytes int    `json:"memory_bytes"`
+	Frames      uint64 `json:"frames"`
+	Records     uint64 `json:"records"`
 }
 
 type serverCounters struct {
@@ -211,6 +363,12 @@ type serverCounters struct {
 	DegradedExits   uint64 `json:"degraded_exits"`
 	ShedBatches     uint64 `json:"shed_batches"`
 	ShedRecords     uint64 `json:"shed_records"`
+	AuthFailures    uint64 `json:"auth_failures"`
+	UDPAuthDropped  uint64 `json:"udp_auth_dropped"`
+	TenantsActive   int    `json:"tenants_active"`
+	TenantsAdmitted uint64 `json:"tenants_admitted"`
+	TenantEvictions uint64 `json:"tenant_evictions"`
+	TenantRejected  uint64 `json:"tenant_rejected"`
 	Snapshots       uint64 `json:"snapshots"`
 	SnapshotErrors  uint64 `json:"snapshot_errors"`
 	SnapshotServes  uint64 `json:"snapshot_serves"`
@@ -245,6 +403,12 @@ func (s *Server) counterSnapshot() serverCounters {
 		DegradedExits:   s.ctr.degradedExits.Load(),
 		ShedBatches:     s.ctr.shedBatches.Load(),
 		ShedRecords:     s.ctr.shedRecords.Load(),
+		AuthFailures:    s.ctr.authFailures.Load(),
+		UDPAuthDropped:  s.ctr.udpAuthDropped.Load(),
+		TenantsActive:   s.reg.count(),
+		TenantsAdmitted: s.reg.admitted.Load(),
+		TenantEvictions: s.reg.evictions.Load(),
+		TenantRejected:  s.reg.rejected.Load(),
 		Snapshots:       s.ctr.snapshots.Load(),
 		SnapshotErrors:  s.ctr.snapshotErrs.Load(),
 		SnapshotServes:  s.ctr.snapshotServes.Load(),
@@ -252,10 +416,16 @@ func (s *Server) counterSnapshot() serverCounters {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	sum := s.cfg.Summarizer
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.requestTenant(w, r)
+	if !ok {
+		return
+	}
+	sum := t.summarizer()
 	resp := statsResponse{
+		SchemaVersion: StatsSchemaVersion,
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Tenant:        t.name,
 		K:             sum.K(),
 		MemoryBytes:   sum.MemoryBytes(),
 		Engine:        sum.Stats(),
@@ -263,6 +433,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if win, ok := sum.(*heavykeeper.Window); ok {
 		resp.Window = &windowInfo{WindowSize: win.WindowSize(), Rotations: win.Rotations()}
+	}
+	// Open requests and the admin token see the full tenant roster; a
+	// tenant-scoped token sees only its own audit line (its existence is
+	// no secret to itself, and senders need their own drain progress).
+	if info, authed := r.Context().Value(authCtxKey{}).(authInfo); !authed || info.admin {
+		for _, tn := range s.reg.snapshot() {
+			tsum := tn.summarizer()
+			resp.Tenants = append(resp.Tenants, tenantStats{
+				Name:        tn.name,
+				K:           tsum.K(),
+				MemoryBytes: tsum.MemoryBytes(),
+				Frames:      tn.frames.Load(),
+				Records:     tn.records.Load(),
+			})
+		}
+	} else {
+		resp.Tenants = []tenantStats{{
+			Name:        t.name,
+			K:           sum.K(),
+			MemoryBytes: sum.MemoryBytes(),
+			Frames:      t.frames.Load(),
+			Records:     t.records.Load(),
+		}}
 	}
 	writeJSON(w, resp)
 }
@@ -276,10 +469,14 @@ type indexStatsResponse struct {
 	Stats     *heavykeeper.StoreIndexStats `json:"stats,omitempty"`
 }
 
-func (s *Server) handleIndexStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleIndexStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.requestTenant(w, r)
+	if !ok {
+		return
+	}
 	resp := indexStatsResponse{}
-	if r, ok := s.cfg.Summarizer.(heavykeeper.StoreIndexReporter); ok {
-		if st, ok := r.StoreIndexStats(); ok {
+	if rep, ok := t.summarizer().(heavykeeper.StoreIndexReporter); ok {
+		if st, ok := rep.StoreIndexStats(); ok {
 			resp.Available = true
 			resp.Stats = &st
 		}
@@ -287,12 +484,19 @@ func (s *Server) handleIndexStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.requestTenant(w, r)
+	if !ok {
+		return
+	}
 	info := map[string]string{}
 	for k, v := range s.cfg.Info {
 		info[k] = v
 	}
-	info["k"] = strconv.Itoa(s.cfg.Summarizer.K())
+	// k reflects the addressed tenant's current summarizer — grow_k may
+	// have raised it past the construction-time value in Info.
+	info["k"] = strconv.Itoa(t.summarizer().K())
+	info["tenant"] = t.name
 	writeJSON(w, info)
 }
 
@@ -300,7 +504,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 // internal/metrics.PromText: server ingest counters, engine event
 // counters and store index gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	sum := s.cfg.Summarizer
+	sum := s.reg.def.summarizer()
 	ctr := s.counterSnapshot()
 	var p metrics.PromText
 
@@ -335,6 +539,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("hkd_degraded_exits_total", "Recoveries out of degraded mode.", float64(ctr.DegradedExits))
 	p.Counter("hkd_shed_batches_total", "Batches dropped by degraded-mode sampling.", float64(ctr.ShedBatches))
 	p.Counter("hkd_shed_records_total", "Records inside shed batches.", float64(ctr.ShedRecords))
+	p.Counter("hkd_auth_failures_total", "Requests and frames rejected for bad or missing credentials.", float64(ctr.AuthFailures))
+	p.Counter("hkd_udp_auth_dropped_total", "Datagrams dropped because authenticated mode cannot attribute them.", float64(ctr.UDPAuthDropped))
+	p.Gauge("hkd_tenants_active", "Tenants live in the registry.", float64(ctr.TenantsActive))
+	p.Counter("hkd_tenants_admitted_total", "Dynamic tenants admitted.", float64(ctr.TenantsAdmitted))
+	p.Counter("hkd_tenant_evictions_total", "Tenants evicted (LRU or explicit).", float64(ctr.TenantEvictions))
+	p.Counter("hkd_tenant_rejected_total", "Tenant admissions refused at the limits.", float64(ctr.TenantRejected))
+	for _, tn := range s.reg.snapshot() {
+		lbl := map[string]string{"tenant": tn.name}
+		p.CounterLabeled("hkd_tenant_frames_total", "Wire frames ingested per tenant.", lbl, float64(tn.frames.Load()))
+		p.CounterLabeled("hkd_tenant_records_total", "Arrival records ingested per tenant.", lbl, float64(tn.records.Load()))
+		p.GaugeLabeled("hkd_tenant_memory_bytes", "Logical summarizer footprint per tenant.", lbl, float64(tn.summarizer().MemoryBytes()))
+	}
 	p.Counter("hkd_snapshots_total", "Snapshots written.", float64(ctr.Snapshots))
 	p.Counter("hkd_snapshot_errors_total", "Snapshot attempts that failed.", float64(ctr.SnapshotErrors))
 	p.Counter("hkd_snapshot_serves_total", "GET /snapshot responses streamed successfully.", float64(ctr.SnapshotServes))

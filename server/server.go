@@ -44,6 +44,7 @@ package server
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -124,6 +125,41 @@ type Config struct {
 	// 3). Older generations are pruned after each successful write.
 	SnapshotKeep int
 
+	// NewSummarizer builds the summarizer for a dynamically-admitted
+	// tenant with report size k (callers get Config.Summarizer's K). It
+	// must return instances that are safe for concurrent use, shaped like
+	// the default summarizer so /config describes every tenant. Nil
+	// disables dynamic tenants: only the default tenant exists, and v2
+	// frames naming any other tenant are rejected.
+	NewSummarizer func(k int) (heavykeeper.Summarizer, error)
+	// MaxTenants caps live tenants, including the default. Admitting past
+	// the cap evicts the least-recently-used dynamic tenant. 0 selects
+	// the default (64); negative is rejected with ErrInvalidLimit.
+	MaxTenants int
+	// TenantMemoryBudget bounds the summed MemoryBytes of all dynamic
+	// tenants; admission past the budget evicts LRU tenants until the new
+	// one fits. 0 means unlimited.
+	TenantMemoryBudget int
+
+	// Tokens maps bearer tokens to tenant names. A non-empty table (or a
+	// non-empty AdminToken) switches the server into authenticated mode:
+	// HTTP requests need Authorization: Bearer, and TCP ingest
+	// connections must open with a wire hello frame carrying a valid
+	// token before any batch. Empty leaves the server open
+	// (loopback/dev). Tokens are hot-rotated via SetTokens/AddToken/
+	// RevokeToken or POST /config.
+	Tokens map[string]string
+	// AdminToken, when set, authorizes POST /config (hot reconfig) and
+	// unscoped queries across tenants. It grants no ingest rights.
+	AdminToken string
+
+	// TLSCertFile/TLSKeyFile, when both set, wrap the TCP-ingest and
+	// HTTP listeners in TLS. UDP ingest has no TLS framing; under
+	// authenticated mode UDP datagrams are dropped anyway (no handshake
+	// is possible), so secure deployments simply leave UDPAddr empty.
+	TLSCertFile string
+	TLSKeyFile  string
+
 	// Info is echoed verbatim by the /config endpoint, so a client can
 	// rebuild a twin summarizer (the hkbench verifier does).
 	Info map[string]string
@@ -163,6 +199,8 @@ type counters struct {
 	udpTruncated    atomic.Uint64
 	shedBatches     atomic.Uint64
 	shedRecords     atomic.Uint64
+	authFailures    atomic.Uint64
+	udpAuthDropped  atomic.Uint64
 	degradedEntries atomic.Uint64
 	degradedExits   atomic.Uint64
 	snapshots       atomic.Uint64
@@ -224,6 +262,15 @@ type Server struct {
 	ctr      counters
 
 	snap *genStore
+
+	// Multi-tenancy: reg holds per-tenant summarizers (the default
+	// tenant wraps cfg.Summarizer), tokens is the hot-rotatable bearer
+	// table, authRequired is fixed at construction — revoking every
+	// token locks the server down, it never silently reopens it.
+	reg          *registry
+	tokens       *tokenTable
+	authRequired bool
+	tlsConf      *tls.Config
 
 	// Test seams (package-internal): pollEvery paces the overload
 	// monitor; tcpListen lets the chaos harness wrap the accept loop.
@@ -288,6 +335,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout < 0 {
 		return nil, fmt.Errorf("%w: IdleTimeout %v", ErrInvalidLimit, cfg.IdleTimeout)
 	}
+	switch {
+	case cfg.MaxTenants == 0:
+		cfg.MaxTenants = 64
+	case cfg.MaxTenants < 0:
+		return nil, fmt.Errorf("%w: MaxTenants %d", ErrInvalidLimit, cfg.MaxTenants)
+	}
+	if cfg.TenantMemoryBudget < 0 {
+		return nil, fmt.Errorf("%w: TenantMemoryBudget %d", ErrInvalidLimit, cfg.TenantMemoryBudget)
+	}
+	for tok, tenant := range cfg.Tokens {
+		if tok == "" || tenant == "" {
+			return nil, errors.New("server: Tokens entries need a non-empty token and tenant name")
+		}
+		if len(tok) > wire.MaxTokenLen {
+			return nil, fmt.Errorf("server: token for tenant %q exceeds wire.MaxTokenLen", tenant)
+		}
+		if cfg.AdminToken != "" && tok == cfg.AdminToken {
+			return nil, fmt.Errorf("server: tenant token for %q collides with AdminToken", tenant)
+		}
+		if tenant != DefaultTenant && cfg.NewSummarizer == nil {
+			return nil, fmt.Errorf("server: token scoped to tenant %q requires Config.NewSummarizer", tenant)
+		}
+	}
+	if (cfg.TLSCertFile == "") != (cfg.TLSKeyFile == "") {
+		return nil, errors.New("server: TLSCertFile and TLSKeyFile must be set together")
+	}
+	var tlsConf *tls.Config
+	if cfg.TLSCertFile != "" {
+		cert, err := tls.LoadX509KeyPair(cfg.TLSCertFile, cfg.TLSKeyFile)
+		if err != nil {
+			return nil, fmt.Errorf("server: load TLS keypair: %w", err)
+		}
+		tlsConf = &tls.Config{Certificates: []tls.Certificate{cert}}
+	}
 	var snap *genStore
 	if cfg.SnapshotPath != "" {
 		// Every frontend type has a WriteTo method, but registry engines
@@ -322,17 +403,25 @@ func New(cfg Config) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		cfg:       cfg,
-		logf:      logf,
-		conns:     map[net.Conn]struct{}{},
-		sem:       make(chan struct{}, cfg.MaxInflight),
-		stopSnap:  make(chan struct{}),
-		stopMon:   make(chan struct{}),
-		snap:      snap,
-		pollEvery: 25 * time.Millisecond,
-		tcpListen: func(addr string) (net.Listener, error) { return net.Listen("tcp", addr) },
+		cfg:          cfg,
+		logf:         logf,
+		conns:        map[net.Conn]struct{}{},
+		sem:          make(chan struct{}, cfg.MaxInflight),
+		stopSnap:     make(chan struct{}),
+		stopMon:      make(chan struct{}),
+		snap:         snap,
+		reg:          newRegistry(cfg.Summarizer, cfg.NewSummarizer, cfg.MaxTenants, cfg.TenantMemoryBudget),
+		tokens:       newTokenTable(cfg.Tokens),
+		authRequired: len(cfg.Tokens) > 0 || cfg.AdminToken != "",
+		tlsConf:      tlsConf,
+		pollEvery:    25 * time.Millisecond,
+		tcpListen:    func(addr string) (net.Listener, error) { return net.Listen("tcp", addr) },
 	}, nil
 }
+
+// AuthRequired reports whether the server was constructed in
+// authenticated mode (tenant tokens or an admin token configured).
+func (s *Server) AuthRequired() bool { return s.authRequired }
 
 // Start binds the configured listeners and launches the ingest, API,
 // overload-monitor and snapshot loops. It returns once everything is
@@ -344,6 +433,9 @@ func (s *Server) Start() error {
 		if err != nil {
 			s.closeListeners()
 			return fmt.Errorf("server: tcp listen: %w", err)
+		}
+		if s.tlsConf != nil {
+			ln = tls.NewListener(ln, s.tlsConf)
 		}
 		s.tcpLn = ln
 		s.wg.Add(1)
@@ -364,6 +456,9 @@ func (s *Server) Start() error {
 		if err != nil {
 			s.closeListeners()
 			return fmt.Errorf("server: http listen: %w", err)
+		}
+		if s.tlsConf != nil {
+			ln = tls.NewListener(ln, s.tlsConf)
 		}
 		s.httpLn = ln
 		s.httpSv = &http.Server{Handler: s.apiHandler()}
@@ -456,16 +551,26 @@ func (s *Server) untrack(conn net.Conn) {
 
 // serveConn drains one stream-ingest connection: a frame at a time
 // through the connection's own wire.Reader (whose buffers are reused, so
-// the steady-state loop is allocation-free) into the summarizer's batch
-// path. A protocol violation terminates the connection — framing on a
-// byte stream cannot resynchronize after corruption. With IdleTimeout
-// configured, a peer that delivers no complete frame within the window
-// is evicted, so slow or silent clients cannot pin connection slots.
+// the steady-state loop is allocation-free) into the bound tenant's
+// summarizer batch path. A protocol violation terminates the connection
+// — framing on a byte stream cannot resynchronize after corruption.
+// With IdleTimeout configured, a peer that delivers no complete frame
+// within the window is evicted, so slow or silent clients cannot pin
+// connection slots.
+//
+// Tenant binding: under authenticated mode the first frame must be a
+// hello carrying a valid tenant token; the connection is then bound to
+// that tenant and every later frame must either omit the tenant id or
+// name the bound one (a mismatch is an auth failure and closes the
+// connection — tokens are capabilities scoped to exactly one
+// namespace). In open mode frames route by their own tenant id, with
+// unnamed and v1 frames landing in the default tenant.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.ctr.connsActive.Add(-1)
 	defer s.untrack(conn)
 	defer conn.Close()
+	var bound *tenant
 	r := wire.NewReader(&countingReader{r: conn, n: &s.ctr.tcpBytes})
 	for {
 		if idle := s.cfg.IdleTimeout; idle > 0 {
@@ -498,8 +603,47 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if batch.IsHello() {
+			name, ok := s.tokens.lookup(batch.Token)
+			if !ok {
+				s.ctr.authFailures.Add(1)
+				s.logf("tcp %v: hello with unknown token, closing", conn.RemoteAddr())
+				return
+			}
+			t, err := s.reg.resolve([]byte(name))
+			if err != nil {
+				s.ctr.authFailures.Add(1)
+				s.logf("tcp %v: hello for tenant %q: %v", conn.RemoteAddr(), name, err)
+				return
+			}
+			bound = t
+			continue
+		}
+		var t *tenant
+		switch {
+		case bound != nil:
+			if len(batch.Tenant) != 0 && string(batch.Tenant) != bound.name {
+				s.ctr.authFailures.Add(1)
+				s.logf("tcp %v: frame for tenant %q on connection bound to %q, closing",
+					conn.RemoteAddr(), batch.Tenant, bound.name)
+				return
+			}
+			t = bound
+		case s.authRequired:
+			s.ctr.authFailures.Add(1)
+			s.logf("tcp %v: batch frame before hello on authenticated server, closing", conn.RemoteAddr())
+			return
+		default:
+			if t, err = s.reg.resolve(batch.Tenant); err != nil {
+				// Admission failure is a resource decision, not a protocol
+				// violation: count it (registry-side) and drop the frame,
+				// keeping the connection for frames that do resolve.
+				s.logf("tcp %v: %v", conn.RemoteAddr(), err)
+				continue
+			}
+		}
 		s.ctr.tcpFrames.Add(1)
-		s.ingest(batch)
+		s.ingest(t, batch)
 	}
 }
 
@@ -542,6 +686,13 @@ func (s *Server) udpLoop() {
 		if err != nil {
 			return // socket closed by Shutdown
 		}
+		if s.authRequired {
+			// Datagrams carry no handshake, so an authenticated server
+			// cannot attribute them to a principal; they are dropped and
+			// counted rather than laundered into the default tenant.
+			s.ctr.udpAuthDropped.Add(1)
+			continue
+		}
 		if n > wire.MaxFrameLen {
 			s.ctr.udpOversized.Add(1)
 			continue
@@ -557,20 +708,36 @@ func (s *Server) udpLoop() {
 			}
 			continue
 		}
+		if batch.IsHello() {
+			// A hello only makes sense on a stream; over UDP it binds
+			// nothing and is dropped as a protocol misuse.
+			s.ctr.decodeErrors.Add(1)
+			continue
+		}
+		t, err := s.reg.resolve(batch.Tenant)
+		if err != nil {
+			s.logf("udp: %v", err)
+			continue
+		}
 		s.ctr.udpFrames.Add(1)
 		s.ctr.udpBytes.Add(uint64(n))
-		s.ingest(&batch)
+		s.ingest(t, &batch)
 	}
 }
 
-// ingest feeds one decoded batch to the summarizer through the bounded
+// ingest feeds one decoded batch to t's summarizer through the bounded
 // inflight semaphore: the batched path for unit weights, per-record AddN
 // for weighted frames. While degraded, batches are sampled — 1 of every
 // ShedKeepOneIn is kept with its weights scaled by ShedKeepOneIn, the
 // rest are counted and dropped before any summarizer work. Shedding is
 // strictly batch-granular: the per-packet hot path under AddBatch is
-// never touched.
-func (s *Server) ingest(b *wire.Batch) {
+// never touched. The tenant's audit counters account for every frame
+// that reaches this point, shed or kept — the audit trail answers "who
+// sent what", not "what survived sampling".
+func (s *Server) ingest(t *tenant, b *wire.Batch) {
+	t.frames.Add(1)
+	t.records.Add(uint64(len(b.Keys)))
+	t.touch()
 	scale := uint64(1)
 	if s.degraded.Load() && s.cfg.ShedKeepOneIn > 1 {
 		if !s.keepBatch() {
@@ -580,6 +747,7 @@ func (s *Server) ingest(b *wire.Batch) {
 		}
 		scale = uint64(s.cfg.ShedKeepOneIn)
 	}
+	sum := t.summarizer()
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -598,18 +766,18 @@ func (s *Server) ingest(b *wire.Batch) {
 	case scale > 1:
 		if len(b.Weights) == 0 {
 			for _, key := range b.Keys {
-				s.cfg.Summarizer.AddN(key, scale)
+				sum.AddN(key, scale)
 			}
 		} else {
 			for i, key := range b.Keys {
-				s.cfg.Summarizer.AddN(key, b.Weights[i]*scale)
+				sum.AddN(key, b.Weights[i]*scale)
 			}
 		}
 	case len(b.Weights) == 0:
-		s.cfg.Summarizer.AddBatch(b.Keys)
+		sum.AddBatch(b.Keys)
 	default:
 		for i, key := range b.Keys {
-			s.cfg.Summarizer.AddN(key, b.Weights[i])
+			sum.AddN(key, b.Weights[i])
 		}
 	}
 	s.inflight.Add(-1)
@@ -719,7 +887,15 @@ func (s *Server) Snapshot() error {
 	if s.snap == nil {
 		return errors.New("server: no snapshot path configured")
 	}
-	w := s.cfg.Summarizer.(heavykeeper.SnapshotWriter) // checked in New
+	// The default tenant's summarizer, not cfg.Summarizer: grow_k may
+	// have swapped in a larger instance since construction. The factory
+	// produces instances shaped like the original (probed in New), but a
+	// hostile factory could not, so the assertion stays checked.
+	w, ok := s.reg.def.summarizer().(heavykeeper.SnapshotWriter)
+	if !ok {
+		s.ctr.snapshotErrs.Add(1)
+		return fmt.Errorf("server: summarizer %T cannot snapshot", s.reg.def.summarizer())
+	}
 	if err := s.snap.write(w); err != nil {
 		s.ctr.snapshotErrs.Add(1)
 		return err

@@ -682,8 +682,9 @@ func TestDegradedEntryAndRecovery(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("/healthz while degraded missing Retry-After")
 	}
-	if string(healthBody) != "degraded\n" {
-		t.Errorf("/healthz while degraded = %q", healthBody)
+	var health healthzResponse
+	if err := json.Unmarshal(healthBody, &health); err != nil || health.Status != "degraded" || health.SchemaVersion != StatsSchemaVersion {
+		t.Errorf("/healthz while degraded = %q (err %v)", healthBody, err)
 	}
 	if _, body := getBody(t, srv.HTTPAddr(), "/metrics"); !strings.Contains(body, "hkd_degraded 1") {
 		t.Errorf("/metrics while degraded missing hkd_degraded 1")
@@ -700,7 +701,7 @@ func TestDegradedEntryAndRecovery(t *testing.T) {
 	if st.Server.ShedRecords == 0 {
 		t.Error("shed batches counted but no shed records")
 	}
-	if code, body := getBody(t, srv.HTTPAddr(), "/healthz"); body != "ok\n" || code != http.StatusOK {
+	if code, body := getBody(t, srv.HTTPAddr(), "/healthz"); code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
 		t.Errorf("/healthz after recovery = %d %q", code, body)
 	}
 	// Post-recovery ingest is exact again: a fresh batch must land whole.

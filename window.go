@@ -150,6 +150,17 @@ func (w *Window) WindowSize() int {
 	return w.w.WindowSize()
 }
 
+// Rotate forces a pane rotation immediately: counts older than the
+// current pane are discarded and a fresh pane opens, starting a new
+// epoch on demand. hkd's hot-reconfig endpoint calls this so operators
+// can reset the window without restarting the daemon or waiting for the
+// arrival-driven boundary.
+func (w *Window) Rotate() {
+	w.mu.Lock()
+	w.w.Rotate()
+	w.mu.Unlock()
+}
+
 // Rotations returns the number of pane rotations so far.
 func (w *Window) Rotations() uint64 {
 	w.mu.Lock()

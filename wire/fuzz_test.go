@@ -19,6 +19,15 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(append(seed, weighted...))
 	f.Add([]byte("HK"))
 	f.Add([]byte{})
+	tenant, _ := AppendFrameTenant(nil, []byte("tenant-a"), [][]byte{[]byte("flow-a")}, nil)
+	f.Add(tenant)
+	tenantW, _ := AppendFrameTenant(nil, []byte("b"), [][]byte{[]byte("w")}, []uint64{7})
+	f.Add(tenantW)
+	defTenant, _ := AppendFrameTenant(nil, nil, [][]byte{[]byte("flow-a")}, nil)
+	f.Add(defTenant)
+	hello, _ := AppendHello(nil, []byte("secret-token"))
+	f.Add(hello)
+	f.Add(append(append([]byte{}, hello...), tenant...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
@@ -36,13 +45,38 @@ func FuzzWireDecode(f *testing.F) {
 			if b.Weights != nil && len(b.Weights) != 0 && len(b.Weights) != len(b.Keys) {
 				t.Fatalf("decoded %d keys but %d weights", len(b.Keys), len(b.Weights))
 			}
+			if b.IsHello() {
+				// An accepted handshake must carry a bounded, non-empty
+				// token and re-encode losslessly.
+				if len(b.Token) == 0 || len(b.Token) > MaxTokenLen {
+					t.Fatalf("accepted hello with token length %d", len(b.Token))
+				}
+				re, err := AppendHello(nil, b.Token)
+				if err != nil {
+					t.Fatalf("re-encode of accepted hello failed: %v", err)
+				}
+				var back Batch
+				if err := DecodeDatagram(re, &back); err != nil {
+					t.Fatalf("re-decode of re-encoded hello failed: %v", err)
+				}
+				if !bytes.Equal(back.Token, b.Token) {
+					t.Fatal("round trip changed hello token")
+				}
+				continue
+			}
 			// Round-trip: an accepted frame must re-encode and decode to
-			// the same records.
+			// the same records (through the v2 encoder when the frame
+			// carried a tenant, so the tenant survives too).
 			var ws []uint64
 			if len(b.Weights) > 0 {
 				ws = b.Weights
 			}
-			re, err := AppendFrame(nil, b.Keys, ws)
+			var re []byte
+			if b.Tenant != nil {
+				re, err = AppendFrameTenant(nil, b.Tenant, b.Keys, ws)
+			} else {
+				re, err = AppendFrame(nil, b.Keys, ws)
+			}
 			if err != nil {
 				t.Fatalf("re-encode of accepted frame failed: %v", err)
 			}
@@ -52,6 +86,9 @@ func FuzzWireDecode(f *testing.F) {
 			}
 			if len(back.Keys) != len(b.Keys) {
 				t.Fatalf("round trip changed record count: %d vs %d", len(back.Keys), len(b.Keys))
+			}
+			if !bytes.Equal(back.Tenant, b.Tenant) {
+				t.Fatalf("round trip changed tenant: %q vs %q", back.Tenant, b.Tenant)
 			}
 			for i := range back.Keys {
 				if !bytes.Equal(back.Keys[i], b.Keys[i]) {

@@ -10,7 +10,7 @@
 //
 //	offset  size  field
 //	0       2     magic "HK" (0x48 0x4B)
-//	2       1     protocol version (currently 1)
+//	2       1     protocol version (1 or 2)
 //	3       1     frame type
 //	4       4     payload length, uint32 little-endian (0 .. MaxPayload)
 //	8       n     payload
@@ -29,6 +29,23 @@
 // All fixed-width integers are little-endian; weights are unsigned
 // varints (encoding/binary uvarint) so the common small weights cost one
 // byte. Keys are opaque byte strings up to MaxKeyLen bytes.
+//
+// # Version 2: multi-tenant frames
+//
+// Version-2 batch frames prefix the payload with the tenant the arrivals
+// belong to:
+//
+//	tenantLen uint8 | tenant bytes | <version-1 payload body>
+//
+// An empty tenant (tenantLen 0) names the default tenant, so a v2 frame
+// with no tenant and a v1 frame mean the same thing; v1 frames remain
+// fully supported and always map to the default tenant. Version 2 also
+// adds one control frame:
+//
+//	TypeHello (3): tokenLen uint16 | token bytes (1 .. MaxTokenLen)
+//	  — a connection-scoped bearer-token handshake. A daemon running
+//	  with token auth requires it as the first frame of every stream
+//	  connection and binds the connection to the token's tenant.
 //
 // # Zero-allocation decode
 //
@@ -53,8 +70,15 @@ import (
 	"io"
 )
 
-// Version is the protocol version this package encodes and decodes.
-const Version = 1
+// Protocol versions. Version 1 is the original single-tenant framing;
+// version 2 prefixes batch payloads with a tenant id and adds the
+// TypeHello auth handshake. Decoders accept both.
+const (
+	// Version is the original (single-tenant) protocol version.
+	Version = 1
+	// VersionTenant is the multi-tenant protocol version.
+	VersionTenant = 2
+)
 
 // Frame types.
 const (
@@ -62,6 +86,9 @@ const (
 	TypeBatch = 1
 	// TypeWeightedBatch carries weight-carrying arrival records.
 	TypeWeightedBatch = 2
+	// TypeHello carries a bearer-token handshake (version 2 only): the
+	// first frame of an authenticated stream connection.
+	TypeHello = 3
 )
 
 // Wire limits. MaxPayload bounds the memory a peer can make a reader
@@ -76,6 +103,12 @@ const (
 	MaxPayload = 4 << 20
 	// MaxKeyLen is the largest key one record can carry.
 	MaxKeyLen = 1<<16 - 1
+	// MaxTenantLen is the largest tenant id a v2 frame can carry,
+	// matching its uint8 length field.
+	MaxTenantLen = 1<<8 - 1
+	// MaxTokenLen bounds the bearer token a TypeHello frame carries; a
+	// longer declaration is rejected as corrupt before any buffering.
+	MaxTokenLen = 1024
 	// MaxFrameLen is the largest complete frame — header plus a maximal
 	// payload. Datagram receivers size their read buffers from it: a
 	// datagram longer than MaxFrameLen cannot be a valid frame.
@@ -103,7 +136,12 @@ var (
 	ErrKeyTooLong  = fmt.Errorf("%w: key exceeds MaxKeyLen", ErrCorrupt)
 	ErrBadWeight   = fmt.Errorf("%w: malformed weight varint", ErrCorrupt)
 	ErrCountsAhead = fmt.Errorf("%w: record count exceeds payload capacity", ErrCorrupt)
+	ErrBadToken    = fmt.Errorf("%w: hello token empty or exceeds MaxTokenLen", ErrCorrupt)
 )
+
+// ErrTenantTooLong is an encoder-side error: AppendFrameTenant rejects a
+// tenant id longer than MaxTenantLen rather than emit an unframeable id.
+var ErrTenantTooLong = errors.New("wire: tenant id exceeds MaxTenantLen")
 
 // Header is a parsed frame header.
 type Header struct {
@@ -125,10 +163,18 @@ func ParseHeader(b [HeaderLen]byte) (Header, error) {
 		Type:    b[3],
 		Length:  binary.LittleEndian.Uint32(b[4:]),
 	}
-	if h.Version != Version {
+	if h.Version != Version && h.Version != VersionTenant {
 		return Header{}, ErrBadVersion
 	}
-	if h.Type != TypeBatch && h.Type != TypeWeightedBatch {
+	switch h.Type {
+	case TypeBatch, TypeWeightedBatch:
+	case TypeHello:
+		// The handshake is new in v2; a v1 stream producing type 3 is
+		// corrupt, not merely old.
+		if h.Version != VersionTenant {
+			return Header{}, ErrBadType
+		}
+	default:
 		return Header{}, ErrBadType
 	}
 	if h.Length > MaxPayload {
@@ -137,39 +183,87 @@ func ParseHeader(b [HeaderLen]byte) (Header, error) {
 	return h, nil
 }
 
-// Batch is one decoded frame's arrival records. Keys alias the payload
-// buffer they were decoded from: they are valid until the next decode
-// into the same buffer and must not be retained (Summarizer ingest paths
-// copy on admission, so handing a Batch straight to AddBatch is safe).
-// Weights is nil for a unit-weight frame (TypeBatch) and parallel to
-// Keys for a weighted one.
+// Batch is one decoded frame's arrival records. Keys, Tenant and Token
+// alias the payload buffer they were decoded from: they are valid until
+// the next decode into the same buffer and must not be retained
+// (Summarizer ingest paths copy on admission, so handing a Batch
+// straight to AddBatch is safe). Weights is nil for a unit-weight frame
+// (TypeBatch) and parallel to Keys for a weighted one.
+//
+// Tenant is the v2 tenant id (nil/empty — including every v1 frame —
+// means the default tenant). Token is set only for a decoded TypeHello
+// handshake frame, whose Keys and Weights are always empty; IsHello
+// distinguishes the two shapes.
 type Batch struct {
 	Keys    [][]byte
 	Weights []uint64
+	Tenant  []byte
+	Token   []byte
 }
 
 // Records returns the number of arrival records in the batch.
 func (b *Batch) Records() int { return len(b.Keys) }
 
+// IsHello reports whether the decoded frame was a TypeHello handshake
+// (Token carries the bearer token; no arrival records).
+func (b *Batch) IsHello() bool { return b.Token != nil }
+
 // reset clears the batch for reuse without releasing capacity.
 func (b *Batch) reset() {
 	b.Keys = b.Keys[:0]
 	b.Weights = b.Weights[:0]
+	b.Tenant = nil
+	b.Token = nil
 }
 
-// DecodePayload parses one frame payload of the given type into dst,
-// reusing dst's slices. The decoded keys alias payload. The payload must
-// be exactly the frame's declared length: short records return
-// ErrTruncated, leftover bytes return ErrTrailing.
-func DecodePayload(typ byte, payload []byte, dst *Batch) error {
+// DecodePayload parses one frame payload of the given version and type
+// into dst, reusing dst's slices. The decoded keys (and tenant/token)
+// alias payload. The payload must be exactly the frame's declared
+// length: short records return ErrTruncated, leftover bytes return
+// ErrTrailing.
+func DecodePayload(version, typ byte, payload []byte, dst *Batch) error {
 	dst.reset()
 	weighted := false
 	switch typ {
 	case TypeBatch:
 	case TypeWeightedBatch:
 		weighted = true
+	case TypeHello:
+		if version != VersionTenant {
+			return ErrBadType
+		}
+		if len(payload) < 2 {
+			return ErrTruncated
+		}
+		tlen := int(binary.LittleEndian.Uint16(payload))
+		if tlen == 0 || tlen > MaxTokenLen {
+			return ErrBadToken
+		}
+		if len(payload)-2 < tlen {
+			return ErrTruncated
+		}
+		if len(payload)-2 > tlen {
+			return ErrTrailing
+		}
+		dst.Token = payload[2 : 2+tlen : 2+tlen]
+		return nil
 	default:
 		return ErrBadType
+	}
+	if version == VersionTenant {
+		// v2 batch payloads open with the tenant id; an empty one is the
+		// default tenant, same as every v1 frame.
+		if len(payload) < 1 {
+			return ErrTruncated
+		}
+		tlen := int(payload[0])
+		if len(payload)-1 < tlen {
+			return ErrTruncated
+		}
+		if tlen > 0 {
+			dst.Tenant = payload[1 : 1+tlen : 1+tlen]
+		}
+		payload = payload[1+tlen:]
 	}
 	if len(payload) < 4 {
 		return ErrTruncated
@@ -212,13 +306,28 @@ func DecodePayload(typ byte, payload []byte, dst *Batch) error {
 	return nil
 }
 
-// AppendFrame appends one encoded frame carrying keys (and, when weights
-// is non-nil, the parallel per-key weights) to dst and returns the
-// extended slice. It is the encoder counterpart of Reader/DecodePayload;
-// callers reuse dst across frames for an allocation-free send loop.
-// Frames that would violate the protocol bounds (key too long, payload
-// past MaxPayload) return an error and leave dst unchanged.
+// AppendFrame appends one encoded version-1 frame carrying keys (and,
+// when weights is non-nil, the parallel per-key weights) to dst and
+// returns the extended slice. It is the encoder counterpart of
+// Reader/DecodePayload; callers reuse dst across frames for an
+// allocation-free send loop. Frames that would violate the protocol
+// bounds (key too long, payload past MaxPayload) return an error and
+// leave dst unchanged.
 func AppendFrame(dst []byte, keys [][]byte, weights []uint64) ([]byte, error) {
+	return appendFrame(dst, Version, nil, keys, weights)
+}
+
+// AppendFrameTenant appends one encoded version-2 frame carrying the
+// tenant id (empty = default tenant) and the arrival records. It is the
+// multi-tenant counterpart of AppendFrame.
+func AppendFrameTenant(dst []byte, tenant []byte, keys [][]byte, weights []uint64) ([]byte, error) {
+	if len(tenant) > MaxTenantLen {
+		return dst, ErrTenantTooLong
+	}
+	return appendFrame(dst, VersionTenant, tenant, keys, weights)
+}
+
+func appendFrame(dst []byte, version byte, tenant []byte, keys [][]byte, weights []uint64) ([]byte, error) {
 	typ := byte(TypeBatch)
 	if weights != nil {
 		if len(weights) != len(keys) {
@@ -227,6 +336,9 @@ func AppendFrame(dst []byte, keys [][]byte, weights []uint64) ([]byte, error) {
 		typ = TypeWeightedBatch
 	}
 	payload := 4
+	if version == VersionTenant {
+		payload += 1 + len(tenant)
+	}
 	for i, k := range keys {
 		if len(k) > MaxKeyLen {
 			return dst, ErrKeyTooLong
@@ -241,8 +353,12 @@ func AppendFrame(dst []byte, keys [][]byte, weights []uint64) ([]byte, error) {
 		return dst, ErrOversize
 	}
 	base := len(dst)
-	dst = append(dst, magic0, magic1, Version, typ, 0, 0, 0, 0)
+	dst = append(dst, magic0, magic1, version, typ, 0, 0, 0, 0)
 	binary.LittleEndian.PutUint32(dst[base+4:], uint32(payload))
+	if version == VersionTenant {
+		dst = append(dst, byte(len(tenant)))
+		dst = append(dst, tenant...)
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
 	for i, k := range keys {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(k)))
@@ -251,6 +367,21 @@ func AppendFrame(dst []byte, keys [][]byte, weights []uint64) ([]byte, error) {
 			dst = binary.AppendUvarint(dst, weights[i])
 		}
 	}
+	return dst, nil
+}
+
+// AppendHello appends one encoded version-2 TypeHello handshake frame
+// carrying the bearer token. A daemon running with token auth requires
+// it as the first frame of every stream connection.
+func AppendHello(dst []byte, token []byte) ([]byte, error) {
+	if len(token) == 0 || len(token) > MaxTokenLen {
+		return dst, ErrBadToken
+	}
+	base := len(dst)
+	dst = append(dst, magic0, magic1, VersionTenant, TypeHello, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(dst[base+4:], uint32(2+len(token)))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(token)))
+	dst = append(dst, token...)
 	return dst, nil
 }
 
@@ -294,7 +425,7 @@ func (r *Reader) Next() (*Batch, error) {
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		return nil, fmt.Errorf("%w: reading payload: %w", ErrCorrupt, err)
 	}
-	if err := DecodePayload(h.Type, r.buf, &r.batch); err != nil {
+	if err := DecodePayload(h.Version, h.Type, r.buf, &r.batch); err != nil {
 		return nil, err
 	}
 	return &r.batch, nil
@@ -318,5 +449,5 @@ func DecodeDatagram(dgram []byte, dst *Batch) error {
 		}
 		return ErrTrailing
 	}
-	return DecodePayload(h.Type, dgram[HeaderLen:], dst)
+	return DecodePayload(h.Version, h.Type, dgram[HeaderLen:], dst)
 }

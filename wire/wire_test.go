@@ -172,6 +172,134 @@ func TestEncoderBounds(t *testing.T) {
 	}
 }
 
+func TestTenantRoundTrip(t *testing.T) {
+	keys := [][]byte{[]byte("alpha"), []byte("beta")}
+	frame, err := AppendFrameTenant(nil, []byte("tenant-a"), keys, nil)
+	if err != nil {
+		t.Fatalf("AppendFrameTenant: %v", err)
+	}
+	r := NewReader(bytes.NewReader(frame))
+	b, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if string(b.Tenant) != "tenant-a" {
+		t.Fatalf("decoded tenant %q, want tenant-a", b.Tenant)
+	}
+	if b.IsHello() {
+		t.Fatal("batch frame decoded as hello")
+	}
+	if len(b.Keys) != 2 || !bytes.Equal(b.Keys[0], keys[0]) || !bytes.Equal(b.Keys[1], keys[1]) {
+		t.Fatalf("bad keys: %q", b.Keys)
+	}
+
+	// Weighted v2, and the datagram entry point.
+	frame, err = AppendFrameTenant(nil, []byte("t"), keys, []uint64{3, 1 << 40})
+	if err != nil {
+		t.Fatalf("AppendFrameTenant weighted: %v", err)
+	}
+	var d Batch
+	if err := DecodeDatagram(frame, &d); err != nil {
+		t.Fatalf("DecodeDatagram: %v", err)
+	}
+	if string(d.Tenant) != "t" || d.Weights[1] != 1<<40 {
+		t.Fatalf("bad weighted v2 decode: %+v", d)
+	}
+}
+
+func TestTenantDefaults(t *testing.T) {
+	// A v2 frame with an empty tenant and a v1 frame both decode with a
+	// nil Tenant: the default tenant.
+	v2, err := AppendFrameTenant(nil, nil, [][]byte{[]byte("k")}, nil)
+	if err != nil {
+		t.Fatalf("AppendFrameTenant: %v", err)
+	}
+	v1, err := AppendFrame(nil, [][]byte{[]byte("k")}, nil)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	for name, frame := range map[string][]byte{"v2 empty tenant": v2, "v1": v1} {
+		var b Batch
+		if err := DecodeDatagram(frame, &b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Tenant != nil {
+			t.Fatalf("%s: tenant %q, want nil", name, b.Tenant)
+		}
+	}
+	if _, err := AppendFrameTenant(nil, make([]byte, MaxTenantLen+1), nil, nil); !errors.Is(err, ErrTenantTooLong) {
+		t.Fatalf("oversized tenant: got %v, want ErrTenantTooLong", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	frame, err := AppendHello(nil, []byte("secret"))
+	if err != nil {
+		t.Fatalf("AppendHello: %v", err)
+	}
+	var b Batch
+	if err := DecodeDatagram(frame, &b); err != nil {
+		t.Fatalf("DecodeDatagram: %v", err)
+	}
+	if !b.IsHello() || string(b.Token) != "secret" || b.Records() != 0 {
+		t.Fatalf("bad hello decode: %+v", b)
+	}
+	// Encoder bounds.
+	if _, err := AppendHello(nil, nil); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("empty token: got %v, want ErrBadToken", err)
+	}
+	if _, err := AppendHello(nil, make([]byte, MaxTokenLen+1)); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("oversized token: got %v, want ErrBadToken", err)
+	}
+	// A v1 header claiming TypeHello is corrupt, not merely old.
+	frame[2] = Version
+	if err := DecodeDatagram(frame, &b); !errors.Is(err, ErrBadType) {
+		t.Fatalf("v1 hello: got %v, want ErrBadType", err)
+	}
+}
+
+func TestTenantCorruptInputs(t *testing.T) {
+	good, err := AppendFrameTenant(nil, []byte("tenant"), [][]byte{[]byte("key")}, nil)
+	if err != nil {
+		t.Fatalf("AppendFrameTenant: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"tenant longer than payload", func(f []byte) []byte {
+			f[HeaderLen] = 0xff // declares a 255-byte tenant the payload lacks
+			return f
+		}, ErrTruncated},
+		{"truncated inside tenant", func(f []byte) []byte { return f[:HeaderLen+3] }, ErrCorrupt},
+		{"count ahead after tenant", func(f []byte) []byte {
+			f[HeaderLen+1+6] = 0xff // record-count byte, past the 6-byte tenant
+			return f
+		}, ErrCountsAhead},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.mutate(append([]byte(nil), good...))
+			_, err := NewReader(bytes.NewReader(f)).Next()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// Hello with an over-declared token.
+	hello, err := AppendHello(nil, []byte("tok"))
+	if err != nil {
+		t.Fatalf("AppendHello: %v", err)
+	}
+	hello[HeaderLen] = 0xff
+	hello[HeaderLen+1] = 0xff
+	var b Batch
+	if err := DecodeDatagram(hello, &b); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("over-declared token: got %v, want ErrBadToken", err)
+	}
+}
+
 func TestReaderReusesBuffers(t *testing.T) {
 	var stream []byte
 	var err error
@@ -195,5 +323,27 @@ func TestReaderReusesBuffers(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Next allocates %.1f/op, want 0", allocs)
+	}
+
+	// The v2 (tenant) decode path holds the same invariant: the tenant is
+	// a payload subslice, never a copy.
+	stream = stream[:0]
+	for i := 0; i < 50; i++ {
+		stream, err = AppendFrameTenant(stream, []byte("tenant-a"), keys, nil)
+		if err != nil {
+			t.Fatalf("AppendFrameTenant: %v", err)
+		}
+	}
+	r = NewReader(bytes.NewReader(stream))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("warmup Next: %v", err)
+	}
+	allocs = testing.AllocsPerRun(49, func() {
+		if _, err := r.Next(); err != nil && err != io.EOF {
+			t.Fatalf("Next: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state v2 Next allocates %.1f/op, want 0", allocs)
 	}
 }

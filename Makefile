@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke cluster-smoke sdk-smoke
+.PHONY: build vet fmt test race bench bench-smoke bench-json bench-compare docs-lint fuzz-smoke throughput examples algo-smoke hkd-smoke chaos-smoke cluster-smoke sdk-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 # Sharded) and the sketch core under them; the full tree under -race takes
 # tens of minutes (internal/vswitch alone runs >2 min without it).
 race:
-	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./internal/cluster ./internal/collector ./server ./wire ./client
+	$(GO) test -race -count=1 . ./internal/core ./internal/topk ./internal/streamsummary ./internal/cluster ./internal/collector ./internal/obs ./server ./wire ./client
 
 bench:
 	$(GO) test -run - -bench Ingest -benchtime 1s .
@@ -237,6 +237,65 @@ sdk-smoke:
 	grep -q "unknown or revoked token" "$$tmp/err" || { \
 		echo "rejection lacked the typed auth error:"; cat "$$tmp/err"; exit 1; }; \
 	echo "sdk-smoke ok"
+
+# obs-smoke exercises the observability layer end to end (CI runs this
+# target): boot hkd with the opt-in debug listener and debug-level logs,
+# point a one-node hkagg at it, ingest a trace, then assert that /metrics
+# exposes the latency histogram families with cumulative buckets
+# (+Inf == _count), that /stats carries the latency section, that the
+# pprof listener serves a goroutine profile, and that one collect's
+# X-Request-Id generated by hkagg appears in both tiers' logs — the
+# cross-process tracing contract.
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); pids=""; \
+	trap 'kill $$pids 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hkd" ./cmd/hkd; \
+	$(GO) build -o "$$tmp/hkagg" ./cmd/hkagg; \
+	$(GO) build -o "$$tmp/hkbench" ./cmd/hkbench; \
+	"$$tmp/hkd" -listen-tcp 127.0.0.1:0 -listen-udp '' -listen-http 127.0.0.1:0 \
+		-debug-addr 127.0.0.1:0 -addr-file "$$tmp/addrs" \
+		-log-level debug -log-format text 2> "$$tmp/hkd.log" & pids="$$pids $$!"; \
+	i=0; while [ ! -f "$$tmp/addrs" ]; do \
+		i=$$((i+1)); [ $$i -le 100 ] || { echo "hkd never published addresses"; exit 1; }; \
+		sleep 0.1; done; \
+	tcp=$$(grep '^tcp=' "$$tmp/addrs" | cut -d= -f2-); \
+	http=$$(grep '^http=' "$$tmp/addrs" | cut -d= -f2-); \
+	debug=$$(grep '^debug=' "$$tmp/addrs" | cut -d= -f2-); \
+	"$$tmp/hkagg" -nodes "$$http" -listen-http 127.0.0.1:0 -addr-file "$$tmp/aggaddr" \
+		-interval 200ms -log-level debug -log-format text 2> "$$tmp/hkagg.log" & pids="$$pids $$!"; \
+	i=0; while [ ! -f "$$tmp/aggaddr" ]; do \
+		i=$$((i+1)); [ $$i -le 100 ] || { echo "hkagg never published its address"; exit 1; }; \
+		sleep 0.1; done; \
+	echo "== obs-smoke: ingest + send-latency quantiles in the JSON report"; \
+	"$$tmp/hkbench" -connect "$$tcp" -verify "$$http" -scale 0.002 -batch 256 -json \
+		> "$$tmp/bench.json"; \
+	grep -q '"send_latency"' "$$tmp/bench.json" || { \
+		echo "hkbench -json lacks send_latency:"; cat "$$tmp/bench.json"; exit 1; }; \
+	echo "== obs-smoke: /metrics histogram families, cumulative, +Inf == _count"; \
+	curl -fsS "http://$$http/metrics" > "$$tmp/metrics"; \
+	for fam in hkd_ingest_batch_seconds hkd_http_request_seconds; do \
+		grep -q "^# TYPE $$fam histogram" "$$tmp/metrics" || { \
+			echo "missing histogram family $$fam"; exit 1; }; \
+	done; \
+	awk '/^hkd_ingest_batch_seconds_bucket/ { v=$$NF+0; if (v < prev) { print "non-cumulative bucket: " $$0; bad=1 }; prev=v; inf=v } \
+		/^hkd_ingest_batch_seconds_count/ { if ($$NF+0 != inf) { print "+Inf bucket " inf " != _count " $$NF; bad=1 } } \
+		END { exit bad }' "$$tmp/metrics"; \
+	echo "== obs-smoke: /stats carries the latency section"; \
+	curl -fsS "http://$$http/stats" | grep -q '"latency"' || { \
+		echo "/stats lacks the latency section"; exit 1; }; \
+	echo "== obs-smoke: pprof listener serves a goroutine profile"; \
+	curl -fsS "http://$$debug/debug/pprof/goroutine?debug=1" > "$$tmp/goroutines"; \
+	grep -q goroutine "$$tmp/goroutines" || { \
+		echo "pprof goroutine profile empty"; exit 1; }; \
+	echo "== obs-smoke: one request id crosses the hkagg -> hkd boundary"; \
+	i=0; rid=""; while [ -z "$$rid" ]; do \
+		i=$$((i+1)); [ $$i -le 100 ] || { echo "hkagg never logged a collect"; exit 1; }; \
+		rid=$$(grep -o 'msg=collect.*request_id=[0-9a-f]*' "$$tmp/hkagg.log" | head -1 | grep -o 'request_id=[0-9a-f]*' | cut -d= -f2-); \
+		sleep 0.1; done; \
+	i=0; while ! grep -q "request_id=$$rid" "$$tmp/hkd.log"; do \
+		i=$$((i+1)); [ $$i -le 50 ] || { echo "request id $$rid from hkagg.log never reached hkd.log"; exit 1; }; \
+		sleep 0.1; done; \
+	echo "obs-smoke ok"
 
 # algo-smoke runs the hkbench throughput comparison once per registered
 # algorithm at a tiny scale: every engine must construct and ingest under

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
@@ -47,7 +48,22 @@ import (
 	"time"
 
 	heavykeeper "repro"
+	"repro/internal/obs"
 )
+
+// RequestIDHeader is the correlation header the SDK stamps on every
+// request (X-Request-Id). The daemon echoes it on the response and
+// access-logs it, so one logical operation is greppable across client
+// and server logs. Use WithRequestID to pin an explicit ID; otherwise
+// each request gets a fresh one.
+const RequestIDHeader = obs.RequestIDHeader
+
+// WithRequestID returns a context that makes the SDK stamp the given
+// correlation ID instead of generating one — the hkagg collector uses
+// it to carry one ID across its whole fan-out.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
 
 // Client queries the HTTP API of one hkd daemon or hkagg aggregator.
 // It is safe for concurrent use.
@@ -56,6 +72,7 @@ type Client struct {
 	hc     *http.Client
 	token  string
 	tenant string
+	log    *slog.Logger // component=client
 }
 
 // Option configures a Client.
@@ -68,6 +85,13 @@ type options struct {
 	timeout time.Duration
 	token   string
 	tenant  string
+	logger  *slog.Logger
+}
+
+// WithLogger attaches a structured logger; the client debug-logs every
+// request with its request ID, status and duration (component=client).
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) error { o.logger = l; return nil }
 }
 
 // WithToken authenticates every request with the bearer token.
@@ -171,6 +195,7 @@ func New(base string, opts ...Option) (*Client, error) {
 		hc:     hc,
 		token:  o.token,
 		tenant: o.tenant,
+		log:    obs.Component(o.logger, "client"),
 	}, nil
 }
 
@@ -215,10 +240,22 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	id := obs.RequestIDFrom(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	req.Header.Set(obs.RequestIDHeader, id)
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.log.Debug("request failed",
+			"request_id", id, "method", method, "path", path, "err", err,
+			"duration_us", time.Since(start).Microseconds())
 		return nil, err
 	}
+	c.log.Debug("request",
+		"request_id", id, "method", method, "path", path, "status", resp.StatusCode,
+		"duration_us", time.Since(start).Microseconds())
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		defer resp.Body.Close()
 		return nil, apiErrorFrom(resp)

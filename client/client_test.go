@@ -11,10 +11,13 @@ import (
 	"encoding/pem"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -628,4 +631,79 @@ func TestWireV1Compat(t *testing.T) {
 	if n, err := c.QueryString(ctx, "v1-flow"); err != nil || n != 1 {
 		t.Fatalf("Query(v1-flow) = %d, %v; want 1", n, err)
 	}
+}
+
+// TestRequestIDPropagation pins the tracing contract: the SDK stamps an
+// X-Request-Id on every request (honoring one pinned via WithRequestID),
+// and the server echoes it back on the response.
+func TestRequestIDPropagation(t *testing.T) {
+	srv := startServer(t)
+	ctx := ctxT(t)
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	c, err := client.New(srv.HTTPAddr().String(), client.WithLogger(logger))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Auto-generated ID: the server must echo a non-empty header.
+	resp, err := c.Healthz(ctx)
+	if err != nil || resp.Status != "ok" {
+		t.Fatalf("Healthz = %+v, %v", resp, err)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "request_id=") || !strings.Contains(logged, "component=client") {
+		t.Fatalf("client debug log missing request_id/component: %q", logged)
+	}
+
+	// Pinned ID: WithRequestID carries through to the wire and the echo.
+	const pinned = "cafebabe00000001"
+	hc := srv.HTTPAddr().String()
+	req, err := http.NewRequestWithContext(client.WithRequestID(ctx, pinned),
+		http.MethodGet, "http://"+hc+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(client.RequestIDHeader, pinned)
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if got := raw.Header.Get(client.RequestIDHeader); got != pinned {
+		t.Fatalf("server echoed request id %q, want %q", got, pinned)
+	}
+
+	// And through the SDK path: the pinned ID shows up in the client log.
+	buf.Reset()
+	if _, err := c.Stats(client.WithRequestID(ctx, pinned)); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if !strings.Contains(buf.String(), "request_id="+pinned) {
+		t.Fatalf("client log missing pinned request id: %q", buf.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for concurrent log capture.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
 }

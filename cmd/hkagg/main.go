@@ -23,9 +23,9 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/collector"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -55,13 +56,21 @@ func run() int {
 		token      = flag.String("token", "", "bearer token for snapshot fetches from auth-protected hkd members")
 		caCert     = flag.String("ca", "", "PEM CA certificate file to trust for TLS hkd members")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		debugAddr  = flag.String("debug-addr", "", "opt-in debug listener (net/http/pprof) address ('' disables)")
 	)
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "hkagg: ", log.LstdFlags).Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkagg:", err)
+		return 2
 	}
+	if *quiet {
+		logger = obs.Discard()
+	}
+	log := obs.Component(logger, "main")
 
 	if *nodesFlag == "" {
 		fmt.Fprintln(os.Stderr, "hkagg: -nodes is required")
@@ -93,14 +102,35 @@ func run() int {
 		Seed:       *seed,
 		Token:      *token,
 		CACertFile: *caCert,
-		Logf:       logf,
+		Logger:     logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hkagg:", err)
 		return 1
 	}
+	log.Info("starting",
+		"nodes", len(nodes), "policy", *policy, "interval", interval.String(),
+		"timeout", timeout.String(), "live", *live, "http", *listenHTTP,
+		"debug", *debugAddr, "auth", *token != "", "tls", *caCert != "")
 	agg.Start()
 	defer agg.Stop()
+
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hkagg: debug listener:", err)
+			return 1
+		}
+		debugSrv := &http.Server{Handler: obs.DebugHandler()}
+		go func() {
+			if err := debugSrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				log.Error("debug listener failed", "err", err)
+			}
+		}()
+		log.Info("debug listener up", "addr", debugLn.Addr().String())
+		defer debugLn.Close()
+	}
 
 	ln, err := net.Listen("tcp", *listenHTTP)
 	if err != nil {
@@ -116,7 +146,7 @@ func run() int {
 	httpSrv := &http.Server{Handler: agg.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	logf("serving global top-k on %s for %d members", ln.Addr(), len(nodes))
+	log.Info("serving global top-k", "addr", ln.Addr().String(), "members", len(nodes))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -126,7 +156,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hkagg:", err)
 		return 1
 	}
-	logf("shutting down")
+	log.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"time"
@@ -18,6 +19,7 @@ import (
 	heavykeeper "repro"
 	"repro/client"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // clientReport is the -json document of one client-mode run.
@@ -44,6 +46,18 @@ type clientReport struct {
 	ResentFrames  int   `json:"resent_frames,omitempty"`
 	ResentRecords int   `json:"resent_records,omitempty"`
 	Verified      *bool `json:"verified,omitempty"`
+	// SendLatency summarizes per-frame SendBatch round-trip-to-socket
+	// latency (queue + serialize + write, not daemon processing).
+	SendLatency *sendLatency `json:"send_latency,omitempty"`
+}
+
+// sendLatency is the per-frame send-latency quantile summary.
+type sendLatency struct {
+	Count uint64  `json:"count"`
+	P50S  float64 `json:"p50_s"`
+	P90S  float64 `json:"p90_s"`
+	P99S  float64 `json:"p99_s"`
+	MaxS  float64 `json:"max_s"`
 }
 
 // clientAuth bundles the credential flags shared by client and cluster
@@ -95,7 +109,7 @@ func (a clientAuth) queryClient(addr string) (*client.Client, error) {
 // verifyAddr names the daemon's HTTP API — checks the daemon's report
 // against a local twin. With an empty connect address it verifies only,
 // which is how a restarted daemon's restored state is checked.
-func runClient(connect, connectUDP, verifyAddr string, auth clientAuth, rate, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut bool) error {
+func runClient(connect, connectUDP, verifyAddr string, auth clientAuth, rate, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut bool, log *slog.Logger) error {
 	if batch < 1 || repeat < 1 {
 		return fmt.Errorf("hkbench: -batch and -repeat must be >= 1")
 	}
@@ -166,8 +180,8 @@ func runClient(connect, connectUDP, verifyAddr string, auth clientAuth, rate, re
 			// could have delivered it before erroring), so an exact twin
 			// comparison is no longer meaningful. The resend counters in
 			// the report bound the skew.
-			fmt.Fprintf(os.Stderr, "hkbench: skipping strict verify: %d frames (%d records) were resent after reconnects\n",
-				report.ResentFrames, report.ResentRecords)
+			log.Warn("skipping strict verify: frames were resent after reconnects",
+				"resent_frames", report.ResentFrames, "resent_records", report.ResentRecords)
 		} else {
 			ok, err := verifyAgainstDaemon(api, keys, repeat, batch)
 			if err != nil {
@@ -195,6 +209,10 @@ func runClient(connect, connectUDP, verifyAddr string, auth clientAuth, rate, re
 			fmt.Printf("daemon drained all records in %.2fs: %.2f Mpps ingested\n",
 				report.DrainSeconds, report.DrainMpps)
 		}
+		if sl := report.SendLatency; sl != nil {
+			fmt.Printf("send latency over %d frames: p50 %.0fus p90 %.0fus p99 %.0fus max %.0fus\n",
+				sl.Count, sl.P50S*1e6, sl.P90S*1e6, sl.P99S*1e6, sl.MaxS*1e6)
+		}
 	}
 	if report.Verified != nil {
 		if !*report.Verified {
@@ -217,6 +235,7 @@ func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, in 
 		tick = time.NewTicker(time.Second / time.Duration(rate))
 		defer tick.Stop()
 	}
+	var lat obs.Histogram
 	start := time.Now()
 	frames := 0
 	for r := 0; r < repeat; r++ {
@@ -225,9 +244,11 @@ func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, in 
 			if tick != nil {
 				<-tick.C
 			}
+			sendStart := time.Now()
 			if err := in.SendBatch(keys[lo:hi]); err != nil {
 				return err
 			}
+			lat.Observe(time.Since(sendStart))
 			frames++
 			if udp && frames%8 == 0 {
 				time.Sleep(200 * time.Microsecond)
@@ -236,6 +257,15 @@ func sendTrace(report *clientReport, keys [][]byte, rate, repeat, batch int, in 
 		report.Packets += len(keys)
 	}
 	report.ElapsedSeconds = time.Since(start).Seconds()
+	if sn := lat.Snapshot(); sn.Count > 0 {
+		report.SendLatency = &sendLatency{
+			Count: sn.Count,
+			P50S:  sn.Quantile(0.50).Seconds(),
+			P90S:  sn.Quantile(0.90).Seconds(),
+			P99S:  sn.Quantile(0.99).Seconds(),
+			MaxS:  sn.MaxDuration().Seconds(),
+		}
+	}
 	if report.ElapsedSeconds > 0 {
 		report.Mpps = float64(report.Packets) / report.ElapsedSeconds / 1e6
 	}

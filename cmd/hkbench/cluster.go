@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -71,7 +72,7 @@ func parseClusterNodes(spec string) ([]clusterNode, error) {
 // verifyOnly skips the ingest and drain phases but still routes the trace
 // to recompute the same truth counts — the re-check after a node kill,
 // when the cluster already holds exactly one copy of the trace.
-func runCluster(spec, verifyAddr, coverageWant string, auth clientAuth, replicas, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut, verifyOnly bool) error {
+func runCluster(spec, verifyAddr, coverageWant string, auth clientAuth, replicas, repeat, batch int, scale float64, seed uint64, dialTimeout, ioTimeout time.Duration, maxRetries int, jsonOut, verifyOnly bool, log *slog.Logger) error {
 	if batch < 1 || repeat < 1 {
 		return fmt.Errorf("hkbench: -batch and -repeat must be >= 1")
 	}
@@ -153,7 +154,7 @@ func runCluster(spec, verifyAddr, coverageWant string, auth clientAuth, replicas
 		if err != nil {
 			return fmt.Errorf("hkbench: %w", err)
 		}
-		ok, coverage, err := verifyAgainstAggregator(api, coverageWant, truth)
+		ok, coverage, err := verifyAgainstAggregator(api, coverageWant, truth, log)
 		if err != nil {
 			return err
 		}
@@ -205,7 +206,7 @@ func sendReplicated(in *client.Ingest, keys [][]byte, repeat, batch int) error {
 // boundary) must be reported, no reported count may exceed its truth
 // (HeavyKeeper never over-estimates absent fingerprint collisions), and
 // elephants must come within 10%.
-func verifyAgainstAggregator(api *client.Client, want string, truth map[string]uint64) (bool, float64, error) {
+func verifyAgainstAggregator(api *client.Client, want string, truth map[string]uint64, log *slog.Logger) (bool, float64, error) {
 	var doc *client.GlobalTopK
 	deadline := time.Now().Add(60 * time.Second)
 	for {
@@ -262,7 +263,7 @@ settled:
 	})
 	k := len(doc.Flows)
 	if k == 0 {
-		fmt.Fprintln(os.Stderr, "hkbench: aggregator reports no flows")
+		log.Warn("aggregator reports no flows")
 		return false, doc.Coverage, nil
 	}
 	var boundary uint64
@@ -276,16 +277,16 @@ settled:
 		}
 		rep, present := got[f.key]
 		if !present {
-			fmt.Fprintf(os.Stderr, "hkbench: true top flow %q (rank %d, count %d) missing from global top-k\n", f.key, rank+1, f.count)
+			log.Warn("true top flow missing from global top-k", "flow", f.key, "rank", rank+1, "count", f.count)
 			ok = false
 			continue
 		}
 		if rep > f.count {
-			fmt.Fprintf(os.Stderr, "hkbench: flow %q over-estimated: %d > true %d\n", f.key, rep, f.count)
+			log.Warn("flow over-estimated", "flow", f.key, "reported", rep, "true", f.count)
 			ok = false
 		}
 		if float64(rep) < 0.9*float64(f.count) {
-			fmt.Fprintf(os.Stderr, "hkbench: flow %q under-estimated: %d < 90%% of true %d\n", f.key, rep, f.count)
+			log.Warn("flow under-estimated below 90% of truth", "flow", f.key, "reported", rep, "true", f.count)
 			ok = false
 		}
 	}

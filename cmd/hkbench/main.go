@@ -46,6 +46,7 @@ import (
 	heavykeeper "repro"
 	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -85,8 +86,17 @@ func run() int {
 		replicas   = flag.Int("replicas", 2, "cluster mode: ring replicas per flow (MaxReplica)")
 		coverage   = flag.String("coverage", "any", "cluster mode: coverage the aggregator must report before -verify (full, degraded, any)")
 		verifyOnly = flag.Bool("verify-only", false, "cluster mode: skip ingest, only verify the aggregator against the trace truth (post-kill re-check)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkbench:", err)
+		return 2
+	}
+	blog := obs.Component(logger, "bench")
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -130,7 +140,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hkbench: -cluster and -connect/-connect-udp are mutually exclusive")
 			return 1
 		}
-		if err := runCluster(*clusterTo, *verify, *coverage, auth, *replicas, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut, *verifyOnly); err != nil {
+		if err := runCluster(*clusterTo, *verify, *coverage, auth, *replicas, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut, *verifyOnly, blog); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -142,7 +152,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hkbench: -connect and -connect-udp are mutually exclusive")
 			return 1
 		}
-		if err := runClient(*connect, *connectUDP, *verify, auth, *rate, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut); err != nil {
+		if err := runClient(*connect, *connectUDP, *verify, auth, *rate, *repeat, *batch, *scale, *seed, *dialTO, *ioTO, *maxRetries, *jsonOut, blog); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -13,6 +13,8 @@
 //	hkd -listen-tcp 127.0.0.1:0 -addr-file /tmp/hkd.addrs   # ephemeral ports
 //	hkd -tls-cert cert.pem -tls-key key.pem \
 //	    -token-file tokens.txt -admin-token S3CRET           # multi-tenant TLS
+//	hkd -log-level debug -log-format json                    # structured logs
+//	hkd -debug-addr 127.0.0.1:6060                           # opt-in pprof listener
 //
 // With -snapshot, state is restored at startup from the newest intact
 // snapshot generation rooted at the path, written periodically, on
@@ -34,7 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -43,6 +47,7 @@ import (
 	"time"
 
 	heavykeeper "repro"
+	"repro/internal/obs"
 	"repro/server"
 )
 
@@ -77,15 +82,23 @@ func run() int {
 		maxTenants = flag.Int("max-tenants", 0, "dynamically admitted tenant cap (0 = server default)")
 		tenantMem  = flag.Int("tenant-mem", 0, "total KB budget across dynamically admitted tenants, LRU-evicted past it (0 = unlimited)")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		debugAddr  = flag.String("debug-addr", "", "opt-in debug listener (net/http/pprof) address ('' disables)")
 	)
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "hkd: ", log.LstdFlags).Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hkd:", err)
+		return 2
 	}
+	if *quiet {
+		logger = obs.Discard()
+	}
+	log := obs.Component(logger, "main")
 
-	sum, restored, err := buildSummarizer(*algo, *k, *memKB, *seed, *shards, *epoch, *snapshot, logf)
+	sum, restored, restoreDur, err := buildSummarizer(*algo, *k, *memKB, *seed, *shards, *epoch, *snapshot, log)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hkd:", err)
 		return 1
@@ -108,7 +121,7 @@ func run() int {
 		if restored {
 			saved, err := readInfoSidecar(*snapshot + ".info")
 			if err != nil {
-				logf("no usable config sidecar (%v); /config reports this invocation's flags", err)
+				log.Warn("no usable config sidecar; /config reports this invocation's flags", "err", err)
 				// The structural shape at least is derivable from the
 				// restored summarizer itself.
 				if sh, ok := sum.(*heavykeeper.Sharded); ok {
@@ -135,8 +148,20 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hkd:", err)
 			return 1
 		}
-		logf("loaded %d tenant token(s) from %s", len(tokens), *tokenFile)
+		log.Info("tenant tokens loaded", "count", len(tokens), "path", *tokenFile)
 	}
+
+	// One structured line carries the whole effective configuration, so a
+	// log scrape can always reconstruct how a given daemon was launched.
+	log.Info("starting",
+		"algo", *algo, "k", *k, "mem_kb", *memKB, "seed", *seed,
+		"shards", *shards, "epoch", *epoch,
+		"snapshot", *snapshot, "restored", restored,
+		"tcp", *listenTCP, "udp", *listenUDP, "http", *listenHTTP,
+		"debug", *debugAddr, "max_conns", *maxConns, "max_inflight", *maxInfl,
+		"mem_highwater_mb", *memHigh, "auth", *tokenFile != "" || *adminToken != "",
+		"tls", *tlsCert != "")
+
 	srv, err := server.New(server.Config{
 		Summarizer:         sum,
 		NewSummarizer:      tenantFactory(*algo, *memKB, *seed, *shards, *epoch),
@@ -158,7 +183,8 @@ func run() int {
 		SnapshotInterval:   *snapEvery,
 		SnapshotKeep:       *snapKeep,
 		Info:               info,
-		Logf:               logf,
+		Logger:             logger,
+		RestoreDuration:    restoreDur,
 	})
 	if err != nil {
 		if errors.Is(err, server.ErrInvalidDrainGrace) {
@@ -172,8 +198,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hkd:", err)
 		return 1
 	}
+
+	// The debug listener is opt-in and separate from the API port so pprof
+	// never rides on an operator-exposed address by accident.
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hkd: debug listener:", err)
+			srv.Shutdown(context.Background())
+			return 1
+		}
+		debugSrv := &http.Server{Handler: obs.DebugHandler()}
+		go func() {
+			if err := debugSrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				log.Error("debug listener failed", "err", err)
+			}
+		}()
+		log.Info("debug listener up", "addr", debugLn.Addr().String())
+		defer debugLn.Close()
+	}
+
 	if *addrFile != "" {
-		if err := writeAddrFile(*addrFile, srv); err != nil {
+		if err := writeAddrFile(*addrFile, srv, debugLn); err != nil {
 			fmt.Fprintln(os.Stderr, "hkd:", err)
 			srv.Shutdown(context.Background())
 			return 1
@@ -190,22 +237,22 @@ func run() int {
 		for range hup {
 			if *tokenFile != "" {
 				if tokens, err := loadTokenFile(*tokenFile); err != nil {
-					logf("SIGHUP token reload: %v (keeping previous tokens)", err)
+					log.Warn("SIGHUP token reload failed, keeping previous tokens", "err", err)
 				} else {
 					srv.SetTokens(tokens)
-					logf("SIGHUP reloaded %d tenant token(s)", len(tokens))
+					log.Info("SIGHUP tokens reloaded", "count", len(tokens))
 				}
 			}
 			if *snapshot == "" {
 				if *tokenFile == "" {
-					logf("SIGHUP ignored: no -snapshot path or -token-file configured")
+					log.Info("SIGHUP ignored: no -snapshot path or -token-file configured")
 				}
 				continue
 			}
 			if err := srv.Snapshot(); err != nil {
-				logf("SIGHUP snapshot: %v", err)
+				log.Error("SIGHUP snapshot failed", "err", err)
 			} else {
-				logf("SIGHUP snapshot written")
+				log.Info("SIGHUP snapshot written")
 			}
 		}
 	}()
@@ -213,7 +260,7 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	logf("shutting down")
+	log.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -224,19 +271,24 @@ func run() int {
 }
 
 // buildSummarizer restores from the snapshot when one exists (restored
-// reports which), otherwise constructs the summarizer the flags describe.
-func buildSummarizer(algo string, k, memKB int, seed uint64, shards, epoch int, snapshot string, logf func(string, ...any)) (sum heavykeeper.Summarizer, restored bool, err error) {
+// reports which and restoreDur how long the load took), otherwise
+// constructs the summarizer the flags describe.
+func buildSummarizer(algo string, k, memKB int, seed uint64, shards, epoch int, snapshot string, log *slog.Logger) (sum heavykeeper.Summarizer, restored bool, restoreDur time.Duration, err error) {
 	if snapshot != "" && epoch != 0 {
-		return nil, false, fmt.Errorf("-snapshot and -epoch are mutually exclusive (windowed state expires within one window)")
+		return nil, false, 0, fmt.Errorf("-snapshot and -epoch are mutually exclusive (windowed state expires within one window)")
 	}
 	if snapshot != "" {
+		start := time.Now()
 		sum, err := server.LoadSnapshot(snapshot)
 		if err != nil {
-			return nil, false, err
+			return nil, false, 0, err
 		}
 		if sum != nil {
-			logf("restored state from %s (k=%d, %d bytes)", snapshot, sum.K(), sum.MemoryBytes())
-			return sum, true, nil
+			restoreDur = time.Since(start)
+			log.Info("state restored",
+				"path", snapshot, "k", sum.K(), "bytes", sum.MemoryBytes(),
+				"duration_ms", restoreDur.Milliseconds())
+			return sum, true, restoreDur, nil
 		}
 	}
 	opts := []heavykeeper.Option{
@@ -246,7 +298,7 @@ func buildSummarizer(algo string, k, memKB int, seed uint64, shards, epoch int, 
 	}
 	if epoch != 0 {
 		sum, err := heavykeeper.NewWindow(k, epoch, opts...)
-		return sum, false, err
+		return sum, false, 0, err
 	}
 	if shards > 0 {
 		opts = append(opts, heavykeeper.WithShards(shards))
@@ -254,7 +306,7 @@ func buildSummarizer(algo string, k, memKB int, seed uint64, shards, epoch int, 
 		opts = append(opts, heavykeeper.WithConcurrency())
 	}
 	sum, err = heavykeeper.New(k, opts...)
-	return sum, false, err
+	return sum, false, 0, err
 }
 
 // tenantFactory builds the per-tenant summarizer constructor: every
@@ -335,7 +387,7 @@ func readInfoSidecar(path string) (map[string]string, error) {
 
 // writeAddrFile publishes the bound addresses atomically (temp + rename)
 // so a polling reader never sees a partial file.
-func writeAddrFile(path string, srv *server.Server) error {
+func writeAddrFile(path string, srv *server.Server, debugLn net.Listener) error {
 	var body string
 	if a := srv.TCPAddr(); a != nil {
 		body += "tcp=" + a.String() + "\n"
@@ -345,6 +397,9 @@ func writeAddrFile(path string, srv *server.Server) error {
 	}
 	if a := srv.HTTPAddr(); a != nil {
 		body += "http=" + a.String() + "\n"
+	}
+	if debugLn != nil {
+		body += "debug=" + debugLn.Addr().String() + "\n"
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {

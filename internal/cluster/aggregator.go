@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/client"
 	"repro/internal/collector"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -110,7 +112,11 @@ type Config struct {
 	// CACertFile trusts the PEM certificate(s) in this file for members
 	// serving their API over TLS.
 	CACertFile string
-	// Logf receives operational log lines; nil discards them.
+	// Logger receives structured operational logs (component=cluster).
+	// Nil falls back to Logf; when both are nil logs are discarded.
+	Logger *slog.Logger
+	// Logf receives printf-style log lines when Logger is nil — the
+	// legacy seam the chaos tests hook.
 	Logf func(format string, args ...any)
 }
 
@@ -120,6 +126,7 @@ type node struct {
 	name string // as configured, the stable identity in stats and metrics
 	url  string // resolved base URL
 	api  *client.Client
+	lat  obs.Histogram // collect latency: fetch + CRC verification
 
 	mu          sync.Mutex
 	state       HealthState
@@ -142,7 +149,7 @@ type node struct {
 type Aggregator struct {
 	cfg     Config
 	nodes   []*node
-	logf    func(string, ...any)
+	log     *slog.Logger // component=cluster
 	started time.Time
 
 	stop chan struct{}
@@ -193,14 +200,15 @@ func New(cfg Config) (*Aggregator, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: cfg.Timeout}
 	}
+	base := cfg.Logger
+	if base == nil {
+		base = obs.LogfLogger(cfg.Logf) // discards when Logf is nil too
+	}
 	a := &Aggregator{
 		cfg:     cfg,
-		logf:    cfg.Logf,
+		log:     obs.Component(base, "cluster"),
 		started: time.Now(),
 		stop:    make(chan struct{}),
-	}
-	if a.logf == nil {
-		a.logf = func(string, ...any) {}
 	}
 	seen := map[string]struct{}{}
 	for _, raw := range cfg.Nodes {
@@ -306,16 +314,29 @@ func (a *Aggregator) CollectNow() {
 // to end before trusting a byte, and feeds the outcome to the health
 // machine. The fetched bytes replace n's last-good snapshot only after
 // verification — a torn serve can never overwrite good state.
+//
+// Each collect carries its own request ID: the SDK stamps it as
+// X-Request-Id on the fan-out fetch and the hkd member access-logs it,
+// so one logical collection is greppable across both processes.
 func (a *Aggregator) collectOnce(n *node) error {
+	reqID := obs.NewRequestID()
 	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
 	defer cancel()
+	ctx = obs.WithRequestID(ctx, reqID)
+	start := time.Now()
 	body, seq, err := n.api.Snapshot(ctx, a.cfg.Live)
+	if err == nil {
+		if verr := heavykeeper.VerifySnapshot(bytes.NewReader(body)); verr != nil {
+			err = fmt.Errorf("snapshot failed verification: %w", verr)
+		}
+	}
+	d := time.Since(start)
+	n.lat.Observe(d)
 	if err != nil {
+		a.log.Debug("collect failed", "request_id", reqID, "node", n.name, "duration_us", d.Microseconds(), "err", err)
 		return a.recordFailure(n, err)
 	}
-	if err := heavykeeper.VerifySnapshot(bytes.NewReader(body)); err != nil {
-		return a.recordFailure(n, fmt.Errorf("snapshot failed verification: %w", err))
-	}
+	a.log.Debug("collect", "request_id", reqID, "node", n.name, "duration_us", d.Microseconds(), "seq", seq, "bytes", len(body))
 	a.recordSuccess(n, body, seq)
 	return nil
 }
@@ -342,7 +363,7 @@ func (a *Aggregator) recordFailure(n *node, err error) error {
 	state := n.state
 	n.mu.Unlock()
 	if changed {
-		a.logf("cluster: node %s: %s -> %s (%v)", n.name, prev, state, err)
+		a.log.Warn("node health transition", "node", n.name, "from", prev.String(), "to", state.String(), "err", err)
 	}
 	return err
 }
@@ -376,7 +397,7 @@ func (a *Aggregator) recordSuccess(n *node, body []byte, seq string) {
 	state := n.state
 	n.mu.Unlock()
 	if changed {
-		a.logf("cluster: node %s: %s -> %s", n.name, prev, state)
+		a.log.Info("node health transition", "node", n.name, "from", prev.String(), "to", state.String())
 	}
 }
 

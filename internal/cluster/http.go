@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/collector"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // The aggregator's HTTP API mirrors hkd's shape so existing tooling (the
@@ -28,7 +29,27 @@ func (a *Aggregator) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", a.handleStats)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
-	return mux
+	return a.withObs(mux)
+}
+
+// withObs echoes (or assigns) the X-Request-Id header and access-logs
+// every aggregator request, mirroring hkd's middleware so one global
+// query is traceable across tiers.
+func (a *Aggregator) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+		a.log.Debug("http request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"duration_us", time.Since(start).Microseconds())
+	})
 }
 
 // flowJSON matches hkd's /topk flow encoding: id hex, count decimal.
@@ -168,6 +189,12 @@ func (a *Aggregator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		p.GaugeLabeled("hkagg_node_state", "Health state: 0 healthy, 1 suspect, 2 down.", labels, state)
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bounds := obs.PromBounds()
+	for _, n := range a.nodes {
+		sn := n.lat.Snapshot()
+		p.Histogram("hkagg_collect_seconds", "Per-node snapshot collect latency (fetch + CRC verify).",
+			map[string]string{"node": n.name}, bounds, sn.PromCumulative(), sn.SumSeconds(), sn.Count)
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
 	p.WriteTo(w)
 }

@@ -1,11 +1,18 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
+
+// ContentType is the Content-Type header value for the Prometheus text
+// exposition format rendered by PromText. Every /metrics handler in the
+// tree uses this constant so the version string cannot drift.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // PromText accumulates metrics in the Prometheus text exposition format
 // (version 0.0.4): one HELP and TYPE comment pair per metric family,
@@ -26,6 +33,7 @@ import (
 type PromText struct {
 	families []*promFamily
 	index    map[string]*promFamily
+	lintErrs []error
 }
 
 type promFamily struct {
@@ -34,6 +42,7 @@ type promFamily struct {
 }
 
 type promSample struct {
+	suffix string // "_bucket", "_sum", "_count" for histograms, else ""
 	labels string // pre-rendered {k="v",...} or ""
 	value  float64
 }
@@ -58,17 +67,108 @@ func (p *PromText) CounterLabeled(name, help string, labels map[string]string, v
 	p.add(name, help, "counter", renderLabels(labels), v)
 }
 
+// Histogram adds one labeled series to a histogram family in the
+// canonical _bucket/_sum/_count shape. bounds are the finite upper
+// bounds in ascending order and cum the cumulative counts aligned with
+// them (observations <= bound); the +Inf bucket is emitted from count.
+// Call repeatedly with the same name and different labels to expose
+// per-route / per-node series under one family.
+func (p *PromText) Histogram(name, help string, labels map[string]string, bounds []float64, cum []uint64, sum float64, count uint64) {
+	fam := p.family(name, help, "histogram")
+	if len(bounds) != len(cum) {
+		p.lintErrs = append(p.lintErrs, fmt.Errorf("metric %s: %d bounds but %d cumulative counts", name, len(bounds), len(cum)))
+		return
+	}
+	base := renderLabels(labels)
+	prevBound := math.Inf(-1)
+	prevCum := uint64(0)
+	for i, b := range bounds {
+		if b <= prevBound {
+			p.lintErrs = append(p.lintErrs, fmt.Errorf("metric %s: bucket bounds not increasing at %v", name, b))
+		}
+		if cum[i] < prevCum {
+			p.lintErrs = append(p.lintErrs, fmt.Errorf("metric %s: cumulative counts decrease at le=%v", name, b))
+		}
+		prevBound, prevCum = b, cum[i]
+		fam.samples = append(fam.samples, promSample{
+			suffix: "_bucket",
+			labels: appendLabel(base, "le", formatPromValue(b)),
+			value:  float64(cum[i]),
+		})
+	}
+	if count < prevCum {
+		p.lintErrs = append(p.lintErrs, fmt.Errorf("metric %s: count %d below last bucket %d", name, count, prevCum))
+	}
+	fam.samples = append(fam.samples,
+		promSample{suffix: "_bucket", labels: appendLabel(base, "le", "+Inf"), value: float64(count)},
+		promSample{suffix: "_sum", labels: base, value: sum},
+		promSample{suffix: "_count", labels: base, value: float64(count)},
+	)
+}
+
 func (p *PromText) add(name, help, typ, labels string, v float64) {
+	fam := p.family(name, help, typ)
+	fam.samples = append(fam.samples, promSample{labels: labels, value: v})
+}
+
+func (p *PromText) family(name, help, typ string) *promFamily {
 	fam := p.index[name]
 	if fam == nil {
+		if !validMetricName(name) {
+			p.lintErrs = append(p.lintErrs, fmt.Errorf("invalid metric name %q", name))
+		}
 		fam = &promFamily{name: name, help: help, typ: typ}
 		if p.index == nil {
 			p.index = map[string]*promFamily{}
 		}
 		p.index[name] = fam
 		p.families = append(p.families, fam)
+		return fam
 	}
-	fam.samples = append(fam.samples, promSample{labels: labels, value: v})
+	if fam.typ != typ {
+		p.lintErrs = append(p.lintErrs, fmt.Errorf("metric %s re-registered as %s (was %s)", name, typ, fam.typ))
+	}
+	if fam.help != help {
+		p.lintErrs = append(p.lintErrs, fmt.Errorf("metric %s re-registered with different help text", name))
+	}
+	return fam
+}
+
+// Lint reports every malformation recorded while accumulating samples:
+// invalid family names (must match [a-zA-Z_:][a-zA-Z0-9_:]*), a family
+// re-registered under a conflicting type or help string, and histogram
+// series whose bounds or cumulative counts are out of order. Returns
+// nil when the page is clean.
+func (p *PromText) Lint() error {
+	return errors.Join(p.lintErrs...)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendLabel splices one more label pair into a pre-rendered label
+// string, keeping the exposition's {k="v",...} shape.
+func appendLabel(rendered, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
 }
 
 // WriteTo renders the accumulated families.
@@ -81,7 +181,7 @@ func (p *PromText) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 		for _, s := range fam.samples {
-			n, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, s.labels, formatPromValue(s.value))
+			n, err := fmt.Fprintf(w, "%s%s%s %s\n", fam.name, s.suffix, s.labels, formatPromValue(s.value))
 			total += int64(n)
 			if err != nil {
 				return total, err

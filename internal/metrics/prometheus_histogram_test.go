@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"bufio"
+
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestPromHistogramConformance renders a real obs.Histogram through the
+// writer and checks the text-exposition contract: `le` bounds strictly
+// increasing per series, bucket counts cumulative, and the +Inf bucket
+// equal to _count.
+func TestPromHistogramConformance(t *testing.T) {
+	var h obs.Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(5 * time.Second))))
+	}
+	s := h.Snapshot()
+
+	var p PromText
+	p.Histogram("hkd_ingest_batch_seconds", "Per-batch ingest latency.",
+		nil, obs.PromBounds(), s.PromCumulative(), s.SumSeconds(), s.Count)
+	p.Histogram("hkd_http_request_seconds", "HTTP latency.",
+		map[string]string{"route": "topk"}, obs.PromBounds(), s.PromCumulative(), s.SumSeconds(), s.Count)
+	if err := p.Lint(); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.Contains(out, "# TYPE hkd_ingest_batch_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+
+	type series struct {
+		les      []float64
+		counts   []uint64
+		inf      uint64
+		hasInf   bool
+		count    uint64
+		hasCount bool
+		hasSum   bool
+	}
+	byKey := map[string]*series{}
+	get := func(k string) *series {
+		if byKey[k] == nil {
+			byKey[k] = &series{}
+		}
+		return byKey[k]
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		name, rest, _ := strings.Cut(line, " ")
+		base, labels := name, ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base, labels = name[:i], name[i:]
+		}
+		switch {
+		case strings.HasSuffix(base, "_bucket"):
+			key := strings.TrimSuffix(base, "_bucket") + stripLe(labels, t)
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", rest, err)
+			}
+			le := leOf(labels, t)
+			sr := get(key)
+			if le == "+Inf" {
+				sr.inf, sr.hasInf = v, true
+			} else {
+				f, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("le %q: %v", le, err)
+				}
+				sr.les = append(sr.les, f)
+				sr.counts = append(sr.counts, v)
+			}
+		case strings.HasSuffix(base, "_count"):
+			v, _ := strconv.ParseUint(rest, 10, 64)
+			sr := get(strings.TrimSuffix(base, "_count") + labels)
+			sr.count, sr.hasCount = v, true
+		case strings.HasSuffix(base, "_sum"):
+			get(strings.TrimSuffix(base, "_sum") + labels).hasSum = true
+		}
+	}
+	if len(byKey) != 2 {
+		t.Fatalf("expected 2 series, parsed %d: %v", len(byKey), byKey)
+	}
+	for key, sr := range byKey {
+		if !sr.hasInf || !sr.hasCount || !sr.hasSum {
+			t.Fatalf("%s: missing +Inf/_count/_sum (inf=%v count=%v sum=%v)", key, sr.hasInf, sr.hasCount, sr.hasSum)
+		}
+		if len(sr.les) == 0 {
+			t.Fatalf("%s: no finite buckets", key)
+		}
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				t.Errorf("%s: le not increasing at %v", key, sr.les[i])
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				t.Errorf("%s: buckets not cumulative at le=%v", key, sr.les[i])
+			}
+		}
+		if last := sr.counts[len(sr.counts)-1]; last > sr.inf {
+			t.Errorf("%s: last finite bucket %d exceeds +Inf %d", key, last, sr.inf)
+		}
+		if sr.inf != sr.count {
+			t.Errorf("%s: +Inf bucket %d != _count %d", key, sr.inf, sr.count)
+		}
+		if sr.count != s.Count {
+			t.Errorf("%s: _count %d != recorded %d", key, sr.count, s.Count)
+		}
+	}
+}
+
+func stripLe(labels string, t *testing.T) string {
+	t.Helper()
+	if labels == "" {
+		t.Fatal("bucket sample without le label")
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var keep []string
+	for _, pair := range strings.Split(inner, ",") {
+		if !strings.HasPrefix(pair, `le="`) {
+			keep = append(keep, pair)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}
+
+func leOf(labels string, t *testing.T) string {
+	t.Helper()
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	for _, pair := range strings.Split(inner, ",") {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			return strings.TrimSuffix(v, `"`)
+		}
+	}
+	t.Fatalf("no le label in %q", labels)
+	return ""
+}
+
+func TestPromLint(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		var p PromText
+		p.Counter("ok_total", "h", 1)
+		p.Counter("ok_total", "h", 2)
+		p.Gauge("also:ok_1", "h", 3)
+		if err := p.Lint(); err != nil {
+			t.Fatalf("clean page flagged: %v", err)
+		}
+	})
+	t.Run("invalid-name", func(t *testing.T) {
+		var p PromText
+		p.Counter("1bad", "h", 1)
+		p.Gauge("bad-dash", "h", 1)
+		p.Gauge("", "h", 1)
+		err := p.Lint()
+		if err == nil {
+			t.Fatal("invalid names passed lint")
+		}
+		for _, want := range []string{`"1bad"`, `"bad-dash"`, `""`} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("lint error missing %s: %v", want, err)
+			}
+		}
+	})
+	t.Run("type-conflict", func(t *testing.T) {
+		var p PromText
+		p.Counter("dup_total", "h", 1)
+		p.Gauge("dup_total", "h", 2)
+		if err := p.Lint(); err == nil || !strings.Contains(err.Error(), "re-registered") {
+			t.Fatalf("type conflict not flagged: %v", err)
+		}
+	})
+	t.Run("help-conflict", func(t *testing.T) {
+		var p PromText
+		p.Counter("x_total", "one", 1)
+		p.Counter("x_total", "two", 2)
+		if err := p.Lint(); err == nil {
+			t.Fatal("help conflict not flagged")
+		}
+	})
+	t.Run("histogram-shape", func(t *testing.T) {
+		var p PromText
+		p.Histogram("h_seconds", "h", nil, []float64{0.1, 0.1}, []uint64{5, 4}, 1, 3)
+		err := p.Lint()
+		if err == nil {
+			t.Fatal("bad histogram passed lint")
+		}
+		if !strings.Contains(err.Error(), "not increasing") || !strings.Contains(err.Error(), "decrease") {
+			t.Fatalf("unexpected lint detail: %v", err)
+		}
+		var q PromText
+		q.Histogram("h_seconds", "h", nil, []float64{0.1}, []uint64{5, 6}, 1, 7)
+		if err := q.Lint(); err == nil || !strings.Contains(err.Error(), "cumulative counts") {
+			t.Fatalf("length mismatch not flagged: %v", err)
+		}
+	})
+}
+
+func TestAppendLabel(t *testing.T) {
+	if got := appendLabel("", "le", "+Inf"); got != `{le="+Inf"}` {
+		t.Fatalf("empty base: %q", got)
+	}
+	if got := appendLabel(`{route="topk"}`, "le", "0.25"); got != `{route="topk",le="0.25"}` {
+		t.Fatalf("non-empty base: %q", got)
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log2 buckets in a Histogram. Bucket i
+// holds observations v (in nanoseconds) with 2^(i-1) < v <= 2^i, so the
+// upper bound of bucket i is exactly 2^i ns; bucket 0 holds v <= 1ns
+// and bucket 64 holds everything above 2^63-ish ns (~292 years).
+const NumBuckets = 65
+
+// Histogram is a fixed-size, lock-free latency histogram with
+// power-of-two bucket boundaries. Observe is wait-free apart from a CAS
+// loop on the max tracker and performs zero heap allocations, so it is
+// safe to call from any number of concurrent recorders at batch or
+// request granularity. The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	max     atomic.Uint64 // largest single observation, nanoseconds
+}
+
+// bucketIndex maps a nanosecond value onto its log2 bucket. For v >= 2,
+// bits.Len64(v-1) = i exactly when 2^(i-1) < v <= 2^i.
+func bucketIndex(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(v - 1)
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Merge folds o's recorded observations into h. Both histograms may be
+// concurrently observed while merging; the merge is atomic per bucket,
+// not across the whole histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram suitable for
+// quantile estimation and exposition. Loads are per-bucket atomic; a
+// snapshot taken under concurrent writes is a consistent-enough view
+// (counts may straggle by in-flight observations).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram's state.
+type HistSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     uint64 // nanoseconds
+	Max     uint64 // nanoseconds
+}
+
+// Merge folds o into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i in ns.
+func bucketUpper(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return uint64(1) << uint(i)
+}
+
+// bucketLower returns the exclusive lower bound of bucket i in ns
+// (bucket 0 starts at 0 inclusive).
+func bucketLower(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return uint64(1) << uint(i-1)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution by locating the target rank's bucket and linearly
+// interpolating within it. Because buckets double in width the estimate
+// is within a factor of two of the true value in the worst case, and
+// much closer in practice. Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) >= rank {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			if s.Max < hi {
+				hi = s.Max // no observation exceeds the recorded max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(prev)) / float64(n)
+			est := float64(lo) + frac*float64(hi-lo)
+			return time.Duration(est)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// MaxDuration returns the largest single observation.
+func (s HistSnapshot) MaxDuration() time.Duration { return time.Duration(s.Max) }
+
+// SumSeconds returns the total observed time in seconds.
+func (s HistSnapshot) SumSeconds() float64 { return float64(s.Sum) / 1e9 }
+
+// Prometheus exposition bounds. Emitting all 65 raw buckets per family
+// would bloat the scrape page, so exposition collapses onto a fixed
+// ladder of power-of-two bounds from 1µs-ish to ~17.9min; everything
+// below the first bound folds into it and everything above the last
+// folds into +Inf. Bounds are exact bucket upper edges (2^i ns), so the
+// cumulative counts are exact, not re-binned approximations.
+var promBucketIndexes = []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36, 38, 40}
+
+// PromBounds returns the exposition bucket upper bounds in seconds,
+// strictly increasing, excluding +Inf.
+func PromBounds() []float64 {
+	out := make([]float64, len(promBucketIndexes))
+	for j, i := range promBucketIndexes {
+		out[j] = float64(bucketUpper(i)) / 1e9
+	}
+	return out
+}
+
+// PromCumulative returns cumulative observation counts aligned with
+// PromBounds: element j counts observations <= PromBounds()[j]. The
+// +Inf bucket is s.Count and is not included.
+func (s HistSnapshot) PromCumulative() []uint64 {
+	out := make([]uint64, len(promBucketIndexes))
+	cum := uint64(0)
+	next := 0
+	for i, n := range s.Buckets {
+		for next < len(promBucketIndexes) && promBucketIndexes[next] < i {
+			out[next] = cum
+			next++
+		}
+		cum += n
+		if next < len(promBucketIndexes) && promBucketIndexes[next] == i {
+			out[next] = cum
+			next++
+		}
+	}
+	for next < len(promBucketIndexes) {
+		out[next] = cum
+		next++
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11}, {1 << 40, 40}, {1<<40 + 1, 41}, {1 << 63, 63}, {1<<63 + 1, 64},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's range must respect its bounds: lower < v <= upper.
+	for i := 0; i < NumBuckets; i++ {
+		up := bucketUpper(i)
+		if got := bucketIndex(up); got != i {
+			t.Errorf("upper bound %d of bucket %d maps to bucket %d", up, i, got)
+		}
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(137 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentRecorders(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perW)
+	}
+	var bucketTotal uint64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.Max == 0 || s.Max >= uint64(time.Second) {
+		t.Fatalf("max %d outside expected (0, 1s)", s.Max)
+	}
+}
+
+func fillHistogram(seed int64, n int, maxNs int64) *Histogram {
+	h := &Histogram{}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.Int63n(maxNs)))
+	}
+	return h
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	a := fillHistogram(1, 5000, int64(time.Second))
+	b := fillHistogram(2, 3000, int64(10*time.Millisecond))
+	c := fillHistogram(3, 7000, int64(time.Minute))
+
+	// (a+b)+c
+	var left Histogram
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+	// a+(b+c)
+	var bc Histogram
+	bc.Merge(b)
+	bc.Merge(c)
+	var right Histogram
+	right.Merge(a)
+	right.Merge(&bc)
+
+	ls, rs := left.Snapshot(), right.Snapshot()
+	if ls != rs {
+		t.Fatalf("merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", ls, rs)
+	}
+	if ls.Count != 15000 {
+		t.Fatalf("merged count = %d, want 15000", ls.Count)
+	}
+
+	// Snapshot-level merge must agree with histogram-level merge.
+	sa, sb, sc := a.Snapshot(), b.Snapshot(), c.Snapshot()
+	sa.Merge(sb)
+	sa.Merge(sc)
+	if sa != ls {
+		t.Fatalf("snapshot merge disagrees with histogram merge")
+	}
+}
+
+// quantile accuracy: a log2-bucketed histogram with interpolation must
+// land within a factor of two of the exact sample quantile.
+func TestQuantileAccuracy(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(rng *rand.Rand) int64
+	}{
+		{"uniform_1ms", func(rng *rand.Rand) int64 { return rng.Int63n(int64(time.Millisecond)) }},
+		{"exponential", func(rng *rand.Rand) int64 {
+			return int64(rng.ExpFloat64() * float64(50*time.Microsecond))
+		}},
+		{"bimodal", func(rng *rand.Rand) int64 {
+			if rng.Intn(10) == 0 {
+				return int64(8*time.Millisecond) + rng.Int63n(int64(2*time.Millisecond))
+			}
+			return int64(20*time.Microsecond) + rng.Int63n(int64(10*time.Microsecond))
+		}},
+	}
+	quantiles := []float64{0.5, 0.9, 0.99}
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			const n = 50000
+			var h Histogram
+			exact := make([]int64, n)
+			for i := range exact {
+				v := d.gen(rng)
+				exact[i] = v
+				h.Observe(time.Duration(v))
+			}
+			sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+			s := h.Snapshot()
+			for _, q := range quantiles {
+				idx := int(q*float64(n)) - 1
+				if idx < 0 {
+					idx = 0
+				}
+				want := float64(exact[idx])
+				got := float64(s.Quantile(q))
+				if want == 0 {
+					continue
+				}
+				ratio := got / want
+				if ratio < 0.5 || ratio > 2.0 {
+					t.Errorf("q%.2f: estimate %v vs exact %v (ratio %.3f, want within [0.5,2])",
+						q, time.Duration(got), time.Duration(want), ratio)
+				}
+			}
+			if max := s.MaxDuration(); int64(max) != exact[n-1] {
+				t.Errorf("max = %v, want %v", max, time.Duration(exact[n-1]))
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100 * time.Microsecond)
+	s := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := s.Quantile(q)
+		// Single observation: every quantile lies in its bucket, capped by max.
+		if got <= 0 || got > 100*time.Microsecond {
+			t.Fatalf("single-sample quantile(%v) = %v, want in (0, 100µs]", q, got)
+		}
+	}
+	if s.Mean() != 100*time.Microsecond {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestPromCumulative(t *testing.T) {
+	var h Histogram
+	// One observation per exposition bound edge, plus outliers below and above.
+	h.Observe(1 * time.Nanosecond)            // below first bound
+	h.Observe(time.Duration(1 << 10))         // == first bound (1024ns)
+	h.Observe(time.Duration(1<<10 + 1))       // just above first bound
+	h.Observe(time.Duration(1 << 40))         // == last bound
+	h.Observe(time.Duration(uint64(1) << 41)) // above last bound → +Inf only
+	s := h.Snapshot()
+	bounds := PromBounds()
+	cum := s.PromCumulative()
+	if len(bounds) != len(cum) {
+		t.Fatalf("bounds/cum length mismatch: %d vs %d", len(bounds), len(cum))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v <= %v", i, bounds[i], bounds[i-1])
+		}
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decrease at %d: %d < %d", i, cum[i], cum[i-1])
+		}
+	}
+	if cum[0] != 2 { // 1ns and 1024ns both <= 1024ns
+		t.Fatalf("first bound count = %d, want 2", cum[0])
+	}
+	if last := cum[len(cum)-1]; last != 4 {
+		t.Fatalf("last bound count = %d, want 4 (the 2^41 outlier is +Inf only)", last)
+	}
+	if last := cum[len(cum)-1]; last > s.Count {
+		t.Fatalf("last bound %d exceeds count %d", last, s.Count)
+	}
+}

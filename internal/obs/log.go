@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. level is one of
+// debug|info|warn|error (case-insensitive); format is text|json.
+// Component-scoped child loggers are derived with Component.
+func NewLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// Component derives a child logger tagged with a component attribute
+// (server, snapshot, tenant, cluster, client, ...). A nil base yields a
+// discarding logger so call sites never nil-check.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		return Discard()
+	}
+	return base.With(slog.String("component", name))
+}
+
+// LogfLogger adapts a legacy printf-style sink (the server and cluster
+// Config.Logf test seams) onto slog. Records are rendered as a single
+// "level=... msg k=v ..." line and passed to logf. All levels are
+// enabled; filtering is the sink's problem.
+func LogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	if logf == nil {
+		return Discard()
+	}
+	return slog.New(&logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf   func(format string, args ...any)
+	prefix string // pre-rendered " k=v" attrs from WithAttrs
+	group  string // dotted group prefix from WithGroup
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString("level=")
+	b.WriteString(r.Level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteIfNeeded(r.Message))
+	b.WriteString(h.prefix)
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.group, a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	for _, a := range attrs {
+		appendAttr(&b, h.group, a)
+	}
+	return &logfHandler{logf: h.logf, prefix: b.String(), group: h.group}
+}
+
+func (h *logfHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	g := h.group
+	if g != "" {
+		g += "."
+	}
+	return &logfHandler{logf: h.logf, prefix: h.prefix, group: g + name}
+}
+
+func appendAttr(b *strings.Builder, group string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		g := group
+		if a.Key != "" {
+			if g != "" {
+				g += "."
+			}
+			g += a.Key
+		}
+		for _, ga := range v.Group() {
+			appendAttr(b, g, ga)
+		}
+		return
+	}
+	b.WriteByte(' ')
+	if group != "" {
+		b.WriteString(group)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(quoteIfNeeded(v.String()))
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

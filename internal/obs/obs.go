@@ -1,0 +1,13 @@
+// Package obs is the daemon's stdlib-only observability kit: a
+// lock-free log-bucketed latency histogram (histogram.go), slog-based
+// structured logging with component-scoped loggers (log.go), request-ID
+// generation and propagation for cross-process tracing (trace.go), a
+// runtime-telemetry sampler over runtime/metrics (runtime.go), and an
+// opt-in net/http/pprof debug handler (debug.go).
+//
+// The package deliberately has no dependencies outside the standard
+// library and no background goroutines of its own: histograms are
+// recorded inline by the serving layers (at batch or request
+// granularity, never inside the per-key sketch hot path), and runtime
+// stats are sampled at scrape time.
+package obs

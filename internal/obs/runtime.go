@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmTotalBytes = "/memory/classes/total:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/gc/pauses:seconds"
+)
+
+// RuntimeStats is one sample of process-level telemetry sourced from
+// runtime/metrics.
+type RuntimeStats struct {
+	Goroutines   uint64
+	HeapBytes    uint64 // live heap objects
+	RuntimeBytes uint64 // total memory mapped by the Go runtime
+	GCCycles     uint64
+	GCPauses     uint64        // count of stop-the-world pauses
+	GCPauseTotal time.Duration // approximate: histogram bucket midpoints
+}
+
+// RuntimeSampler reads runtime/metrics at scrape time — no background
+// goroutine, no allocation churn beyond the reused sample slice. Safe
+// for concurrent use.
+type RuntimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+}
+
+// NewRuntimeSampler prepares a sampler for the fixed metric set above.
+func NewRuntimeSampler() *RuntimeSampler {
+	names := []string{rmGoroutines, rmHeapBytes, rmTotalBytes, rmGCCycles, rmGCPauses}
+	s := &RuntimeSampler{samples: make([]metrics.Sample, len(names))}
+	for i, n := range names {
+		s.samples[i].Name = n
+	}
+	return s
+}
+
+// Sample reads the current runtime state.
+func (s *RuntimeSampler) Sample() RuntimeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	var out RuntimeStats
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Name {
+		case rmGoroutines:
+			out.Goroutines = sm.Value.Uint64()
+		case rmHeapBytes:
+			out.HeapBytes = sm.Value.Uint64()
+		case rmTotalBytes:
+			out.RuntimeBytes = sm.Value.Uint64()
+		case rmGCCycles:
+			out.GCCycles = sm.Value.Uint64()
+		case rmGCPauses:
+			if sm.Value.Kind() != metrics.KindFloat64Histogram {
+				continue
+			}
+			h := sm.Value.Float64Histogram()
+			var count uint64
+			var total float64
+			for j, n := range h.Counts {
+				count += n
+				lo := h.Buckets[j]
+				hi := h.Buckets[j+1]
+				mid := midpoint(lo, hi)
+				total += float64(n) * mid
+			}
+			out.GCPauses = count
+			out.GCPauseTotal = time.Duration(total * 1e9)
+		}
+	}
+	return out
+}
+
+// midpoint picks a representative value for a histogram bucket,
+// tolerating the runtime's +-Inf edge buckets.
+func midpoint(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) || math.IsNaN(lo) || lo < 0:
+		if hi > 0 && !math.IsInf(hi, +1) && !math.IsNaN(hi) {
+			return hi / 2
+		}
+		return 0
+	case math.IsInf(hi, +1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header carrying the request correlation
+// ID. The SDK stamps it on every outbound request, hkd echoes it on
+// responses and access-logs it, and hkagg forwards it on its fan-out
+// collects so one logical operation is greppable across every process.
+const RequestIDHeader = "X-Request-Id"
+
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a 16-hex-char correlation ID. IDs come from
+// crypto/rand; on the (never observed) failure path a process-local
+// counter keeps IDs unique rather than panicking in a serving path.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying an explicit request ID for
+// the SDK to stamp on outbound requests instead of generating one.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts a request ID previously attached with
+// WithRequestID, or "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -55,7 +55,10 @@ func (s *Server) apiHandler() http.Handler {
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.withAuth(mux)
+	// withObs sits outermost so every request — including ones auth
+	// rejects — gets an echoed X-Request-Id, a latency observation and
+	// an access-log line.
+	return s.withObs(s.withAuth(mux))
 }
 
 // healthzResponse is the /healthz document.
@@ -269,7 +272,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		live = true
 	}
 	if s.snap != nil && !live {
-		if gen, err := s.snap.newestIntact(); err == nil {
+		verifyStart := time.Now()
+		gen, err := s.snap.newestIntact()
+		s.obs.snapVerify.Observe(time.Since(verifyStart))
+		if err == nil {
 			f, err := os.Open(gen.path)
 			if err == nil {
 				defer f.Close()
@@ -329,6 +335,7 @@ type statsResponse struct {
 	MemoryBytes   int               `json:"memory_bytes"`
 	Engine        heavykeeper.Stats `json:"engine"`
 	Server        serverCounters    `json:"server"`
+	Latency       *latencyStats     `json:"latency,omitempty"`
 	Window        *windowInfo       `json:"window,omitempty"`
 	Tenants       []tenantStats     `json:"tenants,omitempty"`
 }
@@ -430,6 +437,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MemoryBytes:   sum.MemoryBytes(),
 		Engine:        sum.Stats(),
 		Server:        s.counterSnapshot(),
+		Latency:       s.obs.latencyStats(),
 	}
 	if win, ok := sum.(*heavykeeper.Window); ok {
 		resp.Window = &windowInfo{WindowSize: win.WindowSize(), Rotations: win.Rotations()}
@@ -570,9 +578,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			p.Gauge("hkd_store_index_slots", "Store index table size.", float64(ix.TableSize))
 			p.Gauge("hkd_store_index_occupied", "Store index live slots.", float64(ix.Occupied))
 			p.Gauge("hkd_store_index_max_probe", "Worst current probe displacement.", float64(ix.MaxProbe))
+			if ix.TableSize > 0 {
+				p.Gauge("hkd_store_index_load", "Store index occupancy fraction (occupied/slots).",
+					float64(ix.Occupied)/float64(ix.TableSize))
+			}
 		}
 	}
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.promHistograms(&p)
+	s.obs.promRuntime(&p)
+
+	w.Header().Set("Content-Type", metrics.ContentType)
 	p.WriteTo(w)
 }

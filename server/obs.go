@@ -1,0 +1,170 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// serverObs is the server's latency-histogram block plus the runtime
+// sampler behind /metrics. Histograms are recorded at batch, request or
+// snapshot granularity only — never inside the per-key sketch hot path,
+// which keeps the one-hash / zero-alloc invariants intact.
+type serverObs struct {
+	ingestBatch   obs.Histogram // queue wait + summarizer call, per kept batch
+	snapWrite     obs.Histogram // generation write (temp+fsync+rename)
+	snapVerify    obs.Histogram // newest-intact CRC walk on GET /snapshot
+	snapLoad      obs.Histogram // restore-on-start (recorded once via Config.RestoreDuration)
+	degradedDwell obs.Histogram // time spent in each degraded episode
+	routes        map[string]*obs.Histogram
+	runtime       *obs.RuntimeSampler
+}
+
+// httpRoutes is the fixed route-label set: one histogram series per
+// entry plus "other" for unmatched paths, so label cardinality is
+// bounded no matter what clients request.
+var httpRoutes = []string{"topk", "query", "stats", "indexstats", "config", "snapshot", "healthz", "metrics", "other"}
+
+func newServerObs() *serverObs {
+	o := &serverObs{
+		routes:  make(map[string]*obs.Histogram, len(httpRoutes)),
+		runtime: obs.NewRuntimeSampler(),
+	}
+	for _, r := range httpRoutes {
+		o.routes[r] = &obs.Histogram{}
+	}
+	return o
+}
+
+// route returns the histogram for a request path. The map is read-only
+// after construction, so lookups are safe without locking.
+func (o *serverObs) route(path string) *obs.Histogram {
+	name := "other"
+	if len(path) > 1 {
+		if h, ok := o.routes[path[1:]]; ok {
+			return h
+		}
+	}
+	return o.routes[name]
+}
+
+// withObs is the outermost HTTP middleware: it assigns or echoes the
+// X-Request-Id header, records per-route latency, and access-logs every
+// request (debug level) with the correlation ID — including requests
+// the auth middleware rejects, which is exactly when an operator greps
+// for them.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(obs.WithRequestID(r.Context(), id)))
+		d := time.Since(start)
+		s.obs.route(r.URL.Path).Observe(d)
+		s.log.Debug("http request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_us", d.Microseconds())
+	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// latencySummary is one histogram rendered for the /stats latency
+// section: count plus interpolated quantiles in seconds.
+type latencySummary struct {
+	Count uint64  `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P90S  float64 `json:"p90_s"`
+	P99S  float64 `json:"p99_s"`
+	MaxS  float64 `json:"max_s"`
+}
+
+func summarizeHist(sn obs.HistSnapshot) latencySummary {
+	return latencySummary{
+		Count: sn.Count,
+		MeanS: sn.Mean().Seconds(),
+		P50S:  sn.Quantile(0.50).Seconds(),
+		P90S:  sn.Quantile(0.90).Seconds(),
+		P99S:  sn.Quantile(0.99).Seconds(),
+		MaxS:  sn.MaxDuration().Seconds(),
+	}
+}
+
+// latencyStats is the /stats "latency" section.
+type latencyStats struct {
+	IngestBatch    latencySummary `json:"ingest_batch"`
+	HTTP           latencySummary `json:"http"`
+	SnapshotWrite  latencySummary `json:"snapshot_write"`
+	SnapshotVerify latencySummary `json:"snapshot_verify"`
+	SnapshotLoad   latencySummary `json:"snapshot_load"`
+	DegradedDwell  latencySummary `json:"degraded_dwell"`
+}
+
+func (o *serverObs) latencyStats() *latencyStats {
+	var httpAll obs.HistSnapshot
+	for _, h := range o.routes {
+		httpAll.Merge(h.Snapshot())
+	}
+	return &latencyStats{
+		IngestBatch:    summarizeHist(o.ingestBatch.Snapshot()),
+		HTTP:           summarizeHist(httpAll),
+		SnapshotWrite:  summarizeHist(o.snapWrite.Snapshot()),
+		SnapshotVerify: summarizeHist(o.snapVerify.Snapshot()),
+		SnapshotLoad:   summarizeHist(o.snapLoad.Snapshot()),
+		DegradedDwell:  summarizeHist(o.degradedDwell.Snapshot()),
+	}
+}
+
+// promHistograms renders every latency family into the /metrics page.
+func (o *serverObs) promHistograms(p *metrics.PromText) {
+	bounds := obs.PromBounds()
+	hist := func(name, help string, labels map[string]string, h *obs.Histogram) {
+		sn := h.Snapshot()
+		p.Histogram(name, help, labels, bounds, sn.PromCumulative(), sn.SumSeconds(), sn.Count)
+	}
+	hist("hkd_ingest_batch_seconds", "Per-batch ingest latency: queue wait plus summarizer call.", nil, &o.ingestBatch)
+	for _, r := range httpRoutes {
+		hist("hkd_http_request_seconds", "HTTP request latency by route.",
+			map[string]string{"route": r}, o.routes[r])
+	}
+	hist("hkd_snapshot_write_seconds", "Snapshot generation write duration.", nil, &o.snapWrite)
+	hist("hkd_snapshot_verify_seconds", "Snapshot newest-intact verification duration.", nil, &o.snapVerify)
+	hist("hkd_snapshot_load_seconds", "Restore-on-start snapshot load duration.", nil, &o.snapLoad)
+	hist("hkd_degraded_dwell_seconds", "Time spent inside each degraded-mode episode.", nil, &o.degradedDwell)
+}
+
+// promRuntime renders the runtime-telemetry sample.
+func (o *serverObs) promRuntime(p *metrics.PromText) {
+	rt := o.runtime.Sample()
+	p.Gauge("hkd_goroutines", "Live goroutines.", float64(rt.Goroutines))
+	p.Gauge("hkd_heap_bytes", "Bytes of live heap objects.", float64(rt.HeapBytes))
+	p.Gauge("hkd_runtime_memory_bytes", "Total bytes mapped by the Go runtime.", float64(rt.RuntimeBytes))
+	p.Counter("hkd_gc_cycles_total", "Completed GC cycles.", float64(rt.GCCycles))
+	p.Counter("hkd_gc_pauses_total", "Stop-the-world GC pauses.", float64(rt.GCPauses))
+	p.Counter("hkd_gc_pause_seconds_total", "Approximate total stop-the-world pause time (bucket midpoints).", rt.GCPauseTotal.Seconds())
+}

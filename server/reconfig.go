@@ -77,7 +77,7 @@ func (s *Server) handleReconfig(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			resp.K = k
-			s.logf("reconfig: tenant %q k grown to %d", t.name, k)
+			s.tenantLog.Info("k grown", "tenant", t.name, "k", k)
 		}
 		if req.RotateEpoch {
 			win, ok := t.summarizer().(*heavykeeper.Window)
@@ -88,7 +88,7 @@ func (s *Server) handleReconfig(w http.ResponseWriter, r *http.Request) {
 			}
 			win.Rotate()
 			resp.Rotated = true
-			s.logf("reconfig: tenant %q epoch rotated", t.name)
+			s.tenantLog.Info("epoch rotated", "tenant", t.name)
 		}
 	}
 
@@ -106,8 +106,8 @@ func (s *Server) handleReconfig(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if resp.TokensAdded > 0 || resp.TokensRevoked > 0 {
-		s.logf("reconfig: %d tokens added, %d revoked (%d live)",
-			resp.TokensAdded, resp.TokensRevoked, s.tokens.len())
+		s.tenantLog.Info("tokens rotated",
+			"added", resp.TokensAdded, "revoked", resp.TokensRevoked, "live", s.tokens.len())
 	}
 
 	for _, name := range req.EvictTenants {
@@ -116,7 +116,7 @@ func (s *Server) handleReconfig(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Evicted = append(resp.Evicted, name)
-		s.logf("reconfig: tenant %q evicted", name)
+		s.tenantLog.Info("tenant evicted", "tenant", name)
 	}
 
 	writeJSON(w, resp)

@@ -48,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	heavykeeper "repro"
+	"repro/internal/obs"
 	"repro/wire"
 )
 
@@ -163,8 +165,19 @@ type Config struct {
 	// Info is echoed verbatim by the /config endpoint, so a client can
 	// rebuild a twin summarizer (the hkbench verifier does).
 	Info map[string]string
-	// Logf receives operational log lines; nil discards them.
+	// Logger receives structured operational logs. The server derives
+	// component-scoped children (component=server|snapshot|tenant) from
+	// it. Nil falls back to Logf; when both are nil logs are discarded.
+	Logger *slog.Logger
+	// Logf receives printf-style log lines when Logger is nil — the
+	// legacy seam the test harnesses hook. Structured records are
+	// rendered onto it as "level=... msg=... k=v" lines.
 	Logf func(format string, args ...any)
+	// RestoreDuration, when positive, is how long the pre-start snapshot
+	// restore took (cmd/hkd times LoadSnapshot before the server exists)
+	// and is recorded as one observation in the snapshot-load latency
+	// histogram so /metrics covers the full snapshot lifecycle.
+	RestoreDuration time.Duration
 }
 
 // Typed configuration errors; callers branch with errors.Is.
@@ -221,9 +234,12 @@ func (probeWriter) Write([]byte) (int, error) { return 0, errProbe }
 
 // Server is one running hkd instance.
 type Server struct {
-	cfg     Config
-	logf    func(string, ...any)
-	started time.Time
+	cfg       Config
+	log       *slog.Logger // component=server
+	snapLog   *slog.Logger // component=snapshot
+	tenantLog *slog.Logger // component=tenant (reconfig, token rotation)
+	started   time.Time
+	obs       *serverObs
 
 	tcpLn  net.Listener
 	udpLn  net.PacketConn
@@ -245,10 +261,12 @@ type Server struct {
 	// the queue crosses the high watermark (or the monitor sees the
 	// memory watermark crossed) and off in the monitor after the queue
 	// has stayed at the low watermark for RecoveryWindow. lastOver is
-	// the last instant overload was observed (unix nanos).
-	degraded atomic.Bool
-	lastOver atomic.Int64
-	shedTick atomic.Uint64
+	// the last instant overload was observed (unix nanos); degradedAt
+	// is when the current episode began, feeding the dwell histogram.
+	degraded   atomic.Bool
+	lastOver   atomic.Int64
+	degradedAt atomic.Int64
+	shedTick   atomic.Uint64
 
 	// Shutdown drain coordination: draining tells serveConn to stop
 	// extending idle deadlines; drainBy (unix nanos) is the deadline it
@@ -398,13 +416,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: snapshot store: %w", err)
 		}
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	base := cfg.Logger
+	if base == nil {
+		base = obs.LogfLogger(cfg.Logf) // discards when Logf is nil too
+	}
+	sobs := newServerObs()
+	if cfg.RestoreDuration > 0 {
+		sobs.snapLoad.Observe(cfg.RestoreDuration)
 	}
 	return &Server{
 		cfg:          cfg,
-		logf:         logf,
+		log:          obs.Component(base, "server"),
+		snapLog:      obs.Component(base, "snapshot"),
+		tenantLog:    obs.Component(base, "tenant"),
+		obs:          sobs,
 		conns:        map[net.Conn]struct{}{},
 		sem:          make(chan struct{}, cfg.MaxInflight),
 		stopSnap:     make(chan struct{}),
@@ -466,7 +491,7 @@ func (s *Server) Start() error {
 		go func() {
 			defer s.wg.Done()
 			if err := s.httpSv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				s.logf("http serve: %v", err)
+				s.log.Error("http serve failed", "err", err)
 			}
 		}()
 	}
@@ -476,8 +501,19 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(1)
 	go s.monitorLoop()
-	s.logf("hkd listening: tcp=%v udp=%v http=%v", s.TCPAddr(), s.UDPAddr(), s.HTTPAddr())
+	s.log.Info("listening",
+		"tcp", addrString(s.TCPAddr()),
+		"udp", addrString(s.UDPAddr()),
+		"http", addrString(s.HTTPAddr()))
 	return nil
+}
+
+// addrString renders a possibly-nil listener address for logging.
+func addrString(a net.Addr) string {
+	if a == nil {
+		return ""
+	}
+	return a.String()
 }
 
 // TCPAddr returns the bound stream-ingest address (nil when disabled).
@@ -592,13 +628,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				switch {
 				case errors.As(err, &ne) && ne.Timeout() && !s.draining.Load():
 					s.ctr.idleEvictions.Add(1)
-					s.logf("tcp %v: idle for %v, evicting", conn.RemoteAddr(), s.cfg.IdleTimeout)
+					s.log.Info("evicting idle connection", "remote", conn.RemoteAddr().String(), "idle", s.cfg.IdleTimeout)
 				case isTransportError(err):
 					s.ctr.transportErrors.Add(1)
-					s.logf("tcp %v: %v", conn.RemoteAddr(), err)
+					s.log.Warn("ingest transport error", "remote", conn.RemoteAddr().String(), "err", err)
 				default:
 					s.ctr.decodeErrors.Add(1)
-					s.logf("tcp %v: %v", conn.RemoteAddr(), err)
+					s.log.Warn("ingest decode error", "remote", conn.RemoteAddr().String(), "err", err)
 				}
 			}
 			return
@@ -607,13 +643,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			name, ok := s.tokens.lookup(batch.Token)
 			if !ok {
 				s.ctr.authFailures.Add(1)
-				s.logf("tcp %v: hello with unknown token, closing", conn.RemoteAddr())
+				s.log.Warn("hello with unknown token, closing", "remote", conn.RemoteAddr().String())
 				return
 			}
 			t, err := s.reg.resolve([]byte(name))
 			if err != nil {
 				s.ctr.authFailures.Add(1)
-				s.logf("tcp %v: hello for tenant %q: %v", conn.RemoteAddr(), name, err)
+				s.log.Warn("hello tenant resolve failed, closing", "remote", conn.RemoteAddr().String(), "tenant", name, "err", err)
 				return
 			}
 			bound = t
@@ -624,21 +660,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		case bound != nil:
 			if len(batch.Tenant) != 0 && string(batch.Tenant) != bound.name {
 				s.ctr.authFailures.Add(1)
-				s.logf("tcp %v: frame for tenant %q on connection bound to %q, closing",
-					conn.RemoteAddr(), batch.Tenant, bound.name)
+				s.log.Warn("frame for foreign tenant on bound connection, closing",
+					"remote", conn.RemoteAddr().String(), "tenant", string(batch.Tenant), "bound", bound.name)
 				return
 			}
 			t = bound
 		case s.authRequired:
 			s.ctr.authFailures.Add(1)
-			s.logf("tcp %v: batch frame before hello on authenticated server, closing", conn.RemoteAddr())
+			s.log.Warn("batch frame before hello on authenticated server, closing", "remote", conn.RemoteAddr().String())
 			return
 		default:
 			if t, err = s.reg.resolve(batch.Tenant); err != nil {
 				// Admission failure is a resource decision, not a protocol
 				// violation: count it (registry-side) and drop the frame,
 				// keeping the connection for frames that do resolve.
-				s.logf("tcp %v: %v", conn.RemoteAddr(), err)
+				s.log.Warn("tenant admission refused", "remote", conn.RemoteAddr().String(), "err", err)
 				continue
 			}
 		}
@@ -716,7 +752,7 @@ func (s *Server) udpLoop() {
 		}
 		t, err := s.reg.resolve(batch.Tenant)
 		if err != nil {
-			s.logf("udp: %v", err)
+			s.log.Warn("udp tenant admission refused", "err", err)
 			continue
 		}
 		s.ctr.udpFrames.Add(1)
@@ -748,6 +784,10 @@ func (s *Server) ingest(t *tenant, b *wire.Batch) {
 		scale = uint64(s.cfg.ShedKeepOneIn)
 	}
 	sum := t.summarizer()
+	// Batch-granular latency: queue wait plus the summarizer call. One
+	// clock read and a few atomic adds per batch — the per-key loop
+	// under AddBatch stays untouched.
+	start := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -782,6 +822,7 @@ func (s *Server) ingest(t *tenant, b *wire.Batch) {
 	}
 	s.inflight.Add(-1)
 	<-s.sem
+	s.obs.ingestBatch.Observe(time.Since(start))
 	s.ctr.records.Add(uint64(len(b.Keys)))
 }
 
@@ -807,17 +848,27 @@ func mix64(z uint64) uint64 {
 // enterDegraded flips the server into degraded mode once per episode.
 func (s *Server) enterDegraded(queue int64) {
 	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedAt.Store(time.Now().UnixNano())
 		s.ctr.degradedEntries.Add(1)
-		s.logf("overload: entering degraded mode (queue %d >= %d); shedding %d of every %d batches",
-			queue, s.cfg.OverloadHighWater, s.cfg.ShedKeepOneIn-1, s.cfg.ShedKeepOneIn)
+		s.log.Warn("entering degraded mode",
+			"queue", queue,
+			"high_water", s.cfg.OverloadHighWater,
+			"shed", s.cfg.ShedKeepOneIn-1,
+			"of", s.cfg.ShedKeepOneIn)
 	}
 }
 
-// exitDegraded returns the server to exact mode once per episode.
+// exitDegraded returns the server to exact mode once per episode and
+// records how long the episode lasted.
 func (s *Server) exitDegraded() {
 	if s.degraded.CompareAndSwap(true, false) {
+		dwell := time.Duration(0)
+		if at := s.degradedAt.Load(); at != 0 {
+			dwell = time.Since(time.Unix(0, at))
+		}
+		s.obs.degradedDwell.Observe(dwell)
 		s.ctr.degradedExits.Add(1)
-		s.logf("overload: recovered, exiting degraded mode")
+		s.log.Info("recovered, exiting degraded mode", "dwell", dwell)
 	}
 }
 
@@ -842,7 +893,7 @@ func (s *Server) monitorLoop() {
 				runtime.ReadMemStats(&ms)
 				if ms.HeapAlloc >= s.cfg.MemHighWater {
 					over = true
-					s.logf("overload: heap %d bytes >= watermark %d", ms.HeapAlloc, s.cfg.MemHighWater)
+					s.log.Warn("heap past watermark", "heap_bytes", ms.HeapAlloc, "watermark", s.cfg.MemHighWater)
 				}
 			}
 			switch {
@@ -870,7 +921,7 @@ func (s *Server) snapshotLoop() {
 		select {
 		case <-t.C:
 			if err := s.Snapshot(); err != nil {
-				s.logf("periodic snapshot: %v", err)
+				s.snapLog.Error("periodic snapshot failed", "err", err)
 			}
 		case <-s.stopSnap:
 			return
@@ -896,11 +947,15 @@ func (s *Server) Snapshot() error {
 		s.ctr.snapshotErrs.Add(1)
 		return fmt.Errorf("server: summarizer %T cannot snapshot", s.reg.def.summarizer())
 	}
+	start := time.Now()
 	if err := s.snap.write(w); err != nil {
 		s.ctr.snapshotErrs.Add(1)
 		return err
 	}
+	d := time.Since(start)
+	s.obs.snapWrite.Observe(d)
 	s.ctr.snapshots.Add(1)
+	s.snapLog.Debug("snapshot generation written", "duration_us", d.Microseconds())
 	return nil
 }
 
